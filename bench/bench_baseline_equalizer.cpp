@@ -1,0 +1,119 @@
+/// \file
+/// \brief Baseline comparison (Section II related work): the AXI burst
+///        equalizer (ABE, [12]) vs the full AXI-REALM unit.
+///
+/// The ABE enforces a nominal burst size and an outstanding cap — enough to
+/// restore round-robin *fairness* — but it has no credits (no bandwidth
+/// shares, no isolation) and no write buffer (no stall-DoS protection).
+/// Three columns: unregulated, ABE, and REALM with a 25 % DMA budget, all
+/// against the same 256-beat interference DMA.
+#include "mem/axi_mem_slave.hpp"
+#include "mem/llc.hpp"
+#include "realm/burst_equalizer.hpp"
+#include "realm/realm_unit.hpp"
+#include "ic/xbar.hpp"
+#include "traffic/core.hpp"
+#include "traffic/dma.hpp"
+#include "traffic/workload.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace {
+
+using namespace realm;
+
+enum class Mode { kNone, kEqualizer, kRealm };
+
+struct Outcome {
+    double core_lat_mean = 0;
+    sim::Cycle core_lat_max = 0;
+    double dma_bw = 0;
+};
+
+Outcome run(Mode mode) {
+    sim::SimContext ctx;
+    // Shared memory behind a 2-manager crossbar.
+    axi::AxiChannel core_xbar{ctx, "core_xbar"};
+    axi::AxiChannel dma_xbar{ctx, "dma_xbar", 2, /*resp_passthrough=*/mode == Mode::kRealm};
+    axi::AxiChannel mem_ch{ctx, "mem"};
+    mem::AxiMemSlave mem{ctx, "mem", mem_ch, std::make_unique<mem::SramBackend>(1, 1),
+                         mem::AxiMemSlaveConfig{4, 4, 0}};
+    ic::AddrMap map;
+    map.add(0x0, 0x10'0000, 0, "mem");
+    ic::AxiXbar xbar{ctx,
+                     "xbar",
+                     {&core_xbar, &dma_xbar},
+                     {&mem_ch},
+                     map,
+                     ic::XbarConfig{}};
+
+    // The DMA port's regulation stage depends on the mode.
+    axi::AxiChannel dma_up{ctx, "dma_up"};
+    std::unique_ptr<rt::BurstEqualizer> abe;
+    std::unique_ptr<rt::RealmUnit> realm;
+    axi::AxiChannel* dma_port = &dma_up;
+    switch (mode) {
+    case Mode::kNone: dma_port = &dma_xbar; break;
+    case Mode::kEqualizer:
+        abe = std::make_unique<rt::BurstEqualizer>(ctx, "abe", dma_up, dma_xbar,
+                                                   rt::BurstEqualizerConfig{1, 4});
+        break;
+    case Mode::kRealm: {
+        rt::RealmUnitConfig rcfg;
+        rcfg.fragment_beats = 1;
+        realm = std::make_unique<rt::RealmUnit>(ctx, "realm", dma_up, dma_xbar, rcfg);
+        // One 2048-byte parent per 1000-cycle period (the credit must cover
+        // a whole parent, which is charged at acceptance): ~2 B/cycle.
+        realm->set_region(0, rt::RegionConfig{0x0, 0x10'0000, 2500, 1000});
+        break;
+    }
+    }
+
+    traffic::DmaConfig dcfg;
+    dcfg.burst_beats = 256;
+    traffic::DmaEngine dma{ctx, "dma", *dma_port, dcfg};
+    dma.push_job(traffic::DmaJob{0x8'0000, 0xC'0000, 0x4000, true});
+    ctx.run(2000);
+
+    traffic::StreamWorkload wl{{.base = 0x0, .bytes = 0x4000, .op_bytes = 8,
+                                .stride_bytes = 8, .repeat = 2}};
+    traffic::CoreModel core{ctx, "core", core_xbar, wl};
+    const sim::Cycle t0 = ctx.now();
+    const std::uint64_t dma0 = dma.bytes_read();
+    ctx.run_until([&] { return core.done(); }, 10'000'000);
+
+    Outcome out;
+    out.core_lat_mean = core.load_latency().mean();
+    out.core_lat_max = core.load_latency().max();
+    out.dma_bw = static_cast<double>(dma.bytes_read() - dma0) /
+                 static_cast<double>(ctx.now() - t0);
+    return out;
+}
+
+} // namespace
+
+int main() {
+    std::puts("== Baseline: ABE burst equalizer [12] vs AXI-REALM ==");
+    std::puts("(same 256-beat interference DMA against a latency-sensitive core)\n");
+
+    const Outcome none = run(Mode::kNone);
+    const Outcome abe = run(Mode::kEqualizer);
+    const Outcome realm = run(Mode::kRealm);
+
+    std::printf("%-26s %14s %14s %14s\n", "", "unregulated", "ABE (frag 1)",
+                "REALM (2B/cyc)");
+    std::printf("%-26s %14.1f %14.1f %14.1f\n", "core load lat (mean)", none.core_lat_mean,
+                abe.core_lat_mean, realm.core_lat_mean);
+    std::printf("%-26s %14llu %14llu %14llu\n", "core load lat (max)",
+                static_cast<unsigned long long>(none.core_lat_max),
+                static_cast<unsigned long long>(abe.core_lat_max),
+                static_cast<unsigned long long>(realm.core_lat_max));
+    std::printf("%-26s %14.2f %14.2f %14.2f\n", "DMA bandwidth [B/cyc]", none.dma_bw,
+                abe.dma_bw, realm.dma_bw);
+
+    std::puts("\nthe equalizer restores fairness (latency collapses) but cannot cap the");
+    std::puts("aggressor's bandwidth share; REALM's credits additionally hold the DMA");
+    std::puts("near its reserved share — the delta is exactly the M&R unit.");
+    return 0;
+}

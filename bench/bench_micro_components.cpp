@@ -1,0 +1,115 @@
+/// \file
+/// \brief google-benchmark micro-benchmarks: simulation throughput of the
+///        individual substrates and of the full SoC (host-side performance,
+///        cycles simulated per wall second).
+#include "axi/builder.hpp"
+#include "axi/channel.hpp"
+#include "ic/xbar.hpp"
+#include "mem/axi_mem_slave.hpp"
+#include "mem/llc.hpp"
+#include "realm/splitter.hpp"
+#include "soc/cheshire_soc.hpp"
+#include "traffic/core.hpp"
+#include "traffic/dma.hpp"
+#include "traffic/susan.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace realm;
+
+void BM_LinkTransfer(benchmark::State& state) {
+    sim::SimContext ctx;
+    sim::Link<axi::RFlit> link{ctx, 2, "l"};
+    axi::RFlit flit;
+    for (auto _ : state) {
+        if (link.can_push()) { link.push(flit); }
+        if (link.can_pop()) { benchmark::DoNotOptimize(link.pop()); }
+        ctx.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ctx.now()));
+}
+BENCHMARK(BM_LinkTransfer);
+
+void BM_BurstFragmentation(benchmark::State& state) {
+    const auto granularity = static_cast<std::uint32_t>(state.range(0));
+    const axi::BurstDescriptor desc{0x1000, 255, 3, axi::Burst::kIncr};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(axi::fragment_burst(desc, granularity));
+    }
+}
+BENCHMARK(BM_BurstFragmentation)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_SplitterReadPath(benchmark::State& state) {
+    rt::GranularBurstSplitter sp{static_cast<std::uint32_t>(state.range(0)), 8};
+    for (auto _ : state) {
+        sp.accept_read(axi::make_ar(1, 0x0, 256, 3));
+        while (sp.has_child_ar()) { benchmark::DoNotOptimize(sp.pop_child_ar()); }
+        axi::RFlit beat;
+        beat.id = 1;
+        for (std::uint32_t child = 0; child < 256 / state.range(0); ++child) {
+            for (std::uint32_t b = 0; b + 1 < static_cast<std::uint32_t>(state.range(0));
+                 ++b) {
+                beat.last = false;
+                benchmark::DoNotOptimize(sp.process_r(beat));
+            }
+            beat.last = true;
+            benchmark::DoNotOptimize(sp.process_r(beat));
+        }
+    }
+}
+BENCHMARK(BM_SplitterReadPath)->Arg(1)->Arg(4)->Arg(64);
+
+void BM_SramSlaveCycle(benchmark::State& state) {
+    sim::SimContext ctx;
+    axi::AxiChannel ch{ctx, "m"};
+    mem::AxiMemSlave slave{ctx, "mem", ch, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{8, 8, 0}};
+    axi::ManagerView mgr{ch};
+    for (auto _ : state) {
+        if (mgr.can_send_ar()) { mgr.send_ar(axi::make_ar(1, ctx.now() % 4096, 1, 3)); }
+        if (mgr.has_r()) { benchmark::DoNotOptimize(mgr.recv_r()); }
+        ctx.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ctx.now()));
+    state.counters["cycles/s"] =
+        benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SramSlaveCycle);
+
+void BM_FullSocCycle(benchmark::State& state) {
+    sim::SimContext ctx;
+    soc::CheshireSoc soc{ctx, soc::SocConfig{}};
+    for (axi::Addr a = 0; a < 0x10000; a += 8) {
+        soc.dram_image().write_u64(0x8000'0000 + a, a);
+    }
+    soc.warm_llc(0x8000'0000, 0x10000);
+    traffic::DmaConfig dcfg;
+    dcfg.burst_beats = 64;
+    traffic::DmaEngine dma{ctx, "dma", soc.dsa_port(0), dcfg};
+    dma.push_job(traffic::DmaJob{0x8000'8000, 0x7000'0000, 0x4000, true});
+    traffic::StreamWorkload wl{
+        {.base = 0x8000'0000, .bytes = 0x8000, .op_bytes = 8, .stride_bytes = 8,
+         .repeat = 1000000}};
+    traffic::CoreModel core{ctx, "core", soc.core_port(), wl};
+    for (auto _ : state) { ctx.step(); }
+    state.counters["sim-cycles/s"] =
+        benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullSocCycle);
+
+void BM_SusanTraceGeneration(benchmark::State& state) {
+    traffic::SusanConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    for (auto _ : state) {
+        traffic::SusanTraceGenerator gen{cfg};
+        benchmark::DoNotOptimize(gen.ops().size());
+    }
+}
+BENCHMARK(BM_SusanTraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+/// \file
+/// \brief Shared experiment harness for the Figure 6 reproductions: Susan on
+///        the core model under DSA-DMA interference on the Cheshire-like SoC.
+#pragma once
+
+#include "soc/cheshire_soc.hpp"
+#include "traffic/core.hpp"
+#include "traffic/dma.hpp"
+#include "traffic/susan.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+namespace realm::bench {
+
+/// One experiment point.
+struct Fig6Config {
+    bool dma_active = true;
+    std::uint32_t dma_fragment = 256;        ///< REALM granularity on the DSA port
+    std::uint64_t dma_budget_bytes = 1ULL << 30;  ///< per period
+    std::uint64_t core_budget_bytes = 1ULL << 30;
+    std::uint64_t period_cycles = 1ULL << 20; ///< "very large" unless stated
+    bool throttle = false;
+    /// LLC descriptor-initiation interval (see `mem::LlcConfig`); 1 is the
+    /// latency-faithful calibration, 2 reproduces the paper's frag-1
+    /// performance figure at the cost of latency fidelity (see
+    /// EXPERIMENTS.md).
+    sim::Cycle llc_request_interval = 1;
+    std::uint64_t max_cycles = 60'000'000;
+};
+
+struct Fig6Result {
+    std::uint64_t run_cycles = 0;   ///< Susan start -> core done
+    std::uint64_t ops = 0;
+    double load_lat_mean = 0;
+    sim::Cycle load_lat_max = 0;
+    sim::Cycle load_lat_min = 0;
+    double dma_read_bw = 0;         ///< bytes/cycle pulled from the LLC
+    std::uint64_t dma_bytes = 0;
+    std::uint64_t dma_depletions = 0;
+
+    [[nodiscard]] double cycles_per_op() const {
+        return ops == 0 ? 0.0
+                        : static_cast<double>(run_cycles) / static_cast<double>(ops);
+    }
+};
+
+/// Runs Susan-on-core once under the given regulation configuration.
+/// The DMA double-buffers 256-beat bursts between the LLC and the SPM, the
+/// paper's worst-case disturbance.
+inline Fig6Result run_fig6_point(const Fig6Config& cfg,
+                                 const traffic::SusanConfig& susan_cfg) {
+    sim::SimContext ctx;
+    soc::SocConfig scfg;
+    scfg.llc.max_outstanding = 4;
+    scfg.llc.request_interval = cfg.llc_request_interval;
+    soc::CheshireSoc soc{ctx, scfg};
+
+    // Seed DRAM with the Susan image and the DMA's source block; warm the LLC
+    // over everything the experiment touches (paper: "assuming the LLC is
+    // hot").
+    traffic::SusanTraceGenerator gen{susan_cfg};
+    const auto& img = gen.input_image();
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        soc.dram_image().write_u8(susan_cfg.image_base + i, img[i]);
+    }
+    constexpr axi::Addr kDmaSrc = 0x8010'0000;
+    constexpr std::uint64_t kDmaBlock = 0x4000; // 16 KiB double-buffered block
+    for (axi::Addr a = 0; a < kDmaBlock; a += 8) {
+        soc.dram_image().write_u64(kDmaSrc + a, a * 0x9E3779B9ULL);
+    }
+    soc.warm_llc(susan_cfg.image_base, img.size());
+    soc.warm_llc(susan_cfg.out_base, img.size());
+    soc.warm_llc(susan_cfg.lut_base, 4096);
+    soc.warm_llc(kDmaSrc, kDmaBlock);
+
+    // Boot-flow configuration through the guarded register file.
+    soc.queue_boot_script({
+        soc::CheshireSoc::BootRegionPlan{cfg.core_budget_bytes, cfg.period_cycles, 256},
+        soc::CheshireSoc::BootRegionPlan{cfg.dma_budget_bytes, cfg.period_cycles,
+                                         cfg.dma_fragment},
+    });
+    if (cfg.throttle) { soc.dsa_realm(0).set_throttle(true); }
+    if (!ctx.run_until([&] { return soc.boot_master().done(); }, 10000)) {
+        std::fprintf(stderr, "boot script did not complete\n");
+        return {};
+    }
+
+    // Interference source.
+    std::unique_ptr<traffic::DmaEngine> dma;
+    if (cfg.dma_active) {
+        traffic::DmaConfig dcfg;
+        dcfg.burst_beats = 256;
+        dcfg.num_buffers = 4;
+        dcfg.max_outstanding_reads = 4;
+        dcfg.max_outstanding_writes = 4;
+        dma = std::make_unique<traffic::DmaEngine>(ctx, "dsa_dma", soc.dsa_port(0), dcfg);
+        dma->push_job(traffic::DmaJob{kDmaSrc, 0x7000'0000, kDmaBlock, /*loop=*/true});
+        ctx.run(3000); // reach steady-state interference before measuring
+    }
+
+    // Victim workload.
+    traffic::TraceWorkload wl{gen.take_ops()};
+    traffic::CoreModel core{ctx, "cva6", soc.core_port(), wl};
+    const sim::Cycle start = ctx.now();
+    const std::uint64_t dma_bytes_before = dma ? dma->bytes_read() : 0;
+    if (!ctx.run_until([&] { return core.done(); }, cfg.max_cycles)) {
+        std::fprintf(stderr, "experiment timed out after %llu cycles\n",
+                     static_cast<unsigned long long>(cfg.max_cycles));
+    }
+
+    Fig6Result res;
+    res.run_cycles = core.finish_cycle() - start;
+    res.ops = core.loads_retired() + core.stores_retired();
+    res.load_lat_mean = core.load_latency().mean();
+    res.load_lat_max = core.load_latency().max();
+    res.load_lat_min = core.load_latency().min();
+    if (dma) {
+        res.dma_bytes = dma->bytes_read() - dma_bytes_before;
+        res.dma_read_bw = res.run_cycles == 0
+                              ? 0.0
+                              : static_cast<double>(res.dma_bytes) /
+                                    static_cast<double>(res.run_cycles);
+        res.dma_depletions = soc.dsa_realm(0).mr().region(0).depletion_events;
+    }
+    return res;
+}
+
+/// Default Susan configuration for the Figure 6 benches.
+inline traffic::SusanConfig fig6_susan() {
+    traffic::SusanConfig s;
+    s.width = 64;
+    s.height = 48;
+    s.mask_radius = 2;
+    return s;
+}
+
+} // namespace realm::bench

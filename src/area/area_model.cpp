@@ -1,0 +1,114 @@
+#include "area/area_model.hpp"
+
+#include "sim/check.hpp"
+
+#include <cstring>
+
+namespace realm::area {
+
+namespace {
+
+/// Blocks dropped when an optional feature is absent.
+bool block_present(const BlockLaw& law, const RealmParams& p) noexcept {
+    if (!p.splitter_present &&
+        (std::strcmp(law.name, "Burst Splitter") == 0 ||
+         std::strcmp(law.name, "Meta Buffer") == 0)) {
+        return false;
+    }
+    if (!p.write_buffer_present && std::strcmp(law.name, "Write Buffer") == 0) {
+        return false;
+    }
+    return true;
+}
+
+std::uint32_t instances_of(const BlockLaw& law, const RealmParams& p) noexcept {
+    switch (law.mult) {
+    case BlockLaw::Multiplicity::kPerSystem: return 1;
+    case BlockLaw::Multiplicity::kPerUnit: return p.num_units;
+    case BlockLaw::Multiplicity::kPerUnitRegion: return p.num_units * p.num_regions;
+    }
+    return 0;
+}
+
+bool is_config_block(const BlockLaw& law) noexcept {
+    return std::strcmp(law.name, "Bus Guard") == 0 ||
+           std::strcmp(law.name, "Burst config Register") == 0 ||
+           std::strcmp(law.name, "C&S Register") == 0 ||
+           std::strcmp(law.name, "Budget & Period Register") == 0 ||
+           std::strcmp(law.name, "Region Boundary Register") == 0;
+}
+
+} // namespace
+
+double block_area_ge(const BlockLaw& law, const RealmParams& p) noexcept {
+    if (!block_present(law, p)) { return 0.0; }
+    const double storage_words = static_cast<double>(p.storage_bits()) / 64.0;
+    return law.constant + law.per_addr_bit * p.addr_width_bits +
+           law.per_data_bit * p.data_width_bits + law.per_pending * p.num_pending +
+           law.per_storage_word64 * storage_words;
+}
+
+std::vector<BlockArea> system_breakdown(const RealmParams& p) {
+    std::vector<BlockArea> out;
+    out.reserve(kTable2.size());
+    for (const BlockLaw& law : kTable2) {
+        BlockArea ba;
+        ba.name = law.name;
+        ba.instance_ge = block_area_ge(law, p);
+        ba.instances = block_present(law, p) ? instances_of(law, p) : 0;
+        ba.total_ge = ba.instance_ge * ba.instances;
+        out.push_back(ba);
+    }
+    return out;
+}
+
+double realm_unit_ge(const RealmParams& p) noexcept {
+    double total = 0.0;
+    for (const BlockLaw& law : kTable2) {
+        if (is_config_block(law)) { continue; }
+        const double per_instance = block_area_ge(law, p);
+        switch (law.mult) {
+        case BlockLaw::Multiplicity::kPerSystem: break; // none in the unit
+        case BlockLaw::Multiplicity::kPerUnit: total += per_instance; break;
+        case BlockLaw::Multiplicity::kPerUnitRegion:
+            total += per_instance * p.num_regions;
+            break;
+        }
+    }
+    return total;
+}
+
+double config_file_ge(const RealmParams& p) noexcept {
+    double total = 0.0;
+    for (const BlockLaw& law : kTable2) {
+        if (!is_config_block(law)) { continue; }
+        const double per_instance = block_area_ge(law, p);
+        switch (law.mult) {
+        case BlockLaw::Multiplicity::kPerSystem: total += per_instance; break;
+        case BlockLaw::Multiplicity::kPerUnit: total += per_instance * p.num_units; break;
+        case BlockLaw::Multiplicity::kPerUnitRegion:
+            total += per_instance * p.num_units * p.num_regions;
+            break;
+        }
+    }
+    return total;
+}
+
+double system_ge(const RealmParams& p) noexcept {
+    return realm_unit_ge(p) * p.num_units + config_file_ge(p);
+}
+
+double paper_overhead_percent() noexcept {
+    // (3 RT units + RT CFG) / SoC total, all from Table I.
+    const double rt = kTable1[4].kge + kTable1[5].kge;
+    return 100.0 * rt / kTable1[0].kge;
+}
+
+double model_overhead_percent(const RealmParams& p) noexcept {
+    const double rt_paper_kge = kTable1[4].kge + kTable1[5].kge;
+    const double base_kge = kTable1[0].kge - rt_paper_kge; // Cheshire without REALM
+    const double model_kge = system_ge(p) / 1000.0;
+    return 100.0 * model_kge / (base_kge + model_kge);
+}
+
+} // namespace realm::area

@@ -1,0 +1,125 @@
+/// \file
+/// \brief Analytical gate-equivalent area model of AXI-REALM (paper Table II)
+///        and the Cheshire SoC decomposition (paper Table I).
+///
+/// The paper provides, per sub-block, a constant base area plus linear
+/// coefficients over the design parameters (GE at 1 GHz, GlobalFoundries
+/// 12 nm, typical corner). "To estimate the area of an AXI-REALM system,
+/// the individual unit's area contributions are multiplied by the parameter
+/// value and summed up." This module implements exactly that model; the
+/// published coefficients are kept verbatim so integrators can reproduce
+/// the paper's numbers or plug in their own configuration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace realm::area {
+
+/// Parameterization of one AXI-REALM deployment (Table II sweep axes).
+struct RealmParams {
+    std::uint32_t addr_width_bits = 64; ///< evaluated 32..64 in the paper
+    std::uint32_t data_width_bits = 64; ///< evaluated 32..64
+    std::uint32_t num_pending = 8;      ///< evaluated 2..16
+    std::uint32_t buffer_depth = 16;    ///< write-buffer elements, evaluated 2..16
+    std::uint32_t num_regions = 2;
+    std::uint32_t num_units = 3;        ///< REALM units sharing one config file
+    /// The splitter can be dropped at design time for managers that only
+    /// emit single-word transactions (paper Section III-A).
+    bool splitter_present = true;
+    bool write_buffer_present = true;
+
+    /// Write-buffer storage in bits (Table II footnote f: product of buffer
+    /// depth and data width; evaluated 256..8192 bit).
+    [[nodiscard]] std::uint64_t storage_bits() const noexcept {
+        return write_buffer_present ? std::uint64_t{buffer_depth} * data_width_bits : 0;
+    }
+};
+
+/// One sub-block's linear area law: GE = constant + sum(coeff * param).
+/// Coefficients are in GE per unit of the parameter noted in Table II;
+/// the storage coefficient is per 64-bit word of buffer storage.
+struct BlockLaw {
+    const char* name;
+    double per_addr_bit;
+    double per_data_bit;
+    double per_pending;
+    double per_storage_word64;
+    double constant;
+    /// How many instances exist in a system of U units and R regions.
+    enum class Multiplicity : std::uint8_t { kPerSystem, kPerUnit, kPerUnitRegion } mult;
+};
+
+/// The eleven columns of Table II, verbatim.
+inline constexpr std::array<BlockLaw, 11> kTable2 = {{
+    // --- Configuration register file ---
+    {"Bus Guard", 0, 0, 0, 0, 260.6, BlockLaw::Multiplicity::kPerSystem},
+    {"Burst config Register", 0, 0, 0, 0, 83.5, BlockLaw::Multiplicity::kPerUnit},
+    {"C&S Register", 0, 0, 0, 0, 24.6, BlockLaw::Multiplicity::kPerUnit},
+    {"Budget & Period Register", 0, 0, 0, 0, 1319.6, BlockLaw::Multiplicity::kPerUnitRegion},
+    {"Region Boundary Register", 20.6, 0, 0, 0, 0, BlockLaw::Multiplicity::kPerUnitRegion},
+    // --- REALM unit ---
+    {"Isolate & Throttle", 3.5, 2.7, 9.0, 0, 267.1, BlockLaw::Multiplicity::kPerUnit},
+    {"Burst Splitter", 49.3, 1.5, 729.4, 0, 4835.0, BlockLaw::Multiplicity::kPerUnit},
+    {"Meta Buffer", 38.1, 0, 0, 0, 1309.7, BlockLaw::Multiplicity::kPerUnit},
+    {"Write Buffer", 0, 0, 0, 264.4, 11.4, BlockLaw::Multiplicity::kPerUnit},
+    {"Tracking counters", 0, 0, 0, 0, 1928.5, BlockLaw::Multiplicity::kPerUnitRegion},
+    {"Region Decoders", 20.8, 0, 0, 0, 0, BlockLaw::Multiplicity::kPerUnitRegion},
+}};
+
+/// Area of one instance of `law` under `p`, in GE.
+[[nodiscard]] double block_area_ge(const BlockLaw& law, const RealmParams& p) noexcept;
+
+/// Per-instance contribution of every block, scaled by multiplicity,
+/// grouped for reporting.
+struct BlockArea {
+    std::string name;
+    double instance_ge;  ///< one instance
+    double total_ge;     ///< all instances in the system
+    std::uint32_t instances;
+};
+[[nodiscard]] std::vector<BlockArea> system_breakdown(const RealmParams& p);
+
+/// Area of one REALM unit (excluding the shared config file), in GE.
+[[nodiscard]] double realm_unit_ge(const RealmParams& p) noexcept;
+
+/// Area of the shared configuration register file (incl. bus guard), GE.
+[[nodiscard]] double config_file_ge(const RealmParams& p) noexcept;
+
+/// Full system: num_units REALM units + one config file, GE.
+[[nodiscard]] double system_ge(const RealmParams& p) noexcept;
+
+// ---------------------------------------------------------------------------
+// Table I: area decomposition of the Cheshire SoC (kGE, 12 nm, 1 GHz).
+// ---------------------------------------------------------------------------
+
+struct CheshireBlock {
+    const char* name;
+    double kge;      ///< paper-reported area
+    double percent;  ///< paper-reported share of the SoC
+};
+
+inline constexpr std::array<CheshireBlock, 11> kTable1 = {{
+    {"SoC (total)", 3810.0, 100.00},
+    {"CVA6", 1860.0, 48.7},
+    {"LLC", 1350.0, 35.5},
+    {"Interconnect", 206.0, 5.41},
+    {"3 RT Units", 83.6, 2.19},
+    {"RT CFG", 9.8, 0.26},
+    {"Peripherals", 163.0, 4.27},
+    {"iDMA", 26.3, 0.69},
+    {"Bootrom", 12.9, 0.34},
+    {"IRQ subsys", 11.1, 0.29},
+    {"Rest", 20.5, 0.54},
+}};
+
+/// Paper-reported AXI-REALM overhead on Cheshire: (RT units + CFG) / SoC.
+[[nodiscard]] double paper_overhead_percent() noexcept;
+
+/// Overhead recomputed from the Table II model at configuration `p`,
+/// against the Cheshire base area (SoC minus the paper's RT contribution).
+[[nodiscard]] double model_overhead_percent(const RealmParams& p) noexcept;
+
+} // namespace realm::area

@@ -1,0 +1,23 @@
+#include "axi/builder.hpp"
+
+#include <algorithm>
+
+namespace realm::axi {
+
+std::vector<WFlit> make_write_beats(std::span<const std::uint8_t> bytes, std::uint32_t beats,
+                                    std::uint32_t beat_bytes) {
+    REALM_EXPECTS(beats >= 1 && beats <= kMaxBurstBeats, "write burst beats out of [1,256]");
+    REALM_EXPECTS(beat_bytes >= 1 && beat_bytes <= kMaxDataBytes, "illegal beat width");
+    std::vector<WFlit> out;
+    out.reserve(beats);
+    std::size_t offset = 0;
+    for (std::uint32_t i = 0; i < beats; ++i) {
+        const std::size_t take = std::min<std::size_t>(beat_bytes, bytes.size() - std::min(offset, bytes.size()));
+        WFlit f = make_w(bytes.subspan(std::min(offset, bytes.size()), take), i + 1 == beats);
+        out.push_back(f);
+        offset += beat_bytes;
+    }
+    return out;
+}
+
+} // namespace realm::axi

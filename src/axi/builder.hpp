@@ -1,0 +1,68 @@
+/// \file
+/// \brief Convenience constructors for well-formed AXI4 flits.
+#pragma once
+
+#include "axi/flit.hpp"
+
+#include "sim/check.hpp"
+#include "sim/types.hpp"
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace realm::axi {
+
+/// Computes AxSIZE for a bus of `bus_bytes` (must be a power of two <= 64).
+[[nodiscard]] constexpr std::uint8_t size_of_bus(std::uint32_t bus_bytes) noexcept {
+    std::uint8_t s = 0;
+    while ((std::uint32_t{1} << s) < bus_bytes) { ++s; }
+    return s;
+}
+
+/// Builds an INCR write-address flit covering `beats` full-width beats.
+[[nodiscard]] inline AwFlit make_aw(IdT id, Addr addr, std::uint32_t beats, std::uint8_t size,
+                                    sim::Cycle issued_at = sim::kNoCycle) {
+    REALM_EXPECTS(beats >= 1 && beats <= kMaxBurstBeats, "AW beats out of [1,256]");
+    AwFlit f;
+    f.id = id;
+    f.addr = addr;
+    f.len = static_cast<std::uint8_t>(beats - 1);
+    f.size = size;
+    f.burst = Burst::kIncr;
+    f.issued_at = issued_at;
+    return f;
+}
+
+/// Builds an INCR read-address flit covering `beats` full-width beats.
+[[nodiscard]] inline ArFlit make_ar(IdT id, Addr addr, std::uint32_t beats, std::uint8_t size,
+                                    sim::Cycle issued_at = sim::kNoCycle) {
+    REALM_EXPECTS(beats >= 1 && beats <= kMaxBurstBeats, "AR beats out of [1,256]");
+    ArFlit f;
+    f.id = id;
+    f.addr = addr;
+    f.len = static_cast<std::uint8_t>(beats - 1);
+    f.size = size;
+    f.burst = Burst::kIncr;
+    f.issued_at = issued_at;
+    return f;
+}
+
+/// Builds a data beat from raw bytes (at most one bus width).
+[[nodiscard]] inline WFlit make_w(std::span<const std::uint8_t> bytes, bool last,
+                                  Strb strb = ~Strb{0}) {
+    REALM_EXPECTS(bytes.size() <= kMaxDataBytes, "beat wider than the maximum bus");
+    WFlit f;
+    if (!bytes.empty()) { std::memcpy(f.data.bytes.data(), bytes.data(), bytes.size()); }
+    f.strb = strb;
+    f.last = last;
+    return f;
+}
+
+/// Builds the full W-beat sequence for a write burst whose payload is
+/// `bytes` (padded with zeros to whole beats).
+[[nodiscard]] std::vector<WFlit> make_write_beats(std::span<const std::uint8_t> bytes,
+                                                  std::uint32_t beats,
+                                                  std::uint32_t beat_bytes);
+
+} // namespace realm::axi

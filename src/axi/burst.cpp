@@ -1,0 +1,111 @@
+#include "axi/burst.hpp"
+
+#include "sim/check.hpp"
+
+namespace realm::axi {
+
+namespace {
+
+/// AxADDR aligned down to the beat-size boundary.
+constexpr Addr aligned(Addr addr, std::uint32_t beat_bytes) noexcept {
+    return addr & ~(Addr{beat_bytes} - 1);
+}
+
+} // namespace
+
+Addr beat_address(const BurstDescriptor& desc, std::uint32_t beat_index) noexcept {
+    const std::uint32_t bb = desc.beat_bytes();
+    switch (desc.burst) {
+    case Burst::kFixed: return desc.addr;
+    case Burst::kIncr: {
+        if (beat_index == 0) { return desc.addr; }
+        return aligned(desc.addr, bb) + std::uint64_t{beat_index} * bb;
+    }
+    case Burst::kWrap: {
+        // WRAP addresses are size-aligned by spec; wrap at beats*bb window.
+        const Addr base = wrap_boundary(desc);
+        const Addr window = std::uint64_t{desc.beats()} * bb;
+        const Addr offset = (desc.addr - base + std::uint64_t{beat_index} * bb) % window;
+        return base + offset;
+    }
+    }
+    return desc.addr;
+}
+
+Addr wrap_boundary(const BurstDescriptor& desc) noexcept {
+    const Addr window = std::uint64_t{desc.beats()} * desc.beat_bytes();
+    return (desc.addr / window) * window;
+}
+
+bool within_4k(const BurstDescriptor& desc) noexcept {
+    const Addr first = desc.burst == Burst::kFixed ? desc.addr : aligned(desc.addr, desc.beat_bytes());
+    Addr last = desc.addr;
+    switch (desc.burst) {
+    case Burst::kFixed: last = desc.addr + desc.beat_bytes() - 1; break;
+    case Burst::kIncr:
+        last = aligned(desc.addr, desc.beat_bytes()) + desc.total_bytes() - 1;
+        break;
+    case Burst::kWrap:
+        // The wrap window is naturally aligned and at most 16 beats, so it
+        // never straddles 4 KiB when the size is legal.
+        last = wrap_boundary(desc) + desc.total_bytes() - 1;
+        break;
+    }
+    return (first / kAxi4BoundaryBytes) == (last / kAxi4BoundaryBytes);
+}
+
+bool is_legal(const BurstDescriptor& desc) noexcept {
+    if (desc.size > 6) { return false; } // model caps the bus at 512 bit
+    switch (desc.burst) {
+    case Burst::kFixed:
+        return desc.len <= 15; // FIXED bursts are 1..16 beats in AXI4
+    case Burst::kIncr: return within_4k(desc);
+    case Burst::kWrap: {
+        const bool len_ok =
+            desc.len == 1 || desc.len == 3 || desc.len == 7 || desc.len == 15;
+        const bool addr_aligned = (desc.addr & (Addr{desc.beat_bytes()} - 1)) == 0;
+        return len_ok && addr_aligned;
+    }
+    }
+    return false;
+}
+
+bool is_fragmentable(const BurstDescriptor& desc, std::uint8_t cache, bool lock) noexcept {
+    if (lock) { return false; }
+    if (desc.burst != Burst::kIncr) { return false; }
+    if (!is_modifiable(cache) && desc.beats() <= 16) { return false; }
+    return true;
+}
+
+std::vector<BurstDescriptor> fragment_burst(const BurstDescriptor& desc,
+                                            std::uint32_t granularity_beats) {
+    REALM_EXPECTS(granularity_beats >= 1 && granularity_beats <= kMaxBurstBeats,
+                  "fragmentation granularity out of [1,256]");
+    REALM_EXPECTS(desc.burst == Burst::kIncr, "only INCR bursts can be fragmented");
+
+    std::vector<BurstDescriptor> children;
+    const std::uint32_t bb = desc.beat_bytes();
+    std::uint32_t remaining = desc.beats();
+    Addr next_addr = desc.addr;
+    while (remaining > 0) {
+        const std::uint32_t take = remaining < granularity_beats ? remaining : granularity_beats;
+        BurstDescriptor child = desc;
+        child.addr = next_addr;
+        child.len = static_cast<std::uint8_t>(take - 1);
+        children.push_back(child);
+        // Successor starts at the size-aligned address after this child's
+        // last beat (matches the INCR address equation).
+        next_addr = aligned(next_addr, bb) + std::uint64_t{take} * bb;
+        remaining -= take;
+    }
+    REALM_ENSURES(!children.empty(), "fragmentation must produce at least one child");
+    return children;
+}
+
+std::uint32_t fragment_count(const BurstDescriptor& desc,
+                             std::uint32_t granularity_beats) noexcept {
+    if (granularity_beats == 0) { return 0; }
+    return (desc.beats() + granularity_beats - 1) / granularity_beats;
+}
+
+} // namespace realm::axi

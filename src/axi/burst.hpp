@@ -1,0 +1,75 @@
+/// \file
+/// \brief Pure burst arithmetic per the AXI4 specification: beat addresses,
+///        wrap boundaries, 4 KiB checks, and burst fragmentation.
+///
+/// Kept free of simulation state so the granular burst splitter's math is
+/// unit- and property-testable in isolation.
+#pragma once
+
+#include "axi/types.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace realm::axi {
+
+/// Address-channel view of a burst: everything needed for beat math.
+struct BurstDescriptor {
+    Addr addr = 0;            ///< AxADDR: address of the first beat (may be unaligned).
+    std::uint8_t len = 0;     ///< AxLEN: beats - 1.
+    std::uint8_t size = 0;    ///< AxSIZE: log2 bytes per beat.
+    Burst burst = Burst::kIncr;
+
+    [[nodiscard]] std::uint32_t beats() const noexcept { return std::uint32_t{len} + 1; }
+    [[nodiscard]] std::uint32_t beat_bytes() const noexcept { return bytes_per_beat(size); }
+    /// Total bytes named by the burst (beats x beat size; unaligned first
+    /// beats transfer fewer valid lanes but reserve full beats on the bus).
+    [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+        return std::uint64_t{beats()} * beat_bytes();
+    }
+
+    friend bool operator==(const BurstDescriptor&, const BurstDescriptor&) = default;
+};
+
+/// Address of beat `beat_index` (0-based) per the AXI4 address equations:
+/// FIXED repeats AxADDR; INCR aligns to the size boundary after the first
+/// beat; WRAP additionally wraps at `beats * beat_bytes`.
+[[nodiscard]] Addr beat_address(const BurstDescriptor& desc, std::uint32_t beat_index) noexcept;
+
+/// Lowest address of the wrap window for a WRAP burst.
+[[nodiscard]] Addr wrap_boundary(const BurstDescriptor& desc) noexcept;
+
+/// True iff the burst stays within one 4 KiB page (AXI4 requirement for
+/// INCR; FIXED trivially holds; WRAP holds by construction when legal).
+[[nodiscard]] bool within_4k(const BurstDescriptor& desc) noexcept;
+
+/// Validity per spec: WRAP needs len in {1,3,7,15} and size-aligned address;
+/// INCR must not cross 4 KiB.
+[[nodiscard]] bool is_legal(const BurstDescriptor& desc) noexcept;
+
+/// Whether the granular burst splitter may fragment this burst:
+/// - FIXED bursts address the same location every beat and must pass intact;
+/// - WRAP bursts have non-linear addressing and pass intact;
+/// - non-modifiable (per AxCACHE) INCR bursts of <= 16 beats must pass
+///   intact (AXI4 spec section A4.4);
+/// - exclusive-access (AxLOCK) bursts are atomic and pass intact.
+[[nodiscard]] bool is_fragmentable(const BurstDescriptor& desc, std::uint8_t cache,
+                                   bool lock) noexcept;
+
+/// Splits an INCR burst into children of at most `granularity_beats` beats.
+/// The first child starts at `desc.addr`; subsequent children start at the
+/// size-aligned address following the previous child's last beat. Children
+/// preserve size and burst type; the concatenation of child beats addresses
+/// exactly the parent's beats (verified by property tests).
+///
+/// Precondition: `desc` must be fragmentable and legal, `granularity_beats`
+/// in [1, 256]. A granularity >= the burst length yields a single child
+/// equal to the parent.
+[[nodiscard]] std::vector<BurstDescriptor> fragment_burst(const BurstDescriptor& desc,
+                                                          std::uint32_t granularity_beats);
+
+/// Number of children `fragment_burst` would produce (cheap, no allocation).
+[[nodiscard]] std::uint32_t fragment_count(const BurstDescriptor& desc,
+                                           std::uint32_t granularity_beats) noexcept;
+
+} // namespace realm::axi

@@ -1,0 +1,81 @@
+/// \file
+/// \brief Channel payloads ("flits") for the five AXI4 channels.
+#pragma once
+
+#include "axi/burst.hpp"
+#include "axi/types.hpp"
+
+#include "sim/types.hpp"
+
+#include <cstdint>
+
+namespace realm::axi {
+
+/// Write-address channel beat.
+struct AwFlit {
+    IdT id = 0;
+    Addr addr = 0;
+    std::uint8_t len = 0;   ///< beats - 1
+    std::uint8_t size = 3;  ///< log2 bytes/beat (3 = 64-bit bus default)
+    Burst burst = Burst::kIncr;
+    bool lock = false;      ///< exclusive access
+    std::uint8_t cache = 0x2; ///< modifiable by default
+    std::uint8_t prot = 0;
+    std::uint8_t qos = 0;
+    std::uint32_t user = 0;
+    /// Model-side metadata (not wires): cycle the originating manager issued
+    /// the transaction; carried along for end-to-end latency bookkeeping.
+    sim::Cycle issued_at = sim::kNoCycle;
+
+    [[nodiscard]] BurstDescriptor descriptor() const noexcept {
+        return BurstDescriptor{addr, len, size, burst};
+    }
+    [[nodiscard]] std::uint32_t beats() const noexcept { return std::uint32_t{len} + 1; }
+};
+
+/// Write-data channel beat. AXI4 W beats carry no ID; they arrive in AW
+/// order per manager.
+struct WFlit {
+    Payload data{};
+    Strb strb = ~Strb{0};
+    bool last = false;
+    std::uint32_t user = 0;
+};
+
+/// Write-response channel beat.
+struct BFlit {
+    IdT id = 0;
+    Resp resp = Resp::kOkay;
+    std::uint32_t user = 0;
+};
+
+/// Read-address channel beat.
+struct ArFlit {
+    IdT id = 0;
+    Addr addr = 0;
+    std::uint8_t len = 0;
+    std::uint8_t size = 3;
+    Burst burst = Burst::kIncr;
+    bool lock = false;
+    std::uint8_t cache = 0x2;
+    std::uint8_t prot = 0;
+    std::uint8_t qos = 0;
+    std::uint32_t user = 0;
+    sim::Cycle issued_at = sim::kNoCycle;
+
+    [[nodiscard]] BurstDescriptor descriptor() const noexcept {
+        return BurstDescriptor{addr, len, size, burst};
+    }
+    [[nodiscard]] std::uint32_t beats() const noexcept { return std::uint32_t{len} + 1; }
+};
+
+/// Read-data channel beat.
+struct RFlit {
+    IdT id = 0;
+    Payload data{};
+    Resp resp = Resp::kOkay;
+    bool last = false;
+    std::uint32_t user = 0;
+};
+
+} // namespace realm::axi

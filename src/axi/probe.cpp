@@ -1,0 +1,66 @@
+#include "axi/probe.hpp"
+
+namespace realm::axi {
+
+AxiLatencyProbe::AxiLatencyProbe(sim::SimContext& ctx, std::string name, AxiChannel& upstream,
+                                 AxiChannel& downstream)
+    : Component{ctx, std::move(name)}, up_{upstream}, down_{downstream} {}
+
+void AxiLatencyProbe::reset() {
+    write_start_.clear();
+    read_start_.clear();
+    w_bytes_per_beat_.clear();
+    write_lat_.reset();
+    read_lat_.reset();
+    bytes_read_ = 0;
+    bytes_written_ = 0;
+    aw_count_ = 0;
+    ar_count_ = 0;
+    current_w_bytes_ = 0;
+}
+
+void AxiLatencyProbe::tick() {
+    if (up_.has_aw() && down_.can_send_aw()) {
+        AwFlit f = up_.recv_aw();
+        write_start_[f.id].push_back(now());
+        current_w_bytes_ = f.descriptor().beat_bytes();
+        ++aw_count_;
+        down_.send_aw(f);
+    }
+    if (up_.has_w() && down_.can_send_w()) {
+        WFlit f = up_.recv_w();
+        bytes_written_ += current_w_bytes_ == 0 ? kMaxDataBytes : current_w_bytes_;
+        down_.send_w(f);
+    }
+    if (up_.has_ar() && down_.can_send_ar()) {
+        ArFlit f = up_.recv_ar();
+        read_start_[f.id].push_back(now());
+        w_bytes_per_beat_[f.id] = f.descriptor().beat_bytes();
+        ++ar_count_;
+        down_.send_ar(f);
+    }
+    if (down_.channel().b.can_pop() && up_.channel().b.can_push()) {
+        BFlit f = down_.channel().b.pop();
+        auto it = write_start_.find(f.id);
+        if (it != write_start_.end() && !it->second.empty()) {
+            write_lat_.record(now() - it->second.front());
+            it->second.pop_front();
+        }
+        up_.channel().b.push(f);
+    }
+    if (down_.channel().r.can_pop() && up_.channel().r.can_push()) {
+        RFlit f = down_.channel().r.pop();
+        auto bytes_it = w_bytes_per_beat_.find(f.id);
+        bytes_read_ += bytes_it == w_bytes_per_beat_.end() ? kMaxDataBytes : bytes_it->second;
+        if (f.last) {
+            auto it = read_start_.find(f.id);
+            if (it != read_start_.end() && !it->second.empty()) {
+                read_lat_.record(now() - it->second.front());
+                it->second.pop_front();
+            }
+        }
+        up_.channel().r.push(f);
+    }
+}
+
+} // namespace realm::axi

@@ -1,0 +1,96 @@
+/// \file
+/// \brief Core AXI4 protocol types shared by all layers.
+///
+/// Follows the AMBA AXI4 specification (ARM IHI 0022, issue J) naming:
+/// managers issue requests on AW/W/AR, subordinates respond on B/R.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace realm::axi {
+
+/// Byte address on the system bus.
+using Addr = std::uint64_t;
+
+/// Transaction identifier. Interconnect stages may widen IDs by prepending
+/// manager-port bits (see `realm::ic::AxiMux`); 32 bits is ample for models.
+using IdT = std::uint32_t;
+
+/// AxBURST encoding.
+enum class Burst : std::uint8_t {
+    kFixed = 0, ///< Same address every beat (e.g. FIFO register).
+    kIncr = 1,  ///< Incrementing; the common case.
+    kWrap = 2,  ///< Wraps at an aligned boundary (cache line fills).
+};
+
+/// xRESP encoding.
+enum class Resp : std::uint8_t {
+    kOkay = 0,
+    kExOkay = 1,
+    kSlvErr = 2,
+    kDecErr = 3,
+};
+
+/// Maximum data bus width supported by the model: 512 bit.
+inline constexpr std::size_t kMaxDataBytes = 64;
+
+/// Maximum beats in one AXI4 burst (INCR): AxLEN is 8 bit.
+inline constexpr std::uint32_t kMaxBurstBeats = 256;
+
+/// AXI4 bursts must not cross 4 KiB boundaries.
+inline constexpr Addr kAxi4BoundaryBytes = 4096;
+
+/// One beat of bus data. Only the first `bus width` bytes are meaningful;
+/// carrying the maximum keeps flits trivially copyable.
+struct Payload {
+    std::array<std::uint8_t, kMaxDataBytes> bytes{};
+};
+
+/// Byte-lane strobe for write beats (bit i qualifies byte lane i).
+using Strb = std::uint64_t;
+
+/// AxCACHE bit 1: a modifiable transaction may be split/merged by the
+/// interconnect. Non-modifiable bursts of <= 16 beats must pass intact
+/// (AXI4 spec; the granular burst splitter honors this).
+[[nodiscard]] constexpr bool is_modifiable(std::uint8_t cache) noexcept {
+    return (cache & 0x2U) != 0;
+}
+
+/// Bytes carried per beat for an AxSIZE encoding.
+[[nodiscard]] constexpr std::uint32_t bytes_per_beat(std::uint8_t size) noexcept {
+    return std::uint32_t{1} << size;
+}
+
+/// Merges two responses: the "worst" response wins. Used when coalescing
+/// write responses of fragmented bursts (DECERR > SLVERR > OKAY; EXOKAY
+/// only survives if both halves were EXOKAY).
+[[nodiscard]] constexpr Resp merge_resp(Resp a, Resp b) noexcept {
+    if (a == Resp::kDecErr || b == Resp::kDecErr) { return Resp::kDecErr; }
+    if (a == Resp::kSlvErr || b == Resp::kSlvErr) { return Resp::kSlvErr; }
+    if (a == Resp::kExOkay && b == Resp::kExOkay) { return Resp::kExOkay; }
+    return Resp::kOkay;
+}
+
+/// Human-readable names (diagnostics).
+[[nodiscard]] constexpr const char* to_string(Burst b) noexcept {
+    switch (b) {
+    case Burst::kFixed: return "FIXED";
+    case Burst::kIncr: return "INCR";
+    case Burst::kWrap: return "WRAP";
+    }
+    return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(Resp r) noexcept {
+    switch (r) {
+    case Resp::kOkay: return "OKAY";
+    case Resp::kExOkay: return "EXOKAY";
+    case Resp::kSlvErr: return "SLVERR";
+    case Resp::kDecErr: return "DECERR";
+    }
+    return "?";
+}
+
+} // namespace realm::axi

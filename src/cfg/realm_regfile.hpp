@@ -1,0 +1,125 @@
+/// \file
+/// \brief Memory-mapped register file configuring and observing REALM units.
+///
+/// Layout (32-bit registers, byte offsets; mirrors the grouping of the
+/// paper's Table II: per-system, per-unit, and per-unit-and-region):
+///
+/// ```
+/// 0x000  GUARD           (owned by the BusGuard wrapping this file)
+/// 0x004  NUM_UNITS       RO
+/// 0x008  NUM_REGIONS     RO
+/// unit u at 0x100 + u*0x100:
+///   +0x00  CTRL          bit0 enable | bit1 user isolate | bit2 throttle
+///   +0x04  FRAGMENT      splitting granularity in beats [1,256]
+///   +0x08  STATUS        RO: [3:0] FSM state, [4] fully isolated,
+///                            [15:8] outstanding transactions
+///   +0x0C  READS_ACC     RO  accepted read transactions
+///   +0x10  WRITES_ACC    RO  accepted write transactions
+///   +0x14  ISO_CYCLES    RO  cycles spent isolated with traffic pending
+///   region r at +0x40 + r*0x40:
+///     +0x00/+0x04  START_LO/HI
+///     +0x08/+0x0C  END_LO/HI       (exclusive)
+///     +0x10/+0x14  BUDGET_LO/HI    bytes per period
+///     +0x18/+0x1C  PERIOD_LO/HI    cycles
+///     +0x20  BYTES_PERIOD  RO  bytes transferred this period
+///     +0x24  TXN_COUNT     RO
+///     +0x28  RD_LAT_AVG    RO  average read latency (cycles)
+///     +0x2C  RD_LAT_MAX    RO
+///     +0x30  WR_LAT_AVG    RO
+///     +0x34  WR_LAT_MAX    RO
+///     +0x38  CREDIT        RO  remaining budget (saturated at 0)
+/// ```
+///
+/// Address-range/budget/period writes are staged per 32-bit half and applied
+/// to the unit on every write (idempotent during the boot-time init
+/// sequence the paper describes).
+#pragma once
+
+#include "cfg/regbus.hpp"
+#include "realm/realm_unit.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace realm::cfg {
+
+class RealmRegFile final : public RegTarget {
+public:
+    static constexpr axi::Addr kNumUnitsOffset = 0x004;
+    static constexpr axi::Addr kNumRegionsOffset = 0x008;
+    static constexpr axi::Addr kUnitBase = 0x100;
+    static constexpr axi::Addr kUnitStride = 0x100;
+    static constexpr axi::Addr kRegionBase = 0x40;
+    static constexpr axi::Addr kRegionStride = 0x40;
+
+    /// \name Per-unit register offsets
+    ///@{
+    static constexpr axi::Addr kCtrl = 0x00;
+    static constexpr axi::Addr kFragment = 0x04;
+    static constexpr axi::Addr kStatus = 0x08;
+    static constexpr axi::Addr kReadsAcc = 0x0C;
+    static constexpr axi::Addr kWritesAcc = 0x10;
+    static constexpr axi::Addr kIsoCycles = 0x14;
+    ///@}
+
+    /// \name Per-region register offsets
+    ///@{
+    static constexpr axi::Addr kStartLo = 0x00;
+    static constexpr axi::Addr kStartHi = 0x04;
+    static constexpr axi::Addr kEndLo = 0x08;
+    static constexpr axi::Addr kEndHi = 0x0C;
+    static constexpr axi::Addr kBudgetLo = 0x10;
+    static constexpr axi::Addr kBudgetHi = 0x14;
+    static constexpr axi::Addr kPeriodLo = 0x18;
+    static constexpr axi::Addr kPeriodHi = 0x1C;
+    static constexpr axi::Addr kBytesPeriod = 0x20;
+    static constexpr axi::Addr kTxnCount = 0x24;
+    static constexpr axi::Addr kRdLatAvg = 0x28;
+    static constexpr axi::Addr kRdLatMax = 0x2C;
+    static constexpr axi::Addr kWrLatAvg = 0x30;
+    static constexpr axi::Addr kWrLatMax = 0x34;
+    static constexpr axi::Addr kCredit = 0x38;
+    ///@}
+
+    /// \name CTRL bits
+    ///@{
+    static constexpr std::uint32_t kCtrlEnable = 1U << 0;
+    static constexpr std::uint32_t kCtrlIsolate = 1U << 1;
+    static constexpr std::uint32_t kCtrlThrottle = 1U << 2;
+    ///@}
+
+    explicit RealmRegFile(std::vector<rt::RealmUnit*> units);
+
+    RegRsp reg_access(const RegReq& req) override;
+
+    /// Address of unit `u`'s register `offset` (helper for drivers/tests).
+    [[nodiscard]] static axi::Addr unit_reg(std::uint32_t unit, axi::Addr offset) noexcept {
+        return kUnitBase + axi::Addr{unit} * kUnitStride + offset;
+    }
+    /// Address of unit `u`, region `r`'s register `offset`.
+    [[nodiscard]] static axi::Addr region_reg(std::uint32_t unit, std::uint32_t region,
+                                              axi::Addr offset) noexcept {
+        return unit_reg(unit, kRegionBase + axi::Addr{region} * kRegionStride + offset);
+    }
+
+    [[nodiscard]] std::uint32_t num_units() const noexcept {
+        return static_cast<std::uint32_t>(units_.size());
+    }
+
+private:
+    RegRsp unit_access(std::uint32_t unit, axi::Addr offset, const RegReq& req);
+    RegRsp region_access(std::uint32_t unit, std::uint32_t region, axi::Addr offset,
+                         const RegReq& req);
+    /// Staged 64-bit region fields, written in 32-bit halves.
+    struct RegionShadow {
+        std::uint64_t start = 0;
+        std::uint64_t end = ~std::uint64_t{0};
+        std::uint64_t budget = 0;
+        std::uint64_t period = 0;
+    };
+
+    std::vector<rt::RealmUnit*> units_;
+    std::vector<std::vector<RegionShadow>> shadows_; ///< [unit][region]
+};
+
+} // namespace realm::cfg

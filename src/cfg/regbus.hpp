@@ -1,0 +1,41 @@
+/// \file
+/// \brief Minimal 32-bit register bus (modeled after PULP's regbus).
+///
+/// Configuration accesses are rare and not performance-critical; targets
+/// are synchronous callables, and the `AxiToReg` adapter provides the AXI
+/// handshake timing in front of them.
+#pragma once
+
+#include "axi/types.hpp"
+
+#include <cstdint>
+
+namespace realm::cfg {
+
+/// One register access.
+struct RegReq {
+    axi::Addr addr = 0;     ///< byte address, 4-byte aligned
+    bool write = false;
+    std::uint32_t wdata = 0;
+    axi::IdT tid = 0;       ///< transaction ID of the issuing manager
+};
+
+/// Access result.
+struct RegRsp {
+    std::uint32_t rdata = 0;
+    bool error = false;
+
+    [[nodiscard]] static RegRsp ok(std::uint32_t data = 0) noexcept {
+        return RegRsp{data, false};
+    }
+    [[nodiscard]] static RegRsp err() noexcept { return RegRsp{0, true}; }
+};
+
+/// Anything that terminates register accesses.
+class RegTarget {
+public:
+    virtual ~RegTarget() = default;
+    virtual RegRsp reg_access(const RegReq& req) = 0;
+};
+
+} // namespace realm::cfg

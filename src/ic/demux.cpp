@@ -1,0 +1,134 @@
+#include "ic/demux.hpp"
+
+#include "sim/check.hpp"
+
+#include <utility>
+
+namespace realm::ic {
+
+AxiDemux::AxiDemux(sim::SimContext& ctx, std::string name, axi::AxiChannel& upstream,
+                   std::vector<axi::AxiChannel*> downstreams, AddrMap map,
+                   std::optional<std::uint32_t> error_port)
+    : Component{ctx, std::move(name)},
+      up_{upstream},
+      downs_{std::move(downstreams)},
+      map_{std::move(map)},
+      error_port_{error_port},
+      b_arb_{static_cast<std::uint32_t>(downs_.size())},
+      r_arb_{static_cast<std::uint32_t>(downs_.size())} {
+    REALM_EXPECTS(!downs_.empty(), "demux needs at least one subordinate");
+    for (axi::AxiChannel* ch : downs_) { REALM_EXPECTS(ch != nullptr, "null downstream"); }
+    if (error_port_) {
+        REALM_EXPECTS(*error_port_ < downs_.size(), "error port out of range");
+    }
+}
+
+void AxiDemux::reset() {
+    w_route_.clear();
+    w_beats_left_.clear();
+    w_in_flight_.clear();
+    r_in_flight_.clear();
+    b_arb_.reset();
+    r_arb_.reset();
+    decode_errors_ = 0;
+    ordering_stalls_ = 0;
+}
+
+std::uint32_t AxiDemux::route(axi::Addr addr) {
+    if (const auto port = map_.decode(addr)) { return *port; }
+    REALM_EXPECTS(error_port_.has_value(),
+                  name() + ": unmapped address with no error port configured");
+    return *error_port_;
+}
+
+void AxiDemux::forward_aw() {
+    if (!up_.has_aw()) { return; }
+    const axi::AwFlit& head = up_.peek_aw();
+    const std::uint32_t port = route(head.addr);
+    // Same-ID ordering: stall if this ID is in flight to another port.
+    if (const auto it = w_in_flight_.find(head.id);
+        it != w_in_flight_.end() && it->second.count > 0 && it->second.port != port) {
+        ++ordering_stalls_;
+        return;
+    }
+    if (!downs_[port]->aw.can_push()) { return; }
+    axi::AwFlit f = up_.recv_aw();
+    if (!map_.decode(f.addr)) { ++decode_errors_; }
+    auto& fl = w_in_flight_[f.id];
+    fl.port = port;
+    ++fl.count;
+    w_route_.push_back(port);
+    w_beats_left_.push_back(f.beats());
+    downs_[port]->aw.push(f);
+}
+
+void AxiDemux::forward_w() {
+    if (w_route_.empty() || !up_.has_w()) { return; }
+    const std::uint32_t port = w_route_.front();
+    if (!downs_[port]->w.can_push()) { return; }
+    axi::WFlit f = up_.recv_w();
+    downs_[port]->w.push(f);
+    std::uint32_t& left = w_beats_left_.front();
+    --left;
+    if (left == 0) {
+        REALM_ENSURES(f.last, name() + ": W burst finished without WLAST");
+        w_route_.pop_front();
+        w_beats_left_.pop_front();
+    }
+}
+
+void AxiDemux::forward_ar() {
+    if (!up_.has_ar()) { return; }
+    const axi::ArFlit& head = up_.peek_ar();
+    const std::uint32_t port = route(head.addr);
+    if (const auto it = r_in_flight_.find(head.id);
+        it != r_in_flight_.end() && it->second.count > 0 && it->second.port != port) {
+        ++ordering_stalls_;
+        return;
+    }
+    if (!downs_[port]->ar.can_push()) { return; }
+    axi::ArFlit f = up_.recv_ar();
+    if (!map_.decode(f.addr)) { ++decode_errors_; }
+    auto& fl = r_in_flight_[f.id];
+    fl.port = port;
+    ++fl.count;
+    downs_[port]->ar.push(f);
+}
+
+void AxiDemux::collect_b() {
+    if (!up_.can_send_b()) { return; }
+    const int winner = b_arb_.pick([this](std::uint32_t i) { return downs_[i]->b.can_pop(); });
+    if (winner < 0) { return; }
+    const auto port = static_cast<std::uint32_t>(winner);
+    b_arb_.commit(port);
+    axi::BFlit f = downs_[port]->b.pop();
+    if (auto it = w_in_flight_.find(f.id); it != w_in_flight_.end() && it->second.count > 0) {
+        --it->second.count;
+    }
+    up_.send_b(f);
+}
+
+void AxiDemux::collect_r() {
+    if (!up_.can_send_r()) { return; }
+    const int winner = r_arb_.pick([this](std::uint32_t i) { return downs_[i]->r.can_pop(); });
+    if (winner < 0) { return; }
+    const auto port = static_cast<std::uint32_t>(winner);
+    r_arb_.commit(port);
+    axi::RFlit f = downs_[port]->r.pop();
+    if (f.last) {
+        if (auto it = r_in_flight_.find(f.id); it != r_in_flight_.end() && it->second.count > 0) {
+            --it->second.count;
+        }
+    }
+    up_.send_r(f);
+}
+
+void AxiDemux::tick() {
+    forward_aw();
+    forward_w();
+    forward_ar();
+    collect_b();
+    collect_r();
+}
+
+} // namespace realm::ic

@@ -1,0 +1,111 @@
+#include "ic/mux.hpp"
+
+#include "sim/check.hpp"
+
+#include <utility>
+
+namespace realm::ic {
+
+AxiMux::AxiMux(sim::SimContext& ctx, std::string name, std::vector<axi::AxiChannel*> upstreams,
+               axi::AxiChannel& downstream)
+    : Component{ctx, std::move(name)},
+      ups_{std::move(upstreams)},
+      down_{downstream},
+      aw_arb_{static_cast<std::uint32_t>(ups_.size())},
+      ar_arb_{static_cast<std::uint32_t>(ups_.size())},
+      aw_grant_count_(ups_.size(), 0),
+      ar_grant_count_(ups_.size(), 0) {
+    REALM_EXPECTS(!ups_.empty(), "mux needs at least one manager");
+    for (axi::AxiChannel* ch : ups_) { REALM_EXPECTS(ch != nullptr, "null upstream channel"); }
+}
+
+void AxiMux::reset() {
+    aw_arb_.reset();
+    ar_arb_.reset();
+    w_order_.clear();
+    std::fill(aw_grant_count_.begin(), aw_grant_count_.end(), 0);
+    std::fill(ar_grant_count_.begin(), ar_grant_count_.end(), 0);
+    w_stall_cycles_ = 0;
+}
+
+void AxiMux::arbitrate_aw() {
+    if (!down_.can_send_aw()) { return; }
+    const int winner =
+        aw_arb_.pick([this](std::uint32_t i) { return ups_[i]->aw.can_pop(); });
+    if (winner < 0) { return; }
+    const auto mgr = static_cast<std::uint32_t>(winner);
+    aw_arb_.commit(mgr);
+    axi::AwFlit f = ups_[mgr]->aw.pop();
+    // Reserve the downstream W channel for this burst *now* — before any
+    // data exists. This is the behaviour [14] identifies as the DoS vector.
+    w_order_.push_back(WGrant{mgr, f.beats()});
+    f.id = f.id * num_managers() + mgr;
+    down_.send_aw(f);
+    ++aw_grant_count_[mgr];
+}
+
+void AxiMux::forward_w() {
+    if (w_order_.empty()) { return; }
+    WGrant& grant = w_order_.front();
+    if (!down_.can_send_w()) { return; }
+    if (!ups_[grant.mgr]->w.can_pop()) {
+        // Granted manager withholds data: the W channel idles even if other
+        // managers have beats ready (bandwidth stolen by reservation).
+        bool others_waiting = false;
+        for (std::size_t i = 0; i < ups_.size(); ++i) {
+            if (i != grant.mgr && ups_[i]->w.can_pop()) { others_waiting = true; }
+        }
+        if (others_waiting) { ++w_stall_cycles_; }
+        return;
+    }
+    axi::WFlit f = ups_[grant.mgr]->w.pop();
+    down_.send_w(f);
+    --grant.beats_left;
+    if (grant.beats_left == 0) {
+        REALM_ENSURES(f.last, name() + ": W burst finished without WLAST");
+        w_order_.pop_front();
+    } else {
+        REALM_ENSURES(!f.last, name() + ": premature WLAST through mux");
+    }
+}
+
+void AxiMux::arbitrate_ar() {
+    if (!down_.can_send_ar()) { return; }
+    const int winner =
+        ar_arb_.pick([this](std::uint32_t i) { return ups_[i]->ar.can_pop(); });
+    if (winner < 0) { return; }
+    const auto mgr = static_cast<std::uint32_t>(winner);
+    ar_arb_.commit(mgr);
+    axi::ArFlit f = ups_[mgr]->ar.pop();
+    f.id = f.id * num_managers() + mgr;
+    down_.send_ar(f);
+    ++ar_grant_count_[mgr];
+}
+
+void AxiMux::route_b() {
+    if (!down_.has_b()) { return; }
+    const std::uint32_t mgr = down_.peek_b().id % num_managers();
+    if (!ups_[mgr]->b.can_push()) { return; }
+    axi::BFlit f = down_.recv_b();
+    f.id /= num_managers();
+    ups_[mgr]->b.push(f);
+}
+
+void AxiMux::route_r() {
+    if (!down_.has_r()) { return; }
+    const std::uint32_t mgr = down_.peek_r().id % num_managers();
+    if (!ups_[mgr]->r.can_push()) { return; }
+    axi::RFlit f = down_.recv_r();
+    f.id /= num_managers();
+    ups_[mgr]->r.push(f);
+}
+
+void AxiMux::tick() {
+    arbitrate_aw();
+    forward_w();
+    arbitrate_ar();
+    route_b();
+    route_r();
+}
+
+} // namespace realm::ic

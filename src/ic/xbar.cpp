@@ -1,0 +1,207 @@
+#include "ic/xbar.hpp"
+
+#include "sim/check.hpp"
+
+#include <utility>
+
+namespace realm::ic {
+
+AxiXbar::AxiXbar(sim::SimContext& ctx, std::string name, std::vector<axi::AxiChannel*> managers,
+                 std::vector<axi::AxiChannel*> subordinates, AddrMap map, XbarConfig config)
+    : Component{ctx, std::move(name)},
+      mgrs_{std::move(managers)},
+      subs_{std::move(subordinates)},
+      map_{std::move(map)},
+      config_{config},
+      aw_arb_(subs_.size(), RoundRobinArbiter{static_cast<std::uint32_t>(mgrs_.size())}),
+      ar_arb_(subs_.size(), RoundRobinArbiter{static_cast<std::uint32_t>(mgrs_.size())}),
+      w_serve_(subs_.size()),
+      w_route_(mgrs_.size()),
+      b_arb_(mgrs_.size(), RoundRobinArbiter{static_cast<std::uint32_t>(subs_.size())}),
+      r_arb_(mgrs_.size(), RoundRobinArbiter{static_cast<std::uint32_t>(subs_.size())}),
+      aw_grants_(mgrs_.size(), 0),
+      ar_grants_(mgrs_.size(), 0),
+      w_stalls_(subs_.size(), 0) {
+    REALM_EXPECTS(!mgrs_.empty() && !subs_.empty(), "xbar needs managers and subordinates");
+    for (axi::AxiChannel* ch : mgrs_) { REALM_EXPECTS(ch != nullptr, "null manager channel"); }
+    for (axi::AxiChannel* ch : subs_) { REALM_EXPECTS(ch != nullptr, "null subordinate"); }
+    if (config_.default_port) {
+        REALM_EXPECTS(*config_.default_port < subs_.size(), "default port out of range");
+    }
+}
+
+void AxiXbar::reset() {
+    for (auto& a : aw_arb_) { a.reset(); }
+    for (auto& a : ar_arb_) { a.reset(); }
+    for (auto& q : w_serve_) { q.clear(); }
+    for (auto& q : w_route_) { q.clear(); }
+    w_in_flight_.clear();
+    r_in_flight_.clear();
+    for (auto& a : b_arb_) { a.reset(); }
+    for (auto& a : r_arb_) { a.reset(); }
+    std::fill(aw_grants_.begin(), aw_grants_.end(), 0);
+    std::fill(ar_grants_.begin(), ar_grants_.end(), 0);
+    std::fill(w_stalls_.begin(), w_stalls_.end(), 0);
+    decode_errors_ = 0;
+    ordering_stalls_ = 0;
+}
+
+std::uint32_t AxiXbar::route(axi::Addr addr) {
+    if (const auto port = map_.decode(addr)) { return *port; }
+    REALM_EXPECTS(config_.default_port.has_value(),
+                  name() + ": unmapped address with no default port");
+    return *config_.default_port;
+}
+
+void AxiXbar::arbitrate_aw(std::uint32_t sub) {
+    if (!subs_[sub]->aw.can_push()) { return; }
+    if (w_serve_[sub].size() >= config_.max_outstanding_writes_per_sub) { return; }
+    const auto requesting = [this, sub](std::uint32_t m) {
+        if (!mgrs_[m]->aw.can_pop()) { return false; }
+        const axi::AwFlit& head = mgrs_[m]->aw.front();
+        if (route(head.addr) != sub) { return false; }
+        // AXI4 same-ID ordering: hold back if this ID is in flight to a
+        // different subordinate.
+        const auto it = w_in_flight_.find(order_key(m, head.id));
+        if (it != w_in_flight_.end() && it->second.count > 0 && it->second.port != sub) {
+            ++ordering_stalls_;
+            return false;
+        }
+        return true;
+    };
+    int winner = -1;
+    if (config_.arbitration == XbarArbitration::kQosPriority) {
+        winner = pick_by_qos(requesting,
+                             [this](std::uint32_t m) { return mgrs_[m]->aw.front().qos; },
+                             aw_arb_[sub]);
+    } else {
+        winner = aw_arb_[sub].pick(requesting);
+    }
+    if (winner < 0) { return; }
+    const auto mgr = static_cast<std::uint32_t>(winner);
+    aw_arb_[sub].commit(mgr);
+    axi::AwFlit f = mgrs_[mgr]->aw.pop();
+    if (!map_.decode(f.addr)) { ++decode_errors_; }
+    auto& fl = w_in_flight_[order_key(mgr, f.id)];
+    fl.port = sub;
+    ++fl.count;
+    // Reserve the subordinate's W channel for the whole burst (the DoS
+    // vector of burst-based interconnects, cf. Cut&Forward [14]).
+    w_serve_[sub].push_back(WGrant{mgr, f.beats()});
+    w_route_[mgr].push_back(sub);
+    f.id = f.id * num_managers() + mgr;
+    subs_[sub]->aw.push(f);
+    ++aw_grants_[mgr];
+}
+
+void AxiXbar::forward_w(std::uint32_t sub) {
+    if (w_serve_[sub].empty() || !subs_[sub]->w.can_push()) { return; }
+    WGrant& grant = w_serve_[sub].front();
+    const std::uint32_t mgr = grant.mgr;
+    // The manager must currently be sending *this* burst (its own W stream
+    // is in AW order across all subordinates).
+    const bool data_ready = mgrs_[mgr]->w.can_pop() && !w_route_[mgr].empty() &&
+                            w_route_[mgr].front() == sub;
+    if (!data_ready) {
+        bool others_waiting = false;
+        for (std::uint32_t m = 0; m < num_managers(); ++m) {
+            if (m != mgr && mgrs_[m]->w.can_pop()) { others_waiting = true; }
+        }
+        if (others_waiting) { ++w_stalls_[sub]; }
+        return;
+    }
+    axi::WFlit f = mgrs_[mgr]->w.pop();
+    subs_[sub]->w.push(f);
+    --grant.beats_left;
+    if (grant.beats_left == 0) {
+        REALM_ENSURES(f.last, name() + ": W burst finished without WLAST");
+        w_serve_[sub].pop_front();
+        w_route_[mgr].pop_front();
+    } else {
+        REALM_ENSURES(!f.last, name() + ": premature WLAST through xbar");
+    }
+}
+
+void AxiXbar::arbitrate_ar(std::uint32_t sub) {
+    if (!subs_[sub]->ar.can_push()) { return; }
+    const auto requesting = [this, sub](std::uint32_t m) {
+        if (!mgrs_[m]->ar.can_pop()) { return false; }
+        const axi::ArFlit& head = mgrs_[m]->ar.front();
+        if (route(head.addr) != sub) { return false; }
+        const auto it = r_in_flight_.find(order_key(m, head.id));
+        if (it != r_in_flight_.end() && it->second.count > 0 && it->second.port != sub) {
+            ++ordering_stalls_;
+            return false;
+        }
+        return true;
+    };
+    int winner = -1;
+    if (config_.arbitration == XbarArbitration::kQosPriority) {
+        winner = pick_by_qos(requesting,
+                             [this](std::uint32_t m) { return mgrs_[m]->ar.front().qos; },
+                             ar_arb_[sub]);
+    } else {
+        winner = ar_arb_[sub].pick(requesting);
+    }
+    if (winner < 0) { return; }
+    const auto mgr = static_cast<std::uint32_t>(winner);
+    ar_arb_[sub].commit(mgr);
+    axi::ArFlit f = mgrs_[mgr]->ar.pop();
+    if (!map_.decode(f.addr)) { ++decode_errors_; }
+    auto& fl = r_in_flight_[order_key(mgr, f.id)];
+    fl.port = sub;
+    ++fl.count;
+    f.id = f.id * num_managers() + mgr;
+    subs_[sub]->ar.push(f);
+    ++ar_grants_[mgr];
+}
+
+void AxiXbar::route_b(std::uint32_t mgr) {
+    if (!mgrs_[mgr]->b.can_push()) { return; }
+    const int winner = b_arb_[mgr].pick([this, mgr](std::uint32_t s) {
+        return subs_[s]->b.can_pop() && subs_[s]->b.front().id % num_managers() == mgr;
+    });
+    if (winner < 0) { return; }
+    const auto sub = static_cast<std::uint32_t>(winner);
+    b_arb_[mgr].commit(sub);
+    axi::BFlit f = subs_[sub]->b.pop();
+    f.id /= num_managers();
+    if (auto it = w_in_flight_.find(order_key(mgr, f.id));
+        it != w_in_flight_.end() && it->second.count > 0) {
+        --it->second.count;
+    }
+    mgrs_[mgr]->b.push(f);
+}
+
+void AxiXbar::route_r(std::uint32_t mgr) {
+    if (!mgrs_[mgr]->r.can_push()) { return; }
+    const int winner = r_arb_[mgr].pick([this, mgr](std::uint32_t s) {
+        return subs_[s]->r.can_pop() && subs_[s]->r.front().id % num_managers() == mgr;
+    });
+    if (winner < 0) { return; }
+    const auto sub = static_cast<std::uint32_t>(winner);
+    r_arb_[mgr].commit(sub);
+    axi::RFlit f = subs_[sub]->r.pop();
+    f.id /= num_managers();
+    if (f.last) {
+        if (auto it = r_in_flight_.find(order_key(mgr, f.id));
+            it != r_in_flight_.end() && it->second.count > 0) {
+            --it->second.count;
+        }
+    }
+    mgrs_[mgr]->r.push(f);
+}
+
+void AxiXbar::tick() {
+    for (std::uint32_t s = 0; s < num_subordinates(); ++s) {
+        arbitrate_aw(s);
+        forward_w(s);
+        arbitrate_ar(s);
+    }
+    for (std::uint32_t m = 0; m < num_managers(); ++m) {
+        route_b(m);
+        route_r(m);
+    }
+}
+
+} // namespace realm::ic

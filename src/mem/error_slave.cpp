@@ -1,0 +1,53 @@
+#include "mem/error_slave.hpp"
+
+namespace realm::mem {
+
+ErrorSlave::ErrorSlave(sim::SimContext& ctx, std::string name, axi::AxiChannel& channel)
+    : Component{ctx, std::move(name)}, port_{channel} {}
+
+void ErrorSlave::reset() {
+    writes_.clear();
+    reads_.clear();
+    errors_ = 0;
+}
+
+void ErrorSlave::tick() {
+    if (port_.has_aw()) {
+        const axi::AwFlit aw = port_.recv_aw();
+        writes_.push_back(PendingWrite{aw.id, aw.beats()});
+    }
+    if (port_.has_ar()) {
+        const axi::ArFlit ar = port_.recv_ar();
+        reads_.push_back(PendingRead{ar.id, ar.beats()});
+    }
+    // Swallow write data; respond once the burst is complete.
+    if (!writes_.empty() && writes_.front().beats_left > 0 && port_.has_w()) {
+        const axi::WFlit w = port_.recv_w();
+        PendingWrite& pw = writes_.front();
+        --pw.beats_left;
+        if (pw.beats_left == 0 || w.last) { pw.beats_left = 0; }
+    }
+    if (!writes_.empty() && writes_.front().beats_left == 0 && port_.can_send_b()) {
+        axi::BFlit b;
+        b.id = writes_.front().id;
+        b.resp = axi::Resp::kDecErr;
+        port_.send_b(b);
+        writes_.pop_front();
+        ++errors_;
+    }
+    if (!reads_.empty() && port_.can_send_r()) {
+        PendingRead& pr = reads_.front();
+        axi::RFlit r;
+        r.id = pr.id;
+        r.resp = axi::Resp::kDecErr;
+        --pr.beats_left;
+        r.last = pr.beats_left == 0;
+        port_.send_r(r);
+        if (r.last) {
+            reads_.pop_front();
+            ++errors_;
+        }
+    }
+}
+
+} // namespace realm::mem

@@ -1,0 +1,86 @@
+/// \file
+/// \brief One ring-NoC node: router + AXI network interface unit.
+///
+/// Each node can host one local manager (whose channel the node terminates
+/// as a subordinate) and one local subordinate (reached through per-source
+/// egress channels and an `ic::AxiMux`, which enforces the usual
+/// burst-granular W ordering). Rings are unidirectional with one-cycle
+/// hops; forwarding has priority over injection, and a packet whose
+/// ejection buffer is full stalls the ring head (bounded, since the
+/// response ring always drains).
+#pragma once
+
+#include "axi/channel.hpp"
+#include "ic/addr_map.hpp"
+#include "noc/packet.hpp"
+
+#include "sim/component.hpp"
+#include "sim/link.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace realm::noc {
+
+class NocNode : public sim::Component {
+public:
+    /// \param node_id        position on the ring.
+    /// \param map            node-level address map (addr -> node id).
+    /// \param local_mgr      channel driven by the local manager (nullptr if
+    ///                       the node hosts none).
+    /// \param egress         per-source channels toward the local
+    ///                       subordinate's mux (empty if none).
+    /// \param req_in/out, rsp_in/out  ring links (owned by `NocRing`).
+    NocNode(sim::SimContext& ctx, std::string name, std::uint8_t node_id, ic::AddrMap map,
+            axi::AxiChannel* local_mgr, std::vector<axi::AxiChannel*> egress,
+            sim::Link<NocPacket>& req_in, sim::Link<NocPacket>& req_out,
+            sim::Link<NocPacket>& rsp_in, sim::Link<NocPacket>& rsp_out);
+
+    void reset() override;
+    void tick() override;
+
+    /// \name Statistics
+    ///@{
+    [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+    [[nodiscard]] std::uint64_t ejected() const noexcept { return ejected_; }
+    [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+    [[nodiscard]] std::uint64_t ring_stall_cycles() const noexcept { return ring_stalls_; }
+    ///@}
+
+private:
+    void ring_hop(sim::Link<NocPacket>& in, sim::Link<NocPacket>& out, bool request_ring);
+    bool try_eject(const NocPacket& pkt, bool request_ring);
+    void inject_requests();
+    void inject_responses();
+
+    std::uint8_t id_;
+    ic::AddrMap map_;
+    axi::AxiChannel* local_mgr_;
+    std::vector<axi::AxiChannel*> egress_;
+    sim::Link<NocPacket>* req_in_;
+    sim::Link<NocPacket>* req_out_;
+    sim::Link<NocPacket>* rsp_in_;
+    sim::Link<NocPacket>* rsp_out_;
+
+    /// Ingress W routing: dest node per accepted AW, in order.
+    std::deque<std::uint8_t> w_dest_;
+    std::deque<std::uint32_t> w_beats_left_;
+    /// AXI same-ID ordering at the ingress (same rule as `ic::AxiDemux`).
+    struct InFlight {
+        std::uint8_t dest = 0;
+        std::uint32_t count = 0;
+    };
+    std::unordered_map<axi::IdT, InFlight> w_in_flight_;
+    std::unordered_map<axi::IdT, InFlight> r_in_flight_;
+    /// Response injection round-robin over egress sources.
+    std::uint32_t rsp_rr_ = 0;
+
+    std::uint64_t injected_ = 0;
+    std::uint64_t ejected_ = 0;
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t ring_stalls_ = 0;
+};
+
+} // namespace realm::noc

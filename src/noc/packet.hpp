@@ -1,0 +1,29 @@
+/// \file
+/// \brief Packet format of the AXI-carrying ring NoC (Figure 1b of the
+///        paper shows REALM units in front of a NoC with AXI4 interfaces).
+#pragma once
+
+#include "axi/flit.hpp"
+
+#include <cstdint>
+#include <variant>
+
+namespace realm::noc {
+
+/// One AXI channel beat in flight on the network. Request packets (AW/W/AR)
+/// travel on the request ring, response packets (B/R) on the response ring;
+/// the two-ring split makes the request-response protocol deadlock-free
+/// under backpressure.
+struct NocPacket {
+    std::uint8_t src = 0;  ///< injecting node
+    std::uint8_t dest = 0; ///< ejecting node
+    std::variant<axi::AwFlit, axi::WFlit, axi::BFlit, axi::ArFlit, axi::RFlit> flit;
+
+    [[nodiscard]] bool is_request() const noexcept {
+        return std::holds_alternative<axi::AwFlit>(flit) ||
+               std::holds_alternative<axi::WFlit>(flit) ||
+               std::holds_alternative<axi::ArFlit>(flit);
+    }
+};
+
+} // namespace realm::noc

@@ -1,0 +1,67 @@
+#include "noc/ring.hpp"
+
+#include "sim/check.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace realm::noc {
+
+NocRing::NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
+                 ic::AddrMap node_map, std::vector<std::uint8_t> subordinate_nodes)
+    : sub_index_(num_nodes, -1) {
+    REALM_EXPECTS(num_nodes >= 2, "a ring needs at least two nodes");
+    for (const std::uint8_t s : subordinate_nodes) {
+        REALM_EXPECTS(s < num_nodes, "subordinate node out of range");
+    }
+
+    // Channels and links first (plain objects, no tick order concerns).
+    for (std::uint8_t i = 0; i < num_nodes; ++i) {
+        mgr_ports_.push_back(std::make_unique<axi::AxiChannel>(
+            ctx, name + ".mgr" + std::to_string(i)));
+        req_links_.push_back(std::make_unique<sim::Link<NocPacket>>(
+            ctx, 2, name + ".req" + std::to_string(i)));
+        rsp_links_.push_back(std::make_unique<sim::Link<NocPacket>>(
+            ctx, 2, name + ".rsp" + std::to_string(i)));
+    }
+    egress_.resize(num_nodes);
+    for (const std::uint8_t s : subordinate_nodes) {
+        std::vector<axi::AxiChannel*> egress_raw;
+        for (std::uint8_t src = 0; src < num_nodes; ++src) {
+            egress_[s].push_back(std::make_unique<axi::AxiChannel>(
+                ctx, name + ".eg" + std::to_string(s) + "_" + std::to_string(src)));
+            egress_raw.push_back(egress_[s].back().get());
+        }
+        sub_index_[s] = static_cast<int>(sub_ports_.size());
+        sub_ports_.push_back(std::make_unique<axi::AxiChannel>(
+            ctx, name + ".sub" + std::to_string(s)));
+        muxes_.push_back(std::make_unique<ic::AxiMux>(ctx, name + ".mux" + std::to_string(s),
+                                                      std::move(egress_raw),
+                                                      *sub_ports_.back()));
+    }
+
+    // Nodes last; link i feeds node (i+1) and node i drives link i.
+    for (std::uint8_t i = 0; i < num_nodes; ++i) {
+        std::vector<axi::AxiChannel*> egress_raw;
+        for (const auto& ch : egress_[i]) { egress_raw.push_back(ch.get()); }
+        const std::uint8_t prev = static_cast<std::uint8_t>((i + num_nodes - 1) % num_nodes);
+        nodes_.push_back(std::make_unique<NocNode>(
+            ctx, name + ".node" + std::to_string(i), i, node_map, mgr_ports_[i].get(),
+            std::move(egress_raw), *req_links_[prev], *req_links_[i], *rsp_links_[prev],
+            *rsp_links_[i]));
+    }
+}
+
+axi::AxiChannel& NocRing::subordinate_port(std::uint8_t node) {
+    REALM_EXPECTS(node < sub_index_.size() && sub_index_[node] >= 0,
+                  "node hosts no subordinate");
+    return *sub_ports_[static_cast<std::size_t>(sub_index_[node])];
+}
+
+std::uint64_t NocRing::total_forwarded() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& n : nodes_) { total += n->forwarded(); }
+    return total;
+}
+
+} // namespace realm::noc

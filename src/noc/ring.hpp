@@ -1,0 +1,62 @@
+/// \file
+/// \brief Ring NoC assembly: nodes, ring links, and per-node egress muxes.
+///
+/// The "more scalable network-on-chip" integration of Figure 1b: every node
+/// may host one AXI manager; nodes named in `subordinate_nodes` also host a
+/// subordinate, reached through per-source egress channels and an
+/// `ic::AxiMux` (which provides the burst-granular W ordering a real NI
+/// needs). REALM units drop in front of any manager port unchanged —
+/// regulation is interconnect-agnostic, which this module exists to prove.
+#pragma once
+
+#include "axi/channel.hpp"
+#include "ic/addr_map.hpp"
+#include "ic/mux.hpp"
+#include "noc/node.hpp"
+
+#include "sim/context.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace realm::noc {
+
+class NocRing {
+public:
+    /// \param node_map          decodes addresses to node ids.
+    /// \param subordinate_nodes nodes hosting a local subordinate.
+    NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
+            ic::AddrMap node_map, std::vector<std::uint8_t> subordinate_nodes);
+
+    NocRing(const NocRing&) = delete;
+    NocRing& operator=(const NocRing&) = delete;
+
+    /// Channel a manager at `node` drives (requests in, responses out).
+    [[nodiscard]] axi::AxiChannel& manager_port(std::uint8_t node) {
+        return *mgr_ports_.at(node);
+    }
+    /// Channel to attach a subordinate model at `node`.
+    [[nodiscard]] axi::AxiChannel& subordinate_port(std::uint8_t node);
+
+    [[nodiscard]] NocNode& node(std::uint8_t i) { return *nodes_.at(i); }
+    [[nodiscard]] std::uint8_t num_nodes() const noexcept {
+        return static_cast<std::uint8_t>(nodes_.size());
+    }
+
+    /// Aggregate ring statistics (hops forwarded across all nodes).
+    [[nodiscard]] std::uint64_t total_forwarded() const noexcept;
+
+private:
+    std::vector<std::unique_ptr<axi::AxiChannel>> mgr_ports_;
+    std::vector<std::unique_ptr<sim::Link<NocPacket>>> req_links_;
+    std::vector<std::unique_ptr<sim::Link<NocPacket>>> rsp_links_;
+    /// egress_[node][src] (nullptr when `node` hosts no subordinate).
+    std::vector<std::vector<std::unique_ptr<axi::AxiChannel>>> egress_;
+    std::vector<std::unique_ptr<axi::AxiChannel>> sub_ports_;
+    std::vector<std::unique_ptr<ic::AxiMux>> muxes_;
+    std::vector<std::unique_ptr<NocNode>> nodes_;
+    std::vector<int> sub_index_; ///< node -> index into sub_ports_ or -1
+};
+
+} // namespace realm::noc

@@ -1,0 +1,82 @@
+#include "realm/burst_equalizer.hpp"
+
+#include "sim/check.hpp"
+
+#include <utility>
+
+namespace realm::rt {
+
+BurstEqualizer::BurstEqualizer(sim::SimContext& ctx, std::string name,
+                               axi::AxiChannel& upstream, axi::AxiChannel& downstream,
+                               BurstEqualizerConfig config)
+    : Component{ctx, std::move(name)},
+      up_{upstream},
+      down_{downstream},
+      cfg_{config},
+      splitter_{config.nominal_beats, config.max_outstanding} {}
+
+void BurstEqualizer::reset() {
+    splitter_.reset();
+    w_child_beats_.clear();
+    w_beat_in_child_ = 0;
+    outstanding_ = 0;
+}
+
+void BurstEqualizer::tick() {
+    // Responses: coalesce child Bs, re-gate child R lasts (same splitter
+    // bookkeeping the REALM unit uses).
+    if (down_.has_b() && up_.can_send_b()) {
+        if (const auto parent = splitter_.process_b(down_.recv_b())) {
+            up_.send_b(*parent);
+            --outstanding_;
+        }
+    }
+    if (down_.has_r() && up_.can_send_r()) {
+        const auto processed = splitter_.process_r(down_.recv_r());
+        if (processed.parent_completed) { --outstanding_; }
+        up_.send_r(processed.flit);
+    }
+
+    // Accept new bursts under the outstanding cap.
+    if (up_.has_ar() && outstanding_ < cfg_.max_outstanding &&
+        splitter_.can_accept_read()) {
+        splitter_.accept_read(up_.recv_ar());
+        ++outstanding_;
+    }
+    if (up_.has_aw() && outstanding_ < cfg_.max_outstanding &&
+        splitter_.can_accept_write()) {
+        const axi::AwFlit parent = up_.recv_aw();
+        const auto children = splitter_.accept_write(parent);
+        for (const axi::BurstDescriptor& child : children) {
+            axi::AwFlit f = parent;
+            f.addr = child.addr;
+            f.len = child.len;
+            child_aw_queue_.push_back(f);
+            w_child_beats_.push_back(child.beats());
+        }
+        ++outstanding_;
+    }
+
+    // Emit child requests and pass W data straight through (no write
+    // buffer: the ABE does not close the stall-DoS vector).
+    if (splitter_.has_child_ar() && down_.can_send_ar()) {
+        down_.send_ar(splitter_.pop_child_ar());
+    }
+    if (!child_aw_queue_.empty() && down_.can_send_aw()) {
+        down_.send_aw(child_aw_queue_.front());
+        child_aw_queue_.pop_front();
+    }
+    if (!w_child_beats_.empty() && up_.has_w() && down_.can_send_w()) {
+        axi::WFlit w = up_.recv_w();
+        ++w_beat_in_child_;
+        const bool child_last = w_beat_in_child_ == w_child_beats_.front();
+        w.last = child_last;
+        down_.send_w(w);
+        if (child_last) {
+            w_child_beats_.pop_front();
+            w_beat_in_child_ = 0;
+        }
+    }
+}
+
+} // namespace realm::rt

@@ -1,0 +1,57 @@
+/// \file
+/// \brief ABE-style burst equalizer — the related-work baseline [12]
+///        (Restuccia et al., "Is your bus arbiter really fair?").
+///
+/// The AXI burst equalizer restores round-robin fairness by enforcing a
+/// nominal burst size and a maximum number of outstanding transactions per
+/// manager — i.e. the *fragmentation* third of AXI-REALM without credits,
+/// monitoring, or write buffering. Implemented as a thin composition over
+/// the same `GranularBurstSplitter` so the comparison in
+/// `bench_baseline_equalizer` isolates exactly what the M&R unit adds:
+/// fairness is restored, but no bandwidth share can be *guaranteed* and a
+/// stalling writer can still reserve downstream W bandwidth.
+#pragma once
+
+#include "axi/channel.hpp"
+#include "realm/splitter.hpp"
+
+#include "sim/component.hpp"
+
+#include <cstdint>
+#include <deque>
+
+namespace realm::rt {
+
+struct BurstEqualizerConfig {
+    std::uint32_t nominal_beats = 16; ///< enforced burst size
+    std::uint32_t max_outstanding = 4;
+};
+
+class BurstEqualizer : public sim::Component {
+public:
+    BurstEqualizer(sim::SimContext& ctx, std::string name, axi::AxiChannel& upstream,
+                   axi::AxiChannel& downstream, BurstEqualizerConfig config = {});
+
+    void reset() override;
+    void tick() override;
+
+    [[nodiscard]] const GranularBurstSplitter& splitter() const noexcept {
+        return splitter_;
+    }
+    [[nodiscard]] std::uint32_t outstanding() const noexcept { return outstanding_; }
+
+private:
+    axi::SubordinateView up_;
+    axi::ManagerView down_;
+    BurstEqualizerConfig cfg_;
+    GranularBurstSplitter splitter_;
+
+    /// Pending child write-address flits awaiting emission.
+    std::deque<axi::AwFlit> child_aw_queue_;
+    /// Child-burst W bookkeeping (beats per child, in order).
+    std::deque<std::uint32_t> w_child_beats_;
+    std::uint32_t w_beat_in_child_ = 0;
+    std::uint32_t outstanding_ = 0;
+};
+
+} // namespace realm::rt

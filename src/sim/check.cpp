@@ -1,0 +1,18 @@
+#include "sim/check.hpp"
+
+namespace realm::sim {
+
+void contract_violation(const char* kind, const char* file, int line,
+                        const std::string& message) {
+    std::string what;
+    what += kind;
+    what += " violated at ";
+    what += file;
+    what += ':';
+    what += std::to_string(line);
+    what += ": ";
+    what += message;
+    throw ContractViolation{what};
+}
+
+} // namespace realm::sim

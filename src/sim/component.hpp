@@ -1,0 +1,57 @@
+/// \file
+/// \brief Base class for all simulated hardware blocks.
+#pragma once
+
+#include "sim/context.hpp"
+#include "sim/types.hpp"
+
+#include <string>
+#include <utility>
+
+namespace realm::sim {
+
+/// A clocked hardware block. Each simulation cycle the kernel calls
+/// `tick()` exactly once, in construction order.
+///
+/// Model style: components are Moore machines communicating through
+/// registered `Link`s, so evaluation order between components never changes
+/// observable behaviour (only capacity visibility, which is benign and
+/// deterministic).
+class Component {
+public:
+    Component(SimContext& ctx, std::string name) : ctx_{&ctx}, name_{std::move(name)} {
+        ctx_->register_component(*this);
+    }
+    virtual ~Component() { ctx_->unregister_component(*this); }
+
+    Component(const Component&) = delete;
+    Component& operator=(const Component&) = delete;
+
+    /// Block instance name, used in logs and contract messages.
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// The owning simulation context.
+    [[nodiscard]] SimContext& ctx() noexcept { return *ctx_; }
+    [[nodiscard]] const SimContext& ctx() const noexcept { return *ctx_; }
+
+    /// Current cycle, convenience shorthand.
+    [[nodiscard]] Cycle now() const noexcept { return ctx_->now(); }
+
+    /// Returns the block to its post-reset state.
+    virtual void reset() {}
+
+    /// Evaluates one clock cycle.
+    virtual void tick() = 0;
+
+protected:
+    /// Cycle-stamped log line attributed to this component.
+    void log(LogLevel level, const std::string& message) const {
+        if (ctx_->log_enabled(level)) { ctx_->log(level, name_, message); }
+    }
+
+private:
+    SimContext* ctx_;
+    std::string name_;
+};
+
+} // namespace realm::sim

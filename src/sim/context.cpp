@@ -1,0 +1,63 @@
+#include "sim/context.hpp"
+
+#include "sim/check.hpp"
+#include "sim/component.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+namespace realm::sim {
+
+void SimContext::register_component(Component& c) {
+    components_.push_back(&c);
+}
+
+void SimContext::unregister_component(Component& c) noexcept {
+    const auto it = std::find(components_.begin(), components_.end(), &c);
+    if (it != components_.end()) { components_.erase(it); }
+}
+
+void SimContext::reset() {
+    now_ = 0;
+    for (Component* c : components_) { c->reset(); }
+}
+
+void SimContext::step() {
+    for (Component* c : components_) { c->tick(); }
+    ++now_;
+}
+
+void SimContext::run(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) { step(); }
+}
+
+bool SimContext::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+    REALM_EXPECTS(done != nullptr, "run_until requires a predicate");
+    for (Cycle i = 0; i < max_cycles; ++i) {
+        if (done()) { return true; }
+        step();
+    }
+    return done();
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+    switch (level) {
+    case LogLevel::kNone: return "none";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+    }
+    return "?";
+}
+} // namespace
+
+void SimContext::log(LogLevel level, const std::string& who, const std::string& message) const {
+    if (!log_enabled(level)) { return; }
+    std::cerr << '[' << now_ << "] " << level_name(level) << ' ' << who << ": " << message
+              << '\n';
+}
+
+} // namespace realm::sim

@@ -1,0 +1,76 @@
+/// \file
+/// \brief Cycle-driven simulation context: clock, component registry, run loop.
+#pragma once
+
+#include "sim/types.hpp"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace realm::sim {
+
+class Component;
+
+/// Severity levels for the cycle-stamped simulation log.
+enum class LogLevel { kNone = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Owns simulation time and the (non-owning) list of components to evaluate
+/// each cycle.
+///
+/// Timing contract: during `step()` every component observes `now() == N`;
+/// values pushed into a `Link` at cycle N become visible to consumers at
+/// N+1 (registered semantics). After all components ticked, time advances.
+///
+/// Components register themselves on construction (in construction order,
+/// which fixes the intra-cycle evaluation order and makes runs fully
+/// deterministic) and must outlive no longer than the context.
+class SimContext {
+public:
+    SimContext() = default;
+    SimContext(const SimContext&) = delete;
+    SimContext& operator=(const SimContext&) = delete;
+
+    /// Current simulation time in cycles.
+    [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+    /// Adds a component to the per-cycle evaluation list.
+    void register_component(Component& c);
+
+    /// Removes a component (called from Component's destructor).
+    void unregister_component(Component& c) noexcept;
+
+    /// Resets simulation time to zero and calls `reset()` on every component.
+    void reset();
+
+    /// Advances the simulation by exactly one cycle.
+    void step();
+
+    /// Advances the simulation by `cycles` cycles.
+    void run(Cycle cycles);
+
+    /// Runs until `done()` returns true or `max_cycles` elapsed.
+    /// \returns true iff the predicate fired (i.e. no timeout).
+    bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+    /// \name Logging
+    ///@{
+    void set_log_level(LogLevel level) noexcept { log_level_ = level; }
+    [[nodiscard]] LogLevel log_level() const noexcept { return log_level_; }
+    [[nodiscard]] bool log_enabled(LogLevel level) const noexcept {
+        return static_cast<int>(level) <= static_cast<int>(log_level_);
+    }
+    /// Writes a cycle-stamped line to stderr if `level` is enabled.
+    void log(LogLevel level, const std::string& who, const std::string& message) const;
+    ///@}
+
+    /// Number of registered components (introspection for tests).
+    [[nodiscard]] std::size_t component_count() const noexcept { return components_.size(); }
+
+private:
+    Cycle now_ = 0;
+    std::vector<Component*> components_;
+    LogLevel log_level_ = LogLevel::kNone;
+};
+
+} // namespace realm::sim

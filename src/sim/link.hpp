@@ -1,0 +1,159 @@
+/// \file
+/// \brief Registered point-to-point links: the C++ analog of an AXI channel
+///        behind a spill register.
+#pragma once
+
+#include "sim/check.hpp"
+#include "sim/context.hpp"
+#include "sim/types.hpp"
+
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace realm::sim {
+
+/// Single-producer / single-consumer FIFO with *registered* timing:
+/// an element pushed at cycle N becomes poppable at cycle N+1.
+///
+/// This reproduces the behaviour of a valid/ready channel followed by one
+/// register stage. With the default capacity of 2 (a "spill register" /
+/// `axi_cut` in RTL terms) the link sustains one transfer per cycle under
+/// backpressure-free operation regardless of the order in which producer
+/// and consumer are evaluated within the cycle, so simulations are
+/// order-independent and deterministic.
+///
+/// Producer protocol:   `if (link.can_push()) link.push(flit);`
+/// Consumer protocol:   `if (link.can_pop())  f = link.pop();`
+/// A producer must treat a full link as backpressure (AXI `ready` low) and
+/// hold the flit; a consumer may `front()` without popping to make
+/// combinational decisions (AXI `valid`-gated logic).
+template <typename T>
+class Link {
+public:
+    /// Timing discipline of the link.
+    enum class Timing {
+        kRegistered, ///< push at N -> poppable at N+1 (a register stage)
+        kPassthrough ///< push at N -> poppable at N *if the consumer is
+                     ///< evaluated after the producer* (combinational wire;
+                     ///< construction order fixes evaluation order)
+    };
+
+    /// \param ctx       Simulation context providing the clock.
+    /// \param capacity  Buffer depth; >= 2 for full-throughput pipes,
+    ///                  1 models an unbuffered register (half throughput
+    ///                  under sustained traffic).
+    explicit Link(const SimContext& ctx, std::size_t capacity = 2, std::string name = {},
+                  Timing timing = Timing::kRegistered)
+        : ctx_{&ctx}, capacity_{capacity}, name_{std::move(name)}, timing_{timing} {
+        REALM_EXPECTS(capacity_ >= 1, "link capacity must be at least 1");
+    }
+
+    /// True when the producer may push this cycle.
+    [[nodiscard]] bool can_push() const noexcept { return entries_.size() < capacity_; }
+
+    /// Pushes a flit; it becomes visible to the consumer next cycle.
+    void push(T value) {
+        REALM_EXPECTS(can_push(), "push into full link " + name_);
+        entries_.push_back(Entry{std::move(value), ctx_->now()});
+        ++total_pushed_;
+    }
+
+    /// True when the consumer can pop a flit this cycle (for registered
+    /// links: the head entry was pushed in an earlier cycle).
+    [[nodiscard]] bool can_pop() const noexcept {
+        if (entries_.empty()) { return false; }
+        if (timing_ == Timing::kPassthrough) { return true; }
+        return entries_.front().pushed_at < ctx_->now();
+    }
+
+    /// Peeks at the head flit without consuming it.
+    [[nodiscard]] const T& front() const {
+        REALM_EXPECTS(can_pop(), "front of empty/not-ready link " + name_);
+        return entries_.front().value;
+    }
+
+    /// Consumes and returns the head flit.
+    T pop() {
+        REALM_EXPECTS(can_pop(), "pop from empty/not-ready link " + name_);
+        T v = std::move(entries_.front().value);
+        entries_.pop_front();
+        ++total_popped_;
+        return v;
+    }
+
+    /// Discards all buffered flits (reset).
+    void clear() noexcept { entries_.clear(); }
+
+    /// \name Introspection
+    ///@{
+    [[nodiscard]] std::size_t occupancy() const noexcept { return entries_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+    [[nodiscard]] std::uint64_t total_pushed() const noexcept { return total_pushed_; }
+    [[nodiscard]] std::uint64_t total_popped() const noexcept { return total_popped_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    ///@}
+
+private:
+    struct Entry {
+        T value;
+        Cycle pushed_at;
+    };
+
+    const SimContext* ctx_;
+    std::size_t capacity_;
+    std::string name_;
+    Timing timing_ = Timing::kRegistered;
+    std::deque<Entry> entries_;
+    std::uint64_t total_pushed_ = 0;
+    std::uint64_t total_popped_ = 0;
+};
+
+/// FIFO whose entries become poppable at an arbitrary future cycle; completion
+/// stays in push order (the head blocks younger entries). Used to model
+/// fixed/variable-latency service pipelines, e.g. SRAM access or DRAM banks.
+template <typename T>
+class TimedQueue {
+public:
+    explicit TimedQueue(const SimContext& ctx, std::string name = {})
+        : ctx_{&ctx}, name_{std::move(name)} {}
+
+    /// Enqueues `value`, poppable no earlier than `ready_at`.
+    void push(T value, Cycle ready_at) {
+        entries_.push_back(Entry{std::move(value), ready_at});
+    }
+
+    [[nodiscard]] bool can_pop() const noexcept {
+        return !entries_.empty() && entries_.front().ready_at <= ctx_->now();
+    }
+
+    [[nodiscard]] const T& front() const {
+        REALM_EXPECTS(can_pop(), "front of not-ready timed queue " + name_);
+        return entries_.front().value;
+    }
+
+    T pop() {
+        REALM_EXPECTS(can_pop(), "pop from not-ready timed queue " + name_);
+        T v = std::move(entries_.front().value);
+        entries_.pop_front();
+        return v;
+    }
+
+    void clear() noexcept { entries_.clear(); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+private:
+    struct Entry {
+        T value;
+        Cycle ready_at;
+    };
+
+    const SimContext* ctx_;
+    std::string name_;
+    std::deque<Entry> entries_;
+};
+
+} // namespace realm::sim

@@ -1,0 +1,15 @@
+/// \file
+/// \brief Fundamental type aliases for the cycle-driven simulation kernel.
+#pragma once
+
+#include <cstdint>
+
+namespace realm::sim {
+
+/// Simulation time, measured in clock cycles of the single system clock.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no cycle" / "not yet happened".
+inline constexpr Cycle kNoCycle = ~std::uint64_t{0};
+
+} // namespace realm::sim

@@ -1,0 +1,59 @@
+#include "traffic/workload.hpp"
+
+#include "sim/check.hpp"
+
+namespace realm::traffic {
+
+std::optional<MemOp> StreamWorkload::next() {
+    if (iteration_ >= cfg_.repeat) { return std::nullopt; }
+    MemOp op;
+    op.addr = cfg_.base + offset_;
+    op.bytes = cfg_.op_bytes;
+    op.compute_cycles = cfg_.compute_cycles;
+    op.kind = (op_index_ % 16) < cfg_.store_ratio16 ? MemOp::Kind::kStore : MemOp::Kind::kLoad;
+    ++op_index_;
+    offset_ += cfg_.stride_bytes;
+    if (offset_ + cfg_.op_bytes > cfg_.bytes) {
+        offset_ = 0;
+        ++iteration_;
+    }
+    return op;
+}
+
+std::optional<MemOp> RandomWorkload::next() {
+    if (issued_ >= cfg_.num_ops) { return std::nullopt; }
+    ++issued_;
+    MemOp op;
+    const std::uint64_t span = cfg_.bytes / cfg_.op_bytes;
+    op.addr = cfg_.base + rng_.uniform(0, span - 1) * cfg_.op_bytes;
+    op.bytes = cfg_.op_bytes;
+    op.compute_cycles = cfg_.compute_cycles;
+    op.kind = rng_.chance(cfg_.store_ratio16, 16) ? MemOp::Kind::kStore : MemOp::Kind::kLoad;
+    return op;
+}
+
+PointerChaseWorkload::PointerChaseWorkload(Config cfg) : cfg_{cfg} {
+    REALM_EXPECTS(cfg_.slots >= 2, "pointer chase needs at least two slots");
+    // Sattolo's algorithm: a single cycle visiting every slot.
+    chain_.resize(cfg_.slots);
+    for (std::uint64_t i = 0; i < cfg_.slots; ++i) { chain_[i] = i; }
+    sim::Rng rng{cfg_.seed};
+    for (std::uint64_t i = cfg_.slots - 1; i > 0; --i) {
+        const std::uint64_t j = rng.uniform(0, i - 1);
+        std::swap(chain_[i], chain_[j]);
+    }
+}
+
+std::optional<MemOp> PointerChaseWorkload::next() {
+    if (hop_ >= cfg_.hops) { return std::nullopt; }
+    ++hop_;
+    MemOp op;
+    op.kind = MemOp::Kind::kLoad;
+    op.addr = cfg_.base + cursor_ * 8;
+    op.bytes = 8;
+    op.compute_cycles = 0;
+    cursor_ = chain_[cursor_];
+    return op;
+}
+
+} // namespace realm::traffic

@@ -1,0 +1,138 @@
+/// Tests for the Table II area model and Table I overhead computation.
+#include "area/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace realm::area {
+namespace {
+
+RealmParams paper_config() {
+    // The Cheshire evaluation configuration (Table I footnote b): 64-bit
+    // address and data width, 16-deep write buffer, 8 outstanding, 2 regions,
+    // 3 units.
+    RealmParams p;
+    p.addr_width_bits = 64;
+    p.data_width_bits = 64;
+    p.num_pending = 8;
+    p.buffer_depth = 16;
+    p.num_regions = 2;
+    p.num_units = 3;
+    return p;
+}
+
+TEST(AreaModel, Table2ConstantsVerbatim) {
+    // Spot-check the published constants survive in the model.
+    EXPECT_DOUBLE_EQ(kTable2[0].constant, 260.6);   // bus guard
+    EXPECT_DOUBLE_EQ(kTable2[3].constant, 1319.6);  // budget & period register
+    EXPECT_DOUBLE_EQ(kTable2[6].constant, 4835.0);  // burst splitter
+    EXPECT_DOUBLE_EQ(kTable2[6].per_addr_bit, 49.3);
+    EXPECT_DOUBLE_EQ(kTable2[6].per_pending, 729.4);
+    EXPECT_DOUBLE_EQ(kTable2[8].per_storage_word64, 264.4); // write buffer
+    EXPECT_DOUBLE_EQ(kTable2[9].constant, 1928.5);  // tracking counters
+    EXPECT_DOUBLE_EQ(kTable2[10].per_addr_bit, 20.8); // region decoders
+}
+
+TEST(AreaModel, BlockAreaLinearInParams) {
+    RealmParams p = paper_config();
+    const BlockLaw& splitter = kTable2[6];
+    const double base = block_area_ge(splitter, p);
+    p.num_pending += 1;
+    EXPECT_DOUBLE_EQ(block_area_ge(splitter, p) - base, 729.4);
+    p.addr_width_bits += 10;
+    EXPECT_NEAR(block_area_ge(splitter, p) - base, 729.4 + 493.0, 1e-9);
+}
+
+TEST(AreaModel, PaperConfigUnitAreaCloseToPaper) {
+    // Paper: 3 RT units = 83.6 kGE -> 27.87 kGE per unit. The published
+    // linear model reproduces this within ~6 %.
+    const double unit_kge = realm_unit_ge(paper_config()) / 1000.0;
+    EXPECT_NEAR(unit_kge, 83.6 / 3.0, 0.06 * 83.6 / 3.0);
+}
+
+TEST(AreaModel, SystemOverheadInPaperBand) {
+    EXPECT_NEAR(paper_overhead_percent(), 2.45, 0.01);
+    const double model = model_overhead_percent(paper_config());
+    EXPECT_GT(model, 2.0);
+    EXPECT_LT(model, 3.0);
+}
+
+TEST(AreaModel, WriteBufferScalesWithStorage) {
+    RealmParams p = paper_config();
+    const double d16 = realm_unit_ge(p);
+    p.buffer_depth = 2;
+    const double d2 = realm_unit_ge(p);
+    EXPECT_NEAR(d16 - d2, 264.4 * (16 - 2), 1e-6)
+        << "storage coefficient applies per 64-bit word";
+}
+
+TEST(AreaModel, OptionalBlocksRemovable) {
+    RealmParams p = paper_config();
+    const double full = realm_unit_ge(p);
+    p.splitter_present = false;
+    const double no_split = realm_unit_ge(p);
+    // Splitter + meta buffer at this config: 13921.4 + 3748.1 GE.
+    EXPECT_NEAR(full - no_split, 13921.4 + 3748.1, 1.0);
+    p.write_buffer_present = false;
+    const double minimal = realm_unit_ge(p);
+    EXPECT_NEAR(no_split - minimal, 11.4 + 264.4 * 16, 1.0);
+}
+
+TEST(AreaModel, ConfigFileScalesPerUnitAndRegion) {
+    RealmParams p = paper_config();
+    const double base = config_file_ge(p);
+    p.num_units = 4;
+    const double plus_unit = config_file_ge(p);
+    // One more unit adds: burst cfg + C&S + regions x (budget&period +
+    // boundary).
+    const double expected_delta =
+        83.5 + 24.6 + 2 * (1319.6 + 20.6 * 64);
+    EXPECT_NEAR(plus_unit - base, expected_delta, 1e-6);
+}
+
+TEST(AreaModel, BreakdownSumsToSystemTotal) {
+    const RealmParams p = paper_config();
+    const auto breakdown = system_breakdown(p);
+    double sum = 0;
+    for (const BlockArea& b : breakdown) { sum += b.total_ge; }
+    EXPECT_NEAR(sum, system_ge(p), 1e-6);
+    EXPECT_EQ(breakdown.size(), kTable2.size());
+}
+
+TEST(AreaModel, Table1SharesConsistent) {
+    // The published per-block percentages must match kge/total.
+    for (std::size_t i = 1; i < kTable1.size(); ++i) {
+        const double pct = 100.0 * kTable1[i].kge / kTable1[0].kge;
+        EXPECT_NEAR(pct, kTable1[i].percent, 0.15) << kTable1[i].name;
+    }
+}
+
+/// Sweep over the evaluated parameter ranges: areas stay positive, finite,
+/// and monotone in every parameter.
+class AreaSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AreaSweep, MonotoneAndSane) {
+    const auto [addr, pending, depth] = GetParam();
+    RealmParams p;
+    p.addr_width_bits = static_cast<std::uint32_t>(addr);
+    p.num_pending = static_cast<std::uint32_t>(pending);
+    p.buffer_depth = static_cast<std::uint32_t>(depth);
+    const double unit = realm_unit_ge(p);
+    EXPECT_GT(unit, 0.0);
+    EXPECT_TRUE(std::isfinite(unit));
+    RealmParams bigger = p;
+    bigger.addr_width_bits += 8;
+    EXPECT_GT(realm_unit_ge(bigger), unit);
+    bigger = p;
+    bigger.num_pending += 2;
+    EXPECT_GT(realm_unit_ge(bigger), unit);
+}
+
+INSTANTIATE_TEST_SUITE_P(ParamRanges, AreaSweep,
+                         ::testing::Combine(::testing::Values(32, 48, 64),
+                                            ::testing::Values(2, 8, 16),
+                                            ::testing::Values(2, 8, 16)));
+
+} // namespace
+} // namespace realm::area

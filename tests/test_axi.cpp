@@ -1,0 +1,218 @@
+/// Unit and property tests for the AXI4 layer: burst math, fragmentation,
+/// builders, and the protocol checker.
+#include "axi/builder.hpp"
+#include "axi/burst.hpp"
+#include "axi/channel.hpp"
+#include "axi/checker.hpp"
+#include "axi/types.hpp"
+#include "sim/check.hpp"
+#include "sim/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace realm::axi {
+namespace {
+
+TEST(BurstMath, IncrBeatAddressesAlignAfterFirstBeat) {
+    // Unaligned start: first beat keeps the raw address, later beats align.
+    const BurstDescriptor d{0x1003, 3, 2, Burst::kIncr}; // 4 beats x 4 B
+    EXPECT_EQ(beat_address(d, 0), 0x1003U);
+    EXPECT_EQ(beat_address(d, 1), 0x1004U);
+    EXPECT_EQ(beat_address(d, 2), 0x1008U);
+    EXPECT_EQ(beat_address(d, 3), 0x100CU);
+}
+
+TEST(BurstMath, FixedBeatsRepeatAddress) {
+    const BurstDescriptor d{0x2000, 7, 3, Burst::kFixed};
+    for (std::uint32_t i = 0; i < d.beats(); ++i) {
+        EXPECT_EQ(beat_address(d, i), 0x2000U);
+    }
+}
+
+TEST(BurstMath, WrapWrapsAtAlignedBoundary) {
+    // 4 beats x 8 B = 32 B window; start mid-window.
+    const BurstDescriptor d{0x1010, 3, 3, Burst::kWrap};
+    EXPECT_EQ(wrap_boundary(d), 0x1000U);
+    EXPECT_EQ(beat_address(d, 0), 0x1010U);
+    EXPECT_EQ(beat_address(d, 1), 0x1018U);
+    EXPECT_EQ(beat_address(d, 2), 0x1000U); // wrapped
+    EXPECT_EQ(beat_address(d, 3), 0x1008U);
+}
+
+TEST(BurstMath, Within4kDetectsCrossing) {
+    EXPECT_TRUE(within_4k(BurstDescriptor{0x0FC0, 7, 3, Burst::kIncr}));  // ends at 0xFFF
+    EXPECT_FALSE(within_4k(BurstDescriptor{0x0FC8, 7, 3, Burst::kIncr})); // crosses
+    EXPECT_TRUE(within_4k(BurstDescriptor{0x0FFF, 0, 0, Burst::kIncr}));
+}
+
+TEST(BurstMath, LegalityRules) {
+    EXPECT_TRUE(is_legal(BurstDescriptor{0x1000, 255, 3, Burst::kIncr}));
+    EXPECT_FALSE(is_legal(BurstDescriptor{0x0FC8, 7, 3, Burst::kIncr})); // 4 KiB
+    EXPECT_TRUE(is_legal(BurstDescriptor{0x1000, 15, 3, Burst::kWrap}));
+    EXPECT_FALSE(is_legal(BurstDescriptor{0x1000, 5, 3, Burst::kWrap}));  // len not 2^n-1
+    EXPECT_FALSE(is_legal(BurstDescriptor{0x1004, 15, 3, Burst::kWrap})); // unaligned
+    EXPECT_TRUE(is_legal(BurstDescriptor{0x1000, 15, 3, Burst::kFixed}));
+    EXPECT_FALSE(is_legal(BurstDescriptor{0x1000, 16, 3, Burst::kFixed})); // > 16 beats
+}
+
+TEST(BurstMath, FragmentabilityRules) {
+    const BurstDescriptor incr{0x1000, 255, 3, Burst::kIncr};
+    EXPECT_TRUE(is_fragmentable(incr, /*cache=*/0x2, /*lock=*/false));
+    EXPECT_FALSE(is_fragmentable(incr, 0x2, /*lock=*/true)) << "exclusive access";
+    const BurstDescriptor wrap{0x1000, 15, 3, Burst::kWrap};
+    EXPECT_FALSE(is_fragmentable(wrap, 0x2, false));
+    const BurstDescriptor short_nm{0x1000, 15, 3, Burst::kIncr};
+    EXPECT_FALSE(is_fragmentable(short_nm, /*cache=*/0x0, false))
+        << "non-modifiable <= 16 beats must pass intact";
+    const BurstDescriptor long_nm{0x1000, 31, 3, Burst::kIncr};
+    EXPECT_TRUE(is_fragmentable(long_nm, /*cache=*/0x0, false))
+        << "non-modifiable > 16 beats may be split";
+}
+
+/// Property sweep: fragmentation preserves the exact beat address sequence.
+class FragmentProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FragmentProperty, ChildrenCoverParentExactly) {
+    const auto [len, granularity] = GetParam();
+    const BurstDescriptor parent{0x10008, static_cast<std::uint8_t>(len), 3, Burst::kIncr};
+    const auto children =
+        fragment_burst(parent, static_cast<std::uint32_t>(granularity));
+
+    // Child count matches the closed-form prediction.
+    EXPECT_EQ(children.size(),
+              fragment_count(parent, static_cast<std::uint32_t>(granularity)));
+
+    // Concatenated child beats == parent beats, in order.
+    std::vector<Addr> parent_beats;
+    for (std::uint32_t i = 0; i < parent.beats(); ++i) {
+        parent_beats.push_back(beat_address(parent, i));
+    }
+    std::vector<Addr> child_beats;
+    for (const auto& c : children) {
+        EXPECT_LE(c.beats(), static_cast<std::uint32_t>(granularity));
+        EXPECT_EQ(c.size, parent.size);
+        EXPECT_EQ(c.burst, Burst::kIncr);
+        for (std::uint32_t i = 0; i < c.beats(); ++i) {
+            child_beats.push_back(beat_address(c, i));
+        }
+    }
+    EXPECT_EQ(child_beats, parent_beats);
+
+    // Only the first child may be shorter than the granularity... actually
+    // only the *last* child may be short.
+    for (std::size_t i = 0; i + 1 < children.size(); ++i) {
+        EXPECT_EQ(children[i].beats(), static_cast<std::uint32_t>(granularity))
+            << "only the final child may be partial";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LenGranularitySweep, FragmentProperty,
+    ::testing::Combine(::testing::Values(0, 1, 7, 15, 16, 63, 127, 254, 255),
+                       ::testing::Values(1, 2, 3, 4, 8, 16, 64, 256)));
+
+TEST(MergeResp, WorstResponseWins) {
+    EXPECT_EQ(merge_resp(Resp::kOkay, Resp::kOkay), Resp::kOkay);
+    EXPECT_EQ(merge_resp(Resp::kOkay, Resp::kSlvErr), Resp::kSlvErr);
+    EXPECT_EQ(merge_resp(Resp::kDecErr, Resp::kSlvErr), Resp::kDecErr);
+    EXPECT_EQ(merge_resp(Resp::kExOkay, Resp::kExOkay), Resp::kExOkay);
+    EXPECT_EQ(merge_resp(Resp::kExOkay, Resp::kOkay), Resp::kOkay);
+}
+
+TEST(Builder, MakeWriteBeatsSplitsPayload) {
+    std::vector<std::uint8_t> payload(20);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>(i);
+    }
+    const auto beats = make_write_beats(payload, 3, 8);
+    ASSERT_EQ(beats.size(), 3U);
+    EXPECT_FALSE(beats[0].last);
+    EXPECT_TRUE(beats[2].last);
+    EXPECT_EQ(beats[0].data.bytes[0], 0);
+    EXPECT_EQ(beats[1].data.bytes[0], 8);
+    EXPECT_EQ(beats[2].data.bytes[3], 19);
+}
+
+TEST(Builder, SizeOfBusIsLog2) {
+    EXPECT_EQ(size_of_bus(1), 0);
+    EXPECT_EQ(size_of_bus(8), 3);
+    EXPECT_EQ(size_of_bus(64), 6);
+}
+
+// --- Protocol checker ------------------------------------------------------
+
+class CheckerFixture : public ::testing::Test {
+protected:
+    sim::SimContext ctx;
+    AxiChannel up{ctx, "up"};
+    AxiChannel down{ctx, "down"};
+    AxiChecker checker{ctx, "chk", up, down, /*throw_on_violation=*/false};
+};
+
+TEST_F(CheckerFixture, CleanWritepasses) {
+    ManagerView mgr{up};
+    mgr.send_aw(make_aw(1, 0x1000, 2, 3));
+    ctx.step();
+    WFlit w0;
+    w0.last = false;
+    mgr.send_w(w0);
+    ctx.step();
+    WFlit w1;
+    w1.last = true;
+    mgr.send_w(w1);
+    ctx.run(3);
+    // Feed the response back.
+    BFlit b;
+    b.id = 1;
+    down.b.push(b);
+    ctx.run(3);
+    EXPECT_EQ(checker.violation_count(), 0U);
+    EXPECT_EQ(checker.completed_writes(), 1U);
+}
+
+TEST_F(CheckerFixture, WlastTooEarlyFlagged) {
+    ManagerView mgr{up};
+    mgr.send_aw(make_aw(1, 0x1000, 3, 3));
+    ctx.step();
+    WFlit w;
+    w.last = true; // burst of 3 ends after 1 beat: violation
+    mgr.send_w(w);
+    ctx.run(3);
+    EXPECT_GE(checker.violation_count(), 1U);
+}
+
+TEST_F(CheckerFixture, OrphanResponsesFlagged) {
+    BFlit b;
+    b.id = 9;
+    down.b.push(b);
+    RFlit r;
+    r.id = 9;
+    r.last = true;
+    down.r.push(r);
+    ctx.run(3);
+    EXPECT_EQ(checker.violation_count(), 2U);
+}
+
+TEST_F(CheckerFixture, IllegalBurstFlagged) {
+    ManagerView mgr{up};
+    ArFlit bad = make_ar(1, 0x0FC8, 8, 3); // crosses 4 KiB
+    mgr.send_ar(bad);
+    ctx.run(3);
+    EXPECT_GE(checker.violation_count(), 1U);
+}
+
+TEST_F(CheckerFixture, ThrowingModeRaises) {
+    AxiChannel up2{ctx, "up2"};
+    AxiChannel down2{ctx, "down2"};
+    AxiChecker strict{ctx, "strict", up2, down2, /*throw_on_violation=*/true};
+    BFlit b;
+    b.id = 3;
+    down2.b.push(b);
+    EXPECT_THROW(ctx.run(3), sim::ContractViolation);
+}
+
+} // namespace
+} // namespace realm::axi

@@ -1,0 +1,289 @@
+/// Cross-module edge cases: error-response propagation through the REALM
+/// unit's coalescer, WRAP bursts end-to-end, LLC byte strobes, the AXI
+/// tracer, and isolation corner cases.
+#include "axi/builder.hpp"
+#include "axi/trace.hpp"
+#include "mem/axi_mem_slave.hpp"
+#include "mem/error_slave.hpp"
+#include "mem/llc.hpp"
+#include "realm/realm_unit.hpp"
+#include "soc/cheshire_soc.hpp"
+#include "traffic/core.hpp"
+#include "traffic/dma.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace realm {
+namespace {
+
+using test::collect_b;
+using test::collect_read_burst;
+using test::push_write_burst;
+using test::step_until;
+
+// --- Error propagation through the REALM unit --------------------------------
+
+class RealmErrorFixture : public ::testing::Test {
+protected:
+    RealmErrorFixture() {
+        err = std::make_unique<mem::ErrorSlave>(ctx, "err", down);
+        rt::RealmUnitConfig cfg;
+        cfg.fragment_beats = 4;
+        unit = std::make_unique<rt::RealmUnit>(ctx, "realm", up, down, cfg);
+    }
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down", 2, /*resp_passthrough=*/true};
+    std::unique_ptr<mem::ErrorSlave> err;
+    std::unique_ptr<rt::RealmUnit> unit;
+};
+
+TEST_F(RealmErrorFixture, FragmentedWriteCoalescesDecErr) {
+    // A 16-beat write fragmented into 4 children, all answered DECERR: the
+    // manager must see exactly one DECERR parent response.
+    push_write_burst(ctx, up, 1, 0x0, 16, 8);
+    const axi::BFlit b = collect_b(ctx, up);
+    EXPECT_EQ(b.resp, axi::Resp::kDecErr);
+    EXPECT_EQ(b.id, 1U);
+    ctx.run(20);
+    EXPECT_FALSE(axi::ManagerView{up}.has_b()) << "exactly one parent B";
+}
+
+TEST_F(RealmErrorFixture, FragmentedReadPropagatesPerBeatErrors) {
+    axi::ManagerView mgr{up};
+    mgr.send_ar(axi::make_ar(2, 0x0, 8, 3));
+    int beats = 0;
+    int err_beats = 0;
+    while (beats < 8) {
+        step_until(ctx, [&] { return mgr.has_r(); });
+        const axi::RFlit r = mgr.recv_r();
+        ++beats;
+        err_beats += r.resp == axi::Resp::kDecErr ? 1 : 0;
+        EXPECT_EQ(r.last, beats == 8) << "parent RLAST must be re-gated";
+    }
+    EXPECT_EQ(err_beats, 8);
+}
+
+// --- WRAP bursts end-to-end ---------------------------------------------------
+
+TEST(WrapBurst, RoundTripsThroughRealmAndMemory) {
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down", 2, true};
+    mem::AxiMemSlave slave{ctx, "mem", down, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{8, 8, 0}};
+    rt::RealmUnitConfig cfg;
+    cfg.fragment_beats = 1; // must NOT apply to WRAP bursts
+    rt::RealmUnit unit{ctx, "realm", up, down, cfg};
+
+    auto& store = static_cast<mem::SramBackend&>(slave.backend()).store();
+    for (axi::Addr a = 0x1000; a < 0x1020; a += 8) { store.write_u64(a, a); }
+
+    // WRAP read of 4 beats starting mid-window: beats wrap to the window
+    // start; data must arrive in wrap order with a single RLAST.
+    axi::ManagerView mgr{up};
+    axi::ArFlit ar = axi::make_ar(1, 0x1010, 4, 3);
+    ar.burst = axi::Burst::kWrap;
+    mgr.send_ar(ar);
+    std::vector<std::uint64_t> got;
+    for (int i = 0; i < 4; ++i) {
+        step_until(ctx, [&] { return mgr.has_r(); });
+        const axi::RFlit r = mgr.recv_r();
+        std::uint64_t v = 0;
+        std::memcpy(&v, r.data.bytes.data(), 8);
+        got.push_back(v);
+        EXPECT_EQ(r.last, i == 3);
+    }
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{0x1010, 0x1018, 0x1000, 0x1008}));
+    EXPECT_EQ(unit.splitter().bursts_passed_intact(), 1U);
+    EXPECT_EQ(unit.splitter().fragments_created(), 0U);
+}
+
+TEST(WrapBurst, LlcServesWrapOrder) {
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down"};
+    mem::LlcConfig lcfg;
+    lcfg.sets = 4;
+    lcfg.ways = 2;
+    mem::Llc llc{ctx, "llc", up, down, lcfg};
+    mem::AxiMemSlave dram{ctx, "dram", down, std::make_unique<mem::DramBackend>(),
+                          mem::AxiMemSlaveConfig{8, 8, 0}};
+    auto& store = static_cast<mem::DramBackend&>(dram.backend()).store();
+    for (axi::Addr a = 0x2000; a < 0x2040; a += 8) { store.write_u64(a, ~a); }
+    llc.warm_range(0x2000, 64, store);
+
+    axi::ManagerView mgr{up};
+    axi::ArFlit ar = axi::make_ar(1, 0x2018, 4, 3);
+    ar.burst = axi::Burst::kWrap;
+    mgr.send_ar(ar);
+    std::vector<std::uint64_t> got;
+    for (int i = 0; i < 4; ++i) {
+        step_until(ctx, [&] { return mgr.has_r(); });
+        const axi::RFlit r = mgr.recv_r();
+        std::uint64_t v = 0;
+        std::memcpy(&v, r.data.bytes.data(), 8);
+        got.push_back(v);
+    }
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{~0x2018ULL, ~0x2000ULL, ~0x2008ULL,
+                                               ~0x2010ULL}));
+}
+
+// --- LLC byte strobes ---------------------------------------------------------
+
+TEST(LlcStrobes, PartialWriteOnlyTouchesEnabledLanes) {
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down"};
+    mem::Llc llc{ctx, "llc", up, down, {}};
+    mem::AxiMemSlave dram{ctx, "dram", down, std::make_unique<mem::DramBackend>(),
+                          mem::AxiMemSlaveConfig{8, 8, 0}};
+    auto& store = static_cast<mem::DramBackend&>(dram.backend()).store();
+    store.write_u64(0x3000, 0x1111'1111'1111'1111ULL);
+    llc.warm_range(0x3000, 64, store);
+
+    axi::ManagerView mgr{up};
+    mgr.send_aw(axi::make_aw(1, 0x3000, 1, 3));
+    ctx.step();
+    axi::WFlit w;
+    w.data.bytes.fill(0xFF);
+    w.strb = 0x0F; // low 4 lanes only
+    w.last = true;
+    mgr.send_w(w);
+    (void)collect_b(ctx, up);
+
+    mgr.send_ar(axi::make_ar(1, 0x3000, 1, 3));
+    const axi::RFlit r = collect_read_burst(ctx, up, 1);
+    std::uint64_t v = 0;
+    std::memcpy(&v, r.data.bytes.data(), 8);
+    EXPECT_EQ(v, 0x1111'1111'FFFF'FFFFULL);
+}
+
+// --- AXI tracer ---------------------------------------------------------------
+
+TEST(Tracer, RecordsAndDumpsCsv) {
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down"};
+    axi::AxiTracer tracer{ctx, "trace", up, down, 1024};
+    mem::AxiMemSlave slave{ctx, "mem", down, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{8, 8, 0}};
+
+    push_write_burst(ctx, up, 3, 0x40, 2, 8);
+    (void)collect_b(ctx, up);
+    axi::ManagerView mgr{up};
+    mgr.send_ar(axi::make_ar(4, 0x40, 2, 3));
+    (void)collect_read_burst(ctx, up, 2);
+
+    // AW + 2 W + B + AR + 2 R = 7 records.
+    EXPECT_EQ(tracer.total_recorded(), 7U);
+    std::ostringstream os;
+    tracer.write_csv(os);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("cycle,channel,id,addr,len,last,resp"), std::string::npos);
+    EXPECT_NE(csv.find(",AW,3,64,1,0,OKAY"), std::string::npos);
+    EXPECT_NE(csv.find(",AR,4,64,1,0,OKAY"), std::string::npos);
+}
+
+TEST(Tracer, RingBufferDropsOldestHalf) {
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down"};
+    axi::AxiTracer tracer{ctx, "trace", up, down, 8};
+    mem::AxiMemSlave slave{ctx, "mem", down, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{8, 8, 0}};
+    axi::ManagerView mgr{up};
+    for (int i = 0; i < 12; ++i) {
+        step_until(ctx, [&] { return mgr.can_send_ar(); });
+        mgr.send_ar(axi::make_ar(1, static_cast<axi::Addr>(i * 8), 1, 3));
+        (void)collect_read_burst(ctx, up, 1);
+    }
+    EXPECT_EQ(tracer.total_recorded(), 24U); // AR + R each
+    EXPECT_GT(tracer.dropped(), 0U);
+    EXPECT_LE(tracer.records().size(), 8U);
+}
+
+// --- Isolation while traffic is pending --------------------------------------
+
+TEST(IsolationCorner, BudgetIsolationMidBurstLetsBurstFinish) {
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down", 2, true};
+    mem::AxiMemSlave slave{ctx, "mem", down, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{16, 16, 0}};
+    rt::RealmUnit unit{ctx, "realm", up, down, {}};
+    // Budget covers exactly one 32-beat burst (256 B).
+    unit.set_region(0, rt::RegionConfig{0x0, 0x10000, 256, 5000});
+
+    axi::ManagerView mgr{up};
+    mgr.send_ar(axi::make_ar(1, 0x0, 32, 3));
+    // The burst depletes the budget at acceptance but must still complete.
+    const axi::RFlit last = collect_read_burst(ctx, up, 32);
+    EXPECT_TRUE(last.last);
+    EXPECT_EQ(unit.state(), rt::RealmState::kIsolatedBudget);
+    EXPECT_TRUE(unit.fully_isolated());
+}
+
+TEST(IsolationCorner, WDataOfAcceptedWriteFlowsWhileIsolated) {
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down", 2, true};
+    mem::AxiMemSlave slave{ctx, "mem", down, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{16, 16, 0}};
+    rt::RealmUnit unit{ctx, "realm", up, down, {}};
+    unit.set_region(0, rt::RegionConfig{0x0, 0x10000, 64, 10000});
+
+    axi::ManagerView mgr{up};
+    // The 16-beat write (128 B) overdraws the 64 B budget at acceptance.
+    mgr.send_aw(axi::make_aw(1, 0x0, 16, 3));
+    ctx.run(3);
+    EXPECT_EQ(unit.state(), rt::RealmState::kIsolatedBudget);
+    // Its data must still be accepted and the write must complete.
+    for (int i = 0; i < 16; ++i) {
+        step_until(ctx, [&] { return mgr.can_send_w(); });
+        axi::WFlit w;
+        w.last = i == 15;
+        mgr.send_w(w);
+    }
+    const axi::BFlit b = collect_b(ctx, up);
+    EXPECT_EQ(b.resp, axi::Resp::kOkay);
+}
+
+// --- SoC: two DSA ports contending -------------------------------------------
+
+TEST(SocTwoDsa, BudgetsArbitrateBetweenAccelerators) {
+    sim::SimContext ctx;
+    soc::SocConfig cfg;
+    cfg.num_dsa = 2;
+    soc::CheshireSoc soc{ctx, cfg};
+    for (axi::Addr a = 0; a < 0x20000; a += 8) {
+        soc.dram_image().write_u64(0x8000'0000 + a, a);
+    }
+    soc.warm_llc(0x8000'0000, 0x20000);
+    soc.queue_boot_script({
+        soc::CheshireSoc::BootRegionPlan{1ULL << 30, 1ULL << 20, 256}, // core
+        soc::CheshireSoc::BootRegionPlan{4000, 1000, 8},               // dsa0: 4 B/cyc
+        soc::CheshireSoc::BootRegionPlan{1000, 1000, 8},               // dsa1: 1 B/cyc
+    });
+    ASSERT_TRUE(ctx.run_until([&] { return soc.boot_master().done(); }, 10000));
+
+    traffic::DmaConfig dcfg;
+    dcfg.burst_beats = 64;
+    traffic::DmaEngine dma0{ctx, "d0", soc.dsa_port(0), dcfg};
+    traffic::DmaEngine dma1{ctx, "d1", soc.dsa_port(1), dcfg};
+    dma0.push_job(traffic::DmaJob{0x8001'0000, 0x7000'0000, 0x4000, true});
+    dma1.push_job(traffic::DmaJob{0x8001'8000, 0x7001'0000, 0x4000, true});
+    const sim::Cycle horizon = 50000;
+    ctx.run(horizon);
+
+    const double bw0 = static_cast<double>(dma0.bytes_read()) / static_cast<double>(horizon);
+    const double bw1 = static_cast<double>(dma1.bytes_read()) / static_cast<double>(horizon);
+    EXPECT_NEAR(bw0, 4.0, 0.5);
+    EXPECT_NEAR(bw1, 1.0, 0.3);
+}
+
+} // namespace
+} // namespace realm

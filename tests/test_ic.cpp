@@ -1,0 +1,418 @@
+/// Unit tests for the interconnect: arbiter, mux (W reservation + fairness),
+/// demux (routing + ordering), and the full crossbar.
+#include "axi/builder.hpp"
+#include "axi/channel.hpp"
+#include "ic/addr_map.hpp"
+#include "ic/arb.hpp"
+#include "ic/demux.hpp"
+#include "ic/mux.hpp"
+#include "ic/xbar.hpp"
+#include "mem/axi_mem_slave.hpp"
+#include "mem/error_slave.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace realm::ic {
+namespace {
+
+using test::collect_b;
+using test::collect_read_burst;
+using test::push_write_burst;
+using test::step_until;
+
+TEST(AddrMap, FirstMatchDecode) {
+    AddrMap map;
+    map.add(0x1000, 0x1000, 0, "a").add(0x2000, 0x1000, 1, "b");
+    EXPECT_EQ(map.decode(0x1000), 0U);
+    EXPECT_EQ(map.decode(0x1FFF), 0U);
+    EXPECT_EQ(map.decode(0x2000), 1U);
+    EXPECT_FALSE(map.decode(0x3000).has_value());
+}
+
+TEST(AddrMap, RejectsOverlap) {
+    AddrMap map;
+    map.add(0x1000, 0x1000, 0);
+    EXPECT_THROW(map.add(0x1800, 0x1000, 1), sim::ContractViolation);
+    EXPECT_NO_THROW(map.add(0x2000, 0x1000, 1)); // adjacent is fine
+}
+
+TEST(RoundRobinArbiter, RotatesFairly) {
+    RoundRobinArbiter arb{3};
+    std::array<int, 3> grants{};
+    for (int i = 0; i < 30; ++i) {
+        const int w = arb.pick([](std::uint32_t) { return true; });
+        ASSERT_GE(w, 0);
+        arb.commit(static_cast<std::uint32_t>(w));
+        ++grants[static_cast<std::size_t>(w)];
+    }
+    EXPECT_EQ(grants[0], 10);
+    EXPECT_EQ(grants[1], 10);
+    EXPECT_EQ(grants[2], 10);
+}
+
+TEST(RoundRobinArbiter, SkipsIdleRequesters) {
+    RoundRobinArbiter arb{4};
+    const int w = arb.pick([](std::uint32_t i) { return i == 2; });
+    EXPECT_EQ(w, 2);
+    EXPECT_EQ(arb.pick([](std::uint32_t) { return false; }), -1);
+}
+
+class MuxFixture : public ::testing::Test {
+protected:
+    MuxFixture() {
+        mgr_chs = {&m0, &m1};
+        mux = std::make_unique<AxiMux>(ctx, "mux", mgr_chs, down);
+        slave = std::make_unique<mem::AxiMemSlave>(
+            ctx, "mem", down, std::make_unique<mem::SramBackend>(1, 1),
+            mem::AxiMemSlaveConfig{8, 8, 0});
+    }
+
+    sim::SimContext ctx;
+    axi::AxiChannel m0{ctx, "m0"};
+    axi::AxiChannel m1{ctx, "m1"};
+    axi::AxiChannel down{ctx, "down"};
+    std::vector<axi::AxiChannel*> mgr_chs;
+    std::unique_ptr<AxiMux> mux;
+    std::unique_ptr<mem::AxiMemSlave> slave;
+};
+
+TEST_F(MuxFixture, RoutesResponsesByRemappedId) {
+    axi::ManagerView v0{m0};
+    axi::ManagerView v1{m1};
+    v0.send_ar(axi::make_ar(3, 0x0, 1, 3));
+    v1.send_ar(axi::make_ar(3, 0x100, 1, 3));
+    (void)collect_read_burst(ctx, m0, 1);
+    (void)collect_read_burst(ctx, m1, 1);
+    // IDs must come back un-remapped.
+    EXPECT_EQ(mux->ar_grants(0), 1U);
+    EXPECT_EQ(mux->ar_grants(1), 1U);
+}
+
+TEST_F(MuxFixture, WChannelReservedByGrantedManager) {
+    // m0 wins AW arbitration but withholds its data; m1's write must not
+    // make progress (the DoS vector the write buffer closes).
+    axi::ManagerView v0{m0};
+    v0.send_aw(axi::make_aw(1, 0x0, 4, 3));
+    ctx.run(3);
+    push_write_burst(ctx, m1, 2, 0x100, 1, 8);
+    ctx.run(20);
+    EXPECT_FALSE(axi::ManagerView{m1}.has_b())
+        << "m1's write must be stuck behind m0's reserved W channel";
+    EXPECT_GT(mux->w_stall_cycles(), 10U);
+
+    // m0 finally delivers; both writes then complete in order.
+    axi::WFlit w;
+    for (int i = 0; i < 4; ++i) {
+        step_until(ctx, [&] { return v0.can_send_w(); });
+        w.last = i == 3;
+        v0.send_w(w);
+    }
+    (void)collect_b(ctx, m0);
+    (void)collect_b(ctx, m1);
+}
+
+TEST_F(MuxFixture, FairReadArbitrationUnderLoad) {
+    // Both managers continuously issue single-beat reads; grants must split
+    // evenly under round-robin.
+    axi::ManagerView v0{m0};
+    axi::ManagerView v1{m1};
+    int recv0 = 0;
+    int recv1 = 0;
+    for (int cycle = 0; cycle < 400; ++cycle) {
+        if (v0.can_send_ar()) { v0.send_ar(axi::make_ar(0, 0x0, 1, 3)); }
+        if (v1.can_send_ar()) { v1.send_ar(axi::make_ar(0, 0x80, 1, 3)); }
+        if (v0.has_r()) {
+            (void)v0.recv_r();
+            ++recv0;
+        }
+        if (v1.has_r()) {
+            (void)v1.recv_r();
+            ++recv1;
+        }
+        ctx.step();
+    }
+    EXPECT_GT(recv0, 100);
+    EXPECT_GT(recv1, 100);
+    EXPECT_NEAR(recv0, recv1, 4);
+}
+
+class DemuxFixture : public ::testing::Test {
+protected:
+    DemuxFixture() {
+        AddrMap map;
+        map.add(0x0000, 0x1000, 0, "s0").add(0x1000, 0x1000, 1, "s1");
+        demux = std::make_unique<AxiDemux>(ctx, "demux", up,
+                                           std::vector<axi::AxiChannel*>{&s0, &s1, &err},
+                                           map, /*error_port=*/2U);
+        slave0 = std::make_unique<mem::AxiMemSlave>(
+            ctx, "mem0", s0, std::make_unique<mem::SramBackend>(1, 1),
+            mem::AxiMemSlaveConfig{8, 8, 0});
+        slave1 = std::make_unique<mem::AxiMemSlave>(
+            ctx, "mem1", s1, std::make_unique<mem::SramBackend>(6, 6),
+            mem::AxiMemSlaveConfig{8, 8, 0x1000});
+        error = std::make_unique<mem::ErrorSlave>(ctx, "err", err);
+    }
+
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel s0{ctx, "s0"};
+    axi::AxiChannel s1{ctx, "s1"};
+    axi::AxiChannel err{ctx, "err"};
+    std::unique_ptr<AxiDemux> demux;
+    std::unique_ptr<mem::AxiMemSlave> slave0;
+    std::unique_ptr<mem::AxiMemSlave> slave1;
+    std::unique_ptr<mem::ErrorSlave> error;
+};
+
+TEST_F(DemuxFixture, RoutesByAddress) {
+    push_write_burst(ctx, up, 1, 0x0100, 1, 8, 0x11);
+    (void)collect_b(ctx, up);
+    push_write_burst(ctx, up, 1, 0x1100, 1, 8, 0x22);
+    (void)collect_b(ctx, up);
+    EXPECT_EQ(static_cast<mem::SramBackend&>(slave0->backend()).store().read_u8(0x100), 0x11);
+    EXPECT_EQ(static_cast<mem::SramBackend&>(slave1->backend()).store().read_u8(0x100), 0x22);
+}
+
+TEST_F(DemuxFixture, UnmappedGoesToErrorPort) {
+    axi::ManagerView mgr{up};
+    mgr.send_ar(axi::make_ar(1, 0x5000, 1, 3));
+    const axi::RFlit r = collect_read_burst(ctx, up, 1);
+    EXPECT_EQ(r.resp, axi::Resp::kDecErr);
+    EXPECT_EQ(demux->decode_errors(), 1U);
+}
+
+TEST_F(DemuxFixture, SameIdToDifferentPortStalls) {
+    // Same ID first to the slow subordinate then to the fast one: the demux
+    // must hold the second read so responses cannot reorder.
+    axi::ManagerView mgr{up};
+    mgr.send_ar(axi::make_ar(7, 0x1000, 1, 3)); // slow (6-cycle) subordinate
+    ctx.step();
+    mgr.send_ar(axi::make_ar(7, 0x0000, 1, 3)); // fast subordinate
+    const axi::RFlit first = collect_read_burst(ctx, up, 1);
+    EXPECT_GT(demux->ordering_stalls(), 0U);
+    (void)first;
+    (void)collect_read_burst(ctx, up, 1);
+}
+
+TEST_F(DemuxFixture, DifferentIdsProceedConcurrently) {
+    axi::ManagerView mgr{up};
+    mgr.send_ar(axi::make_ar(1, 0x1000, 1, 3)); // slow
+    ctx.step();
+    mgr.send_ar(axi::make_ar(2, 0x0000, 1, 3)); // fast, different ID
+    step_until(ctx, [&] { return mgr.has_r(); });
+    EXPECT_EQ(mgr.peek_r().id, 2U) << "fast read with a different ID may overtake";
+}
+
+class XbarFixture : public ::testing::Test {
+protected:
+    XbarFixture() {
+        AddrMap map;
+        map.add(0x0000, 0x1000, 0, "s0").add(0x1000, 0x1000, 1, "s1");
+        XbarConfig xcfg;
+        xcfg.default_port = 2;
+        xbar = std::make_unique<AxiXbar>(
+            ctx, "xbar", std::vector<axi::AxiChannel*>{&m0, &m1},
+            std::vector<axi::AxiChannel*>{&s0, &s1, &err}, map, xcfg);
+        slave0 = std::make_unique<mem::AxiMemSlave>(
+            ctx, "mem0", s0, std::make_unique<mem::SramBackend>(1, 1),
+            mem::AxiMemSlaveConfig{8, 8, 0});
+        slave1 = std::make_unique<mem::AxiMemSlave>(
+            ctx, "mem1", s1, std::make_unique<mem::SramBackend>(1, 1),
+            mem::AxiMemSlaveConfig{8, 8, 0x1000});
+        error = std::make_unique<mem::ErrorSlave>(ctx, "err", err);
+    }
+
+    sim::SimContext ctx;
+    axi::AxiChannel m0{ctx, "m0"};
+    axi::AxiChannel m1{ctx, "m1"};
+    axi::AxiChannel s0{ctx, "s0"};
+    axi::AxiChannel s1{ctx, "s1"};
+    axi::AxiChannel err{ctx, "err"};
+    std::unique_ptr<AxiXbar> xbar;
+    std::unique_ptr<mem::AxiMemSlave> slave0;
+    std::unique_ptr<mem::AxiMemSlave> slave1;
+    std::unique_ptr<mem::ErrorSlave> error;
+};
+
+TEST_F(XbarFixture, ConcurrentDisjointTraffic) {
+    // m0 -> s0 and m1 -> s1 must not interfere.
+    push_write_burst(ctx, m0, 1, 0x0000, 2, 8, 0x10);
+    push_write_burst(ctx, m1, 1, 0x1000, 2, 8, 0x20);
+    (void)collect_b(ctx, m0);
+    (void)collect_b(ctx, m1);
+    EXPECT_EQ(static_cast<mem::SramBackend&>(slave0->backend()).store().read_u8(0), 0x10);
+    EXPECT_EQ(static_cast<mem::SramBackend&>(slave1->backend()).store().read_u8(0), 0x20);
+}
+
+TEST_F(XbarFixture, ReadDataRoutedToIssuer) {
+    static_cast<mem::SramBackend&>(slave0->backend()).store().write_u64(0x20, 111);
+    static_cast<mem::SramBackend&>(slave1->backend()).store().write_u64(0x20, 222);
+    axi::ManagerView v0{m0};
+    axi::ManagerView v1{m1};
+    v0.send_ar(axi::make_ar(4, 0x0020, 1, 3));
+    v1.send_ar(axi::make_ar(4, 0x1020, 1, 3));
+    const axi::RFlit r0 = collect_read_burst(ctx, m0, 1);
+    const axi::RFlit r1 = collect_read_burst(ctx, m1, 1);
+    std::uint64_t v = 0;
+    std::memcpy(&v, r0.data.bytes.data(), 8);
+    EXPECT_EQ(v, 111U);
+    std::memcpy(&v, r1.data.bytes.data(), 8);
+    EXPECT_EQ(v, 222U);
+    EXPECT_EQ(r0.id, 4U);
+    EXPECT_EQ(r1.id, 4U);
+}
+
+TEST_F(XbarFixture, UnmappedUsesDefaultPort) {
+    axi::ManagerView v0{m0};
+    v0.send_ar(axi::make_ar(1, 0x8000, 1, 3));
+    const axi::RFlit r = collect_read_burst(ctx, m0, 1);
+    EXPECT_EQ(r.resp, axi::Resp::kDecErr);
+    EXPECT_EQ(xbar->decode_errors(), 1U);
+}
+
+TEST_F(XbarFixture, BurstGranularArbitrationDelaysCompetitor) {
+    // m0 issues a 64-beat read; m1's single-beat read to the same
+    // subordinate must wait for the whole burst (the paper's problem).
+    axi::ManagerView v0{m0};
+    axi::ManagerView v1{m1};
+    v0.send_ar(axi::make_ar(1, 0x0, 64, 3));
+    ctx.run(4); // let the burst win arbitration and start
+    const sim::Cycle t0 = ctx.now();
+    v1.send_ar(axi::make_ar(1, 0x80, 1, 3));
+    // Keep draining m0's beats (else backpressure stalls the stream) while
+    // waiting for m1's single beat.
+    bool m1_served = false;
+    for (int i = 0; i < 2000 && !m1_served; ++i) {
+        if (v0.has_r()) { (void)v0.recv_r(); }
+        if (v1.has_r()) {
+            (void)v1.recv_r();
+            m1_served = true;
+        }
+        ctx.step();
+    }
+    ASSERT_TRUE(m1_served);
+    EXPECT_GT(ctx.now() - t0, 50U)
+        << "single-beat read must wait out the in-flight 64-beat burst";
+}
+
+TEST_F(XbarFixture, WriteReservationBlocksOtherWriters) {
+    // m0 granted first but silent; m1's write to the same subordinate stalls.
+    axi::ManagerView v0{m0};
+    v0.send_aw(axi::make_aw(1, 0x0, 4, 3));
+    ctx.run(3);
+    push_write_burst(ctx, m1, 1, 0x40, 1, 8);
+    ctx.run(30);
+    EXPECT_FALSE(axi::ManagerView{m1}.has_b());
+    EXPECT_GT(xbar->w_stall_cycles(0), 10U);
+    // Deliver m0's data; both complete.
+    for (int i = 0; i < 4; ++i) {
+        step_until(ctx, [&] { return v0.can_send_w(); });
+        axi::WFlit w;
+        w.last = i == 3;
+        v0.send_w(w);
+    }
+    (void)collect_b(ctx, m0);
+    (void)collect_b(ctx, m1);
+}
+
+TEST_F(XbarFixture, GrantCountsBalanceUnderSymmetricLoad) {
+    axi::ManagerView v0{m0};
+    axi::ManagerView v1{m1};
+    for (int cycle = 0; cycle < 300; ++cycle) {
+        if (v0.can_send_ar()) { v0.send_ar(axi::make_ar(0, 0x0, 1, 3)); }
+        if (v1.can_send_ar()) { v1.send_ar(axi::make_ar(0, 0x8, 1, 3)); }
+        if (v0.has_r()) { (void)v0.recv_r(); }
+        if (v1.has_r()) { (void)v1.recv_r(); }
+        ctx.step();
+    }
+    const auto g0 = xbar->ar_grants(0);
+    const auto g1 = xbar->ar_grants(1);
+    EXPECT_GT(g0, 50U);
+    EXPECT_NEAR(static_cast<double>(g0), static_cast<double>(g1), 3.0);
+}
+
+} // namespace
+} // namespace realm::ic
+
+namespace realm::ic {
+namespace {
+
+class QosXbarFixture : public ::testing::Test {
+protected:
+    QosXbarFixture() {
+        AddrMap map;
+        map.add(0x0000, 0x10000, 0, "s0");
+        XbarConfig xcfg;
+        xcfg.arbitration = XbarArbitration::kQosPriority;
+        xbar = std::make_unique<AxiXbar>(ctx, "xbar",
+                                         std::vector<axi::AxiChannel*>{&m0, &m1},
+                                         std::vector<axi::AxiChannel*>{&s0}, map, xcfg);
+        // Slow subordinate so requests queue at the crossbar.
+        slave = std::make_unique<mem::AxiMemSlave>(
+            ctx, "mem", s0, std::make_unique<mem::SramBackend>(4, 4),
+            mem::AxiMemSlaveConfig{1, 1, 0});
+    }
+
+    sim::SimContext ctx;
+    axi::AxiChannel m0{ctx, "m0"};
+    axi::AxiChannel m1{ctx, "m1"};
+    axi::AxiChannel s0{ctx, "s0"};
+    std::unique_ptr<AxiXbar> xbar;
+    std::unique_ptr<mem::AxiMemSlave> slave;
+};
+
+TEST_F(QosXbarFixture, HighPriorityWinsContendedGrants) {
+    axi::ManagerView v0{m0};
+    axi::ManagerView v1{m1};
+    int served0 = 0;
+    int served1 = 0;
+    for (int cycle = 0; cycle < 600; ++cycle) {
+        if (v0.can_send_ar()) {
+            axi::ArFlit ar = axi::make_ar(0, 0x0, 1, 3);
+            ar.qos = 0;
+            v0.send_ar(ar);
+        }
+        if (v1.can_send_ar()) {
+            axi::ArFlit ar = axi::make_ar(0, 0x8, 1, 3);
+            ar.qos = 7;
+            v1.send_ar(ar);
+        }
+        if (v0.has_r()) {
+            (void)v0.recv_r();
+            ++served0;
+        }
+        if (v1.has_r()) {
+            (void)v1.recv_r();
+            ++served1;
+        }
+        ctx.step();
+    }
+    EXPECT_GT(served1, 5 * std::max(served0, 1))
+        << "strict priority must dominate the oversubscribed subordinate";
+}
+
+TEST_F(QosXbarFixture, EqualPrioritiesStillRotate) {
+    axi::ManagerView v0{m0};
+    axi::ManagerView v1{m1};
+    int served0 = 0;
+    int served1 = 0;
+    for (int cycle = 0; cycle < 600; ++cycle) {
+        if (v0.can_send_ar()) { v0.send_ar(axi::make_ar(0, 0x0, 1, 3)); }
+        if (v1.can_send_ar()) { v1.send_ar(axi::make_ar(0, 0x8, 1, 3)); }
+        if (v0.has_r()) {
+            (void)v0.recv_r();
+            ++served0;
+        }
+        if (v1.has_r()) {
+            (void)v1.recv_r();
+            ++served1;
+        }
+        ctx.step();
+    }
+    EXPECT_GT(served0, 10);
+    EXPECT_NEAR(served0, served1, 3) << "equal QoS must degrade to round-robin";
+}
+
+} // namespace
+} // namespace realm::ic

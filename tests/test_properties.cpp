@@ -1,0 +1,190 @@
+/// Parameterized property sweeps across modules: WRAP address math, Susan
+/// trace invariants over configurations, the full register map, multi-beat
+/// core operations, and cut-through writes under regulation.
+#include "axi/builder.hpp"
+#include "axi/burst.hpp"
+#include "cfg/realm_regfile.hpp"
+#include "mem/axi_mem_slave.hpp"
+#include "realm/realm_unit.hpp"
+#include "traffic/core.hpp"
+#include "traffic/susan.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace realm {
+namespace {
+
+using test::collect_b;
+using test::collect_read_burst;
+using test::step_until;
+
+// --- WRAP burst math over every legal configuration --------------------------
+
+class WrapSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WrapSweep, BeatsStayInWindowAndCoverIt) {
+    const auto [len, size, offset_beats] = GetParam();
+    const auto bb = axi::bytes_per_beat(static_cast<std::uint8_t>(size));
+    const axi::Addr base = 0x4000;
+    const axi::Addr addr = base + static_cast<axi::Addr>(offset_beats) * bb;
+    const axi::BurstDescriptor desc{addr, static_cast<std::uint8_t>(len),
+                                    static_cast<std::uint8_t>(size), axi::Burst::kWrap};
+    if (static_cast<std::uint32_t>(offset_beats) >= desc.beats()) { GTEST_SKIP(); }
+    ASSERT_TRUE(axi::is_legal(desc));
+
+    const axi::Addr window = desc.total_bytes();
+    const axi::Addr boundary = axi::wrap_boundary(desc);
+    EXPECT_EQ(boundary % window, 0U) << "window must be naturally aligned";
+
+    std::set<axi::Addr> seen;
+    for (std::uint32_t i = 0; i < desc.beats(); ++i) {
+        const axi::Addr a = axi::beat_address(desc, i);
+        EXPECT_GE(a, boundary);
+        EXPECT_LT(a, boundary + window);
+        EXPECT_EQ(a % bb, 0U);
+        seen.insert(a);
+    }
+    EXPECT_EQ(seen.size(), desc.beats()) << "every beat addresses a distinct slot";
+    EXPECT_EQ(axi::beat_address(desc, 0), addr);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWrapShapes, WrapSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 7, 15),
+                                            ::testing::Values(0, 2, 3),
+                                            ::testing::Values(0, 1, 3, 7, 15)));
+
+// --- Susan trace invariants over configurations ------------------------------
+
+class SusanSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SusanSweep, TraceInvariantsHold) {
+    const auto [width, radius, cache_bytes] = GetParam();
+    traffic::SusanConfig cfg;
+    cfg.width = static_cast<std::uint32_t>(width);
+    cfg.height = static_cast<std::uint32_t>(width) * 3 / 4;
+    cfg.mask_radius = static_cast<std::uint32_t>(radius);
+    cfg.filter_cache_bytes = static_cast<std::uint32_t>(cache_bytes);
+    traffic::SusanTraceGenerator gen{cfg};
+
+    EXPECT_GT(gen.emitted_loads(), 0U);
+    EXPECT_GT(gen.emitted_stores(), 0U);
+    const std::uint32_t d = 2 * cfg.mask_radius + 1;
+    EXPECT_EQ(gen.total_taps(),
+              std::uint64_t{cfg.width - 2 * cfg.mask_radius} *
+                  (cfg.height - 2 * cfg.mask_radius) * d * d);
+
+    // Every access must target one of the three declared regions, aligned.
+    const std::uint64_t image_bytes = std::uint64_t{cfg.width} * cfg.height;
+    for (const traffic::MemOp& op : gen.ops()) {
+        EXPECT_EQ(op.addr % 8, 0U);
+        const bool in_image =
+            op.addr >= cfg.image_base && op.addr < cfg.image_base + image_bytes + 8;
+        const bool in_out =
+            op.addr >= cfg.out_base && op.addr < cfg.out_base + image_bytes + 8;
+        const bool in_lut = op.addr >= cfg.lut_base && op.addr < cfg.lut_base + 1024;
+        ASSERT_TRUE(in_image || in_out || in_lut) << "stray address " << std::hex
+                                                  << op.addr;
+        if (op.kind == traffic::MemOp::Kind::kStore) {
+            EXPECT_TRUE(in_out) << "stores go to the output image only";
+        }
+    }
+
+    // A smaller filter cache can only increase interconnect traffic.
+    traffic::SusanConfig smaller = cfg;
+    smaller.filter_cache_bytes = cfg.filter_cache_bytes / 2;
+    traffic::SusanTraceGenerator gen_small{smaller};
+    EXPECT_GE(gen_small.emitted_loads(), gen.emitted_loads());
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SusanSweep,
+                         ::testing::Combine(::testing::Values(32, 48, 64),
+                                            ::testing::Values(1, 2, 3),
+                                            ::testing::Values(256, 512, 2048)));
+
+// --- Register map walk --------------------------------------------------------
+
+TEST(RegMapWalk, EveryDocumentedRegisterReadsWithoutError) {
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down", 2, true};
+    mem::AxiMemSlave slave{ctx, "mem", down, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{8, 8, 0}};
+    rt::RealmUnit unit{ctx, "u0", up, down, {}};
+    cfg::RealmRegFile rf{{&unit}};
+    using RF = cfg::RealmRegFile;
+
+    const auto rd = [&](axi::Addr a) {
+        return rf.reg_access(cfg::RegReq{a, false, 0, 0});
+    };
+    EXPECT_FALSE(rd(RF::kNumUnitsOffset).error);
+    EXPECT_FALSE(rd(RF::kNumRegionsOffset).error);
+    for (const axi::Addr off : {RF::kCtrl, RF::kFragment, RF::kStatus, RF::kReadsAcc,
+                                RF::kWritesAcc, RF::kIsoCycles}) {
+        EXPECT_FALSE(rd(RF::unit_reg(0, off)).error) << "unit reg 0x" << std::hex << off;
+    }
+    for (std::uint32_t region = 0; region < 2; ++region) {
+        for (const axi::Addr off :
+             {RF::kStartLo, RF::kStartHi, RF::kEndLo, RF::kEndHi, RF::kBudgetLo,
+              RF::kBudgetHi, RF::kPeriodLo, RF::kPeriodHi, RF::kBytesPeriod, RF::kTxnCount,
+              RF::kRdLatAvg, RF::kRdLatMax, RF::kWrLatAvg, RF::kWrLatMax, RF::kCredit}) {
+            EXPECT_FALSE(rd(RF::region_reg(0, region, off)).error)
+                << "region " << region << " reg 0x" << std::hex << off;
+        }
+    }
+    // Writable registers accept writes; read-only ones reject them.
+    const auto wr = [&](axi::Addr a, std::uint32_t v) {
+        return rf.reg_access(cfg::RegReq{a, true, v, 0});
+    };
+    EXPECT_FALSE(wr(RF::unit_reg(0, RF::kCtrl), 1).error);
+    EXPECT_FALSE(wr(RF::region_reg(0, 0, RF::kBudgetLo), 42).error);
+    EXPECT_TRUE(wr(RF::unit_reg(0, RF::kStatus), 1).error);
+    EXPECT_TRUE(wr(RF::region_reg(0, 0, RF::kTxnCount), 1).error);
+    EXPECT_TRUE(wr(RF::region_reg(0, 0, RF::kCredit), 1).error);
+}
+
+// --- Multi-beat core operations ----------------------------------------------
+
+TEST(CoreMultiBeat, CacheLineOpsIssueBursts) {
+    sim::SimContext ctx;
+    axi::AxiChannel ch{ctx, "core"};
+    mem::AxiMemSlave slave{ctx, "mem", ch, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{8, 8, 0}};
+    traffic::StreamWorkload wl{{.base = 0,
+                                .bytes = 1024,
+                                .op_bytes = 64, // cache-line granularity
+                                .stride_bytes = 64,
+                                .store_ratio16 = 8}};
+    traffic::CoreModel core{ctx, "core", ch, wl};
+    step_until(ctx, [&] { return core.done(); }, 50000);
+    EXPECT_EQ(core.loads_retired() + core.stores_retired(), 16U);
+    // 64 B on an 8 B bus = 8 beats; latency must reflect burst streaming.
+    EXPECT_GE(core.load_latency().mean(), 10.0);
+}
+
+// --- Cut-through writes under an active budget --------------------------------
+
+TEST(CutThroughRegulated, OversizedBurstStillChargedAndRegulated) {
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down", 2, true};
+    mem::AxiMemSlave slave{ctx, "mem", down, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{16, 16, 0}};
+    rt::RealmUnitConfig cfg;
+    cfg.write_buffer_depth = 4; // smaller than the bursts below
+    rt::RealmUnit unit{ctx, "realm", up, down, cfg};
+    unit.set_region(0, rt::RegionConfig{0x0, 0x10000, 256, 2000});
+
+    // 32-beat write (256 B): consumes the whole budget, exceeds the buffer.
+    test::push_write_burst(ctx, up, 1, 0x0, 32, 8);
+    const axi::BFlit b = collect_b(ctx, up);
+    EXPECT_EQ(b.resp, axi::Resp::kOkay);
+    EXPECT_GT(unit.write_buffer().cut_through_bursts(), 0U);
+    EXPECT_EQ(unit.state(), rt::RealmState::kIsolatedBudget)
+        << "cut-through data still debits the budget";
+}
+
+} // namespace
+} // namespace realm

@@ -1,0 +1,220 @@
+/// Unit tests for the simulation kernel: links, timed queues, context, RNG,
+/// statistics.
+#include "sim/check.hpp"
+#include "sim/component.hpp"
+#include "sim/context.hpp"
+#include "sim/link.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace realm::sim {
+namespace {
+
+TEST(Link, RegisteredTimingHidesSameCyclePush) {
+    SimContext ctx;
+    Link<int> link{ctx, 2, "l"};
+    EXPECT_FALSE(link.can_pop());
+    link.push(42);
+    EXPECT_FALSE(link.can_pop()) << "registered link must hide same-cycle pushes";
+    ctx.step();
+    ASSERT_TRUE(link.can_pop());
+    EXPECT_EQ(link.front(), 42);
+    EXPECT_EQ(link.pop(), 42);
+    EXPECT_FALSE(link.can_pop());
+}
+
+TEST(Link, PassthroughVisibleSameCycle) {
+    SimContext ctx;
+    Link<int> link{ctx, 2, "l", Link<int>::Timing::kPassthrough};
+    link.push(7);
+    ASSERT_TRUE(link.can_pop());
+    EXPECT_EQ(link.pop(), 7);
+}
+
+TEST(Link, CapacityBackpressure) {
+    SimContext ctx;
+    Link<int> link{ctx, 2, "l"};
+    link.push(1);
+    link.push(2);
+    EXPECT_FALSE(link.can_push());
+    EXPECT_THROW(link.push(3), ContractViolation);
+    ctx.step();
+    EXPECT_EQ(link.pop(), 1);
+    EXPECT_TRUE(link.can_push());
+}
+
+TEST(Link, SustainsOneTransferPerCycle) {
+    // Producer and consumer alternating on a depth-2 link must reach a
+    // steady state of one item per cycle regardless of who runs first.
+    SimContext ctx;
+    Link<int> link{ctx, 2, "l"};
+    int produced = 0;
+    int consumed = 0;
+    for (int cycle = 0; cycle < 100; ++cycle) {
+        if (link.can_pop()) {
+            link.pop();
+            ++consumed;
+        }
+        if (link.can_push()) {
+            link.push(produced);
+            ++produced;
+        }
+        ctx.step();
+    }
+    EXPECT_GE(consumed, 98) << "expected ~1 item/cycle throughput";
+}
+
+TEST(Link, FifoOrderPreserved) {
+    SimContext ctx;
+    Link<int> link{ctx, 8, "l"};
+    for (int i = 0; i < 5; ++i) { link.push(i); }
+    ctx.step();
+    for (int i = 0; i < 5; ++i) { EXPECT_EQ(link.pop(), i); }
+}
+
+TEST(Link, ClearDropsContents) {
+    SimContext ctx;
+    Link<int> link{ctx, 4, "l"};
+    link.push(1);
+    link.clear();
+    ctx.step();
+    EXPECT_FALSE(link.can_pop());
+    EXPECT_EQ(link.occupancy(), 0U);
+}
+
+TEST(TimedQueue, HonorsReadyCycle) {
+    SimContext ctx;
+    TimedQueue<int> q{ctx, "q"};
+    q.push(1, 3);
+    EXPECT_FALSE(q.can_pop());
+    ctx.run(3);
+    ASSERT_TRUE(q.can_pop());
+    EXPECT_EQ(q.pop(), 1);
+}
+
+TEST(TimedQueue, HeadBlocksYoungerEntries) {
+    SimContext ctx;
+    TimedQueue<int> q{ctx, "q"};
+    q.push(1, 10);
+    q.push(2, 0); // ready earlier but behind the head
+    ctx.run(5);
+    EXPECT_FALSE(q.can_pop()) << "completion must stay in order";
+    ctx.run(5);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+}
+
+class CountingComponent : public Component {
+public:
+    using Component::Component;
+    void reset() override { resets_ = resets_ + 1; }
+    void tick() override { ++ticks_; }
+    int ticks_ = 0;
+    int resets_ = 0;
+};
+
+TEST(SimContext, TicksComponentsInOrder) {
+    SimContext ctx;
+    CountingComponent a{ctx, "a"};
+    CountingComponent b{ctx, "b"};
+    ctx.run(5);
+    EXPECT_EQ(a.ticks_, 5);
+    EXPECT_EQ(b.ticks_, 5);
+    EXPECT_EQ(ctx.now(), 5U);
+}
+
+TEST(SimContext, ResetRewindsTimeAndComponents) {
+    SimContext ctx;
+    CountingComponent a{ctx, "a"};
+    ctx.run(3);
+    ctx.reset();
+    EXPECT_EQ(ctx.now(), 0U);
+    EXPECT_EQ(a.resets_, 1);
+}
+
+TEST(SimContext, RunUntilStopsOnPredicate) {
+    SimContext ctx;
+    CountingComponent a{ctx, "a"};
+    EXPECT_TRUE(ctx.run_until([&] { return a.ticks_ >= 4; }, 100));
+    EXPECT_EQ(a.ticks_, 4);
+    EXPECT_FALSE(ctx.run_until([&] { return false; }, 10));
+}
+
+TEST(SimContext, ComponentUnregistersOnDestruction) {
+    SimContext ctx;
+    {
+        CountingComponent a{ctx, "a"};
+        EXPECT_EQ(ctx.component_count(), 1U);
+    }
+    EXPECT_EQ(ctx.component_count(), 0U);
+    ctx.step(); // must not touch the destroyed component
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+    Rng a{123};
+    Rng b{123};
+    for (int i = 0; i < 1000; ++i) { ASSERT_EQ(a.next(), b.next()); }
+}
+
+TEST(Rng, UniformStaysInRange) {
+    Rng rng{7};
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.uniform(10, 20);
+        ASSERT_GE(v, 10U);
+        ASSERT_LE(v, 20U);
+    }
+}
+
+TEST(Rng, UniformCoversRangeRoughlyEvenly) {
+    Rng rng{99};
+    std::array<int, 8> histogram{};
+    for (int i = 0; i < 80000; ++i) { ++histogram[rng.uniform(0, 7)]; }
+    for (const int count : histogram) {
+        EXPECT_GT(count, 9000);
+        EXPECT_LT(count, 11000);
+    }
+}
+
+TEST(LatencyStat, TracksMinMeanMax) {
+    LatencyStat s;
+    s.record(4);
+    s.record(8);
+    s.record(12);
+    EXPECT_EQ(s.count(), 3U);
+    EXPECT_EQ(s.min(), 4U);
+    EXPECT_EQ(s.max(), 12U);
+    EXPECT_DOUBLE_EQ(s.mean(), 8.0);
+}
+
+TEST(LatencyStat, QuantileApproximatesDistribution) {
+    LatencyStat s;
+    for (Cycle v = 1; v <= 1000; ++v) { s.record(v); }
+    EXPECT_GE(s.quantile(0.99), 500U);
+    EXPECT_LE(s.quantile(0.10), 255U);
+}
+
+TEST(StatSet, NamedCountersAccumulate) {
+    StatSet set;
+    set.counter("a") += 3;
+    set.counter("a") += 2;
+    set.counter("b") = 7;
+    EXPECT_EQ(set.get("a"), 5U);
+    EXPECT_EQ(set.get("b"), 7U);
+    EXPECT_EQ(set.get("missing"), 0U);
+}
+
+TEST(Check, ViolationCarriesLocationAndMessage) {
+    try {
+        REALM_EXPECTS(false, "something broke");
+        FAIL() << "should have thrown";
+    } catch (const ContractViolation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("something broke"), std::string::npos);
+        EXPECT_NE(what.find("test_sim.cpp"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace realm::sim
