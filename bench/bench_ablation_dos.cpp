@@ -9,74 +9,23 @@
 /// stall the victim's writes behind them; with the write buffer, AWs leave
 /// the REALM unit only with their data complete, so the interconnect is
 /// never starved.
-#include "soc/cheshire_soc.hpp"
-#include "traffic/core.hpp"
-#include "traffic/dma.hpp"
-#include "traffic/workload.hpp"
+///
+/// Runs through the scenario engine (`--threads N`, `--json PATH`).
+#include "scenario/cli.hpp"
 
 #include <cstdio>
 
-namespace {
+int main(int argc, char** argv) {
+    using namespace realm::scenario;
+    BenchOptions opts = parse_bench_args(argc, argv);
 
-constexpr realm::axi::Addr kDram = 0x8000'0000;
-
-struct Outcome {
-    double store_lat_mean = 0;
-    realm::sim::Cycle store_lat_max = 0;
-    std::uint64_t victim_cycles = 0;
-    std::uint64_t xbar_w_stalls = 0;
-    std::uint64_t attacker_cut_through = 0;
-};
-
-Outcome run(bool write_buffer_enabled) {
-    using namespace realm;
-    sim::SimContext ctx;
-    soc::SocConfig cfg;
-    cfg.realm.write_buffer_enabled = write_buffer_enabled;
-    cfg.realm.write_buffer_depth = 16;
-    soc::CheshireSoc soc{ctx, cfg};
-    for (axi::Addr a = 0; a < 0x10000; a += 8) {
-        soc.dram_image().write_u64(kDram + a, a);
-    }
-    soc.warm_llc(kDram, 0x10000);
-
-    // Attacker: cut-through AW issue + heavy W stalling, 8-beat bursts so
-    // the victim repeatedly queues behind starved reservations.
-    traffic::DmaConfig att;
-    att.burst_beats = 8;
-    att.reserve_before_data = true;
-    att.w_stall_cycles = 64;
-    traffic::DmaEngine attacker{ctx, "attacker", soc.dsa_port(0), att};
-    attacker.push_job(traffic::DmaJob{kDram + 0x8000, kDram + 0xC000, 0x4000, true});
-    ctx.run(500);
-
-    // Victim: store stream to the same subordinate (write-through core).
-    traffic::StreamWorkload wl{{.base = kDram,
-                                .bytes = 0x2000,
-                                .op_bytes = 8,
-                                .stride_bytes = 8,
-                                .store_ratio16 = 16}};
-    traffic::CoreModel victim{ctx, "victim", soc.core_port(), wl};
-    const sim::Cycle t0 = ctx.now();
-    ctx.run_until([&] { return victim.done(); }, 10'000'000);
-
-    Outcome out;
-    out.store_lat_mean = victim.store_latency().mean();
-    out.store_lat_max = victim.store_latency().max();
-    out.victim_cycles = victim.finish_cycle() - t0;
-    out.xbar_w_stalls = soc.xbar().w_stall_cycles(0);
-    out.attacker_cut_through = soc.dsa_realm(0).write_buffer().cut_through_bursts();
-    return out;
-}
-
-} // namespace
-
-int main() {
     std::puts("== Ablation: write buffer vs the stalling-manager DoS attack ==");
     std::puts("(attacker reserves write bandwidth, then trickles data: 1 beat / 64 cyc)\n");
 
-    const Outcome off = run(false);
-    const Outcome on = run(true);
+    Sweep sweep = make_sweep("ablation-dos");
+    const auto results = run_with_options(opts, sweep);
+    const ScenarioResult& off = results[0];
+    const ScenarioResult& on = results[1];
 
     std::printf("%-26s %14s %14s\n", "", "wbuf disabled", "wbuf enabled");
     std::printf("%-26s %14.1f %14.1f\n", "victim store lat (mean)", off.store_lat_mean,
@@ -85,17 +34,17 @@ int main() {
                 static_cast<unsigned long long>(off.store_lat_max),
                 static_cast<unsigned long long>(on.store_lat_max));
     std::printf("%-26s %14llu %14llu\n", "victim run cycles",
-                static_cast<unsigned long long>(off.victim_cycles),
-                static_cast<unsigned long long>(on.victim_cycles));
+                static_cast<unsigned long long>(off.run_cycles),
+                static_cast<unsigned long long>(on.run_cycles));
     std::printf("%-26s %14llu %14llu\n", "xbar W-stall cycles",
                 static_cast<unsigned long long>(off.xbar_w_stalls),
                 static_cast<unsigned long long>(on.xbar_w_stalls));
     std::printf("%-26s %14llu %14llu\n", "attacker cut-throughs",
-                static_cast<unsigned long long>(off.attacker_cut_through),
-                static_cast<unsigned long long>(on.attacker_cut_through));
+                static_cast<unsigned long long>(off.dma_cut_through),
+                static_cast<unsigned long long>(on.dma_cut_through));
 
-    const double speedup = static_cast<double>(off.victim_cycles) /
-                           static_cast<double>(on.victim_cycles);
+    const double speedup = static_cast<double>(off.run_cycles) /
+                           static_cast<double>(on.run_cycles);
     std::printf("\nwrite buffer speeds the victim up by %.1fx and removes the\n", speedup);
     std::puts("interconnect starvation (paper: the buffer forwards AW and W only once");
     std::puts("the write data is fully contained within the buffer).");

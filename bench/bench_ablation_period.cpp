@@ -8,35 +8,31 @@
 /// latency, but replenishment overhead and tighter tracking); long periods
 /// alternate long free/contended phases (the core sees bimodal latency and
 /// a worse tail while the *average* DMA bandwidth is identical).
-#include "fig6_common.hpp"
+///
+/// Runs through the scenario engine (`--threads N` parallelizes the sweep,
+/// `--json PATH` dumps machine-readable results).
+#include "scenario/cli.hpp"
 
 #include <cstdio>
-#include <vector>
 
-int main() {
-    using namespace realm::bench;
-    const auto susan = fig6_susan();
+int main(int argc, char** argv) {
+    using namespace realm::scenario;
+    BenchOptions opts = parse_bench_args(argc, argv);
 
     std::puts("== Ablation: period selection at a fixed 20 % DMA share ==");
     std::puts("(fragmentation 1; budget scales with period so budget/period = 1.6 B/cyc)\n");
 
-    Fig6Config base_cfg;
-    base_cfg.dma_active = false;
-    const Fig6Result base = run_fig6_point(base_cfg, susan);
+    Sweep sweep = make_sweep("ablation-period");
+    const auto results = run_with_options(opts, sweep);
+    const ScenarioResult& base = results[*sweep.baseline_index];
+
     std::printf("%-12s %12s %8s %9s %9s %10s %11s\n", "period", "cycles", "perf%",
                 "lat_mean", "lat_max", "dma[B/cyc]", "depletions");
-
-    const std::vector<std::uint64_t> periods = {100, 1000, 10000, 100000};
-    for (const std::uint64_t period : periods) {
-        Fig6Config cfg;
-        cfg.dma_fragment = 1;
-        cfg.period_cycles = period;
-        cfg.dma_budget_bytes = period * 16 / 10; // 1.6 B/cycle share
-        const Fig6Result r = run_fig6_point(cfg, susan);
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        const ScenarioResult& r = results[i];
         const double perf = 100.0 * static_cast<double>(base.run_cycles) /
                             static_cast<double>(r.run_cycles);
-        std::printf("%-12llu %12llu %8.1f %9.2f %9llu %10.2f %11llu\n",
-                    static_cast<unsigned long long>(period),
+        std::printf("%-12s %12llu %8.1f %9.2f %9llu %10.2f %11llu\n", r.label.c_str(),
                     static_cast<unsigned long long>(r.run_cycles), perf, r.load_lat_mean,
                     static_cast<unsigned long long>(r.load_lat_max), r.dma_read_bw,
                     static_cast<unsigned long long>(r.dma_depletions));

@@ -10,98 +10,44 @@
 /// shrink as credit drains, smoothing the same average bandwidth and
 /// shortening the hard-isolation tail — visible to the victim core as a
 /// tighter latency distribution.
-#include "soc/cheshire_soc.hpp"
-#include "traffic/core.hpp"
-#include "traffic/dma.hpp"
-#include "traffic/workload.hpp"
+///
+/// Runs through the scenario engine (`--threads N`, `--json PATH`).
+#include "scenario/cli.hpp"
 
 #include <cstdio>
 
-namespace {
+int main(int argc, char** argv) {
+    using namespace realm::scenario;
+    BenchOptions opts = parse_bench_args(argc, argv);
 
-constexpr realm::axi::Addr kDram = 0x8000'0000;
-
-struct Outcome {
-    double dma_bw = 0;
-    std::uint64_t isolation_cycles = 0;
-    std::uint64_t throttle_stalls = 0;
-    std::uint64_t depletions = 0;
-    double core_lat_mean = 0;
-    realm::sim::Cycle core_lat_p99 = 0;
-};
-
-Outcome run(bool throttle) {
-    using namespace realm;
-    sim::SimContext ctx;
-    soc::SocConfig cfg;
-    cfg.llc.max_outstanding = 4;
-    cfg.realm.throttle_enabled = false; // configured per unit below
-    soc::CheshireSoc soc{ctx, cfg};
-    for (axi::Addr a = 0; a < 0x20000; a += 8) {
-        soc.dram_image().write_u64(kDram + a, a);
-    }
-    soc.warm_llc(kDram, 0x20000);
-
-    soc.queue_boot_script({
-        soc::CheshireSoc::BootRegionPlan{1ULL << 30, 1ULL << 20, 256}, // core: free
-        soc::CheshireSoc::BootRegionPlan{4096, 2000, 8},               // DMA: budgeted
-    });
-    ctx.run_until([&] { return soc.boot_master().done(); }, 10000);
-    soc.dsa_realm(0).set_throttle(throttle);
-
-    traffic::DmaConfig dcfg;
-    dcfg.burst_beats = 64;
-    dcfg.num_buffers = 4;
-    dcfg.max_outstanding_reads = 4;
-    traffic::DmaEngine dma{ctx, "dma", soc.dsa_port(0), dcfg};
-    dma.push_job(traffic::DmaJob{kDram + 0x10000, 0x7000'0000, 0x4000, true});
-
-    traffic::StreamWorkload wl{{.base = kDram, .bytes = 0x8000, .op_bytes = 8,
-                                .stride_bytes = 8, .repeat = 12}};
-    traffic::CoreModel core{ctx, "core", soc.core_port(), wl};
-    const sim::Cycle t0 = ctx.now();
-    const std::uint64_t dma0 = dma.bytes_read();
-    ctx.run_until([&] { return core.done(); }, 10'000'000);
-
-    Outcome out;
-    out.dma_bw = static_cast<double>(dma.bytes_read() - dma0) /
-                 static_cast<double>(ctx.now() - t0);
-    out.isolation_cycles = soc.dsa_realm(0).mr().isolation_cycles();
-    out.throttle_stalls = soc.dsa_realm(0).throttle_stalls();
-    out.depletions = soc.dsa_realm(0).mr().region(0).depletion_events;
-    out.core_lat_mean = core.load_latency().mean();
-    out.core_lat_p99 = core.load_latency().quantile(0.99);
-    return out;
-}
-
-} // namespace
-
-int main() {
     std::puts("== Ablation: throttling unit on a budgeted DMA (4 KiB / 2000 cycles) ==\n");
-    const Outcome off = run(false);
-    const Outcome on = run(true);
+    Sweep sweep = make_sweep("ablation-throttle");
+    const auto results = run_with_options(opts, sweep);
+    const ScenarioResult& off = results[0];
+    const ScenarioResult& on = results[1];
 
     std::printf("%-28s %14s %14s\n", "", "throttle off", "throttle on");
-    std::printf("%-28s %14.2f %14.2f\n", "DMA bandwidth [B/cyc]", off.dma_bw, on.dma_bw);
+    std::printf("%-28s %14.2f %14.2f\n", "DMA bandwidth [B/cyc]", off.dma_read_bw,
+                on.dma_read_bw);
     std::printf("%-28s %14llu %14llu\n", "DMA hard-isolation cycles",
-                static_cast<unsigned long long>(off.isolation_cycles),
-                static_cast<unsigned long long>(on.isolation_cycles));
+                static_cast<unsigned long long>(off.dma_isolation_cycles),
+                static_cast<unsigned long long>(on.dma_isolation_cycles));
     std::printf("%-28s %14llu %14llu\n", "DMA throttle stalls",
-                static_cast<unsigned long long>(off.throttle_stalls),
-                static_cast<unsigned long long>(on.throttle_stalls));
+                static_cast<unsigned long long>(off.dma_throttle_stalls),
+                static_cast<unsigned long long>(on.dma_throttle_stalls));
     std::printf("%-28s %14llu %14llu\n", "DMA budget depletions",
-                static_cast<unsigned long long>(off.depletions),
-                static_cast<unsigned long long>(on.depletions));
-    std::printf("%-28s %14.2f %14.2f\n", "core load latency (mean)", off.core_lat_mean,
-                on.core_lat_mean);
+                static_cast<unsigned long long>(off.dma_depletions),
+                static_cast<unsigned long long>(on.dma_depletions));
+    std::printf("%-28s %14.2f %14.2f\n", "core load latency (mean)", off.load_lat_mean,
+                on.load_lat_mean);
     std::printf("%-28s %14llu %14llu\n", "core load latency (p99)",
-                static_cast<unsigned long long>(off.core_lat_p99),
-                static_cast<unsigned long long>(on.core_lat_p99));
+                static_cast<unsigned long long>(off.load_lat_p99),
+                static_cast<unsigned long long>(on.load_lat_p99));
 
     std::puts("\nthrottling converts hard isolation time into early backpressure");
     std::puts("(stalls) at equal average DMA bandwidth, smoothing the interference the");
     std::puts("core observes.");
-    const bool throttled_early = on.throttle_stalls > off.throttle_stalls;
-    const bool less_hard_isolation = on.isolation_cycles < off.isolation_cycles;
+    const bool throttled_early = on.dma_throttle_stalls > off.dma_throttle_stalls;
+    const bool less_hard_isolation = on.dma_isolation_cycles < off.dma_isolation_cycles;
     return throttled_early && less_hard_isolation ? 0 : 1;
 }

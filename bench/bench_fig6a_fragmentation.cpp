@@ -9,23 +9,24 @@
 ///   - fragmentation 1: 68.2 % of single-source performance, access latency
 ///     below 10 cycles (one cycle from the REALM unit, one from residual
 ///     interference).
-#include "fig6_common.hpp"
+///
+/// Runs through the scenario engine (`--threads N` parallelizes the sweep,
+/// `--json PATH` dumps machine-readable results).
+#include "scenario/cli.hpp"
 
 #include <cstdio>
-#include <vector>
 
-int main() {
-    using namespace realm::bench;
-    const auto susan = fig6_susan();
+int main(int argc, char** argv) {
+    using namespace realm::scenario;
+    BenchOptions opts = parse_bench_args(argc, argv);
 
     std::puts("== Figure 6a: Susan under DSA-DMA contention vs fragmentation size ==");
     std::puts("(DMA: double-buffered 256-beat bursts LLC<->SPM, equal unconstrained");
     std::puts(" budgets, very large period -- isolating the fragmentation effect)\n");
 
-    // Baseline: single source (no DMA traffic at all).
-    Fig6Config base_cfg;
-    base_cfg.dma_active = false;
-    const Fig6Result base = run_fig6_point(base_cfg, susan);
+    Sweep sweep = make_sweep("fig6a");
+    const auto results = run_with_options(opts, sweep);
+    const ScenarioResult& base = results[*sweep.baseline_index];
 
     std::printf("%-18s %12s %8s %9s %9s %9s %10s\n", "configuration", "cycles", "perf%",
                 "lat_mean", "lat_max", "lat_min", "dma[B/cyc]");
@@ -33,18 +34,11 @@ int main() {
                 static_cast<unsigned long long>(base.run_cycles), 100.0,
                 base.load_lat_mean, static_cast<unsigned long long>(base.load_lat_max),
                 static_cast<unsigned long long>(base.load_lat_min), "-");
-
-    const std::vector<std::uint32_t> fragments = {256, 128, 64, 32, 16, 8, 4, 2, 1};
-    for (const std::uint32_t frag : fragments) {
-        Fig6Config cfg;
-        cfg.dma_fragment = frag;
-        const Fig6Result r = run_fig6_point(cfg, susan);
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        const ScenarioResult& r = results[i];
         const double perf = 100.0 * static_cast<double>(base.run_cycles) /
                             static_cast<double>(r.run_cycles);
-        char label[32];
-        std::snprintf(label, sizeof label, frag == 256 ? "no-reserv. (256)" : "frag %u",
-                      frag);
-        std::printf("%-18s %12llu %8.1f %9.2f %9llu %9llu %10.2f\n", label,
+        std::printf("%-18s %12llu %8.1f %9.2f %9llu %9llu %10.2f\n", r.label.c_str(),
                     static_cast<unsigned long long>(r.run_cycles), perf, r.load_lat_mean,
                     static_cast<unsigned long long>(r.load_lat_max),
                     static_cast<unsigned long long>(r.load_lat_min), r.dma_read_bw);
@@ -59,26 +53,21 @@ int main() {
     // the discussion of why both cannot hold simultaneously in a pure
     // blocking-load model.
     std::puts("\n-- alternative LLC calibration (descriptor interval 2) --");
+    Sweep alt = make_sweep("fig6a-llc2");
+    BenchOptions alt_opts = opts;
+    alt_opts.json_path.clear(); // the primary sweep owns the JSON dump
+    const auto alt_results = run_with_options(alt_opts, alt);
+    const ScenarioResult& b2 = alt_results[*alt.baseline_index];
     std::printf("%-18s %12s %8s %9s %9s\n", "configuration", "cycles", "perf%",
                 "lat_mean", "lat_max");
-    Fig6Config base2;
-    base2.dma_active = false;
-    base2.llc_request_interval = 2;
-    const Fig6Result b2 = run_fig6_point(base2, susan);
     std::printf("%-18s %12llu %8.1f %9.2f %9llu\n", "single-source",
                 static_cast<unsigned long long>(b2.run_cycles), 100.0, b2.load_lat_mean,
                 static_cast<unsigned long long>(b2.load_lat_max));
-    for (const std::uint32_t frag : {256U, 8U, 2U, 1U}) {
-        Fig6Config cfg;
-        cfg.dma_fragment = frag;
-        cfg.llc_request_interval = 2;
-        const Fig6Result r = run_fig6_point(cfg, susan);
-        const double perf =
-            100.0 * static_cast<double>(b2.run_cycles) / static_cast<double>(r.run_cycles);
-        char label[32];
-        std::snprintf(label, sizeof label, frag == 256 ? "no-reserv. (256)" : "frag %u",
-                      frag);
-        std::printf("%-18s %12llu %8.1f %9.2f %9llu\n", label,
+    for (std::size_t i = 1; i < alt_results.size(); ++i) {
+        const ScenarioResult& r = alt_results[i];
+        const double perf = 100.0 * static_cast<double>(b2.run_cycles) /
+                            static_cast<double>(r.run_cycles);
+        std::printf("%-18s %12llu %8.1f %9.2f %9llu\n", r.label.c_str(),
                     static_cast<unsigned long long>(r.run_cycles), perf, r.load_lat_mean,
                     static_cast<unsigned long long>(r.load_lat_max));
     }

@@ -8,21 +8,23 @@
 /// period) down to 1.6 KiB (1/5) in equal steps. Paper result: near-ideal
 /// (> 95 %) core performance at 1/5, with the worst-case memory access
 /// latency dropping from 264 to below eight cycles.
-#include "fig6_common.hpp"
+///
+/// Runs through the scenario engine (`--threads N` parallelizes the sweep,
+/// `--json PATH` dumps machine-readable results).
+#include "scenario/cli.hpp"
 
 #include <cstdio>
-#include <vector>
 
-int main() {
-    using namespace realm::bench;
-    const auto susan = fig6_susan();
+int main(int argc, char** argv) {
+    using namespace realm::scenario;
+    BenchOptions opts = parse_bench_args(argc, argv);
 
     std::puts("== Figure 6b: Susan performance vs core/DMA budget imbalance ==");
     std::puts("(fragmentation 1, period 1000 cycles, DMA budget 8.0 -> 1.6 KiB)\n");
 
-    Fig6Config base_cfg;
-    base_cfg.dma_active = false;
-    const Fig6Result base = run_fig6_point(base_cfg, susan);
+    Sweep sweep = make_sweep("fig6b");
+    const auto results = run_with_options(opts, sweep);
+    const ScenarioResult& base = results[*sweep.baseline_index];
 
     std::printf("%-10s %10s %12s %8s %9s %9s %10s %11s\n", "budget", "DMA[B]", "cycles",
                 "perf%", "lat_mean", "lat_max", "dma[B/cyc]", "depletions");
@@ -30,20 +32,13 @@ int main() {
                 static_cast<unsigned long long>(base.run_cycles), 100.0,
                 base.load_lat_mean, static_cast<unsigned long long>(base.load_lat_max),
                 "-", "-");
-
-    const std::vector<std::pair<const char*, std::uint64_t>> points = {
-        {"1/1", 8192}, {"1/2", 6554}, {"1/3", 4915}, {"1/4", 3277}, {"1/5", 1638},
-    };
-    for (const auto& [label, budget] : points) {
-        Fig6Config cfg;
-        cfg.dma_fragment = 1;
-        cfg.dma_budget_bytes = budget;
-        cfg.period_cycles = 1000;
-        const Fig6Result r = run_fig6_point(cfg, susan);
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        const ScenarioResult& r = results[i];
+        const std::uint64_t budget = sweep.points[i].config.boot_plans[1].budget_bytes;
         const double perf = 100.0 * static_cast<double>(base.run_cycles) /
                             static_cast<double>(r.run_cycles);
-        std::printf("%-10s %10llu %12llu %8.1f %9.2f %9llu %10.2f %11llu\n", label,
-                    static_cast<unsigned long long>(budget),
+        std::printf("%-10s %10llu %12llu %8.1f %9.2f %9llu %10.2f %11llu\n",
+                    r.label.c_str(), static_cast<unsigned long long>(budget),
                     static_cast<unsigned long long>(r.run_cycles), perf, r.load_lat_mean,
                     static_cast<unsigned long long>(r.load_lat_max), r.dma_read_bw,
                     static_cast<unsigned long long>(r.dma_depletions));

@@ -10,14 +10,17 @@
 ///   3. mitigation — the write buffer withholds AWs until data is complete,
 ///      and, for a persistently hostile manager, user-commanded isolation
 ///      cuts it off entirely.
+///
+/// Acts 1 and 2 are declarative scenario runs; act 3 drives the register
+/// interface by hand (isolation is a runtime intervention, not a config).
+#include "scenario/scenario.hpp"
 #include "soc/cheshire_soc.hpp"
-#include "traffic/core.hpp"
 #include "traffic/dma.hpp"
-#include "traffic/workload.hpp"
 
 #include <cstdio>
 
 using namespace realm;
+using namespace realm::scenario;
 
 namespace {
 constexpr axi::Addr kDram = 0x8000'0000;
@@ -30,74 +33,72 @@ traffic::DmaConfig attacker_config() {
     return cfg;
 }
 
-double run_victim(sim::SimContext& ctx, soc::CheshireSoc& soc, const char* name,
-                  rt::RealmUnit& victim_realm) {
-    traffic::StreamWorkload wl{{.base = kDram, .bytes = 0x2000, .op_bytes = 8,
-                                .stride_bytes = 8, .store_ratio16 = 16}};
-    traffic::CoreModel victim{ctx, name, soc.core_port(), wl};
-    ctx.run_until([&] { return victim.done(); }, 10'000'000);
-    const rt::RegionState& r = victim_realm.mr().region(0);
-    std::printf("  victim store latency: mean %.1f, max %llu cycles "
-                "(M&R write-latency max: %llu)\n",
-                victim.store_latency().mean(),
-                static_cast<unsigned long long>(victim.store_latency().max()),
-                static_cast<unsigned long long>(r.write_latency.max()));
-    return victim.store_latency().mean();
+ScenarioConfig attack_scenario(bool write_buffer_enabled) {
+    ScenarioConfig cfg;
+    cfg.name = write_buffer_enabled ? "dos/wbuf-on" : "dos/wbuf-off";
+    cfg.soc.realm.write_buffer_enabled = write_buffer_enabled;
+    cfg.preload.push_back(PreloadSpan{kDram, 0x10000, 1, /*warm=*/true});
+    // Victim-side monitoring needs a region over the LLC span.
+    cfg.monitor_llc_on_core = true;
+
+    InterferenceConfig attacker;
+    attacker.dma = attacker_config();
+    attacker.src = kDram + 0x8000;
+    attacker.dst = kDram + 0xC000;
+    attacker.bytes = 0x4000;
+    cfg.interference.push_back(attacker);
+
+    cfg.victim.kind = VictimConfig::Kind::kStream;
+    cfg.victim.stream = {.base = kDram, .bytes = 0x2000, .op_bytes = 8,
+                         .stride_bytes = 8, .store_ratio16 = 16};
+    cfg.warmup_cycles = 500;
+    cfg.max_cycles = 10'000'000;
+    return cfg;
 }
 } // namespace
 
 int main() {
     std::puts("=== Act 1: the attack (write buffer disabled) ===");
-    {
-        sim::SimContext ctx;
-        soc::SocConfig cfg;
-        cfg.realm.write_buffer_enabled = false;
-        soc::CheshireSoc soc{ctx, cfg};
-        for (axi::Addr a = 0; a < 0x10000; a += 8) {
-            soc.dram_image().write_u64(kDram + a, a);
-        }
-        soc.warm_llc(kDram, 0x10000);
-        // Victim-side monitoring needs a region over the LLC span.
-        soc.core_realm().set_region(0, rt::RegionConfig{kDram, kDram + 0x1000'0000, 0, 0});
-
-        traffic::DmaEngine attacker{ctx, "attacker", soc.dsa_port(0), attacker_config()};
-        attacker.push_job(traffic::DmaJob{kDram + 0x8000, kDram + 0xC000, 0x4000, true});
-        ctx.run(500);
-        const double mean = run_victim(ctx, soc, "victim", soc.core_realm());
-        std::printf("  -> interconnect W channel starved; victim crawls at %.0fx the\n"
-                    "     unloaded store latency\n\n",
-                    mean / 6.0);
-    }
+    const ScenarioResult attack = run_scenario(attack_scenario(false));
+    std::printf("  victim store latency: mean %.1f, max %llu cycles "
+                "(M&R write-latency max: %llu)\n",
+                attack.store_lat_mean,
+                static_cast<unsigned long long>(attack.store_lat_max),
+                static_cast<unsigned long long>(attack.core_mr_write_lat_max));
+    std::printf("  -> interconnect W channel starved; victim crawls at %.0fx the\n"
+                "     unloaded store latency\n\n",
+                attack.store_lat_mean / 6.0);
 
     std::puts("=== Act 2 & 3: write buffer on; then isolate the rogue manager ===");
-    {
-        sim::SimContext ctx;
-        soc::SocConfig cfg; // write buffer enabled by default
-        soc::CheshireSoc soc{ctx, cfg};
-        for (axi::Addr a = 0; a < 0x10000; a += 8) {
-            soc.dram_image().write_u64(kDram + a, a);
-        }
-        soc.warm_llc(kDram, 0x10000);
-        soc.core_realm().set_region(0, rt::RegionConfig{kDram, kDram + 0x1000'0000, 0, 0});
+    const ScenarioResult guarded = run_scenario(attack_scenario(true));
+    std::printf("  victim store latency: mean %.1f, max %llu cycles "
+                "(M&R write-latency max: %llu)\n",
+                guarded.store_lat_mean,
+                static_cast<unsigned long long>(guarded.store_lat_max),
+                static_cast<unsigned long long>(guarded.core_mr_write_lat_max));
+    std::printf("  -> the write buffer holds the attacker's AWs until data is\n"
+                "     complete: xbar W-stall cycles = %llu\n\n",
+                static_cast<unsigned long long>(guarded.xbar_w_stalls));
 
-        traffic::DmaEngine attacker{ctx, "attacker", soc.dsa_port(0), attacker_config()};
-        attacker.push_job(traffic::DmaJob{kDram + 0x8000, kDram + 0xC000, 0x4000, true});
-        ctx.run(500);
-        run_victim(ctx, soc, "victim", soc.core_realm());
-        std::printf("  -> the write buffer holds the attacker's AWs until data is\n"
-                    "     complete: xbar W-stall cycles = %llu\n\n",
-                    static_cast<unsigned long long>(soc.xbar().w_stall_cycles(0)));
-
-        // The supervisor decides the manager is hostile and cuts it off.
-        std::puts("  supervisor: isolating the rogue manager...");
-        soc.dsa_realm(0).set_user_isolation(true);
-        ctx.run_until([&] { return soc.dsa_realm(0).fully_isolated(); }, 1'000'000);
-        std::printf("  DSA unit state: %s (outstanding drained, new traffic blocked)\n",
-                    rt::to_string(soc.dsa_realm(0).state()));
-        const std::uint64_t before = attacker.bytes_read();
-        ctx.run(5000);
-        std::printf("  attacker progress while isolated: %llu bytes\n",
-                    static_cast<unsigned long long>(attacker.bytes_read() - before));
+    // Act 3: the supervisor decides the manager is hostile and cuts it off.
+    // This is a runtime intervention on a live SoC, so we drive it by hand.
+    std::puts("  supervisor: isolating the rogue manager...");
+    sim::SimContext ctx;
+    soc::CheshireSoc soc{ctx, soc::SocConfig{}};
+    for (axi::Addr a = 0; a < 0x10000; a += 8) {
+        soc.dram_image().write_u64(kDram + a, a);
     }
+    soc.warm_llc(kDram, 0x10000);
+    traffic::DmaEngine attacker{ctx, "attacker", soc.dsa_port(0), attacker_config()};
+    attacker.push_job(traffic::DmaJob{kDram + 0x8000, kDram + 0xC000, 0x4000, true});
+    ctx.run(500);
+    soc.dsa_realm(0).set_user_isolation(true);
+    ctx.run_until([&] { return soc.dsa_realm(0).fully_isolated(); }, 1'000'000);
+    std::printf("  DSA unit state: %s (outstanding drained, new traffic blocked)\n",
+                rt::to_string(soc.dsa_realm(0).state()));
+    const std::uint64_t before = attacker.bytes_read();
+    ctx.run(5000);
+    std::printf("  attacker progress while isolated: %llu bytes\n",
+                static_cast<unsigned long long>(attacker.bytes_read() - before));
     return 0;
 }

@@ -1,84 +1,85 @@
 /// \file
-/// \brief Quickstart: build the Cheshire-like SoC, let a DMA trample a core,
-///        then turn on AXI-REALM regulation and watch fairness return.
+/// \brief Quickstart: describe an experiment declaratively, let a DMA
+///        trample a core, then turn on AXI-REALM regulation and watch
+///        fairness return — all through the scenario engine.
 ///
-/// Build & run:  ./build/examples/quickstart
-#include "soc/cheshire_soc.hpp"
-#include "traffic/core.hpp"
-#include "traffic/dma.hpp"
-#include "traffic/workload.hpp"
+/// Build & run:  ./build/quickstart
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 
 #include <cstdio>
 
 using namespace realm;
+using namespace realm::scenario;
 
 namespace {
 constexpr axi::Addr kDram = 0x8000'0000; // LLC-backed main memory
 constexpr axi::Addr kSpm = 0x7000'0000;  // accelerator scratchpad
+
+/// One experiment: the core streams reads from the LLC while the DSA DMA
+/// endlessly double-buffers 256-beat bursts. `dma_fragment` is the REALM
+/// granularity on the DSA port — 256 leaves the bursts whole (burst-
+/// granular round-robin starves the core), 1 makes arbitration fair again.
+ScenarioConfig contention_scenario(std::uint32_t dma_fragment) {
+    ScenarioConfig cfg;
+    cfg.name = "quickstart/frag-" + std::to_string(dma_fragment);
+
+    // DRAM content + hot LLC (our experiments assume a warm cache), and the
+    // boot-flow regulation programmed through the guarded register file:
+    // [budget bytes, period cycles, fragment] per REALM unit, core first.
+    cfg.preload.push_back(PreloadSpan{kDram, 0x20000, 7, /*warm=*/true});
+    cfg.boot_plans.push_back(RegionPlan{1ULL << 30, 1ULL << 20, 256});
+    cfg.boot_plans.push_back(RegionPlan{1ULL << 30, 1ULL << 20, dma_fragment});
+
+    InterferenceConfig dma;
+    dma.dma.burst_beats = 256;
+    dma.src = kDram + 0x10000;
+    dma.dst = kSpm;
+    dma.bytes = 0x4000;
+    dma.loop = true;
+    cfg.interference.push_back(dma);
+
+    cfg.victim.kind = VictimConfig::Kind::kStream;
+    cfg.victim.stream = {.base = kDram, .bytes = 0x8000, .op_bytes = 8,
+                         .stride_bytes = 8};
+    cfg.warmup_cycles = 0;
+    cfg.max_cycles = 10'000'000;
+    return cfg;
+}
 } // namespace
 
 int main() {
-    // 1. A simulation context and the SoC: core port + one DSA port, both
-    //    behind REALM units, sharing an AXI4 crossbar to LLC/SPM/config.
-    sim::SimContext ctx;
-    soc::CheshireSoc soc{ctx, soc::SocConfig{}};
+    // 1. Two declarative scenario points: unregulated (fragment 256) vs
+    //    regulated (fragment 1). Each runs in its own SimContext, so the
+    //    runner can execute them on parallel threads.
+    const std::vector<ScenarioConfig> points = {contention_scenario(256),
+                                                contention_scenario(1)};
+    const ScenarioRunner runner{RunnerOptions{.threads = 2}};
+    const std::vector<ScenarioResult> results = runner.run(points);
+    const ScenarioResult& rough = results[0];
+    const ScenarioResult& fair = results[1];
 
-    // 2. Seed DRAM and pre-warm the LLC (our experiments assume a hot cache).
-    for (axi::Addr a = 0; a < 0x20000; a += 8) {
-        soc.dram_image().write_u64(kDram + a, a * 7);
-    }
-    soc.warm_llc(kDram, 0x20000);
-
-    // 3. The trusted boot master claims the guarded config space and
-    //    programs each REALM unit: [budget bytes, period cycles, fragment].
-    //    Core: effectively unregulated. DMA: fragment to 1 beat, generous
-    //    budget (regulation demo comes below).
-    soc.queue_boot_script({
-        soc::CheshireSoc::BootRegionPlan{1ULL << 30, 1ULL << 20, 256},
-        soc::CheshireSoc::BootRegionPlan{1ULL << 30, 1ULL << 20, 256},
-    });
-    ctx.run_until([&] { return soc.boot_master().done(); }, 10000);
-    std::printf("boot done: guard owner TID=0x%X, core unit %s, dsa unit %s\n",
-                soc.guard().owner(), rt::to_string(soc.core_realm().state()),
-                rt::to_string(soc.dsa_realm(0).state()));
-
-    // 4. Traffic: the DSA DMA endlessly double-buffers 256-beat bursts from
-    //    the LLC to its scratchpad; the core runs a fine-granular read loop.
-    traffic::DmaConfig dma_cfg;
-    dma_cfg.burst_beats = 256;
-    traffic::DmaEngine dma{ctx, "dsa_dma", soc.dsa_port(0), dma_cfg};
-    dma.push_job(traffic::DmaJob{kDram + 0x10000, kSpm, 0x4000, /*loop=*/true});
-
-    traffic::StreamWorkload wl{{.base = kDram, .bytes = 0x8000, .op_bytes = 8,
-                                .stride_bytes = 8}};
-    traffic::CoreModel core{ctx, "core", soc.core_port(), wl};
-    ctx.run_until([&] { return core.done(); }, 10'000'000);
-    std::printf("\nuncontrolled contention: core load latency mean=%.1f max=%llu cycles\n",
-                core.load_latency().mean(),
-                static_cast<unsigned long long>(core.load_latency().max()));
-
-    // 5. Now regulate: fragment the DMA's bursts to one beat so round-robin
-    //    arbitration is fair again. Intrusive change: the unit isolates,
-    //    drains its outstanding bursts, then applies and resumes.
-    soc.dsa_realm(0).set_fragmentation(1);
-    ctx.run_until([&] { return soc.dsa_realm(0).state() == rt::RealmState::kReady; },
-                  100000);
-    std::printf("DSA REALM unit drained and reconfigured to fragmentation %u\n",
-                soc.dsa_realm(0).fragmentation());
-    traffic::StreamWorkload wl2{{.base = kDram, .bytes = 0x8000, .op_bytes = 8,
-                                 .stride_bytes = 8}};
-    traffic::CoreModel core2{ctx, "core2", soc.core_port(), wl2};
-    ctx.run_until([&] { return core2.done(); }, 10'000'000);
+    // 2. The victim's view: burst-granular arbitration vs fair interleaving.
+    std::printf("uncontrolled contention: core load latency mean=%.1f max=%llu cycles\n",
+                rough.load_lat_mean,
+                static_cast<unsigned long long>(rough.load_lat_max));
     std::printf("with fragmentation 1:    core load latency mean=%.1f max=%llu cycles\n",
-                core2.load_latency().mean(),
-                static_cast<unsigned long long>(core2.load_latency().max()));
+                fair.load_lat_mean, static_cast<unsigned long long>(fair.load_lat_max));
 
-    // 6. Observability: everything the M&R units saw, free of charge.
-    const rt::RegionState& dma_region = soc.dsa_realm(0).mr().region(0);
+    // 3. Observability: everything the M&R unit on the DSA port saw, free
+    //    of charge — no bus analyzer attached.
     std::printf("\nM&R on the DSA port: %llu B moved, read latency mean %.1f cycles\n",
-                static_cast<unsigned long long>(dma_region.bytes_total),
-                dma_region.read_latency.mean());
-    std::printf("DMA copy bandwidth: %.2f B/cycle, %llu chunks\n", dma.bandwidth(),
-                static_cast<unsigned long long>(dma.chunks_completed()));
-    return 0;
+                static_cast<unsigned long long>(fair.dma_mr_bytes_total),
+                fair.dma_mr_read_lat_mean);
+    std::printf("DMA read bandwidth during the victim run: %.2f B/cycle\n",
+                fair.dma_read_bw);
+
+    // 4. Host-side: the activity-aware kernel skips idle components and
+    //    fast-forwards fully-quiescent stretches.
+    std::printf("\nkernel: %llu ticks executed, %llu skipped, %llu cycles "
+                "fast-forwarded\n",
+                static_cast<unsigned long long>(fair.ticks_executed),
+                static_cast<unsigned long long>(fair.ticks_skipped),
+                static_cast<unsigned long long>(fair.fast_forwarded_cycles));
+    return fair.load_lat_max < rough.load_lat_max ? 0 : 1;
 }

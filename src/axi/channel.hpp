@@ -60,6 +60,32 @@ public:
         return aw.empty() && w.empty() && b.empty() && ar.empty() && r.empty();
     }
 
+    /// True when no request flit (AW/W/AR) is buffered.
+    [[nodiscard]] bool requests_empty() const noexcept {
+        return aw.empty() && w.empty() && ar.empty();
+    }
+
+    /// True when no response flit (B/R) is buffered.
+    [[nodiscard]] bool responses_empty() const noexcept {
+        return b.empty() && r.empty();
+    }
+
+    /// \name Scheduler wake-up wiring (activity-aware kernel)
+    ///@{
+    /// Wakes `sub` whenever a request flit (AW/W/AR) is pushed; call from
+    /// the subordinate-side component if it idles on an empty channel.
+    void wake_subordinate_on_request(sim::Component& sub) noexcept {
+        aw.set_wake_on_push(&sub);
+        w.set_wake_on_push(&sub);
+        ar.set_wake_on_push(&sub);
+    }
+    /// Wakes `mgr` whenever a response flit (B/R) is pushed.
+    void wake_manager_on_response(sim::Component& mgr) noexcept {
+        b.set_wake_on_push(&mgr);
+        r.set_wake_on_push(&mgr);
+    }
+    ///@}
+
 private:
     std::string name_;
 };

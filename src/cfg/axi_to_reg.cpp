@@ -9,7 +9,9 @@ namespace realm::cfg {
 
 AxiToReg::AxiToReg(sim::SimContext& ctx, std::string name, axi::AxiChannel& channel,
                    RegTarget& target, axi::Addr base)
-    : Component{ctx, std::move(name)}, port_{channel}, target_{&target}, base_{base} {}
+    : Component{ctx, std::move(name)}, port_{channel}, target_{&target}, base_{base} {
+    channel.wake_subordinate_on_request(*this);
+}
 
 void AxiToReg::reset() {
     write_pending_ = false;
@@ -20,6 +22,14 @@ void AxiToReg::reset() {
 }
 
 void AxiToReg::tick() {
+    step_datapath();
+    // Sleep when only a new request flit (or the W data of a pending write,
+    // also a request-side push) can create work. An error-burst R stream or
+    // a backpressured response keeps us awake.
+    if (err_read_beats_ == 0 && port_.channel().requests_empty()) { idle_forever(); }
+}
+
+void AxiToReg::step_datapath() {
     // --- Write path: AW, then one W beat per cycle, B after the last. ---
     if (!write_pending_ && port_.has_aw()) {
         pending_aw_ = port_.recv_aw();

@@ -30,6 +30,8 @@ public:
     [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
 
 private:
+    void step_datapath();
+
     axi::SubordinateView port_;
     RegTarget* target_;
     axi::Addr base_;

@@ -25,6 +25,8 @@ AxiXbar::AxiXbar(sim::SimContext& ctx, std::string name, std::vector<axi::AxiCha
     REALM_EXPECTS(!mgrs_.empty() && !subs_.empty(), "xbar needs managers and subordinates");
     for (axi::AxiChannel* ch : mgrs_) { REALM_EXPECTS(ch != nullptr, "null manager channel"); }
     for (axi::AxiChannel* ch : subs_) { REALM_EXPECTS(ch != nullptr, "null subordinate"); }
+    for (axi::AxiChannel* ch : mgrs_) { ch->wake_subordinate_on_request(*this); }
+    for (axi::AxiChannel* ch : subs_) { ch->wake_manager_on_response(*this); }
     if (config_.default_port) {
         REALM_EXPECTS(*config_.default_port < subs_.size(), "default port out of range");
     }
@@ -202,6 +204,22 @@ void AxiXbar::tick() {
         route_b(m);
         route_r(m);
     }
+    update_activity();
+}
+
+void AxiXbar::update_activity() {
+    // The crossbar is a pure shuttle: with no request flit on any manager
+    // port and no response flit on any subordinate port, every datapath is
+    // provably a no-op (granted-but-dataless write reservations included —
+    // they progress only on W pushes, and `w_stalls_` needs another
+    // manager's non-empty W link).
+    for (const axi::AxiChannel* ch : mgrs_) {
+        if (!ch->requests_empty()) { return; }
+    }
+    for (const axi::AxiChannel* ch : subs_) {
+        if (!ch->responses_empty()) { return; }
+    }
+    idle_forever();
 }
 
 } // namespace realm::ic

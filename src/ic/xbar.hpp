@@ -109,6 +109,7 @@ private:
     void arbitrate_ar(std::uint32_t sub);
     void route_b(std::uint32_t mgr);
     void route_r(std::uint32_t mgr);
+    void update_activity();
 
     std::vector<axi::AxiChannel*> mgrs_;
     std::vector<axi::AxiChannel*> subs_;

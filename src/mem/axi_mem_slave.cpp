@@ -3,6 +3,7 @@
 #include "axi/burst.hpp"
 #include "sim/check.hpp"
 
+#include <algorithm>
 #include <span>
 #include <utility>
 
@@ -17,6 +18,7 @@ AxiMemSlave::AxiMemSlave(sim::SimContext& ctx, std::string name, axi::AxiChannel
     REALM_EXPECTS(backend_ != nullptr, "AxiMemSlave needs a backend");
     REALM_EXPECTS(config_.max_outstanding_reads >= 1 && config_.max_outstanding_writes >= 1,
                   "outstanding limits must be at least 1");
+    channel.wake_subordinate_on_request(*this);
 }
 
 void AxiMemSlave::reset() {
@@ -105,6 +107,30 @@ void AxiMemSlave::tick() {
     accept_requests();
     serve_reads();
     serve_writes();
+    update_activity();
+}
+
+void AxiMemSlave::update_activity() {
+    // Buffered request flits always demand evaluation (acceptance happens
+    // the cycle they become poppable).
+    if (!port_.channel().requests_empty()) { return; }
+    sim::Cycle next = sim::kNoCycle;
+    if (!read_jobs_.empty()) {
+        const ReadJob& job = read_jobs_.front();
+        // Ready to stream (or backpressured on R): stay awake.
+        if (now() >= job.ready_at) { return; }
+        next = std::min(next, job.ready_at);
+    }
+    if (!write_jobs_.empty()) {
+        const WriteJob& job = write_jobs_.front();
+        if (job.data_complete) {
+            if (now() >= job.resp_ready_at) { return; }
+            next = std::min(next, job.resp_ready_at);
+        }
+        // Data-incomplete jobs progress only on W beats; the W link push
+        // wakes us.
+    }
+    idle_until(next);
 }
 
 } // namespace realm::mem

@@ -60,6 +60,7 @@ private:
     void accept_requests();
     void serve_reads();
     void serve_writes();
+    void update_activity();
 
     axi::SubordinateView port_;
     std::unique_ptr<MemoryBackend> backend_;

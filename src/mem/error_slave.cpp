@@ -3,7 +3,9 @@
 namespace realm::mem {
 
 ErrorSlave::ErrorSlave(sim::SimContext& ctx, std::string name, axi::AxiChannel& channel)
-    : Component{ctx, std::move(name)}, port_{channel} {}
+    : Component{ctx, std::move(name)}, port_{channel} {
+    channel.wake_subordinate_on_request(*this);
+}
 
 void ErrorSlave::reset() {
     writes_.clear();
@@ -47,6 +49,13 @@ void ErrorSlave::tick() {
             reads_.pop_front();
             ++errors_;
         }
+    }
+    // Sleep unless progress is possible without a new request flit: an R
+    // stream in flight or a completed write awaiting its B slot keeps us
+    // awake; a write burst waiting for W data is woken by the W push.
+    const bool b_pending = !writes_.empty() && writes_.front().beats_left == 0;
+    if (reads_.empty() && !b_pending && port_.channel().requests_empty()) {
+        idle_forever();
     }
 }
 

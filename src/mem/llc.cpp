@@ -20,6 +20,8 @@ Llc::Llc(sim::SimContext& ctx, std::string name, axi::AxiChannel& upstream,
     REALM_EXPECTS(config_.line_bytes % config_.bus_bytes == 0,
                   "LLC line must be a whole number of bus beats");
     REALM_EXPECTS((config_.sets & (config_.sets - 1)) == 0, "LLC sets must be a power of two");
+    upstream.wake_subordinate_on_request(*this);
+    downstream.wake_manager_on_response(*this);
 }
 
 void Llc::reset() {
@@ -290,6 +292,35 @@ void Llc::tick() {
         serve_write();
     }
     send_b();
+    update_activity();
+}
+
+void Llc::update_activity() {
+    // Request flits upstream or response flits from DRAM demand evaluation,
+    // and the miss engine holds output toward DRAM while mid-flight.
+    if (!up_.channel().requests_empty() || !down_.channel().responses_empty() ||
+        miss_state_ != MissState::kIdle) {
+        return;
+    }
+    sim::Cycle next = sim::kNoCycle;
+    if (!read_jobs_.empty()) {
+        const ReadJob& job = read_jobs_.front();
+        // Not yet initiated, streaming, or backpressured on R: stay awake.
+        if (job.first_beat_at == sim::kNoCycle || now() >= job.first_beat_at) { return; }
+        next = std::min(next, job.first_beat_at);
+    }
+    if (!write_jobs_.empty()) {
+        const WriteJob& job = write_jobs_.front();
+        if (job.ready_at == sim::kNoCycle) { return; } // initiation pending
+        // Once ready, progress needs a W beat; the W link push wakes us.
+        if (now() < job.ready_at) { next = std::min(next, job.ready_at); }
+    }
+    if (!b_queue_.empty()) {
+        const PendingB& pb = b_queue_.front();
+        if (now() >= pb.ready_at) { return; } // sendable (or backpressured on B)
+        next = std::min(next, pb.ready_at);
+    }
+    idle_until(next);
 }
 
 } // namespace realm::mem

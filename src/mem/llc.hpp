@@ -132,6 +132,7 @@ private:
     void serve_write();
     void send_b();
     void advance_miss_engine();
+    void update_activity();
     /// Requests miss handling for the line containing `addr`; returns true
     /// if the engine accepted (it handles one miss at a time).
     bool start_miss(axi::Addr addr);

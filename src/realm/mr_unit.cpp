@@ -51,6 +51,15 @@ void MonitorRegulationUnit::tick(sim::Cycle now) {
     }
 }
 
+sim::Cycle MonitorRegulationUnit::next_replenish_cycle() const noexcept {
+    sim::Cycle next = sim::kNoCycle;
+    for (const RegionState& r : regions_) {
+        if (!r.config.regulated()) { continue; }
+        next = std::min(next, r.period_start + r.config.period_cycles);
+    }
+    return next;
+}
+
 std::optional<std::uint32_t> MonitorRegulationUnit::region_of(axi::Addr addr) const noexcept {
     for (std::uint32_t i = 0; i < regions_.size(); ++i) {
         if (regions_[i].config.contains(addr)) { return i; }

@@ -73,6 +73,11 @@ public:
     /// Advances period timers; replenishes credits on period boundaries.
     void tick(sim::Cycle now);
 
+    /// Earliest upcoming credit-replenish boundary across regulated regions
+    /// (`kNoCycle` when nothing is regulated). The only cycle-driven event
+    /// in the M&R unit, so a unit with empty channels may sleep until then.
+    [[nodiscard]] sim::Cycle next_replenish_cycle() const noexcept;
+
     /// Region containing `addr`, if any.
     [[nodiscard]] std::optional<std::uint32_t> region_of(axi::Addr addr) const noexcept;
 

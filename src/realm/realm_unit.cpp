@@ -16,6 +16,8 @@ RealmUnit::RealmUnit(sim::SimContext& ctx, std::string name, axi::AxiChannel& up
       wbuf_{config.write_buffer_depth, config.write_buffer_enabled},
       mr_{config.num_regions} {
     mr_.set_throttle_enabled(config.throttle_enabled);
+    upstream.wake_subordinate_on_request(*this);
+    downstream.wake_manager_on_response(*this);
 }
 
 void RealmUnit::reset() {
@@ -47,6 +49,7 @@ RealmState RealmUnit::state() const noexcept {
 bool RealmUnit::set_fragmentation(std::uint32_t beats) {
     REALM_EXPECTS(beats >= 1 && beats <= axi::kMaxBurstBeats,
                   "fragmentation out of [1,256]");
+    wake();
     if (iso_.outstanding() == 0 && wbuf_.empty()) {
         splitter_.set_granularity(beats);
         cfg_.fragment_beats = beats;
@@ -59,6 +62,7 @@ bool RealmUnit::set_fragmentation(std::uint32_t beats) {
 }
 
 bool RealmUnit::set_enabled(bool enabled) {
+    wake();
     if (enabled == cfg_.enabled) { return true; }
     if (iso_.outstanding() == 0 && wbuf_.empty()) {
         cfg_.enabled = enabled;
@@ -71,9 +75,11 @@ bool RealmUnit::set_enabled(bool enabled) {
 
 void RealmUnit::set_region(std::uint32_t index, const RegionConfig& region) {
     mr_.configure_region(index, region, now());
+    wake(); // a fresh period/budget changes the unit's next timed event
 }
 
 void RealmUnit::set_user_isolation(bool isolate) {
+    wake();
     if (isolate) {
         iso_.raise(IsolationCause::kUser);
     } else {
@@ -204,6 +210,7 @@ void RealmUnit::tick() {
     apply_pending_config();
     if (!cfg_.enabled) {
         bypass_tick();
+        update_activity();
         return;
     }
     mr_.tick(now());
@@ -213,6 +220,30 @@ void RealmUnit::tick() {
     // the unit then adds exactly one cycle (its ingress register).
     accept_requests();
     emit_requests();
+    update_activity();
+}
+
+void RealmUnit::update_activity() {
+    // Flits on the upstream request side or downstream response side always
+    // demand evaluation (acceptance, forwarding, isolation-stall counting).
+    if (!up_.channel().requests_empty() || !down_.channel().responses_empty()) { return; }
+    if (!cfg_.enabled) {
+        idle_forever(); // bypass over empty channels is a pure no-op
+        return;
+    }
+    // Un-emitted child requests are backpressured downstream; pending
+    // intrusive reconfiguration polls the drain condition each cycle.
+    if (pending_fragmentation_ || pending_enabled_) { return; }
+    if (splitter_.has_child_ar() || wbuf_.has_aw_to_send() || wbuf_.has_w_to_send()) {
+        return;
+    }
+    // A budget state change from this cycle's charges is applied by
+    // update_budget_isolation() on the *next* tick — not yet a no-op.
+    if (mr_.budget_exhausted() != iso_.cause_active(IsolationCause::kBudget)) { return; }
+    // The only remaining timed event is the M&R credit replenishment. Never
+    // sleep past the earliest period boundary, so `period_start` advances
+    // exactly as it would under tick-all (one boundary per evaluation).
+    idle_until(mr_.next_replenish_cycle());
 }
 
 } // namespace realm::rt

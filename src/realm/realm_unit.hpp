@@ -74,7 +74,10 @@ public:
     /// Enables/disables the whole unit (intrusive, drains first).
     bool set_enabled(bool enabled);
     void set_region(std::uint32_t index, const RegionConfig& region);
-    void set_throttle(bool enabled) { mr_.set_throttle_enabled(enabled); }
+    void set_throttle(bool enabled) {
+        mr_.set_throttle_enabled(enabled);
+        wake();
+    }
     /// Commands (or releases) manager isolation.
     void set_user_isolation(bool isolate);
     ///@}
@@ -120,6 +123,7 @@ private:
     void update_budget_isolation();
     void emit_requests();
     void accept_requests();
+    void update_activity();
 
     axi::SubordinateView up_;
     axi::ManagerView down_;

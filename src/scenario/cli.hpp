@@ -1,0 +1,112 @@
+/// \file
+/// \brief Shared command-line handling for the scenario-driven benches:
+///        `--threads N`, `--json PATH`, `--scheduler tick-all|activity`,
+///        `--list`.
+#pragma once
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+#include "sim/context.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace realm::scenario {
+
+struct BenchOptions {
+    RunnerOptions runner{};
+    std::string json_path;
+    sim::Scheduler scheduler = sim::Scheduler::kActivity;
+    bool scheduler_forced = false; ///< --scheduler given on the command line
+};
+
+/// Parses the common bench flags; prints usage and exits on error/--help,
+/// lists registered sweeps and exits on --list.
+inline BenchOptions parse_bench_args(int argc, char** argv) {
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads" || arg == "-j") {
+            const char* value = need_value("--threads");
+            char* end = nullptr;
+            const unsigned long n = std::strtoul(value, &end, 10);
+            if (end == value || *end != '\0') {
+                std::fprintf(stderr, "--threads expects a number, got '%s'\n", value);
+                std::exit(2);
+            }
+            opts.runner.threads = static_cast<unsigned>(n);
+        } else if (arg == "--json") {
+            opts.json_path = need_value("--json");
+        } else if (arg == "--scheduler") {
+            const std::string v = need_value("--scheduler");
+            if (v == "tick-all" || v == "tickall") {
+                opts.scheduler = sim::Scheduler::kTickAll;
+            } else if (v == "activity") {
+                opts.scheduler = sim::Scheduler::kActivity;
+            } else {
+                std::fprintf(stderr, "unknown scheduler '%s'\n", v.c_str());
+                std::exit(2);
+            }
+            opts.scheduler_forced = true;
+        } else if (arg == "--list") {
+            for (const std::string& name : sweep_names()) {
+                std::printf("%s\n", name.c_str());
+            }
+            std::exit(0);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--threads N] [--json PATH] "
+                        "[--scheduler tick-all|activity] [--list]\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s' (try --help)\n", arg.c_str());
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/// Applies CLI overrides (currently the scheduler) to every point.
+inline void apply_overrides(const BenchOptions& opts, Sweep& sweep) {
+    if (!opts.scheduler_forced) { return; }
+    for (SweepPoint& p : sweep.points) { p.config.scheduler = opts.scheduler; }
+}
+
+/// Runs a sweep under the CLI options and optionally writes the JSON dump.
+/// Points that failed to boot or timed out are flagged on stderr so a
+/// garbage table row never passes silently.
+inline std::vector<ScenarioResult> run_with_options(const BenchOptions& opts,
+                                                    Sweep& sweep) {
+    apply_overrides(opts, sweep);
+    const ScenarioRunner runner{opts.runner};
+    std::vector<ScenarioResult> results = runner.run(sweep);
+    for (const ScenarioResult& r : results) {
+        if (!r.boot_ok) {
+            std::fprintf(stderr, "%s: boot script did not complete\n", r.label.c_str());
+        } else if (r.timed_out) {
+            std::fprintf(stderr, "%s: experiment timed out after %llu cycles\n",
+                         r.label.c_str(),
+                         static_cast<unsigned long long>(r.run_cycles));
+        }
+    }
+    if (!opts.json_path.empty() &&
+        !write_json_file(opts.json_path, sweep, results)) {
+        // The JSON artifact was explicitly requested; a consumer checking
+        // only the exit code must not read a stale or missing file.
+        std::fprintf(stderr, "failed to write JSON to %s\n", opts.json_path.c_str());
+        std::exit(3);
+    }
+    return results;
+}
+
+} // namespace realm::scenario

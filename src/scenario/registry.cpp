@@ -1,0 +1,338 @@
+#include "scenario/registry.hpp"
+
+#include "sim/check.hpp"
+#include "sim/rng.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+namespace realm::scenario {
+
+namespace {
+
+constexpr axi::Addr kDram = 0x8000'0000;
+constexpr axi::Addr kSpm = 0x7000'0000;
+constexpr axi::Addr kFigDmaSrc = 0x8010'0000;
+constexpr std::uint64_t kFigDmaBlock = 0x4000; // 16 KiB double-buffered block
+
+/// Shared skeleton of the Figure 6 experiments: Susan on the core under a
+/// double-buffered 256-beat DSA-DMA on the Cheshire-like SoC with a hot LLC
+/// (formerly `bench/fig6_common.hpp`).
+struct Fig6Knobs {
+    bool dma_active = true;
+    std::uint32_t dma_fragment = 256;
+    std::uint64_t dma_budget_bytes = 1ULL << 30;
+    std::uint64_t core_budget_bytes = 1ULL << 30;
+    std::uint64_t period_cycles = 1ULL << 20;
+    bool throttle = false;
+    sim::Cycle llc_request_interval = 1;
+};
+
+ScenarioConfig fig6_point(const Fig6Knobs& k) {
+    ScenarioConfig cfg;
+    cfg.soc.llc.max_outstanding = 4;
+    cfg.soc.llc.request_interval = k.llc_request_interval;
+
+    cfg.victim.kind = VictimConfig::Kind::kSusan;
+    cfg.victim.susan.width = 64;
+    cfg.victim.susan.height = 48;
+    cfg.victim.susan.mask_radius = 2;
+
+    cfg.preload.push_back(PreloadSpan{kFigDmaSrc, kFigDmaBlock, 0x9E3779B9ULL, true});
+
+    cfg.boot_plans.push_back(RegionPlan{k.core_budget_bytes, k.period_cycles, 256});
+    cfg.boot_plans.push_back(
+        RegionPlan{k.dma_budget_bytes, k.period_cycles, k.dma_fragment});
+    cfg.throttle_dsa = k.throttle;
+
+    if (k.dma_active) {
+        InterferenceConfig irq;
+        irq.dma.burst_beats = 256;
+        irq.dma.num_buffers = 4;
+        irq.dma.max_outstanding_reads = 4;
+        irq.dma.max_outstanding_writes = 4;
+        irq.src = kFigDmaSrc;
+        irq.dst = kSpm;
+        irq.bytes = kFigDmaBlock;
+        irq.loop = true;
+        cfg.interference.push_back(irq);
+    }
+    cfg.warmup_cycles = 3000;
+    cfg.max_cycles = 60'000'000;
+    return cfg;
+}
+
+std::string frag_label(std::uint32_t frag) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, frag == 256 ? "no-reserv. (256)" : "frag %u", frag);
+    return buf;
+}
+
+Sweep make_fig6a() {
+    Sweep s;
+    s.name = "fig6a";
+    s.title = "Figure 6a: Susan under DSA-DMA contention vs fragmentation size";
+    s.notes = {"paper reference: without reservation < 0.7 % @ >= 264 cycles/access;",
+               "fragmentation 1 -> 68.2 % of single-source @ < 10 cycles/access."};
+    s.baseline_index = 0;
+    Fig6Knobs base;
+    base.dma_active = false;
+    s.points.push_back({"single-source", fig6_point(base)});
+    for (const std::uint32_t frag : {256U, 128U, 64U, 32U, 16U, 8U, 4U, 2U, 1U}) {
+        Fig6Knobs k;
+        k.dma_fragment = frag;
+        s.points.push_back({frag_label(frag), fig6_point(k)});
+    }
+    return s;
+}
+
+Sweep make_fig6a_llc2() {
+    Sweep s;
+    s.name = "fig6a-llc2";
+    s.title = "Figure 6a, alternative LLC calibration (descriptor interval 2)";
+    s.baseline_index = 0;
+    Fig6Knobs base;
+    base.dma_active = false;
+    base.llc_request_interval = 2;
+    s.points.push_back({"single-source", fig6_point(base)});
+    for (const std::uint32_t frag : {256U, 8U, 2U, 1U}) {
+        Fig6Knobs k;
+        k.dma_fragment = frag;
+        k.llc_request_interval = 2;
+        s.points.push_back({frag_label(frag), fig6_point(k)});
+    }
+    return s;
+}
+
+Sweep make_fig6b() {
+    Sweep s;
+    s.name = "fig6b";
+    s.title = "Figure 6b: Susan performance vs core/DMA budget imbalance";
+    s.notes = {"paper reference: reducing the DMA budget from 1/1 to 1/5 closes the",
+               "gap to the single-source scenario: > 95 % performance, worst-case",
+               "access latency below eight cycles."};
+    s.baseline_index = 0;
+    Fig6Knobs base;
+    base.dma_active = false;
+    s.points.push_back({"baseline", fig6_point(base)});
+    const std::pair<const char*, std::uint64_t> points[] = {
+        {"1/1", 8192}, {"1/2", 6554}, {"1/3", 4915}, {"1/4", 3277}, {"1/5", 1638},
+    };
+    for (const auto& [label, budget] : points) {
+        Fig6Knobs k;
+        k.dma_fragment = 1;
+        k.dma_budget_bytes = budget;
+        k.period_cycles = 1000;
+        s.points.push_back({label, fig6_point(k)});
+    }
+    return s;
+}
+
+Sweep make_ablation_period() {
+    Sweep s;
+    s.name = "ablation-period";
+    s.title = "Ablation: period selection at a fixed 20 % DMA share";
+    s.notes = {"same average DMA bandwidth everywhere; the period picks where the",
+               "interference lands: fine interleaving (short) vs long contended phases",
+               "with a worse core latency tail (long)."};
+    s.baseline_index = 0;
+    Fig6Knobs base;
+    base.dma_active = false;
+    s.points.push_back({"baseline", fig6_point(base)});
+    for (const std::uint64_t period : {100ULL, 1000ULL, 10000ULL, 100000ULL}) {
+        Fig6Knobs k;
+        k.dma_fragment = 1;
+        k.period_cycles = period;
+        k.dma_budget_bytes = period * 16 / 10; // 1.6 B/cycle share
+        s.points.push_back({std::to_string(period), fig6_point(k)});
+    }
+    return s;
+}
+
+ScenarioConfig throttle_point(bool throttle) {
+    ScenarioConfig cfg;
+    cfg.soc.llc.max_outstanding = 4;
+    cfg.preload.push_back(PreloadSpan{kDram, 0x20000, 1, true});
+    cfg.boot_plans.push_back(RegionPlan{1ULL << 30, 1ULL << 20, 256}); // core: free
+    cfg.boot_plans.push_back(RegionPlan{4096, 2000, 8});               // DMA: budgeted
+    cfg.throttle_dsa = throttle;
+
+    InterferenceConfig irq;
+    irq.dma.burst_beats = 64;
+    irq.dma.num_buffers = 4;
+    irq.dma.max_outstanding_reads = 4;
+    irq.src = kDram + 0x10000;
+    irq.dst = kSpm;
+    irq.bytes = 0x4000;
+    cfg.interference.push_back(irq);
+
+    cfg.victim.kind = VictimConfig::Kind::kStream;
+    cfg.victim.stream = {.base = kDram, .bytes = 0x8000, .op_bytes = 8,
+                         .stride_bytes = 8, .repeat = 12};
+    cfg.warmup_cycles = 0; // the original bench starts the victim immediately
+    cfg.max_cycles = 10'000'000;
+    return cfg;
+}
+
+Sweep make_ablation_throttle() {
+    Sweep s;
+    s.name = "ablation-throttle";
+    s.title = "Ablation: throttling unit on a budgeted DMA (4 KiB / 2000 cycles)";
+    s.notes = {"throttling converts hard isolation time into early backpressure",
+               "(stalls) at equal average DMA bandwidth, smoothing the interference",
+               "the core observes."};
+    s.points.push_back({"throttle off", throttle_point(false)});
+    s.points.push_back({"throttle on", throttle_point(true)});
+    return s;
+}
+
+ScenarioConfig dos_point(bool write_buffer_enabled) {
+    ScenarioConfig cfg;
+    cfg.soc.realm.write_buffer_enabled = write_buffer_enabled;
+    cfg.soc.realm.write_buffer_depth = 16;
+    cfg.preload.push_back(PreloadSpan{kDram, 0x10000, 1, true});
+    // No boot script: the attack needs no regulation programmed, only the
+    // write buffer's structural protection.
+
+    InterferenceConfig attacker;
+    attacker.dma.burst_beats = 8;
+    attacker.dma.reserve_before_data = true;
+    attacker.dma.w_stall_cycles = 64;
+    attacker.src = kDram + 0x8000;
+    attacker.dst = kDram + 0xC000;
+    attacker.bytes = 0x4000;
+    cfg.interference.push_back(attacker);
+
+    cfg.victim.kind = VictimConfig::Kind::kStream;
+    cfg.victim.stream = {.base = kDram, .bytes = 0x2000, .op_bytes = 8,
+                         .stride_bytes = 8, .store_ratio16 = 16};
+    cfg.warmup_cycles = 500;
+    cfg.max_cycles = 10'000'000;
+    return cfg;
+}
+
+Sweep make_ablation_dos() {
+    Sweep s;
+    s.name = "ablation-dos";
+    s.title = "Ablation: write buffer vs the stalling-manager DoS attack";
+    s.notes = {"paper: the buffer forwards AW and W only once the write data is",
+               "fully contained within the buffer."};
+    s.points.push_back({"wbuf disabled", dos_point(false)});
+    s.points.push_back({"wbuf enabled", dos_point(true)});
+    return s;
+}
+
+Sweep make_random_mix() {
+    Sweep s;
+    s.name = "random-mix";
+    s.title = "Random-access victim under budgeted DMA interference";
+    s.notes = {"per-point workloads are seeded from derive_seed(sweep, index), so",
+               "results are identical regardless of runner thread count."};
+    s.baseline_index = 0;
+    for (const std::uint32_t frag : {256U, 16U, 1U}) {
+        ScenarioConfig cfg;
+        cfg.soc.llc.max_outstanding = 4;
+        cfg.preload.push_back(PreloadSpan{kDram, 0x20000, 3, true});
+        cfg.boot_plans.push_back(RegionPlan{1ULL << 30, 1ULL << 20, 256});
+        cfg.boot_plans.push_back(RegionPlan{4000, 1000, frag});
+        InterferenceConfig irq;
+        irq.dma.burst_beats = 256;
+        irq.dma.num_buffers = 4;
+        irq.dma.max_outstanding_reads = 4;
+        irq.src = kDram + 0x10000;
+        irq.dst = kSpm;
+        irq.bytes = 0x4000;
+        cfg.interference.push_back(irq);
+        cfg.victim.kind = VictimConfig::Kind::kRandom;
+        // No .seed here: run_scenario always seeds the random victim from
+        // the derived per-point seed.
+        cfg.victim.random = {.base = kDram, .bytes = 0x10000, .op_bytes = 8,
+                             .compute_cycles = 0, .store_ratio16 = 4,
+                             .num_ops = 4000};
+        cfg.max_cycles = 10'000'000;
+        s.points.push_back({frag_label(frag), cfg});
+    }
+    return s;
+}
+
+Sweep make_idle_tail() {
+    Sweep s;
+    s.name = "idle-tail";
+    s.title = "Idle-heavy scenario: short Susan burst, long quiescent tail";
+    s.notes = {"the victim finishes early and the simulation idles for 2M cycles;",
+               "the activity-aware kernel fast-forwards the tail."};
+    for (const bool activity : {false, true}) {
+        ScenarioConfig cfg;
+        cfg.victim.kind = VictimConfig::Kind::kSusan;
+        cfg.victim.susan.width = 32;
+        cfg.victim.susan.height = 24;
+        cfg.victim.susan.mask_radius = 2;
+        InterferenceConfig irq; // finite copy: drains, then everything sleeps
+        irq.dma.burst_beats = 64;
+        irq.src = kDram + 0x10000;
+        irq.dst = kSpm;
+        irq.bytes = 0x2000;
+        irq.loop = false;
+        cfg.interference.push_back(irq);
+        cfg.preload.push_back(PreloadSpan{kDram + 0x10000, 0x2000, 5, true});
+        cfg.boot_plans.push_back(RegionPlan{1ULL << 30, 1ULL << 20, 256});
+        cfg.boot_plans.push_back(RegionPlan{1ULL << 30, 1ULL << 20, 16});
+        cfg.warmup_cycles = 100;
+        cfg.max_cycles = 10'000'000;
+        cfg.cooldown_cycles = 2'000'000;
+        cfg.scheduler = activity ? sim::Scheduler::kActivity : sim::Scheduler::kTickAll;
+        s.points.push_back({activity ? "activity kernel" : "tick-all kernel", cfg});
+    }
+    return s;
+}
+
+using Factory = Sweep (*)();
+
+const std::vector<std::pair<std::string, Factory>>& factories() {
+    static const std::vector<std::pair<std::string, Factory>> kFactories = {
+        {"fig6a", &make_fig6a},
+        {"fig6a-llc2", &make_fig6a_llc2},
+        {"fig6b", &make_fig6b},
+        {"ablation-period", &make_ablation_period},
+        {"ablation-throttle", &make_ablation_throttle},
+        {"ablation-dos", &make_ablation_dos},
+        {"random-mix", &make_random_mix},
+        {"idle-tail", &make_idle_tail},
+    };
+    return kFactories;
+}
+
+} // namespace
+
+std::vector<std::string> sweep_names() {
+    std::vector<std::string> names;
+    names.reserve(factories().size());
+    for (const auto& [name, factory] : factories()) { names.push_back(name); }
+    return names;
+}
+
+bool has_sweep(const std::string& name) {
+    for (const auto& [known, factory] : factories()) {
+        if (known == name) { return true; }
+    }
+    return false;
+}
+
+Sweep make_sweep(const std::string& name) {
+    for (const auto& [known, factory] : factories()) {
+        if (known != name) { continue; }
+        Sweep sweep = factory();
+        for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+            sweep.points[i].config.seed = sim::derive_seed(sweep.name, i);
+            if (sweep.points[i].config.name == "scenario") {
+                sweep.points[i].config.name = sweep.name + "/" + sweep.points[i].label;
+            }
+        }
+        return sweep;
+    }
+    REALM_EXPECTS(false, "unknown sweep: " + name);
+    return {};
+}
+
+} // namespace realm::scenario

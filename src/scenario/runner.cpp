@@ -1,0 +1,163 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+namespace realm::scenario {
+
+std::vector<ScenarioResult> ScenarioRunner::run(const Sweep& sweep) const {
+    std::vector<const ScenarioConfig*> configs;
+    std::vector<std::string> labels;
+    configs.reserve(sweep.points.size());
+    labels.reserve(sweep.points.size());
+    for (const SweepPoint& p : sweep.points) {
+        configs.push_back(&p.config);
+        labels.push_back(p.label);
+    }
+    return run_points(configs, labels);
+}
+
+std::vector<ScenarioResult>
+ScenarioRunner::run(const std::vector<ScenarioConfig>& configs) const {
+    std::vector<const ScenarioConfig*> ptrs;
+    std::vector<std::string> labels;
+    ptrs.reserve(configs.size());
+    labels.reserve(configs.size());
+    for (const ScenarioConfig& cfg : configs) {
+        ptrs.push_back(&cfg);
+        labels.push_back(cfg.name);
+    }
+    return run_points(ptrs, labels);
+}
+
+std::vector<ScenarioResult>
+ScenarioRunner::run_points(const std::vector<const ScenarioConfig*>& configs,
+                           const std::vector<std::string>& labels) const {
+    std::vector<ScenarioResult> results(configs.size());
+    if (configs.empty()) { return results; }
+
+    unsigned threads = options_.threads;
+    if (threads == 0) { threads = std::max(1U, std::thread::hardware_concurrency()); }
+    threads = std::min<unsigned>(threads, static_cast<unsigned>(configs.size()));
+
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            results[i] = run_scenario(*configs[i], labels[i]);
+        }
+        return results;
+    }
+
+    // Work-stealing over an atomic index: points differ wildly in cost
+    // (baseline vs fully-contended), so static partitioning wastes workers.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < configs.size();
+                 i = next.fetch_add(1)) {
+                results[i] = run_scenario(*configs[i], labels[i]);
+            }
+        });
+    }
+    for (std::thread& th : pool) { th.join(); }
+    return results;
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void json_number(std::ostream& os, double v) {
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    os << buf;
+}
+
+} // namespace
+
+void write_json(std::ostream& os, const Sweep& sweep,
+                const std::vector<ScenarioResult>& results) {
+    os << "{\n  \"sweep\": ";
+    json_escape(os, sweep.name);
+    os << ",\n  \"title\": ";
+    json_escape(os, sweep.title);
+    os << ",\n  \"baseline_index\": ";
+    if (sweep.baseline_index) {
+        os << *sweep.baseline_index;
+    } else {
+        os << "null";
+    }
+    os << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult& r = results[i];
+        os << "    {\"label\": ";
+        json_escape(os, r.label);
+        os << ", \"seed\": " << r.seed;
+        os << ", \"boot_ok\": " << (r.boot_ok ? "true" : "false");
+        os << ", \"timed_out\": " << (r.timed_out ? "true" : "false");
+        os << ", \"run_cycles\": " << r.run_cycles;
+        os << ", \"ops\": " << r.ops;
+        os << ", \"load_lat_mean\": ";
+        json_number(os, r.load_lat_mean);
+        os << ", \"load_lat_min\": " << r.load_lat_min;
+        os << ", \"load_lat_max\": " << r.load_lat_max;
+        os << ", \"load_lat_p99\": " << r.load_lat_p99;
+        os << ", \"store_lat_mean\": ";
+        json_number(os, r.store_lat_mean);
+        os << ", \"store_lat_max\": " << r.store_lat_max;
+        os << ", \"dma_bytes\": " << r.dma_bytes;
+        os << ", \"dma_read_bw\": ";
+        json_number(os, r.dma_read_bw);
+        os << ", \"dma_depletions\": " << r.dma_depletions;
+        os << ", \"dma_isolation_cycles\": " << r.dma_isolation_cycles;
+        os << ", \"dma_throttle_stalls\": " << r.dma_throttle_stalls;
+        os << ", \"dma_cut_through\": " << r.dma_cut_through;
+        os << ", \"xbar_w_stalls\": " << r.xbar_w_stalls;
+        os << ", \"ticks_executed\": " << r.ticks_executed;
+        os << ", \"ticks_skipped\": " << r.ticks_skipped;
+        os << ", \"fast_forwarded_cycles\": " << r.fast_forwarded_cycles;
+        os << ", \"simulated_cycles\": " << r.simulated_cycles;
+        os << ", \"wall_seconds\": ";
+        json_number(os, r.wall_seconds);
+        os << '}' << (i + 1 < results.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+bool write_json_file(const std::string& path, const Sweep& sweep,
+                     const std::vector<ScenarioResult>& results) {
+    std::ofstream out{path};
+    if (!out) { return false; }
+    write_json(out, sweep, results);
+    return out.good();
+}
+
+} // namespace realm::scenario

@@ -1,0 +1,55 @@
+/// \file
+/// \brief Parallel sweep runner: executes independent scenario points on a
+///        thread pool and renders text tables / machine-readable JSON.
+///
+/// Each point runs in its own `SimContext` (a scenario owns all simulation
+/// state) with an RNG seed derived from the sweep name and point index, so
+/// results are bit-identical for every thread count, including 1.
+#pragma once
+
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace realm::scenario {
+
+struct RunnerOptions {
+    /// Worker threads; 0 picks `std::thread::hardware_concurrency()`.
+    unsigned threads = 1;
+};
+
+class ScenarioRunner {
+public:
+    explicit ScenarioRunner(RunnerOptions options = {}) : options_{options} {}
+
+    /// Runs every point of the sweep; results are returned in point order
+    /// regardless of completion order.
+    [[nodiscard]] std::vector<ScenarioResult> run(const Sweep& sweep) const;
+
+    /// Runs a bare list of configs (labels default to each config's name).
+    [[nodiscard]] std::vector<ScenarioResult>
+    run(const std::vector<ScenarioConfig>& configs) const;
+
+    [[nodiscard]] const RunnerOptions& options() const noexcept { return options_; }
+
+private:
+    [[nodiscard]] std::vector<ScenarioResult>
+    run_points(const std::vector<const ScenarioConfig*>& configs,
+               const std::vector<std::string>& labels) const;
+
+    RunnerOptions options_;
+};
+
+/// Writes the sweep's results as a JSON document:
+/// `{"sweep": ..., "points": [{label, seed, metrics...}, ...]}`.
+void write_json(std::ostream& os, const Sweep& sweep,
+                const std::vector<ScenarioResult>& results);
+
+/// Convenience: `write_json` to a file; returns false on I/O failure.
+bool write_json_file(const std::string& path, const Sweep& sweep,
+                     const std::vector<ScenarioResult>& results);
+
+} // namespace realm::scenario

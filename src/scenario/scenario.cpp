@@ -1,0 +1,150 @@
+#include "scenario/scenario.hpp"
+
+#include "sim/check.hpp"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace realm::scenario {
+
+namespace {
+
+/// Builds the victim workload; for Susan this also returns the generator's
+/// input image so the caller can seed DRAM with it.
+std::unique_ptr<traffic::Workload> make_victim(const VictimConfig& cfg,
+                                               std::uint64_t seed,
+                                               soc::CheshireSoc& soc) {
+    switch (cfg.kind) {
+    case VictimConfig::Kind::kSusan: {
+        traffic::SusanTraceGenerator gen{cfg.susan};
+        const auto& img = gen.input_image();
+        for (std::size_t i = 0; i < img.size(); ++i) {
+            soc.dram_image().write_u8(cfg.susan.image_base + i, img[i]);
+        }
+        soc.warm_llc(cfg.susan.image_base, img.size());
+        soc.warm_llc(cfg.susan.out_base, img.size());
+        soc.warm_llc(cfg.susan.lut_base, 4096);
+        return std::make_unique<traffic::TraceWorkload>(gen.take_ops());
+    }
+    case VictimConfig::Kind::kStream:
+        return std::make_unique<traffic::StreamWorkload>(cfg.stream);
+    case VictimConfig::Kind::kRandom: {
+        traffic::RandomWorkload::Config rnd = cfg.random;
+        rnd.seed = seed; // the derived per-point seed, not a shared default
+        return std::make_unique<traffic::RandomWorkload>(rnd);
+    }
+    }
+    REALM_EXPECTS(false, "unknown victim kind");
+    return nullptr;
+}
+
+} // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    REALM_EXPECTS(cfg.interference.size() <= cfg.soc.num_dsa,
+                  "more interference DMAs than DSA ports");
+
+    ScenarioResult res;
+    res.label = label.empty() ? cfg.name : std::move(label);
+    res.seed = cfg.seed;
+
+    sim::SimContext ctx;
+    ctx.set_scheduler(cfg.scheduler);
+    soc::CheshireSoc soc{ctx, cfg.soc};
+
+    // --- Memory preconditioning -----------------------------------------
+    auto victim_workload = make_victim(cfg.victim, cfg.seed, soc);
+    for (const PreloadSpan& span : cfg.preload) {
+        for (std::uint64_t off = 0; off < span.bytes; off += 8) {
+            soc.dram_image().write_u64(span.base + off, off * span.multiplier);
+        }
+        if (span.warm) { soc.warm_llc(span.base, span.bytes); }
+    }
+
+    // --- Boot-flow regulation -------------------------------------------
+    if (!cfg.boot_plans.empty()) {
+        std::vector<soc::CheshireSoc::BootRegionPlan> plans;
+        plans.reserve(cfg.boot_plans.size());
+        for (const RegionPlan& p : cfg.boot_plans) {
+            plans.push_back({p.budget_bytes, p.period_cycles, p.fragment_beats});
+        }
+        soc.queue_boot_script(plans);
+        res.boot_ok = ctx.run_until([&] { return soc.boot_master().done(); }, 10000);
+        if (!res.boot_ok) { return res; }
+    }
+    if (cfg.throttle_dsa && soc.realm_present()) {
+        for (std::uint32_t i = 0; i < cfg.soc.num_dsa; ++i) {
+            soc.dsa_realm(i).set_throttle(true);
+        }
+    }
+    if (cfg.monitor_llc_on_core && soc.realm_present()) {
+        soc.core_realm().set_region(
+            0, rt::RegionConfig{cfg.soc.dram_base, cfg.soc.dram_base + cfg.soc.dram_size,
+                                /*budget=*/0, /*period=*/0});
+    }
+
+    // --- Interference ----------------------------------------------------
+    std::vector<std::unique_ptr<traffic::DmaEngine>> dmas;
+    for (std::size_t i = 0; i < cfg.interference.size(); ++i) {
+        const InterferenceConfig& irq = cfg.interference[i];
+        dmas.push_back(std::make_unique<traffic::DmaEngine>(
+            ctx, "dsa_dma" + std::to_string(i), soc.dsa_port(i), irq.dma));
+        dmas.back()->push_job(traffic::DmaJob{irq.src, irq.dst, irq.bytes, irq.loop});
+    }
+    if (!dmas.empty() && cfg.warmup_cycles > 0) { ctx.run(cfg.warmup_cycles); }
+
+    // --- Victim ----------------------------------------------------------
+    traffic::CoreModel core{ctx, "core", soc.core_port(), *victim_workload};
+    const sim::Cycle start = ctx.now();
+    const std::uint64_t dma_bytes_before = dmas.empty() ? 0 : dmas[0]->bytes_read();
+    res.timed_out = !ctx.run_until([&] { return core.done(); }, cfg.max_cycles);
+    // On timeout the victim never finished; charge the whole window instead
+    // of underflowing against a zero finish_cycle.
+    const sim::Cycle victim_end = res.timed_out ? ctx.now() : core.finish_cycle();
+    if (cfg.cooldown_cycles > 0) { ctx.run(cfg.cooldown_cycles); }
+
+    // --- Harvest ---------------------------------------------------------
+    res.run_cycles = victim_end - start;
+    res.ops = core.loads_retired() + core.stores_retired();
+    res.load_lat_mean = core.load_latency().mean();
+    res.load_lat_min = core.load_latency().min();
+    res.load_lat_max = core.load_latency().max();
+    res.load_lat_p99 = core.load_latency().quantile(0.99);
+    res.store_lat_mean = core.store_latency().mean();
+    res.store_lat_max = core.store_latency().max();
+
+    if (!dmas.empty()) {
+        res.dma_bytes = dmas[0]->bytes_read() - dma_bytes_before;
+        res.dma_read_bw = res.run_cycles == 0
+                              ? 0.0
+                              : static_cast<double>(res.dma_bytes) /
+                                    static_cast<double>(res.run_cycles);
+        if (soc.realm_present()) {
+            const rt::RealmUnit& unit = soc.dsa_realm(0);
+            res.dma_depletions = unit.mr().region(0).depletion_events;
+            res.dma_isolation_cycles = unit.mr().isolation_cycles();
+            res.dma_throttle_stalls = unit.throttle_stalls();
+            res.dma_cut_through = unit.write_buffer().cut_through_bursts();
+            res.dma_mr_bytes_total = unit.mr().region(0).bytes_total;
+            res.dma_mr_read_lat_mean = unit.mr().region(0).read_latency.mean();
+        }
+    }
+    if (soc.realm_present()) {
+        res.core_mr_read_lat_mean = soc.core_realm().mr().region(0).read_latency.mean();
+        res.core_mr_write_lat_max = soc.core_realm().mr().region(0).write_latency.max();
+    }
+    res.xbar_w_stalls = soc.xbar().w_stall_cycles(0);
+
+    res.ticks_executed = ctx.ticks_executed();
+    res.ticks_skipped = ctx.ticks_skipped();
+    res.fast_forwarded_cycles = ctx.fast_forwarded_cycles();
+    res.simulated_cycles = ctx.now();
+    res.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    return res;
+}
+
+} // namespace realm::scenario

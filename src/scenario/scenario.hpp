@@ -1,0 +1,157 @@
+/// \file
+/// \brief Declarative scenario engine: one struct describes a whole
+///        experiment on the Cheshire-like SoC — topology, REALM regulation,
+///        memory preload, traffic mix, and run length — and `run_scenario`
+///        executes it in a private `SimContext`.
+///
+/// This replaces the hand-built setup previously duplicated across
+/// `bench/fig6_common.hpp`, the ablation benches, and the examples. Every
+/// field maps to a knob one of those harnesses used; sweeps are just
+/// vectors of configs (see registry.hpp) and are embarrassingly parallel
+/// because a scenario owns all of its simulation state.
+#pragma once
+
+#include "sim/context.hpp"
+#include "soc/cheshire_soc.hpp"
+#include "traffic/core.hpp"
+#include "traffic/dma.hpp"
+#include "traffic/susan.hpp"
+#include "traffic/workload.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace realm::scenario {
+
+/// Per-REALM-unit regulation programmed through the guarded register file
+/// by the boot master (order: core unit first, then DSA units).
+struct RegionPlan {
+    std::uint64_t budget_bytes = 1ULL << 30;
+    std::uint64_t period_cycles = 1ULL << 20;
+    std::uint32_t fragment_beats = axi::kMaxBurstBeats;
+};
+
+/// The latency-sensitive workload replayed on the core port.
+struct VictimConfig {
+    enum class Kind : std::uint8_t {
+        kSusan,  ///< MiBench Susan trace (the paper's Figure 6 victim)
+        kStream, ///< sequential stream kernel
+        kRandom, ///< uniform-random accesses, seeded from the derived seed
+    };
+    Kind kind = Kind::kSusan;
+    traffic::SusanConfig susan{};
+    traffic::StreamWorkload::Config stream{};
+    traffic::RandomWorkload::Config random{};
+};
+
+/// One interference DMA engine, attached to a DSA port.
+struct InterferenceConfig {
+    traffic::DmaConfig dma{};
+    axi::Addr src = 0x8010'0000;
+    axi::Addr dst = 0x7000'0000; ///< SPM by default
+    std::uint64_t bytes = 0x4000;
+    bool loop = true;
+};
+
+/// DRAM span seeded with `value(offset) = offset * multiplier` (u64 every
+/// 8 bytes) and optionally installed hot in the LLC.
+struct PreloadSpan {
+    axi::Addr base = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t multiplier = 1;
+    bool warm = true;
+};
+
+/// A complete experiment description.
+struct ScenarioConfig {
+    std::string name = "scenario";
+
+    soc::SocConfig soc{};
+    /// Boot-flow regulation; empty skips the boot script entirely.
+    std::vector<RegionPlan> boot_plans;
+    /// Enables the throttling unit on every DSA-side REALM unit after boot.
+    bool throttle_dsa = false;
+    /// Programs a monitor-only (unregulated) region over the LLC span on
+    /// the core-side REALM unit — free observability without any budget.
+    bool monitor_llc_on_core = false;
+
+    VictimConfig victim{};
+    /// Interference DMAs, attached to DSA ports 0..n-1 (n <= soc.num_dsa).
+    std::vector<InterferenceConfig> interference;
+    std::vector<PreloadSpan> preload;
+
+    /// Interference spin-up before the victim starts (applied only when
+    /// there is interference), reproducing the "steady-state disturbance"
+    /// precondition of the Figure 6 runs.
+    sim::Cycle warmup_cycles = 3000;
+    sim::Cycle max_cycles = 60'000'000;
+    /// Extra cycles simulated after the victim finishes — an idle-heavy
+    /// tail that showcases (and tests) the activity-aware kernel.
+    sim::Cycle cooldown_cycles = 0;
+
+    sim::Scheduler scheduler = sim::Scheduler::kActivity;
+    /// Per-point RNG seed; sweep factories fill this via `sim::derive_seed`
+    /// so parallel runs are reproducible regardless of thread count.
+    std::uint64_t seed = 0;
+};
+
+/// Everything the benches and examples report, from one scenario run.
+struct ScenarioResult {
+    std::string label;
+    std::uint64_t seed = 0;
+    bool boot_ok = true;
+    bool timed_out = false;
+
+    /// \name Victim-observed performance
+    ///@{
+    std::uint64_t run_cycles = 0; ///< victim start -> victim done
+    std::uint64_t ops = 0;
+    double load_lat_mean = 0;
+    sim::Cycle load_lat_min = 0;
+    sim::Cycle load_lat_max = 0;
+    sim::Cycle load_lat_p99 = 0;
+    double store_lat_mean = 0;
+    sim::Cycle store_lat_max = 0;
+    ///@}
+
+    /// \name Interference-side observability (DSA port 0)
+    ///@{
+    std::uint64_t dma_bytes = 0;  ///< read during the victim window
+    double dma_read_bw = 0;       ///< bytes/cycle over the victim window
+    std::uint64_t dma_depletions = 0;
+    std::uint64_t dma_isolation_cycles = 0;
+    std::uint64_t dma_throttle_stalls = 0;
+    std::uint64_t dma_cut_through = 0; ///< write-buffer cut-through bursts
+    std::uint64_t xbar_w_stalls = 0;   ///< W-channel starvation at the LLC port
+    std::uint64_t dma_mr_bytes_total = 0;  ///< DSA-side M&R: bytes moved
+    double dma_mr_read_lat_mean = 0;       ///< DSA-side M&R: read latency
+    ///@}
+
+    /// \name Core-side M&R observability (with `monitor_llc_on_core`)
+    ///@{
+    double core_mr_read_lat_mean = 0;
+    sim::Cycle core_mr_write_lat_max = 0;
+    ///@}
+
+    /// \name Host-side simulation performance
+    ///@{
+    std::uint64_t ticks_executed = 0;
+    std::uint64_t ticks_skipped = 0;
+    sim::Cycle fast_forwarded_cycles = 0;
+    sim::Cycle simulated_cycles = 0;
+    double wall_seconds = 0;
+    ///@}
+
+    [[nodiscard]] double cycles_per_op() const noexcept {
+        return ops == 0 ? 0.0
+                        : static_cast<double>(run_cycles) / static_cast<double>(ops);
+    }
+};
+
+/// Runs one scenario end to end in a fresh simulation context.
+/// \param label  Result label (defaults to `cfg.name`).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& cfg,
+                                          std::string label = {});
+
+} // namespace realm::scenario

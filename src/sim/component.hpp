@@ -5,6 +5,7 @@
 #include "sim/context.hpp"
 #include "sim/types.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -17,6 +18,17 @@ namespace realm::sim {
 /// registered `Link`s, so evaluation order between components never changes
 /// observable behaviour (only capacity visibility, which is benign and
 /// deterministic).
+///
+/// Activity contract (the idle-aware scheduler): a component may declare,
+/// at the end of its `tick()`, that every tick before cycle C would be a
+/// no-op — no state change, no statistics, no link traffic — by calling
+/// `idle_until(C)` (or `idle_forever()`). The scheduler then skips it until
+/// cycle C, or until something calls `wake()` (a flit pushed into a link it
+/// consumes, a new job queued, a register write). Components that never
+/// declare idle are evaluated every cycle, exactly as before, so opting in
+/// is optional per block. Declarations must be *conservative*: waking too
+/// early is always safe (the extra tick is the promised no-op); sleeping
+/// through work changes behaviour.
 class Component {
 public:
     Component(SimContext& ctx, std::string name) : ctx_{&ctx}, name_{std::move(name)} {
@@ -43,7 +55,31 @@ public:
     /// Evaluates one clock cycle.
     virtual void tick() = 0;
 
+    /// \name Scheduling (activity-aware kernel)
+    ///@{
+    /// First cycle at which this component needs evaluation. `<= now` means
+    /// active this cycle; the default of 0 means always active.
+    [[nodiscard]] Cycle wake_cycle() const noexcept { return wake_at_; }
+
+    /// Ensures the component is evaluated no later than `cycle`. Safe to
+    /// call from anywhere (links, job queues, register writes); waking an
+    /// already-active component is a no-op.
+    void wake(Cycle cycle) noexcept {
+        wake_at_ = std::min(wake_at_, cycle);
+        ctx_->note_wake(cycle); // keep the fast-forward hint conservative
+    }
+    /// Ensures the component is evaluated from the current cycle on.
+    void wake() noexcept { wake(ctx_->now()); }
+    ///@}
+
 protected:
+    /// Declares that every `tick()` strictly before `cycle` is a no-op.
+    /// Call only at the end of `tick()` (or from a state-mutating entry
+    /// point that re-establishes the promise).
+    void idle_until(Cycle cycle) noexcept { wake_at_ = cycle; }
+    /// Declares the component dormant until someone calls `wake()`.
+    void idle_forever() noexcept { wake_at_ = kNoCycle; }
+
     /// Cycle-stamped log line attributed to this component.
     void log(LogLevel level, const std::string& message) const {
         if (ctx_->log_enabled(level)) { ctx_->log(level, name_, message); }
@@ -52,6 +88,7 @@ protected:
 private:
     SimContext* ctx_;
     std::string name_;
+    Cycle wake_at_ = 0;
 };
 
 } // namespace realm::sim

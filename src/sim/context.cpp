@@ -10,6 +10,7 @@ namespace realm::sim {
 
 void SimContext::register_component(Component& c) {
     components_.push_back(&c);
+    next_active_hint_ = 0; // a newly built component is active immediately
 }
 
 void SimContext::unregister_component(Component& c) noexcept {
@@ -19,22 +20,67 @@ void SimContext::unregister_component(Component& c) noexcept {
 
 void SimContext::reset() {
     now_ = 0;
-    for (Component* c : components_) { c->reset(); }
+    next_active_hint_ = 0;
+    ticks_executed_ = 0;
+    ticks_skipped_ = 0;
+    fast_forwarded_ = 0;
+    for (Component* c : components_) {
+        c->wake(0); // forget idle declarations made against the old timeline
+        c->reset();
+    }
 }
 
 void SimContext::step() {
-    for (Component* c : components_) { c->tick(); }
+    if (scheduler_ == Scheduler::kTickAll) {
+        for (Component* c : components_) { c->tick(); }
+        ticks_executed_ += components_.size();
+        ++now_;
+        return;
+    }
+    // Rebuild the fast-forward hint while walking the list anyway. Wakes
+    // fired *during* a tick (link pushes, job submissions) re-lower the
+    // hint through note_wake, so components earlier in the order that were
+    // already passed over this cycle are still picked up next cycle.
+    next_active_hint_ = kNoCycle;
+    for (Component* c : components_) {
+        const Cycle wake = c->wake_cycle();
+        if (wake > now_) {
+            ++ticks_skipped_;
+            next_active_hint_ = std::min(next_active_hint_, wake);
+            continue;
+        }
+        c->tick();
+        ++ticks_executed_;
+        const Cycle after = c->wake_cycle();
+        next_active_hint_ = std::min(next_active_hint_, after > now_ ? after : now_ + 1);
+    }
     ++now_;
 }
 
+bool SimContext::try_fast_forward(Cycle limit) {
+    if (scheduler_ != Scheduler::kActivity) { return false; }
+    if (next_active_hint_ <= now_) { return false; } // someone may need this cycle
+    const Cycle target = std::min(next_active_hint_, limit);
+    if (target <= now_) { return false; }
+    fast_forwarded_ += target - now_;
+    now_ = target;
+    return true;
+}
+
 void SimContext::run(Cycle cycles) {
-    for (Cycle i = 0; i < cycles; ++i) { step(); }
+    const Cycle end = now_ + cycles;
+    while (now_ < end) {
+        if (try_fast_forward(end)) { continue; }
+        step();
+    }
 }
 
 bool SimContext::run_until(const std::function<bool()>& done, Cycle max_cycles) {
     REALM_EXPECTS(done != nullptr, "run_until requires a predicate");
-    for (Cycle i = 0; i < max_cycles; ++i) {
+    const Cycle end = now_ + max_cycles;
+    while (now_ < end) {
         if (done()) { return true; }
+        if (try_fast_forward(end)) { continue; }
         step();
     }
     return done();

@@ -15,6 +15,12 @@ class Component;
 /// Severity levels for the cycle-stamped simulation log.
 enum class LogLevel { kNone = 0, kError, kWarn, kInfo, kDebug, kTrace };
 
+/// Scheduling policy of the run loop.
+enum class Scheduler {
+    kTickAll,  ///< legacy: tick every component every cycle
+    kActivity, ///< skip idle components; fast-forward when all are idle
+};
+
 /// Owns simulation time and the (non-owning) list of components to evaluate
 /// each cycle.
 ///
@@ -25,6 +31,14 @@ enum class LogLevel { kNone = 0, kError, kWarn, kInfo, kDebug, kTrace };
 /// Components register themselves on construction (in construction order,
 /// which fixes the intra-cycle evaluation order and makes runs fully
 /// deterministic) and must outlive no longer than the context.
+///
+/// With the default `Scheduler::kActivity`, components that declared
+/// themselves idle (see `Component::idle_until`) are skipped — still in
+/// registration order for the active ones, so runs remain bit-identical to
+/// `kTickAll` as long as idle declarations honour their no-op contract.
+/// When *every* component is idle until some future cycle, `run` /
+/// `run_until` fast-forward the clock to the earliest wake-up instead of
+/// stepping cycle by cycle.
 class SimContext {
 public:
     SimContext() = default;
@@ -43,7 +57,8 @@ public:
     /// Resets simulation time to zero and calls `reset()` on every component.
     void reset();
 
-    /// Advances the simulation by exactly one cycle.
+    /// Advances the simulation by exactly one cycle (no fast-forward; idle
+    /// components are still skipped under `kActivity`).
     void step();
 
     /// Advances the simulation by `cycles` cycles.
@@ -51,7 +66,33 @@ public:
 
     /// Runs until `done()` returns true or `max_cycles` elapsed.
     /// \returns true iff the predicate fired (i.e. no timeout).
+    ///
+    /// The predicate must be a function of *component state* only. Under
+    /// `kActivity` the clock fast-forwards across fully-idle stretches, so
+    /// a predicate reading `now()` directly may first be evaluated past its
+    /// trigger cycle; use `run(cycles)` to advance to a specific time.
     bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+    /// \name Scheduler selection & introspection
+    ///@{
+    void set_scheduler(Scheduler s) noexcept {
+        scheduler_ = s;
+        next_active_hint_ = 0; // discard any hint computed under the old policy
+    }
+    [[nodiscard]] Scheduler scheduler() const noexcept { return scheduler_; }
+    /// Folds an asynchronous wake-up into the fast-forward hint (called by
+    /// `Component::wake`; a lower hint is always safe — it only means less
+    /// fast-forwarding).
+    void note_wake(Cycle cycle) noexcept {
+        next_active_hint_ = std::min(next_active_hint_, cycle);
+    }
+    /// Component evaluations actually executed.
+    [[nodiscard]] std::uint64_t ticks_executed() const noexcept { return ticks_executed_; }
+    /// Component evaluations skipped because the component was idle.
+    [[nodiscard]] std::uint64_t ticks_skipped() const noexcept { return ticks_skipped_; }
+    /// Cycles crossed by fast-forward jumps (no component evaluated).
+    [[nodiscard]] Cycle fast_forwarded_cycles() const noexcept { return fast_forwarded_; }
+    ///@}
 
     /// \name Logging
     ///@{
@@ -68,9 +109,22 @@ public:
     [[nodiscard]] std::size_t component_count() const noexcept { return components_.size(); }
 
 private:
+    /// Fast-forwards to `min(next_active_hint_, limit)` if the hint says no
+    /// component needs the current cycle; returns true if time advanced.
+    bool try_fast_forward(Cycle limit);
+
     Cycle now_ = 0;
     std::vector<Component*> components_;
     LogLevel log_level_ = LogLevel::kNone;
+    Scheduler scheduler_ = Scheduler::kActivity;
+    /// Earliest cycle at which any component may need evaluation, maintained
+    /// incrementally by `step()` and `note_wake` so the run loop never has
+    /// to rescan the component list; always <= the true next-active cycle.
+    /// 0 (always "active now") until the first activity-mode step.
+    Cycle next_active_hint_ = 0;
+    std::uint64_t ticks_executed_ = 0;
+    std::uint64_t ticks_skipped_ = 0;
+    Cycle fast_forwarded_ = 0;
 };
 
 } // namespace realm::sim

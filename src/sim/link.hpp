@@ -4,6 +4,7 @@
 #pragma once
 
 #include "sim/check.hpp"
+#include "sim/component.hpp"
 #include "sim/context.hpp"
 #include "sim/types.hpp"
 
@@ -57,6 +58,12 @@ public:
         REALM_EXPECTS(can_push(), "push into full link " + name_);
         entries_.push_back(Entry{std::move(value), ctx_->now()});
         ++total_pushed_;
+        if (wake_on_push_ != nullptr) {
+            // Registered flits are observable one cycle after the push, so
+            // that is the earliest the consumer could make progress.
+            wake_on_push_->wake(timing_ == Timing::kPassthrough ? ctx_->now()
+                                                                : ctx_->now() + 1);
+        }
     }
 
     /// True when the consumer can pop a flit this cycle (for registered
@@ -85,6 +92,12 @@ public:
     /// Discards all buffered flits (reset).
     void clear() noexcept { entries_.clear(); }
 
+    /// Scheduler wake-up wiring (activity-aware kernel): component woken
+    /// whenever a flit is pushed — wire the consumer here so it may declare
+    /// itself idle while the link is empty. (Producers never sleep while
+    /// backpressured, so there is no pop-side hook.)
+    void set_wake_on_push(Component* c) noexcept { wake_on_push_ = c; }
+
     /// \name Introspection
     ///@{
     [[nodiscard]] std::size_t occupancy() const noexcept { return entries_.size(); }
@@ -108,6 +121,7 @@ private:
     std::deque<Entry> entries_;
     std::uint64_t total_pushed_ = 0;
     std::uint64_t total_popped_ = 0;
+    Component* wake_on_push_ = nullptr;
 };
 
 /// FIFO whose entries become poppable at an arbitrary future cycle; completion

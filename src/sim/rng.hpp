@@ -10,8 +10,30 @@
 #include "sim/check.hpp"
 
 #include <cstdint>
+#include <string_view>
 
 namespace realm::sim {
+
+/// Derives a per-run RNG seed from a scenario name and a sweep-point index.
+///
+/// Parallel sweep runners must not derive seeds from any shared or global
+/// state (thread ids, launch order, a process-wide RNG): two runs of the
+/// same sweep with different thread counts would then diverge. This mixes
+/// only the *identity* of the point — FNV-1a over the name, then a
+/// splitmix64 finalizer over the index — so seeds are stable across
+/// platforms, thread counts, and execution order.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::string_view scenario_name,
+                                                  std::uint64_t sweep_index) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    for (const char c : scenario_name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL; // FNV-1a prime
+    }
+    std::uint64_t z = h + (sweep_index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
 
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
 class Rng {

@@ -22,7 +22,10 @@ void ConfigMaster::reset() {
 void ConfigMaster::tick() {
     switch (phase_) {
     case Phase::kIdle: {
-        if (script_.empty()) { return; }
+        if (script_.empty()) {
+            idle_forever(); // woken by push()
+            return;
+        }
         current_ = script_.front();
         if (current_.write) {
             if (!port_.can_send_aw()) { return; }

@@ -41,7 +41,10 @@ public:
     void tick() override;
 
     /// Appends an access to the script.
-    void push(const ConfigOp& op) { script_.push_back(op); }
+    void push(const ConfigOp& op) {
+        script_.push_back(op);
+        wake(); // the master idles once its script has drained
+    }
     void push_write(axi::Addr addr, std::uint32_t wdata, bool expect_error = false) {
         push(ConfigOp{addr, true, wdata, expect_error});
     }

@@ -147,6 +147,7 @@ void CoreModel::tick() {
     if (program_done_ && !waiting_load_ && store_buffer_.empty() && stores_awaiting_b_.empty()) {
         done_ = true;
         finish_cycle_ = now();
+        idle_forever(); // every further tick is the no-op early return above
     }
 }
 

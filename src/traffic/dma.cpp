@@ -41,6 +41,7 @@ void DmaEngine::push_job(const DmaJob& job) {
     REALM_EXPECTS(job.bytes > 0, "DMA job must move at least one byte");
     REALM_EXPECTS(job.bytes % cfg_.bus_bytes == 0, "DMA job must be bus-aligned in size");
     jobs_.push_back(job);
+    wake(); // the engine may have declared itself idle with an empty queue
 }
 
 std::uint32_t DmaEngine::reads_in_flight() const noexcept {
@@ -198,6 +199,9 @@ void DmaEngine::tick() {
     stream_w_beats();
     issue_writes();
     issue_reads();
+    // No queued jobs and no chunk in flight: no response can arrive and
+    // nothing can be issued until push_job() wakes us.
+    if (idle()) { idle_forever(); }
 }
 
 } // namespace realm::traffic
