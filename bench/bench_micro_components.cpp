@@ -8,6 +8,8 @@
 #include "mem/axi_mem_slave.hpp"
 #include "mem/llc.hpp"
 #include "realm/splitter.hpp"
+#include "scenario/topology.hpp"
+#include "scenario/scenario.hpp"
 #include "soc/cheshire_soc.hpp"
 #include "traffic/core.hpp"
 #include "traffic/dma.hpp"
@@ -29,6 +31,8 @@ void BM_LinkTransfer(benchmark::State& state) {
         ctx.step();
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(ctx.now()));
+    state.counters["cycles/s"] =
+        benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_LinkTransfer);
 
@@ -98,6 +102,26 @@ void BM_FullSocCycle(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullSocCycle);
+
+void BM_RingNocCycle(benchmark::State& state) {
+    // Simulation throughput of the ring fabric itself: a contended ring
+    // scenario point, stepped cycle by cycle (substrate cost per node).
+    sim::SimContext ctx;
+    scenario::ScenarioConfig cfg;
+    cfg.topology.kind = scenario::TopologyKind::kRing;
+    cfg.topology.ring.num_nodes = static_cast<std::uint8_t>(state.range(0));
+    cfg.topology.ring.nodes = scenario::make_ring_roles(
+        static_cast<std::uint8_t>(state.range(0)), 1, 2);
+    auto topo = scenario::make_topology(ctx, cfg);
+    traffic::DmaConfig dcfg;
+    dcfg.burst_beats = 64;
+    traffic::DmaEngine dma{ctx, "dma", topo->interference_port(0), dcfg};
+    dma.push_job(traffic::DmaJob{0x0, 0x10'0000, 0x4000, true});
+    for (auto _ : state) { ctx.step(); }
+    state.counters["sim-cycles/s"] =
+        benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RingNocCycle)->Arg(6)->Arg(24)->Arg(48);
 
 void BM_SusanTraceGeneration(benchmark::State& state) {
     traffic::SusanConfig cfg;

@@ -1,81 +1,74 @@
 /// \file
 /// \brief Figure 1b of the paper: REALM units in front of a NoC.
 ///
-/// A 6-node unidirectional ring carries AXI4 between two compute managers
-/// and two memories. The same REALM unit used on the crossbar drops in
-/// front of each manager port unchanged — regulation is interconnect-
-/// agnostic. A bulk DMA's long bursts hog the shared memory node until its
-/// REALM unit fragments and budgets them.
-#include "mem/axi_mem_slave.hpp"
-#include "noc/ring.hpp"
-#include "realm/realm_unit.hpp"
-#include "traffic/core.hpp"
-#include "traffic/dma.hpp"
-#include "traffic/workload.hpp"
+/// The same scenario engine that drives the crossbar SoC experiments builds
+/// a 6-node unidirectional ring here — `TopologyKind::kRing` with per-node
+/// role assignment — and regulates a bulk DMA's long bursts in front of its
+/// manager port. Regulation is interconnect-agnostic: the `ScenarioConfig`
+/// differs from the crossbar ones only in its `topology` field.
+#include "scenario/scenario.hpp"
+#include "scenario/topology.hpp"
 
 #include <cstdio>
 
 using namespace realm;
+using namespace realm::scenario;
+
+namespace {
+
+/// 6-node ring, canonical layout: victim core at node 0, one interference
+/// DMA, two memory nodes (shared at 0x0, spill at 0x10'0000), pass-through
+/// hops elsewhere; every manager node behind a REALM unit.
+ScenarioConfig ring_scenario(bool regulate_dsa) {
+    ScenarioConfig cfg;
+    cfg.name = regulate_dsa ? "ring/regulated" : "ring/uncontrolled";
+    cfg.topology.kind = TopologyKind::kRing;
+    cfg.topology.ring.num_nodes = 6;
+    cfg.topology.ring.nodes = make_ring_roles(6, /*num_attackers=*/1);
+
+    cfg.victim.kind = VictimConfig::Kind::kStream;
+    cfg.victim.stream = {.base = 0x0, .bytes = 0x2000, .op_bytes = 8,
+                         .stride_bytes = 8};
+    cfg.preload.push_back(PreloadSpan{0x0, 0x10000, 1, false});
+
+    InterferenceConfig dma; // 128-beat bulk copy hammering the shared node
+    dma.dma.burst_beats = 128;
+    dma.src = 0x8000;
+    dma.dst = 0x10'0000;
+    dma.bytes = 0x4000;
+    dma.loop = true;
+    cfg.interference.push_back(dma);
+
+    if (regulate_dsa) {
+        // Config path: plan 0 = victim (free), plan 1 = the DSA — fragment
+        // to 2 beats and cap at 2 B/cycle of the shared memory bandwidth.
+        cfg.boot_plans.push_back(RegionPlan{1ULL << 30, 1ULL << 20, 256});
+        cfg.boot_plans.push_back(RegionPlan{2000, 1000, 2});
+    }
+    cfg.warmup_cycles = 2000;
+    cfg.max_cycles = 10'000'000;
+    return cfg;
+}
+
+} // namespace
 
 int main() {
-    sim::SimContext ctx;
+    std::puts("== REALM over a 6-node ring NoC (Figure 1b) ==\n");
 
-    // Ring: node0 = core, node1 = DSA DMA, node3 = shared SRAM,
-    // node5 = DSA-local SRAM; nodes 2/4 are pass-through hops.
-    ic::AddrMap map;
-    map.add(0x0000'0000, 0x10000, 3, "shared-mem");
-    map.add(0x0010'0000, 0x10000, 5, "dsa-mem");
-    noc::NocRing ring{ctx, "ring", 6, map, {3, 5}};
-    mem::AxiMemSlave shared{ctx, "shared", ring.subordinate_port(3),
-                            std::make_unique<mem::SramBackend>(1, 1),
-                            mem::AxiMemSlaveConfig{8, 8, 0}};
-    mem::AxiMemSlave dsa_mem{ctx, "dsa-mem", ring.subordinate_port(5),
-                             std::make_unique<mem::SramBackend>(1, 1),
-                             mem::AxiMemSlaveConfig{8, 8, 0}};
-    for (axi::Addr a = 0; a < 0x10000; a += 8) {
-        static_cast<mem::SramBackend&>(shared.backend()).store().write_u64(a, a);
+    for (const bool regulated : {false, true}) {
+        const ScenarioResult res = run_scenario(ring_scenario(regulated));
+        std::printf("%-28s load latency mean %.1f, max %llu cycles\n",
+                    regulated ? "fragmented + budgeted DSA" : "uncontrolled (128-beat DMA)",
+                    res.load_lat_mean,
+                    static_cast<unsigned long long>(res.load_lat_max));
+        std::printf("%-28s ring forwarded %llu packets, DMA %.2f B/cycle, "
+                    "%llu depletions\n\n",
+                    "", static_cast<unsigned long long>(res.fabric_hops),
+                    res.dma_read_bw,
+                    static_cast<unsigned long long>(res.dma_depletions));
     }
 
-    // REALM units in front of both manager ports (constructed after the
-    // ring so their response pass-through sees same-cycle pushes).
-    axi::AxiChannel core_up{ctx, "core_up"};
-    axi::AxiChannel dsa_up{ctx, "dsa_up"};
-    rt::RealmUnit core_realm{ctx, "realm.core", core_up, ring.manager_port(0), {}};
-    rt::RealmUnit dsa_realm{ctx, "realm.dsa", dsa_up, ring.manager_port(1), {}};
-
-    traffic::DmaConfig dcfg;
-    dcfg.burst_beats = 128;
-    traffic::DmaEngine dma{ctx, "dma", dsa_up, dcfg};
-    dma.push_job(traffic::DmaJob{0x0, 0x10'0000, 0x4000, /*loop=*/true});
-
-    const auto run_core = [&](const char* label) {
-        traffic::StreamWorkload wl{{.base = 0x0, .bytes = 0x2000, .op_bytes = 8,
-                                    .stride_bytes = 8}};
-        traffic::CoreModel core{ctx, label, core_up, wl};
-        ctx.run_until([&] { return core.done(); }, 10'000'000);
-        std::printf("%-28s load latency mean %.1f, max %llu cycles\n", label,
-                    core.load_latency().mean(),
-                    static_cast<unsigned long long>(core.load_latency().max()));
-    };
-
-    std::puts("== REALM over a 6-node ring NoC (Figure 1b) ==\n");
-    ctx.run(2000); // DMA reaches steady state
-    run_core("uncontrolled (128-beat DMA)");
-
-    // Regulate the DSA: fragment to 2 beats and cap at ~25 % of the shared
-    // memory node's bandwidth.
-    dsa_realm.set_fragmentation(2);
-    dsa_realm.set_region(0, rt::RegionConfig{0x0, 0x20'0000, 2000, 1000});
-    ctx.run_until([&] { return dsa_realm.state() == rt::RealmState::kReady; }, 100000);
-    run_core("fragmented + budgeted DSA");
-
-    std::printf("\nring forwarded %llu packets; DSA unit created %llu fragments,\n",
-                static_cast<unsigned long long>(ring.total_forwarded()),
-                static_cast<unsigned long long>(dsa_realm.splitter().fragments_created()));
-    std::printf("DSA region bandwidth %.2f B/cycle (budget 2 B/cycle), %llu depletions\n",
-                dsa_realm.mr().region(0).current_bandwidth(ctx.now()),
-                static_cast<unsigned long long>(dsa_realm.mr().region(0).depletion_events));
-    std::puts("\nthe same REALM unit regulates a NoC exactly as it does a crossbar —");
-    std::puts("the paper's implementation-agnostic claim.");
+    std::puts("the same REALM unit regulates a NoC exactly as it does a crossbar —");
+    std::puts("the paper's implementation-agnostic claim, now one ScenarioConfig field.");
     return 0;
 }

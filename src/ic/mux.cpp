@@ -16,7 +16,11 @@ AxiMux::AxiMux(sim::SimContext& ctx, std::string name, std::vector<axi::AxiChann
       aw_grant_count_(ups_.size(), 0),
       ar_grant_count_(ups_.size(), 0) {
     REALM_EXPECTS(!ups_.empty(), "mux needs at least one manager");
-    for (axi::AxiChannel* ch : ups_) { REALM_EXPECTS(ch != nullptr, "null upstream channel"); }
+    for (axi::AxiChannel* ch : ups_) {
+        REALM_EXPECTS(ch != nullptr, "null upstream channel");
+        ch->wake_subordinate_on_request(*this);
+    }
+    downstream.wake_manager_on_response(*this);
 }
 
 void AxiMux::reset() {
@@ -106,6 +110,20 @@ void AxiMux::tick() {
     arbitrate_ar();
     route_b();
     route_r();
+    update_activity();
+}
+
+void AxiMux::update_activity() {
+    // Same reasoning as the crossbar: with no request flit on any upstream
+    // and no response on the downstream, every datapath is a no-op. A
+    // granted-but-dataless write reservation (`w_order_` non-empty) only
+    // progresses on a W push, and `w_stall_cycles_` needs another manager's
+    // non-empty W link — both wake us via the push hooks.
+    for (const axi::AxiChannel* ch : ups_) {
+        if (!ch->requests_empty()) { return; }
+    }
+    if (!down_.channel().responses_empty()) { return; }
+    idle_forever();
 }
 
 } // namespace realm::ic

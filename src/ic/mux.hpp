@@ -56,6 +56,7 @@ private:
     void arbitrate_ar();
     void route_b();
     void route_r();
+    void update_activity();
 
     std::vector<axi::AxiChannel*> ups_;
     axi::ManagerView down_;

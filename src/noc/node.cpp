@@ -19,7 +19,17 @@ NocNode::NocNode(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
       req_in_{&req_in},
       req_out_{&req_out},
       rsp_in_{&rsp_in},
-      rsp_out_{&rsp_out} {}
+      rsp_out_{&rsp_out} {
+    // Activity-aware kernel wiring: everything this node consumes wakes it.
+    // Each ring link has exactly one consumer (the next node downstream), so
+    // claiming the push hook here is safe.
+    req_in.set_wake_on_push(this);
+    rsp_in.set_wake_on_push(this);
+    if (local_mgr_ != nullptr) { local_mgr_->wake_subordinate_on_request(*this); }
+    for (axi::AxiChannel* ch : egress_) {
+        if (ch != nullptr) { ch->wake_manager_on_response(*this); }
+    }
+}
 
 void NocNode::reset() {
     w_dest_.clear();
@@ -184,6 +194,21 @@ void NocNode::tick() {
     ring_hop(*req_in_, *req_out_, /*request_ring=*/true);
     inject_responses();
     inject_requests();
+    update_activity();
+}
+
+void NocNode::update_activity() {
+    // Conservative idle contract: every tick is a no-op iff nothing this
+    // node consumes holds a flit. Uses `empty()`, not `can_pop()`: a flit
+    // pushed this cycle is not yet poppable but does need us next cycle.
+    // Pending W routing state (`w_dest_`) and same-ID ordering stalls only
+    // progress on new flits, all of which arrive through wired links.
+    if (!req_in_->empty() || !rsp_in_->empty()) { return; }
+    if (local_mgr_ != nullptr && !local_mgr_->requests_empty()) { return; }
+    for (const axi::AxiChannel* ch : egress_) {
+        if (ch != nullptr && !ch->responses_empty()) { return; }
+    }
+    idle_forever();
 }
 
 } // namespace realm::noc

@@ -54,6 +54,7 @@ private:
     bool try_eject(const NocPacket& pkt, bool request_ring);
     void inject_requests();
     void inject_responses();
+    void update_activity();
 
     std::uint8_t id_;
     ic::AddrMap map_;

@@ -8,7 +8,8 @@
 namespace realm::noc {
 
 NocRing::NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
-                 ic::AddrMap node_map, std::vector<std::uint8_t> subordinate_nodes)
+                 ic::AddrMap node_map, std::vector<std::uint8_t> subordinate_nodes,
+                 std::size_t egress_depth)
     : sub_index_(num_nodes, -1) {
     REALM_EXPECTS(num_nodes >= 2, "a ring needs at least two nodes");
     for (const std::uint8_t s : subordinate_nodes) {
@@ -29,7 +30,8 @@ NocRing::NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
         std::vector<axi::AxiChannel*> egress_raw;
         for (std::uint8_t src = 0; src < num_nodes; ++src) {
             egress_[s].push_back(std::make_unique<axi::AxiChannel>(
-                ctx, name + ".eg" + std::to_string(s) + "_" + std::to_string(src)));
+                ctx, name + ".eg" + std::to_string(s) + "_" + std::to_string(src),
+                egress_depth));
             egress_raw.push_back(egress_[s].back().get());
         }
         sub_index_[s] = static_cast<int>(sub_ports_.size());
@@ -61,6 +63,18 @@ axi::AxiChannel& NocRing::subordinate_port(std::uint8_t node) {
 std::uint64_t NocRing::total_forwarded() const noexcept {
     std::uint64_t total = 0;
     for (const auto& n : nodes_) { total += n->forwarded(); }
+    return total;
+}
+
+std::uint64_t NocRing::total_ring_stalls() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& n : nodes_) { total += n->ring_stall_cycles(); }
+    return total;
+}
+
+std::uint64_t NocRing::total_mux_w_stalls() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& m : muxes_) { total += m->w_stall_cycles(); }
     return total;
 }
 

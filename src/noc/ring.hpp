@@ -26,8 +26,16 @@ class NocRing {
 public:
     /// \param node_map          decodes addresses to node ids.
     /// \param subordinate_nodes nodes hosting a local subordinate.
+    /// \param egress_depth      per-source request staging at a subordinate's
+    ///        NI. Must cover the in-flight W beats of one source: the mux
+    ///        reserves the subordinate's W channel per granted burst, and a
+    ///        non-granted source whose staging fills would stall the ring
+    ///        head — with the granted source's data *behind* it in the same
+    ///        lane, that is a protocol deadlock. Deep per-source buffers are
+    ///        how single-lane ring NIs make multi-writer subordinates safe.
     NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
-            ic::AddrMap node_map, std::vector<std::uint8_t> subordinate_nodes);
+            ic::AddrMap node_map, std::vector<std::uint8_t> subordinate_nodes,
+            std::size_t egress_depth = 1024);
 
     NocRing(const NocRing&) = delete;
     NocRing& operator=(const NocRing&) = delete;
@@ -46,6 +54,11 @@ public:
 
     /// Aggregate ring statistics (hops forwarded across all nodes).
     [[nodiscard]] std::uint64_t total_forwarded() const noexcept;
+    /// Aggregate head-of-line stall cycles across all nodes.
+    [[nodiscard]] std::uint64_t total_ring_stalls() const noexcept;
+    /// Aggregate W-channel reservation stalls across the subordinate-side
+    /// egress muxes (the DoS exposure metric, cf. `AxiXbar::w_stall_cycles`).
+    [[nodiscard]] std::uint64_t total_mux_w_stalls() const noexcept;
 
 private:
     std::vector<std::unique_ptr<axi::AxiChannel>> mgr_ports_;

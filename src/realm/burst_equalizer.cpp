@@ -13,7 +13,10 @@ BurstEqualizer::BurstEqualizer(sim::SimContext& ctx, std::string name,
       up_{upstream},
       down_{downstream},
       cfg_{config},
-      splitter_{config.nominal_beats, config.max_outstanding} {}
+      splitter_{config.nominal_beats, config.max_outstanding} {
+    upstream.wake_subordinate_on_request(*this);
+    downstream.wake_manager_on_response(*this);
+}
 
 void BurstEqualizer::reset() {
     splitter_.reset();
@@ -77,6 +80,18 @@ void BurstEqualizer::tick() {
             w_beat_in_child_ = 0;
         }
     }
+    update_activity();
+}
+
+void BurstEqualizer::update_activity() {
+    // Idle iff no buffered work: upstream requests and downstream responses
+    // wake us via the push hooks; child requests already split but not yet
+    // emitted (backpressure) forbid sleeping — a producer must never sleep
+    // while it still owes flits downstream.
+    if (!up_.channel().requests_empty()) { return; }
+    if (!down_.channel().responses_empty()) { return; }
+    if (!child_aw_queue_.empty() || splitter_.has_child_ar()) { return; }
+    idle_forever();
 }
 
 } // namespace realm::rt

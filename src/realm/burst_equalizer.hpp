@@ -41,6 +41,8 @@ public:
     [[nodiscard]] std::uint32_t outstanding() const noexcept { return outstanding_; }
 
 private:
+    void update_activity();
+
     axi::SubordinateView up_;
     axi::ManagerView down_;
     BurstEqualizerConfig cfg_;

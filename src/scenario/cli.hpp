@@ -1,7 +1,7 @@
 /// \file
 /// \brief Shared command-line handling for the scenario-driven benches:
-///        `--threads N`, `--json PATH`, `--scheduler tick-all|activity`,
-///        `--list`.
+///        `--threads N`, `--json PATH`, `--resume`,
+///        `--scheduler tick-all|activity`, `--list`.
 #pragma once
 
 #include "scenario/registry.hpp"
@@ -13,19 +13,28 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace realm::scenario {
 
 struct BenchOptions {
     RunnerOptions runner{};
     std::string json_path;
+    /// With `--json`: reuse results from an existing dump at the same path
+    /// for points whose config hash matches (sweep-level resume).
+    bool resume = false;
     sim::Scheduler scheduler = sim::Scheduler::kActivity;
     bool scheduler_forced = false; ///< --scheduler given on the command line
+    /// Non-flag arguments, in order (e.g. sweep names for `scenario_sweep`).
+    std::vector<std::string> positional;
 };
 
 /// Parses the common bench flags; prints usage and exits on error/--help,
-/// lists registered sweeps and exits on --list.
-inline BenchOptions parse_bench_args(int argc, char** argv) {
+/// lists registered sweeps and exits on --list. Non-flag arguments are
+/// collected into `positional` only when `accept_positional` is set;
+/// otherwise they are rejected as before.
+inline BenchOptions parse_bench_args(int argc, char** argv,
+                                     bool accept_positional = false) {
     BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -47,6 +56,8 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
             opts.runner.threads = static_cast<unsigned>(n);
         } else if (arg == "--json") {
             opts.json_path = need_value("--json");
+        } else if (arg == "--resume") {
+            opts.resume = true;
         } else if (arg == "--scheduler") {
             const std::string v = need_value("--scheduler");
             if (v == "tick-all" || v == "tickall") {
@@ -64,14 +75,20 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
             }
             std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--threads N] [--json PATH] "
+            std::printf("usage: %s %s[--threads N] [--json PATH] [--resume] "
                         "[--scheduler tick-all|activity] [--list]\n",
-                        argv[0]);
+                        argv[0], accept_positional ? "[sweep...] " : "");
             std::exit(0);
+        } else if (accept_positional && !arg.empty() && arg[0] != '-') {
+            opts.positional.push_back(arg);
         } else {
             std::fprintf(stderr, "unknown argument '%s' (try --help)\n", arg.c_str());
             std::exit(2);
         }
+    }
+    if (opts.resume && opts.json_path.empty()) {
+        std::fprintf(stderr, "--resume requires --json PATH\n");
+        std::exit(2);
     }
     return opts;
 }
@@ -89,7 +106,16 @@ inline std::vector<ScenarioResult> run_with_options(const BenchOptions& opts,
                                                     Sweep& sweep) {
     apply_overrides(opts, sweep);
     const ScenarioRunner runner{opts.runner};
-    std::vector<ScenarioResult> results = runner.run(sweep);
+    std::vector<ScenarioResult> results;
+    if (opts.resume) {
+        std::size_t reused = 0;
+        results = runner.run_resumed(sweep, opts.json_path, &reused);
+        std::fprintf(stderr, "%s: reused %zu/%zu points from %s\n",
+                     sweep.name.c_str(), reused, sweep.points.size(),
+                     opts.json_path.c_str());
+    } else {
+        results = runner.run(sweep);
+    }
     for (const ScenarioResult& r : results) {
         if (!r.boot_ok) {
             std::fprintf(stderr, "%s: boot script did not complete\n", r.label.c_str());

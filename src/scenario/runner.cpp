@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <thread>
 
@@ -68,6 +70,37 @@ ScenarioRunner::run_points(const std::vector<const ScenarioConfig*>& configs,
     return results;
 }
 
+std::vector<ScenarioResult>
+ScenarioRunner::run_resumed(const Sweep& sweep, const std::string& resume_path,
+                            std::size_t* reused_out) const {
+    const std::unordered_map<std::uint64_t, ScenarioResult> cache =
+        load_json_results(resume_path);
+
+    std::vector<ScenarioResult> results(sweep.points.size());
+    std::vector<const ScenarioConfig*> to_run;
+    std::vector<std::string> labels;
+    std::vector<std::size_t> slots;
+    std::size_t reused = 0;
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+        const SweepPoint& p = sweep.points[i];
+        if (const auto it = cache.find(config_hash(p.config)); it != cache.end()) {
+            results[i] = it->second;
+            // The hash covers everything result-affecting; the label is
+            // presentational and may have been renamed since the dump.
+            results[i].label = p.label;
+            ++reused;
+            continue;
+        }
+        to_run.push_back(&p.config);
+        labels.push_back(p.label);
+        slots.push_back(i);
+    }
+    const std::vector<ScenarioResult> fresh = run_points(to_run, labels);
+    for (std::size_t k = 0; k < fresh.size(); ++k) { results[slots[k]] = fresh[k]; }
+    if (reused_out != nullptr) { *reused_out = reused; }
+    return results;
+}
+
 namespace {
 
 void json_escape(std::ostream& os, const std::string& s) {
@@ -120,6 +153,13 @@ void write_json(std::ostream& os, const Sweep& sweep,
         const ScenarioResult& r = results[i];
         os << "    {\"label\": ";
         json_escape(os, r.label);
+        if (i < sweep.points.size()) {
+            char hash_buf[24];
+            std::snprintf(hash_buf, sizeof hash_buf, "0x%016llx",
+                          static_cast<unsigned long long>(
+                              config_hash(sweep.points[i].config)));
+            os << ", \"config_hash\": \"" << hash_buf << '"';
+        }
         os << ", \"seed\": " << r.seed;
         os << ", \"boot_ok\": " << (r.boot_ok ? "true" : "false");
         os << ", \"timed_out\": " << (r.timed_out ? "true" : "false");
@@ -141,12 +181,19 @@ void write_json(std::ostream& os, const Sweep& sweep,
         os << ", \"dma_throttle_stalls\": " << r.dma_throttle_stalls;
         os << ", \"dma_cut_through\": " << r.dma_cut_through;
         os << ", \"xbar_w_stalls\": " << r.xbar_w_stalls;
+        os << ", \"fabric_hops\": " << r.fabric_hops;
         os << ", \"ticks_executed\": " << r.ticks_executed;
         os << ", \"ticks_skipped\": " << r.ticks_skipped;
         os << ", \"fast_forwarded_cycles\": " << r.fast_forwarded_cycles;
         os << ", \"simulated_cycles\": " << r.simulated_cycles;
         os << ", \"wall_seconds\": ";
         json_number(os, r.wall_seconds);
+        // Host-side simulation speed (simulated cycles per wall second):
+        // the regression metric CI tracks across commits.
+        os << ", \"sim_cycles_per_sec\": ";
+        json_number(os, r.wall_seconds > 0.0
+                            ? static_cast<double>(r.simulated_cycles) / r.wall_seconds
+                            : 0.0);
         os << '}' << (i + 1 < results.size() ? "," : "") << '\n';
     }
     os << "  ]\n}\n";
@@ -158,6 +205,85 @@ bool write_json_file(const std::string& path, const Sweep& sweep,
     if (!out) { return false; }
     write_json(out, sweep, results);
     return out.good();
+}
+
+namespace {
+
+/// Start of the value of `"key": <value>` in `line`, or nullptr when the
+/// key is absent. The emitter writes one point object per line with unique
+/// keys, so a flat scan is unambiguous.
+const char* find_value(const std::string& line, const char* key) {
+    const std::string needle = std::string{"\""} + key + "\": ";
+    const std::size_t pos = line.find(needle);
+    return pos == std::string::npos ? nullptr : line.c_str() + pos + needle.size();
+}
+
+double scan_number(const std::string& line, const char* key, double fallback = 0.0) {
+    const char* start = find_value(line, key);
+    if (start == nullptr || std::strncmp(start, "null", 4) == 0) { return fallback; }
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    return end == start ? fallback : v;
+}
+
+std::uint64_t scan_u64(const std::string& line, const char* key) {
+    // Not via strtod: 64-bit values (seeds) exceed double's 53-bit mantissa.
+    const char* start = find_value(line, key);
+    if (start == nullptr) { return 0; }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(start, &end, 10);
+    return end == start ? 0 : static_cast<std::uint64_t>(v);
+}
+
+bool scan_bool(const std::string& line, const char* key, bool fallback) {
+    const char* start = find_value(line, key);
+    return start == nullptr ? fallback : std::strncmp(start, "true", 4) == 0;
+}
+
+} // namespace
+
+std::unordered_map<std::uint64_t, ScenarioResult>
+load_json_results(const std::string& path) {
+    std::unordered_map<std::uint64_t, ScenarioResult> cache;
+    std::ifstream in{path};
+    if (!in) { return cache; }
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash_pos = line.find("\"config_hash\": \"");
+        if (hash_pos == std::string::npos) { continue; }
+        char* end = nullptr;
+        const std::uint64_t hash = std::strtoull(
+            line.c_str() + hash_pos + std::strlen("\"config_hash\": \""), &end, 16);
+        if (end == nullptr || *end != '"') { continue; }
+
+        ScenarioResult r;
+        r.seed = scan_u64(line, "seed");
+        r.boot_ok = scan_bool(line, "boot_ok", true);
+        r.timed_out = scan_bool(line, "timed_out", false);
+        r.run_cycles = scan_u64(line, "run_cycles");
+        r.ops = scan_u64(line, "ops");
+        r.load_lat_mean = scan_number(line, "load_lat_mean");
+        r.load_lat_min = scan_u64(line, "load_lat_min");
+        r.load_lat_max = scan_u64(line, "load_lat_max");
+        r.load_lat_p99 = scan_u64(line, "load_lat_p99");
+        r.store_lat_mean = scan_number(line, "store_lat_mean");
+        r.store_lat_max = scan_u64(line, "store_lat_max");
+        r.dma_bytes = scan_u64(line, "dma_bytes");
+        r.dma_read_bw = scan_number(line, "dma_read_bw");
+        r.dma_depletions = scan_u64(line, "dma_depletions");
+        r.dma_isolation_cycles = scan_u64(line, "dma_isolation_cycles");
+        r.dma_throttle_stalls = scan_u64(line, "dma_throttle_stalls");
+        r.dma_cut_through = scan_u64(line, "dma_cut_through");
+        r.xbar_w_stalls = scan_u64(line, "xbar_w_stalls");
+        r.fabric_hops = scan_u64(line, "fabric_hops");
+        r.ticks_executed = scan_u64(line, "ticks_executed");
+        r.ticks_skipped = scan_u64(line, "ticks_skipped");
+        r.fast_forwarded_cycles = scan_u64(line, "fast_forwarded_cycles");
+        r.simulated_cycles = scan_u64(line, "simulated_cycles");
+        r.wall_seconds = scan_number(line, "wall_seconds");
+        cache.emplace(hash, std::move(r));
+    }
+    return cache;
 }
 
 } // namespace realm::scenario

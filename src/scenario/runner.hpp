@@ -10,8 +10,10 @@
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
 
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace realm::scenario {
@@ -33,6 +35,15 @@ public:
     [[nodiscard]] std::vector<ScenarioResult>
     run(const std::vector<ScenarioConfig>& configs) const;
 
+    /// Sweep-level resume: reuses results parsed from `resume_path` (a
+    /// previous `write_json` dump) for points whose `config_hash` matches,
+    /// and simulates only the rest. Cheap incremental re-runs of big
+    /// matrices: add points, tweak one cell, re-emit the whole file.
+    /// \param reused_out  If non-null, receives the number of reused points.
+    [[nodiscard]] std::vector<ScenarioResult>
+    run_resumed(const Sweep& sweep, const std::string& resume_path,
+                std::size_t* reused_out = nullptr) const;
+
     [[nodiscard]] const RunnerOptions& options() const noexcept { return options_; }
 
 private:
@@ -44,12 +55,20 @@ private:
 };
 
 /// Writes the sweep's results as a JSON document:
-/// `{"sweep": ..., "points": [{label, seed, metrics...}, ...]}`.
+/// `{"sweep": ..., "points": [{label, config_hash, seed, metrics...}, ...]}`.
+/// Each point carries the `config_hash` of its config (resume key) and
+/// `sim_cycles_per_sec`, the host-side simulation speed CI tracks.
 void write_json(std::ostream& os, const Sweep& sweep,
                 const std::vector<ScenarioResult>& results);
 
 /// Convenience: `write_json` to a file; returns false on I/O failure.
 bool write_json_file(const std::string& path, const Sweep& sweep,
                      const std::vector<ScenarioResult>& results);
+
+/// Parses a previous `write_json` dump back into results keyed by
+/// `config_hash`. Tolerant: a missing/unreadable file or malformed points
+/// yield an empty/partial map, never an error — resume then simply re-runs.
+[[nodiscard]] std::unordered_map<std::uint64_t, ScenarioResult>
+load_json_results(const std::string& path);
 
 } // namespace realm::scenario

@@ -2,29 +2,31 @@
 
 #include "sim/check.hpp"
 
+#include <bit>
 #include <chrono>
 #include <memory>
+#include <type_traits>
 #include <utility>
 
 namespace realm::scenario {
 
 namespace {
 
-/// Builds the victim workload; for Susan this also returns the generator's
-/// input image so the caller can seed DRAM with it.
+/// Builds the victim workload; for Susan this also seeds the fabric's
+/// memory with the generator's input image and warms any cache over it.
 std::unique_ptr<traffic::Workload> make_victim(const VictimConfig& cfg,
                                                std::uint64_t seed,
-                                               soc::CheshireSoc& soc) {
+                                               TopologyHandle& topo) {
     switch (cfg.kind) {
     case VictimConfig::Kind::kSusan: {
         traffic::SusanTraceGenerator gen{cfg.susan};
         const auto& img = gen.input_image();
         for (std::size_t i = 0; i < img.size(); ++i) {
-            soc.dram_image().write_u8(cfg.susan.image_base + i, img[i]);
+            topo.write_u8(cfg.susan.image_base + i, img[i]);
         }
-        soc.warm_llc(cfg.susan.image_base, img.size());
-        soc.warm_llc(cfg.susan.out_base, img.size());
-        soc.warm_llc(cfg.susan.lut_base, 4096);
+        topo.warm(cfg.susan.image_base, img.size());
+        topo.warm(cfg.susan.out_base, img.size());
+        topo.warm(cfg.susan.lut_base, 4096);
         return std::make_unique<traffic::TraceWorkload>(gen.take_ops());
     }
     case VictimConfig::Kind::kStream:
@@ -43,8 +45,6 @@ std::unique_ptr<traffic::Workload> make_victim(const VictimConfig& cfg,
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     const auto wall_start = std::chrono::steady_clock::now();
-    REALM_EXPECTS(cfg.interference.size() <= cfg.soc.num_dsa,
-                  "more interference DMAs than DSA ports");
 
     ScenarioResult res;
     res.label = label.empty() ? cfg.name : std::move(label);
@@ -52,51 +52,37 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
 
     sim::SimContext ctx;
     ctx.set_scheduler(cfg.scheduler);
-    soc::CheshireSoc soc{ctx, cfg.soc};
+    std::unique_ptr<TopologyHandle> topo = make_topology(ctx, cfg);
+    REALM_EXPECTS(cfg.interference.size() <= topo->num_interference_ports(),
+                  "more interference DMAs than fabric manager ports");
 
     // --- Memory preconditioning -----------------------------------------
-    auto victim_workload = make_victim(cfg.victim, cfg.seed, soc);
+    auto victim_workload = make_victim(cfg.victim, cfg.seed, *topo);
     for (const PreloadSpan& span : cfg.preload) {
         for (std::uint64_t off = 0; off < span.bytes; off += 8) {
-            soc.dram_image().write_u64(span.base + off, off * span.multiplier);
+            topo->write_u64(span.base + off, off * span.multiplier);
         }
-        if (span.warm) { soc.warm_llc(span.base, span.bytes); }
+        if (span.warm) { topo->warm(span.base, span.bytes); }
     }
 
-    // --- Boot-flow regulation -------------------------------------------
-    if (!cfg.boot_plans.empty()) {
-        std::vector<soc::CheshireSoc::BootRegionPlan> plans;
-        plans.reserve(cfg.boot_plans.size());
-        for (const RegionPlan& p : cfg.boot_plans) {
-            plans.push_back({p.budget_bytes, p.period_cycles, p.fragment_beats});
-        }
-        soc.queue_boot_script(plans);
-        res.boot_ok = ctx.run_until([&] { return soc.boot_master().done(); }, 10000);
-        if (!res.boot_ok) { return res; }
-    }
-    if (cfg.throttle_dsa && soc.realm_present()) {
-        for (std::uint32_t i = 0; i < cfg.soc.num_dsa; ++i) {
-            soc.dsa_realm(i).set_throttle(true);
-        }
-    }
-    if (cfg.monitor_llc_on_core && soc.realm_present()) {
-        soc.core_realm().set_region(
-            0, rt::RegionConfig{cfg.soc.dram_base, cfg.soc.dram_base + cfg.soc.dram_size,
-                                /*budget=*/0, /*period=*/0});
-    }
+    // --- Boot-flow / fabric regulation ----------------------------------
+    res.boot_ok = topo->boot(cfg.boot_plans);
+    if (!res.boot_ok) { return res; }
+    if (cfg.throttle_dsa) { topo->set_interference_throttle(true); }
+    if (cfg.monitor_llc_on_core) { topo->set_victim_monitor(); }
 
     // --- Interference ----------------------------------------------------
     std::vector<std::unique_ptr<traffic::DmaEngine>> dmas;
     for (std::size_t i = 0; i < cfg.interference.size(); ++i) {
         const InterferenceConfig& irq = cfg.interference[i];
         dmas.push_back(std::make_unique<traffic::DmaEngine>(
-            ctx, "dsa_dma" + std::to_string(i), soc.dsa_port(i), irq.dma));
+            ctx, "dsa_dma" + std::to_string(i), topo->interference_port(i), irq.dma));
         dmas.back()->push_job(traffic::DmaJob{irq.src, irq.dst, irq.bytes, irq.loop});
     }
     if (!dmas.empty() && cfg.warmup_cycles > 0) { ctx.run(cfg.warmup_cycles); }
 
     // --- Victim ----------------------------------------------------------
-    traffic::CoreModel core{ctx, "core", soc.core_port(), *victim_workload};
+    traffic::CoreModel core{ctx, "core", topo->victim_port(), *victim_workload};
     const sim::Cycle start = ctx.now();
     const std::uint64_t dma_bytes_before = dmas.empty() ? 0 : dmas[0]->bytes_read();
     res.timed_out = !ctx.run_until([&] { return core.done(); }, cfg.max_cycles);
@@ -121,21 +107,21 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
                               ? 0.0
                               : static_cast<double>(res.dma_bytes) /
                                     static_cast<double>(res.run_cycles);
-        if (soc.realm_present()) {
-            const rt::RealmUnit& unit = soc.dsa_realm(0);
-            res.dma_depletions = unit.mr().region(0).depletion_events;
-            res.dma_isolation_cycles = unit.mr().isolation_cycles();
-            res.dma_throttle_stalls = unit.throttle_stalls();
-            res.dma_cut_through = unit.write_buffer().cut_through_bursts();
-            res.dma_mr_bytes_total = unit.mr().region(0).bytes_total;
-            res.dma_mr_read_lat_mean = unit.mr().region(0).read_latency.mean();
+        if (const rt::RealmUnit* unit = topo->interference_realm(0)) {
+            res.dma_depletions = unit->mr().region(0).depletion_events;
+            res.dma_isolation_cycles = unit->mr().isolation_cycles();
+            res.dma_throttle_stalls = unit->throttle_stalls();
+            res.dma_cut_through = unit->write_buffer().cut_through_bursts();
+            res.dma_mr_bytes_total = unit->mr().region(0).bytes_total;
+            res.dma_mr_read_lat_mean = unit->mr().region(0).read_latency.mean();
         }
     }
-    if (soc.realm_present()) {
-        res.core_mr_read_lat_mean = soc.core_realm().mr().region(0).read_latency.mean();
-        res.core_mr_write_lat_max = soc.core_realm().mr().region(0).write_latency.max();
+    if (const rt::RealmUnit* unit = topo->victim_realm()) {
+        res.core_mr_read_lat_mean = unit->mr().region(0).read_latency.mean();
+        res.core_mr_write_lat_max = unit->mr().region(0).write_latency.max();
     }
-    res.xbar_w_stalls = soc.xbar().w_stall_cycles(0);
+    res.xbar_w_stalls = topo->fabric_w_stalls();
+    res.fabric_hops = topo->fabric_hops();
 
     res.ticks_executed = ctx.ticks_executed();
     res.ticks_skipped = ctx.ticks_skipped();
@@ -145,6 +131,165 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
             .count();
     return res;
+}
+
+// ---------------------------------------------------------------------------
+// Config digest (sweep-level resume).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// FNV-1a accumulator over the semantic fields of a config. Every field that
+/// can change a run's result must be mixed in; cosmetic fields (name, label)
+/// must not be. `kVersion` is bumped whenever the config layout or the run
+/// semantics change, invalidating stale caches wholesale.
+class ConfigDigest {
+public:
+    static constexpr std::uint64_t kVersion = 1;
+
+    ConfigDigest() { mix(kVersion); }
+
+    template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    void mix(T v) noexcept {
+        const auto word = static_cast<std::uint64_t>(v);
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (word >> (8 * i)) & 0xFF;
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+    void mix(double v) noexcept { mix(std::bit_cast<std::uint64_t>(v)); }
+
+    [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+private:
+    std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+void mix_realm(ConfigDigest& d, const rt::RealmUnitConfig& r) {
+    d.mix(r.enabled);
+    d.mix(r.fragment_beats);
+    d.mix(r.max_pending);
+    d.mix(r.write_buffer_depth);
+    d.mix(r.write_buffer_enabled);
+    d.mix(r.throttle_enabled);
+    d.mix(r.num_regions);
+}
+
+} // namespace
+
+std::uint64_t config_hash(const ScenarioConfig& cfg) {
+    ConfigDigest d;
+
+    d.mix(static_cast<std::uint64_t>(cfg.topology.kind));
+    const RingTopologyConfig& ring = cfg.topology.ring;
+    d.mix(ring.num_nodes);
+    d.mix(ring.nodes.size());
+    for (const RingNodeSpec& n : ring.nodes) {
+        d.mix(static_cast<std::uint64_t>(n.role));
+        d.mix(n.realm);
+        d.mix(n.realm_config.has_value());
+        if (n.realm_config) { mix_realm(d, *n.realm_config); }
+    }
+    d.mix(ring.mem_base);
+    d.mix(ring.mem_span_bytes);
+    d.mix(ring.mem_stride);
+    d.mix(ring.mem_access_latency);
+    d.mix(ring.mem_max_outstanding);
+    mix_realm(d, ring.realm);
+
+    d.mix(cfg.soc.bus_bytes);
+    d.mix(cfg.soc.num_dsa);
+    d.mix(cfg.soc.realm_present);
+    d.mix(cfg.soc.cfg_base);
+    d.mix(cfg.soc.cfg_size);
+    d.mix(cfg.soc.spm_base);
+    d.mix(cfg.soc.spm_size);
+    d.mix(cfg.soc.dram_base);
+    d.mix(cfg.soc.dram_size);
+    d.mix(cfg.soc.llc.line_bytes);
+    d.mix(cfg.soc.llc.ways);
+    d.mix(cfg.soc.llc.sets);
+    d.mix(cfg.soc.llc.bus_bytes);
+    d.mix(cfg.soc.llc.hit_latency);
+    d.mix(cfg.soc.llc.request_interval);
+    d.mix(cfg.soc.llc.max_outstanding);
+    d.mix(cfg.soc.dram.row_hit);
+    d.mix(cfg.soc.dram.row_miss);
+    d.mix(cfg.soc.dram.banks);
+    d.mix(cfg.soc.dram.row_bytes);
+    mix_realm(d, cfg.soc.realm);
+    d.mix(static_cast<std::uint64_t>(cfg.soc.arbitration));
+
+    d.mix(cfg.boot_plans.size());
+    for (const RegionPlan& p : cfg.boot_plans) {
+        d.mix(p.budget_bytes);
+        d.mix(p.period_cycles);
+        d.mix(p.fragment_beats);
+    }
+    d.mix(cfg.throttle_dsa);
+    d.mix(cfg.monitor_llc_on_core);
+
+    d.mix(static_cast<std::uint64_t>(cfg.victim.kind));
+    const traffic::SusanConfig& su = cfg.victim.susan;
+    d.mix(su.width);
+    d.mix(su.height);
+    d.mix(su.mask_radius);
+    d.mix(su.threshold);
+    d.mix(su.image_base);
+    d.mix(su.out_base);
+    d.mix(su.lut_base);
+    d.mix(su.filter_cache_bytes);
+    d.mix(su.filter_line_bytes);
+    d.mix(su.compute_quarter_cycles_per_tap);
+    d.mix(su.filtered_load_quarter_cycles);
+    d.mix(su.image_seed);
+    d.mix(su.max_ops);
+    const traffic::StreamWorkload::Config& st = cfg.victim.stream;
+    d.mix(st.base);
+    d.mix(st.bytes);
+    d.mix(st.op_bytes);
+    d.mix(st.stride_bytes);
+    d.mix(st.compute_cycles);
+    d.mix(st.store_ratio16);
+    d.mix(st.repeat);
+    const traffic::RandomWorkload::Config& rd = cfg.victim.random;
+    d.mix(rd.base);
+    d.mix(rd.bytes);
+    d.mix(rd.op_bytes);
+    d.mix(rd.compute_cycles);
+    d.mix(rd.store_ratio16);
+    d.mix(rd.num_ops);
+    // rd.seed is overwritten by cfg.seed in run_scenario; cfg.seed is mixed.
+
+    d.mix(cfg.interference.size());
+    for (const InterferenceConfig& irq : cfg.interference) {
+        d.mix(irq.dma.bus_bytes);
+        d.mix(irq.dma.burst_beats);
+        d.mix(irq.dma.num_buffers);
+        d.mix(irq.dma.max_outstanding_reads);
+        d.mix(irq.dma.max_outstanding_writes);
+        d.mix(irq.dma.w_stall_cycles);
+        d.mix(irq.dma.reserve_before_data);
+        d.mix(irq.dma.qos);
+        d.mix(irq.src);
+        d.mix(irq.dst);
+        d.mix(irq.bytes);
+        d.mix(irq.loop);
+    }
+    d.mix(cfg.preload.size());
+    for (const PreloadSpan& span : cfg.preload) {
+        d.mix(span.base);
+        d.mix(span.bytes);
+        d.mix(span.multiplier);
+        d.mix(span.warm);
+    }
+
+    d.mix(cfg.warmup_cycles);
+    d.mix(cfg.max_cycles);
+    d.mix(cfg.cooldown_cycles);
+    d.mix(static_cast<std::uint64_t>(cfg.scheduler));
+    d.mix(cfg.seed);
+    return d.value();
 }
 
 } // namespace realm::scenario

@@ -11,6 +11,7 @@
 /// because a scenario owns all of its simulation state.
 #pragma once
 
+#include "scenario/topology.hpp"
 #include "sim/context.hpp"
 #include "soc/cheshire_soc.hpp"
 #include "traffic/core.hpp"
@@ -67,6 +68,10 @@ struct PreloadSpan {
 struct ScenarioConfig {
     std::string name = "scenario";
 
+    /// Fabric selector: the Cheshire crossbar SoC (default) or a ring NoC
+    /// with per-node roles and REALM placement (see topology.hpp).
+    TopologyConfig topology{};
+    /// Crossbar SoC parameters (used when `topology.kind == kCheshire`).
     soc::SocConfig soc{};
     /// Boot-flow regulation; empty skips the boot script entirely.
     std::vector<RegionPlan> boot_plans;
@@ -123,7 +128,9 @@ struct ScenarioResult {
     std::uint64_t dma_isolation_cycles = 0;
     std::uint64_t dma_throttle_stalls = 0;
     std::uint64_t dma_cut_through = 0; ///< write-buffer cut-through bursts
-    std::uint64_t xbar_w_stalls = 0;   ///< W-channel starvation at the LLC port
+    std::uint64_t xbar_w_stalls = 0;   ///< fabric W-channel starvation (crossbar:
+                                       ///< LLC port; ring: memory-node muxes)
+    std::uint64_t fabric_hops = 0;     ///< ring packets forwarded (0 on crossbar)
     std::uint64_t dma_mr_bytes_total = 0;  ///< DSA-side M&R: bytes moved
     double dma_mr_read_lat_mean = 0;       ///< DSA-side M&R: read latency
     ///@}
@@ -153,5 +160,12 @@ struct ScenarioResult {
 /// \param label  Result label (defaults to `cfg.name`).
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& cfg,
                                           std::string label = {});
+
+/// Stable 64-bit digest of every result-affecting field of a config (labels
+/// and names excluded). Two configs hash equal iff a run of one reproduces
+/// the other bit for bit, so sweep runners can skip points whose hash is
+/// already present in a previous `--json` dump (sweep-level resume). The
+/// digest is versioned: extending `ScenarioConfig` bumps it for everyone.
+[[nodiscard]] std::uint64_t config_hash(const ScenarioConfig& cfg);
 
 } // namespace realm::scenario

@@ -1,0 +1,287 @@
+#include "scenario/topology.hpp"
+
+#include "scenario/scenario.hpp"
+#include "sim/check.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace realm::scenario {
+
+std::vector<RingNodeSpec> make_ring_roles(std::uint8_t num_nodes,
+                                          std::uint8_t num_attackers,
+                                          std::uint8_t num_memories) {
+    REALM_EXPECTS(num_memories >= 1, "a ring needs at least one memory node");
+    REALM_EXPECTS(num_nodes >= 2 + num_memories + num_attackers,
+                  "ring too small for the requested roles");
+    std::vector<RingNodeSpec> specs(num_nodes);
+    specs[0] = RingNodeSpec{RingRole::kVictim, true};
+    // Memories spread evenly over the ring (never node 0): memory k sits at
+    // (k+1) * N / (M+1), nudged forward past any collision.
+    for (std::uint8_t k = 0; k < num_memories; ++k) {
+        std::uint8_t pos = static_cast<std::uint8_t>(
+            (static_cast<std::uint32_t>(k + 1) * num_nodes) / (num_memories + 1U));
+        while (pos == 0 || specs[pos].role != RingRole::kPassthrough) {
+            pos = static_cast<std::uint8_t>((pos + 1) % num_nodes);
+        }
+        specs[pos] = RingNodeSpec{RingRole::kMemory, false};
+    }
+    // Attackers fill the lowest free positions (interleaved with the
+    // memories on larger rings, like DSAs scattered across a real die).
+    std::uint8_t placed = 0;
+    for (std::uint8_t i = 1; i < num_nodes && placed < num_attackers; ++i) {
+        if (specs[i].role != RingRole::kPassthrough) { continue; }
+        specs[i] = RingNodeSpec{RingRole::kInterference, true};
+        ++placed;
+    }
+    REALM_ENSURES(placed == num_attackers, "attacker placement failed");
+    return specs;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cheshire crossbar SoC (the legacy — and still default — fabric).
+// ---------------------------------------------------------------------------
+
+class CheshireTopology final : public TopologyHandle {
+public:
+    CheshireTopology(sim::SimContext& ctx, const ScenarioConfig& cfg)
+        : ctx_{&ctx}, soc_cfg_{cfg.soc}, soc_{ctx, cfg.soc} {}
+
+    axi::AxiChannel& victim_port() override { return soc_.core_port(); }
+    std::size_t num_interference_ports() const override { return soc_cfg_.num_dsa; }
+    axi::AxiChannel& interference_port(std::size_t i) override {
+        return soc_.dsa_port(i);
+    }
+
+    void write_u8(axi::Addr addr, std::uint8_t value) override {
+        soc_.dram_image().write_u8(addr, value);
+    }
+    void write_u64(axi::Addr addr, std::uint64_t value) override {
+        soc_.dram_image().write_u64(addr, value);
+    }
+    void warm(axi::Addr base, std::uint64_t bytes) override {
+        soc_.warm_llc(base, bytes);
+    }
+
+    bool boot(const std::vector<RegionPlan>& plans) override {
+        if (plans.empty()) { return true; }
+        std::vector<soc::CheshireSoc::BootRegionPlan> boot_plans;
+        boot_plans.reserve(plans.size());
+        for (const RegionPlan& p : plans) {
+            boot_plans.push_back({p.budget_bytes, p.period_cycles, p.fragment_beats});
+        }
+        soc_.queue_boot_script(boot_plans);
+        return ctx_->run_until([&] { return soc_.boot_master().done(); }, 10000);
+    }
+    void set_interference_throttle(bool enabled) override {
+        if (!soc_.realm_present()) { return; }
+        for (std::uint32_t i = 0; i < soc_cfg_.num_dsa; ++i) {
+            soc_.dsa_realm(i).set_throttle(enabled);
+        }
+    }
+    void set_victim_monitor() override {
+        if (!soc_.realm_present()) { return; }
+        soc_.core_realm().set_region(
+            0, rt::RegionConfig{soc_cfg_.dram_base, soc_cfg_.dram_base + soc_cfg_.dram_size,
+                                /*budget=*/0, /*period=*/0});
+    }
+
+    const rt::RealmUnit* victim_realm() const override {
+        return soc_.realm_present() ? &soc_.core_realm() : nullptr;
+    }
+    const rt::RealmUnit* interference_realm(std::size_t i) const override {
+        return soc_.realm_present() ? &soc_.dsa_realm(i) : nullptr;
+    }
+    std::uint64_t fabric_w_stalls() const override {
+        return soc_.xbar().w_stall_cycles(0);
+    }
+    std::uint64_t fabric_hops() const override { return 0; }
+
+private:
+    sim::SimContext* ctx_;
+    soc::SocConfig soc_cfg_;
+    /// `CheshireSoc` exposes its units non-const only.
+    mutable soc::CheshireSoc soc_;
+};
+
+// ---------------------------------------------------------------------------
+// Ring NoC fabric (Figure 1b at scenario scale).
+// ---------------------------------------------------------------------------
+
+class RingTopology final : public TopologyHandle {
+public:
+    RingTopology(sim::SimContext& ctx, const ScenarioConfig& cfg) : cfg_{cfg.topology.ring} {
+        specs_ = cfg_.nodes.empty() ? make_ring_roles(cfg_.num_nodes, 1, 2) : cfg_.nodes;
+        REALM_EXPECTS(specs_.size() == cfg_.num_nodes,
+                      "ring node spec count must equal num_nodes");
+        cfg_.nodes.clear(); // `specs_` is the resolved list; keep one copy
+
+        // Resolve roles and build the node-level address map: memory node k
+        // serves [mem_base + k*stride, + span).
+        ic::AddrMap map;
+        std::size_t mem_count = 0;
+        bool victim_seen = false;
+        for (std::uint8_t n = 0; n < cfg_.num_nodes; ++n) {
+            switch (specs_[n].role) {
+            case RingRole::kVictim:
+                REALM_EXPECTS(!victim_seen, "a ring hosts exactly one victim node");
+                victim_seen = true;
+                victim_node_ = n;
+                break;
+            case RingRole::kInterference: interference_nodes_.push_back(n); break;
+            case RingRole::kMemory: {
+                const axi::Addr base =
+                    cfg_.mem_base + static_cast<axi::Addr>(mem_count) * cfg_.mem_stride;
+                map.add(base, cfg_.mem_span_bytes, n, "mem" + std::to_string(n));
+                spans_.push_back(Span{base, cfg_.mem_span_bytes, n});
+                ++mem_count;
+                break;
+            }
+            case RingRole::kPassthrough: break;
+            }
+        }
+        REALM_EXPECTS(victim_seen, "ring topology needs a victim node");
+        REALM_EXPECTS(mem_count > 0, "ring topology needs a memory node");
+        mem_lo_ = spans_.front().base;
+        mem_hi_ = spans_.back().base + spans_.back().bytes;
+
+        std::vector<std::uint8_t> sub_nodes;
+        for (const Span& s : spans_) { sub_nodes.push_back(s.node); }
+        ring_ = std::make_unique<noc::NocRing>(ctx, "ring", cfg_.num_nodes, map,
+                                               sub_nodes);
+        for (Span& s : spans_) {
+            mems_.push_back(std::make_unique<mem::AxiMemSlave>(
+                ctx, "mem" + std::to_string(s.node), ring_->subordinate_port(s.node),
+                std::make_unique<mem::SramBackend>(cfg_.mem_access_latency,
+                                                   cfg_.mem_access_latency),
+                mem::AxiMemSlaveConfig{cfg_.mem_max_outstanding,
+                                       cfg_.mem_max_outstanding, s.base}));
+            s.store = &static_cast<mem::SramBackend&>(mems_.back()->backend()).store();
+        }
+
+        // REALM units last: their response pass-through must observe pushes
+        // from the ring nodes in the same cycle (construction order fixes
+        // evaluation order, as in the crossbar SoC).
+        realm_of_node_.assign(cfg_.num_nodes, -1);
+        for (std::uint8_t n = 0; n < cfg_.num_nodes; ++n) {
+            const bool manager = specs_[n].role == RingRole::kVictim ||
+                                 specs_[n].role == RingRole::kInterference;
+            if (!manager || !specs_[n].realm) { continue; }
+            realm_of_node_[n] = static_cast<int>(realms_.size());
+            realm_up_.push_back(std::make_unique<axi::AxiChannel>(
+                ctx, "ring.up" + std::to_string(n)));
+            realms_.push_back(std::make_unique<rt::RealmUnit>(
+                ctx, "ring.realm" + std::to_string(n), *realm_up_.back(),
+                ring_->manager_port(n), specs_[n].realm_config.value_or(cfg_.realm)));
+        }
+    }
+
+    axi::AxiChannel& victim_port() override { return manager_attach(victim_node_); }
+    std::size_t num_interference_ports() const override {
+        return interference_nodes_.size();
+    }
+    axi::AxiChannel& interference_port(std::size_t i) override {
+        return manager_attach(interference_nodes_.at(i));
+    }
+
+    void write_u8(axi::Addr addr, std::uint8_t value) override {
+        const Span& s = span_for(addr);
+        s.store->write_u8(addr - s.base, value);
+    }
+    void write_u64(axi::Addr addr, std::uint64_t value) override {
+        const Span& s = span_for(addr);
+        s.store->write_u64(addr - s.base, value);
+    }
+    void warm(axi::Addr, std::uint64_t) override {} // flat SRAM nodes: no cache
+
+    bool boot(const std::vector<RegionPlan>& plans) override {
+        // The ring has no HWRoT boot master (yet); the config path programs
+        // the placed units directly, covering the whole mapped memory span.
+        for (std::size_t p = 0; p < plans.size(); ++p) {
+            rt::RealmUnit* unit = unit_for_plan(p);
+            if (unit == nullptr) { continue; }
+            unit->set_fragmentation(plans[p].fragment_beats);
+            unit->set_region(0, rt::RegionConfig{mem_lo_, mem_hi_, plans[p].budget_bytes,
+                                                 plans[p].period_cycles});
+        }
+        return true;
+    }
+    void set_interference_throttle(bool enabled) override {
+        for (const std::uint8_t n : interference_nodes_) {
+            if (realm_of_node_[n] >= 0) { realms_[realm_of_node_[n]]->set_throttle(enabled); }
+        }
+    }
+    void set_victim_monitor() override {
+        if (realm_of_node_[victim_node_] < 0) { return; }
+        realms_[realm_of_node_[victim_node_]]->set_region(
+            0, rt::RegionConfig{mem_lo_, mem_hi_, /*budget=*/0, /*period=*/0});
+    }
+
+    const rt::RealmUnit* victim_realm() const override { return unit_at(victim_node_); }
+    const rt::RealmUnit* interference_realm(std::size_t i) const override {
+        return i < interference_nodes_.size() ? unit_at(interference_nodes_[i]) : nullptr;
+    }
+    std::uint64_t fabric_w_stalls() const override {
+        return ring_->total_mux_w_stalls();
+    }
+    std::uint64_t fabric_hops() const override { return ring_->total_forwarded(); }
+
+private:
+    struct Span {
+        axi::Addr base = 0;
+        std::uint64_t bytes = 0;
+        std::uint8_t node = 0;
+        mem::SparseMemory* store = nullptr;
+    };
+
+    [[nodiscard]] const Span& span_for(axi::Addr addr) const {
+        for (const Span& s : spans_) {
+            if (addr >= s.base && addr < s.base + s.bytes) { return s; }
+        }
+        REALM_EXPECTS(false, "address outside every ring memory span");
+        return spans_.front();
+    }
+    [[nodiscard]] axi::AxiChannel& manager_attach(std::uint8_t node) {
+        return realm_of_node_[node] >= 0 ? *realm_up_[realm_of_node_[node]]
+                                         : ring_->manager_port(node);
+    }
+    [[nodiscard]] const rt::RealmUnit* unit_at(std::uint8_t node) const {
+        return realm_of_node_[node] >= 0 ? realms_[realm_of_node_[node]].get() : nullptr;
+    }
+    [[nodiscard]] rt::RealmUnit* unit_for_plan(std::size_t p) {
+        if (p > interference_nodes_.size()) { return nullptr; }
+        const std::uint8_t node = p == 0 ? victim_node_ : interference_nodes_[p - 1];
+        return realm_of_node_[node] >= 0 ? realms_[realm_of_node_[node]].get() : nullptr;
+    }
+
+    RingTopologyConfig cfg_;
+    std::vector<RingNodeSpec> specs_;
+    std::unique_ptr<noc::NocRing> ring_;
+    std::vector<std::unique_ptr<mem::AxiMemSlave>> mems_;
+    std::vector<Span> spans_;
+    std::vector<std::unique_ptr<axi::AxiChannel>> realm_up_;
+    std::vector<std::unique_ptr<rt::RealmUnit>> realms_;
+    std::vector<int> realm_of_node_;
+    std::uint8_t victim_node_ = 0;
+    std::vector<std::uint8_t> interference_nodes_;
+    axi::Addr mem_lo_ = 0;
+    axi::Addr mem_hi_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TopologyHandle> make_topology(sim::SimContext& ctx,
+                                              const ScenarioConfig& cfg) {
+    switch (cfg.topology.kind) {
+    case TopologyKind::kCheshire:
+        return std::make_unique<CheshireTopology>(ctx, cfg);
+    case TopologyKind::kRing: return std::make_unique<RingTopology>(ctx, cfg);
+    }
+    REALM_EXPECTS(false, "unknown topology kind");
+    return nullptr;
+}
+
+} // namespace realm::scenario

@@ -1,0 +1,162 @@
+/// \file
+/// \brief Topology subsystem: scenarios polymorphic over the fabric.
+///
+/// The paper's Figure 1b argues REALM regulation is interconnect-agnostic —
+/// the same unit drops in front of a NoC manager port unchanged. This module
+/// makes that claim executable at scenario scale: a `TopologyConfig` selects
+/// either the Cheshire-like crossbar SoC (`kCheshire`) or an N-node ring NoC
+/// (`kRing`, with per-node role assignment and optional REALM placement per
+/// manager node), and a `TopologyHandle` presents both behind one interface
+/// — victim port, interference ports, memory preconditioning, boot/config
+/// path, and observable counters — so `run_scenario` and `ScenarioResult`
+/// work unchanged across fabrics.
+#pragma once
+
+#include "axi/channel.hpp"
+#include "mem/axi_mem_slave.hpp"
+#include "noc/ring.hpp"
+#include "realm/realm_unit.hpp"
+#include "soc/cheshire_soc.hpp"
+
+#include "sim/context.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace realm::scenario {
+
+struct ScenarioConfig; // scenario.hpp includes this header
+struct RegionPlan;
+
+/// Which fabric a scenario instantiates.
+enum class TopologyKind : std::uint8_t {
+    kCheshire, ///< crossbar SoC of Figure 5 (`soc::CheshireSoc`)
+    kRing,     ///< N-node unidirectional ring NoC of Figure 1b
+};
+
+/// What one ring node hosts.
+enum class RingRole : std::uint8_t {
+    kPassthrough,  ///< router only, no local manager or subordinate
+    kVictim,       ///< the latency-sensitive core (exactly one per ring)
+    kInterference, ///< one interference DMA manager
+    kMemory,       ///< one memory subordinate (an address span of the map)
+};
+
+[[nodiscard]] constexpr const char* to_string(RingRole r) noexcept {
+    switch (r) {
+    case RingRole::kPassthrough: return "passthrough";
+    case RingRole::kVictim: return "victim";
+    case RingRole::kInterference: return "interference";
+    case RingRole::kMemory: return "memory";
+    }
+    return "?";
+}
+
+/// Role and REALM placement of one ring node.
+struct RingNodeSpec {
+    RingRole role = RingRole::kPassthrough;
+    /// Place a REALM unit in front of this node's manager port (only
+    /// meaningful for kVictim / kInterference nodes).
+    bool realm = false;
+    /// Per-node unit parameters; nullopt uses `RingTopologyConfig::realm`.
+    /// Lets a sweep vary one manager's unit (e.g. strip the attackers'
+    /// write buffers) while every other unit stays constant across cells.
+    std::optional<rt::RealmUnitConfig> realm_config;
+};
+
+/// Ring fabric parameters. Memory node `k` (k-th kMemory node in node order)
+/// serves `[mem_base + k * mem_stride, + mem_span_bytes)`.
+struct RingTopologyConfig {
+    std::uint8_t num_nodes = 6;
+    /// Explicit per-node roles; empty resolves to
+    /// `make_ring_roles(num_nodes, 1, 2)`. When non-empty, the size must
+    /// equal `num_nodes` and exactly one node must be the victim.
+    std::vector<RingNodeSpec> nodes;
+
+    axi::Addr mem_base = 0x0;
+    std::uint64_t mem_span_bytes = 0x2'0000; ///< 128 KiB per memory node
+    axi::Addr mem_stride = 0x10'0000;
+    std::uint32_t mem_access_latency = 1;
+    std::uint32_t mem_max_outstanding = 8;
+
+    /// Template applied to every placed REALM unit.
+    rt::RealmUnitConfig realm;
+};
+
+/// Fabric selector carried by `ScenarioConfig`. For `kCheshire` the SoC
+/// parameters stay in `ScenarioConfig::soc` (unchanged legacy layout).
+struct TopologyConfig {
+    TopologyKind kind = TopologyKind::kCheshire;
+    RingTopologyConfig ring{};
+};
+
+/// Canonical ring layout: victim at node 0, `num_memories` memory nodes
+/// spread evenly over the ring, `num_attackers` interference nodes filling
+/// the lowest free positions, the rest pass-through hops. Every manager node
+/// gets a REALM unit.
+[[nodiscard]] std::vector<RingNodeSpec>
+make_ring_roles(std::uint8_t num_nodes, std::uint8_t num_attackers,
+                std::uint8_t num_memories = 2);
+
+/// One constructed fabric, presented uniformly to `run_scenario`: where the
+/// victim and the interference DMAs attach, how memory is preconditioned,
+/// how regulation is programmed (boot/config path), and which counters are
+/// observable. Implementations own every component of the fabric.
+class TopologyHandle {
+public:
+    virtual ~TopologyHandle() = default;
+
+    /// \name Manager attachment points
+    ///@{
+    /// Channel the victim core model drives (upstream of its REALM unit).
+    [[nodiscard]] virtual axi::AxiChannel& victim_port() = 0;
+    /// Interference manager ports available on this fabric.
+    [[nodiscard]] virtual std::size_t num_interference_ports() const = 0;
+    [[nodiscard]] virtual axi::AxiChannel& interference_port(std::size_t i) = 0;
+    ///@}
+
+    /// \name Memory preconditioning (by bus address)
+    ///@{
+    virtual void write_u8(axi::Addr addr, std::uint8_t value) = 0;
+    virtual void write_u64(axi::Addr addr, std::uint64_t value) = 0;
+    /// Installs the span hot in whatever cache the fabric has (no-op when
+    /// it has none, e.g. the ring's flat SRAM nodes).
+    virtual void warm(axi::Addr base, std::uint64_t bytes) = 0;
+    ///@}
+
+    /// \name Boot / configuration path
+    ///@{
+    /// Programs per-unit regulation (plan 0: victim unit, plan 1+i:
+    /// interference unit i) and returns false if the configuration path did
+    /// not complete. The Cheshire fabric runs the paper's guarded boot-flow
+    /// script on the HWRoT master; the ring programs its units directly.
+    virtual bool boot(const std::vector<RegionPlan>& plans) = 0;
+    /// Enables the throttling unit on every interference-side REALM unit.
+    virtual void set_interference_throttle(bool enabled) = 0;
+    /// Programs a monitor-only (unregulated) region over the fabric's main
+    /// memory span on the victim-side REALM unit.
+    virtual void set_victim_monitor() = 0;
+    ///@}
+
+    /// \name Observable counters
+    ///@{
+    /// Victim-side REALM unit, or nullptr when none is placed.
+    [[nodiscard]] virtual const rt::RealmUnit* victim_realm() const = 0;
+    /// REALM unit in front of interference manager `i`, or nullptr.
+    [[nodiscard]] virtual const rt::RealmUnit* interference_realm(std::size_t i) const = 0;
+    /// Cycles the fabric's memory-side W channel stalled on a granted
+    /// manager withholding data (the DoS exposure metric; crossbar: LLC
+    /// port, ring: sum over the memory-node egress muxes).
+    [[nodiscard]] virtual std::uint64_t fabric_w_stalls() const = 0;
+    /// Packets forwarded across fabric hops (0 on the crossbar).
+    [[nodiscard]] virtual std::uint64_t fabric_hops() const = 0;
+    ///@}
+};
+
+/// Builds the fabric selected by `cfg.topology` inside `ctx`.
+[[nodiscard]] std::unique_ptr<TopologyHandle> make_topology(sim::SimContext& ctx,
+                                                            const ScenarioConfig& cfg);
+
+} // namespace realm::scenario

@@ -1,8 +1,12 @@
 /// Tests for the ring NoC substrate and REALM-over-NoC integration
-/// (Figure 1b of the paper: the unit is interconnect-agnostic).
+/// (Figure 1b of the paper: the unit is interconnect-agnostic), plus the
+/// topology subsystem that builds rings from `ScenarioConfig`s.
 #include "mem/axi_mem_slave.hpp"
 #include "noc/ring.hpp"
 #include "realm/realm_unit.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/topology.hpp"
 #include "traffic/core.hpp"
 #include "traffic/dma.hpp"
 #include "traffic/workload.hpp"
@@ -162,6 +166,113 @@ TEST_F(RingFixture, BackpressureDoesNotDeadlock) {
     ASSERT_TRUE(ctx.run_until([&] { return c0.done() && c1.done(); }, 1'000'000));
     EXPECT_EQ(c0.loads_retired() + c0.stores_retired(), 200U);
     EXPECT_EQ(c1.loads_retired() + c1.stores_retired(), 200U);
+}
+
+// --- Topology subsystem: rings built from ScenarioConfigs --------------------
+
+using scenario::RingRole;
+using scenario::ScenarioConfig;
+using scenario::ScenarioResult;
+using scenario::TopologyKind;
+
+TEST(RingRoles, CanonicalLayoutAssignsEveryRole) {
+    const auto specs = scenario::make_ring_roles(8, 2, 2);
+    ASSERT_EQ(specs.size(), 8U);
+    EXPECT_EQ(specs[0].role, RingRole::kVictim);
+    EXPECT_TRUE(specs[0].realm) << "manager nodes get a REALM unit by default";
+    std::size_t victims = 0;
+    std::size_t memories = 0;
+    std::size_t attackers = 0;
+    for (const auto& s : specs) {
+        victims += s.role == RingRole::kVictim;
+        memories += s.role == RingRole::kMemory;
+        attackers += s.role == RingRole::kInterference;
+        if (s.role == RingRole::kInterference) { EXPECT_TRUE(s.realm); }
+        if (s.role == RingRole::kMemory) { EXPECT_FALSE(s.realm); }
+    }
+    EXPECT_EQ(victims, 1U);
+    EXPECT_EQ(memories, 2U);
+    EXPECT_EQ(attackers, 2U);
+}
+
+/// Small contended ring point from the registry (8 nodes, hog attacker).
+ScenarioConfig small_ring_point(std::size_t index) {
+    scenario::Sweep sweep = scenario::make_sweep("ring-dos-smoke");
+    return sweep.points.at(index).config;
+}
+
+TEST(RingTopology, ScenarioRunsEndToEnd) {
+    const ScenarioResult res = run_scenario(small_ring_point(0), "ring");
+    EXPECT_TRUE(res.boot_ok);
+    EXPECT_FALSE(res.timed_out);
+    EXPECT_GT(res.ops, 0U);
+    EXPECT_GT(res.load_lat_mean, 0.0);
+    EXPECT_GT(res.fabric_hops, 0U) << "traffic must actually cross ring hops";
+    EXPECT_GT(res.dma_bytes, 0U) << "the interference DMA must run";
+}
+
+TEST(RingTopology, RealmPlacementRegulatesTheAttacker) {
+    // Smoke points 0/1 are the same 1-attacker hog cell without/with the
+    // budget defense; regulation must deplete credits and restore the
+    // victim's latency (the interconnect-agnostic claim, asserted).
+    const ScenarioResult none = run_scenario(small_ring_point(0), "none");
+    const ScenarioResult budget = run_scenario(small_ring_point(1), "budget");
+    EXPECT_EQ(budget.ops, none.ops);
+    EXPECT_GT(budget.dma_depletions, 0U) << "budget must bind over the NoC";
+    EXPECT_LT(budget.dma_read_bw, none.dma_read_bw / 2.0);
+    EXPECT_LT(budget.load_lat_mean, none.load_lat_mean);
+}
+
+TEST(RingTopology, VictimWithoutRealmAttachesDirectly) {
+    ScenarioConfig cfg = small_ring_point(0);
+    for (auto& node : cfg.topology.ring.nodes) { node.realm = false; }
+    const ScenarioResult res = run_scenario(cfg, "no-realm");
+    EXPECT_FALSE(res.timed_out);
+    EXPECT_GT(res.ops, 0U);
+    EXPECT_EQ(res.dma_depletions, 0U) << "no units, no regulation";
+}
+
+TEST(RingSchedulerEquivalence, ActivityMatchesTickAllBitForBit) {
+    // Acceptance gate: the activity scheduler must match kTickAll on a ring
+    // scenario — NocNode, the egress muxes, and the memory slaves all honour
+    // their idle contracts. The W-stall cell stresses reservation stalls.
+    ScenarioConfig cfg = small_ring_point(2); // 1atk/wstall/none
+    cfg.scheduler = sim::Scheduler::kTickAll;
+    const ScenarioResult naive = scenario::run_scenario(cfg);
+    cfg.scheduler = sim::Scheduler::kActivity;
+    const ScenarioResult fast = scenario::run_scenario(cfg);
+
+    ASSERT_FALSE(naive.timed_out);
+    EXPECT_EQ(naive.run_cycles, fast.run_cycles);
+    EXPECT_EQ(naive.ops, fast.ops);
+    EXPECT_EQ(naive.load_lat_mean, fast.load_lat_mean);
+    EXPECT_EQ(naive.load_lat_max, fast.load_lat_max);
+    EXPECT_EQ(naive.load_lat_p99, fast.load_lat_p99);
+    EXPECT_EQ(naive.store_lat_mean, fast.store_lat_mean);
+    EXPECT_EQ(naive.store_lat_max, fast.store_lat_max);
+    EXPECT_EQ(naive.dma_bytes, fast.dma_bytes);
+    EXPECT_EQ(naive.dma_mr_bytes_total, fast.dma_mr_bytes_total);
+    EXPECT_EQ(naive.xbar_w_stalls, fast.xbar_w_stalls);
+    EXPECT_EQ(naive.fabric_hops, fast.fabric_hops);
+    EXPECT_EQ(naive.simulated_cycles, fast.simulated_cycles);
+
+    EXPECT_EQ(naive.ticks_skipped, 0U);
+    EXPECT_GT(fast.ticks_skipped, 0U) << "idle ring components must be skipped";
+    EXPECT_LT(fast.ticks_executed, naive.ticks_executed);
+}
+
+TEST(RingSchedulerEquivalence, LargeIdleRingFastForwards) {
+    // A 32-node ring whose traffic drains early: the idle tail must
+    // fast-forward once every node, mux, and memory declares idle.
+    ScenarioConfig cfg = small_ring_point(0);
+    cfg.topology.ring.num_nodes = 32;
+    cfg.topology.ring.nodes = scenario::make_ring_roles(32, 1, 2);
+    cfg.interference[0].loop = false; // finite copy, then quiescence
+    cfg.cooldown_cycles = 500'000;
+    const ScenarioResult res = scenario::run_scenario(cfg, "idle-ring");
+    EXPECT_FALSE(res.timed_out);
+    EXPECT_GT(res.fast_forwarded_cycles, 400'000U)
+        << "a fully idle ring must cost (almost) nothing";
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
 namespace realm::scenario {
@@ -35,6 +36,24 @@ TEST(Registry, KnowsTheFigureAndAblationSweeps) {
         EXPECT_TRUE(has_sweep(name)) << name;
     }
     EXPECT_FALSE(has_sweep("nope"));
+}
+
+TEST(Registry, KnowsTheRingSweeps) {
+    for (const char* name : {"ring-contention", "ring-dos-matrix", "ring-dos-smoke"}) {
+        ASSERT_TRUE(has_sweep(name)) << name;
+        const Sweep sweep = make_sweep(name);
+        EXPECT_FALSE(sweep.points.empty());
+        for (const SweepPoint& p : sweep.points) {
+            EXPECT_EQ(p.config.topology.kind, TopologyKind::kRing) << p.label;
+        }
+    }
+    // The DoS matrix crosses 3 attacker counts x 3 modes x 4 defenses on a
+    // 24-node ring.
+    const Sweep matrix = make_sweep("ring-dos-matrix");
+    EXPECT_EQ(matrix.points.size(), 36U);
+    for (const SweepPoint& p : matrix.points) {
+        EXPECT_EQ(p.config.topology.ring.num_nodes, 24U);
+    }
 }
 
 TEST(Registry, SweepPointsCarryDerivedSeeds) {
@@ -128,6 +147,130 @@ TEST(ScenarioRunner, ResultsKeepPointOrder) {
     for (std::size_t i = 0; i < results.size(); ++i) {
         EXPECT_EQ(results[i].label, sweep.points[i].label);
         EXPECT_EQ(results[i].seed, sweep.points[i].config.seed);
+    }
+}
+
+// --- Config digest (sweep-level resume) --------------------------------------
+
+TEST(ConfigHash, StableAndSensitiveToSemanticFields) {
+    const ScenarioConfig base = tiny_scenario();
+    EXPECT_EQ(config_hash(base), config_hash(base)) << "digest must be deterministic";
+
+    ScenarioConfig renamed = base;
+    renamed.name = "cosmetic";
+    EXPECT_EQ(config_hash(base), config_hash(renamed))
+        << "names are presentational, not semantic";
+
+    ScenarioConfig c = base;
+    c.seed ^= 1;
+    EXPECT_NE(config_hash(base), config_hash(c));
+    c = base;
+    c.scheduler = sim::Scheduler::kTickAll;
+    EXPECT_NE(config_hash(base), config_hash(c));
+    c = base;
+    c.topology.kind = TopologyKind::kRing;
+    EXPECT_NE(config_hash(base), config_hash(c));
+    c = base;
+    c.boot_plans[1].budget_bytes += 1;
+    EXPECT_NE(config_hash(base), config_hash(c));
+    c = base;
+    c.victim.random.num_ops += 1;
+    EXPECT_NE(config_hash(base), config_hash(c));
+
+    ScenarioConfig ring = make_sweep("ring-dos-smoke").points[0].config;
+    ScenarioConfig ring2 = ring;
+    ring2.topology.ring.num_nodes = 12;
+    ring2.topology.ring.nodes = make_ring_roles(12, 1, 2);
+    EXPECT_NE(config_hash(ring), config_hash(ring2));
+}
+
+// --- Resume ------------------------------------------------------------------
+
+Sweep quick_smoke_sweep() {
+    Sweep sweep = make_sweep("ring-dos-smoke");
+    sweep.points.resize(4); // the 1-attacker cells keep the test fast
+    return sweep;
+}
+
+TEST(Resume, JsonRoundTripRestoresEveryEmittedField) {
+    Sweep sweep = quick_smoke_sweep();
+    const auto results = ScenarioRunner{RunnerOptions{.threads = 2}}.run(sweep);
+    const std::string path = "scenario_resume_roundtrip.json";
+    ASSERT_TRUE(write_json_file(path, sweep, results));
+
+    const auto cache = load_json_results(path);
+    ASSERT_EQ(cache.size(), results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto it = cache.find(config_hash(sweep.points[i].config));
+        ASSERT_NE(it, cache.end()) << sweep.points[i].label;
+        const ScenarioResult& a = results[i];
+        const ScenarioResult& b = it->second;
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_EQ(a.boot_ok, b.boot_ok);
+        EXPECT_EQ(a.timed_out, b.timed_out);
+        EXPECT_EQ(a.run_cycles, b.run_cycles);
+        EXPECT_EQ(a.ops, b.ops);
+        EXPECT_EQ(a.load_lat_max, b.load_lat_max);
+        EXPECT_EQ(a.store_lat_max, b.store_lat_max);
+        EXPECT_EQ(a.dma_bytes, b.dma_bytes);
+        EXPECT_EQ(a.xbar_w_stalls, b.xbar_w_stalls);
+        EXPECT_EQ(a.fabric_hops, b.fabric_hops);
+        EXPECT_EQ(a.ticks_executed, b.ticks_executed);
+        EXPECT_EQ(a.simulated_cycles, b.simulated_cycles);
+        // Doubles survive the %.6g round trip only approximately.
+        EXPECT_NEAR(a.load_lat_mean, b.load_lat_mean, 1e-4 * (1.0 + a.load_lat_mean));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Resume, RunResumedSkipsMatchingPointsAndRerunsChangedOnes) {
+    Sweep sweep = quick_smoke_sweep();
+    const ScenarioRunner runner{RunnerOptions{.threads = 2}};
+    const auto first = runner.run(sweep);
+    const std::string path = "scenario_resume_skip.json";
+    ASSERT_TRUE(write_json_file(path, sweep, first));
+
+    // Unchanged sweep: every point is served from the dump.
+    std::size_t reused = 0;
+    const auto resumed = runner.run_resumed(sweep, path, &reused);
+    EXPECT_EQ(reused, sweep.points.size());
+    ASSERT_EQ(resumed.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(resumed[i].run_cycles, first[i].run_cycles);
+        EXPECT_EQ(resumed[i].label, sweep.points[i].label);
+    }
+
+    // Changing one point's semantics re-runs exactly that point.
+    sweep.points[1].config.seed ^= 0xBEEF;
+    const auto partial = runner.run_resumed(sweep, path, &reused);
+    EXPECT_EQ(reused, sweep.points.size() - 1);
+    EXPECT_EQ(partial[0].run_cycles, first[0].run_cycles);
+    // A missing file degrades to a full run, never an error.
+    const auto cold = runner.run_resumed(sweep, "does_not_exist.json", &reused);
+    EXPECT_EQ(reused, 0U);
+    EXPECT_EQ(cold.size(), sweep.points.size());
+    std::remove(path.c_str());
+}
+
+// --- 24-node DoS-matrix point through the parallel runner --------------------
+
+TEST(ScenarioRunner, RingMatrixPointThreadInvariant) {
+    // Acceptance gate: a 24-node ring DoS-matrix point must produce
+    // identical results through the runner at --threads 1 and --threads N.
+    Sweep matrix = make_sweep("ring-dos-matrix");
+    Sweep sweep;
+    sweep.name = matrix.name;
+    sweep.points = {matrix.points[0], matrix.points[2]}; // hog: none + budget
+    for (SweepPoint& p : sweep.points) {
+        p.config.victim.stream.repeat = 1; // keep the test quick
+    }
+    const auto serial = ScenarioRunner{RunnerOptions{.threads = 1}}.run(sweep);
+    const auto parallel = ScenarioRunner{RunnerOptions{.threads = 4}}.run(sweep);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(sweep.points[i].label);
+        expect_identical(serial[i], parallel[i]);
+        EXPECT_GT(serial[i].fabric_hops, 0U);
     }
 }
 

@@ -1,13 +1,18 @@
 /// Unit tests for the activity-aware scheduler: idle/wake edge cases,
 /// fast-forward semantics, and bit-identical equivalence with the naive
 /// tick-all loop on the Figure 6 SoC topology.
+#include "mem/axi_mem_slave.hpp"
+#include "realm/burst_equalizer.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/component.hpp"
 #include "sim/context.hpp"
 #include "sim/link.hpp"
+#include "traffic/dma.hpp"
 
 #include <gtest/gtest.h>
+
+#include <memory>
 
 namespace realm {
 namespace {
@@ -230,6 +235,48 @@ TEST(SchedulerEquivalence, Fig6TopologyBitIdentical) {
     EXPECT_EQ(naive.ticks_skipped, 0U);
     EXPECT_GT(fast.ticks_skipped, 0U);
     EXPECT_LT(fast.ticks_executed, naive.ticks_executed);
+}
+
+TEST(SchedulerEquivalence, BurstEqualizerBitIdenticalAndSleeps) {
+    // The ABE baseline now opts into the activity contract: a DMA pushes a
+    // finite copy through the equalizer into an SRAM slave, then everything
+    // idles for a long tail. Both schedulers must agree bit for bit, and
+    // the activity kernel must skip the quiescent stretch.
+    struct Run {
+        std::uint64_t bytes_written = 0;
+        std::uint64_t chunks = 0;
+        std::uint64_t fragments = 0;
+        double read_lat_mean = 0;
+        std::uint64_t ticks_executed = 0;
+        Cycle fast_forwarded = 0;
+    };
+    const auto run_one = [](Scheduler scheduler) {
+        SimContext ctx;
+        ctx.set_scheduler(scheduler);
+        axi::AxiChannel up{ctx, "up"};
+        axi::AxiChannel down{ctx, "down"};
+        rt::BurstEqualizer abe{ctx, "abe", up, down, rt::BurstEqualizerConfig{8, 2}};
+        mem::AxiMemSlave slave{ctx, "mem", down, std::make_unique<mem::SramBackend>(1, 1),
+                               mem::AxiMemSlaveConfig{8, 8, 0}};
+        traffic::DmaConfig dcfg;
+        dcfg.burst_beats = 64;
+        traffic::DmaEngine dma{ctx, "dma", up, dcfg};
+        dma.push_job(traffic::DmaJob{0x0, 0x8000, 0x2000, false});
+        ctx.run(200'000); // finite copy plus a long idle tail
+        return Run{dma.bytes_written(), dma.chunks_completed(),
+                   abe.splitter().fragments_created(), dma.read_latency().mean(),
+                   ctx.ticks_executed(), ctx.fast_forwarded_cycles()};
+    };
+    const Run naive = run_one(Scheduler::kTickAll);
+    const Run fast = run_one(Scheduler::kActivity);
+    EXPECT_EQ(naive.bytes_written, 0x2000U);
+    EXPECT_EQ(fast.bytes_written, naive.bytes_written);
+    EXPECT_EQ(fast.chunks, naive.chunks);
+    EXPECT_EQ(fast.fragments, naive.fragments);
+    EXPECT_EQ(fast.read_lat_mean, naive.read_lat_mean);
+    EXPECT_LT(fast.ticks_executed, naive.ticks_executed / 10)
+        << "the equalizer pipeline must sleep through the idle tail";
+    EXPECT_GT(fast.fast_forwarded, 150'000U);
 }
 
 TEST(SchedulerEquivalence, DosAttackTopologyBitIdentical) {
