@@ -123,6 +123,30 @@ void BM_RingNocCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_RingNocCycle)->Arg(6)->Arg(24)->Arg(48);
 
+void BM_MeshNocCycle(benchmark::State& state) {
+    // Simulation throughput of the mesh fabric: a contended mesh scenario
+    // point, stepped cycle by cycle (substrate cost per router). Sized to
+    // match the ring points (6 / 24 / 48 nodes).
+    static const std::pair<std::uint8_t, std::uint8_t> kDims[] = {
+        {2, 3}, {4, 6}, {6, 8}};
+    const auto [rows, cols] = kDims[state.range(0)];
+    sim::SimContext ctx;
+    scenario::ScenarioConfig cfg;
+    cfg.topology.kind = scenario::TopologyKind::kMesh;
+    cfg.topology.mesh.rows = rows;
+    cfg.topology.mesh.cols = cols;
+    cfg.topology.mesh.nodes = scenario::make_mesh_roles(rows, cols, 1, 2);
+    auto topo = scenario::make_topology(ctx, cfg);
+    traffic::DmaConfig dcfg;
+    dcfg.burst_beats = 64;
+    traffic::DmaEngine dma{ctx, "dma", topo->interference_port(0), dcfg};
+    dma.push_job(traffic::DmaJob{0x0, 0x10'0000, 0x4000, true});
+    for (auto _ : state) { ctx.step(); }
+    state.counters["sim-cycles/s"] =
+        benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MeshNocCycle)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_SusanTraceGeneration(benchmark::State& state) {
     traffic::SusanConfig cfg;
     cfg.width = 64;

@@ -2,11 +2,14 @@
 /// \brief Generic sweep runner: executes any registered sweep by name.
 ///
 /// `scenario_sweep --list` prints every registered sweep (the figure/table
-/// reproductions plus the ring NoC families); `scenario_sweep NAME...` runs
-/// them with the shared bench flags — `--threads N` parallelizes points,
-/// `--json PATH` dumps machine-readable results (one sweep per invocation),
-/// and `--json PATH --resume` skips points whose config hash already exists
-/// in the dump, enabling cheap incremental re-runs of the big DoS matrices.
+/// reproductions plus the ring and mesh NoC families); `scenario_sweep
+/// NAME...` runs them with the shared bench flags — `--threads N`
+/// parallelizes points, `--json PATH` dumps machine-readable results (one
+/// sweep per invocation), `--report PATH.md` renders the reviewable
+/// markdown report (DoS matrices become attackers x attack-mode tables per
+/// defense), and `--json PATH --resume` skips points whose config hash
+/// already exists in the dump, enabling cheap incremental re-runs of the
+/// big DoS matrices.
 #include "scenario/cli.hpp"
 
 #include <cstdio>
@@ -20,6 +23,10 @@ int main(int argc, char** argv) {
     }
     if (!opts.json_path.empty() && opts.positional.size() > 1) {
         std::fprintf(stderr, "--json supports exactly one sweep per invocation\n");
+        return 2;
+    }
+    if (!opts.report_path.empty() && opts.positional.size() > 1) {
+        std::fprintf(stderr, "--report supports exactly one sweep per invocation\n");
         return 2;
     }
     for (const std::string& name : opts.positional) {

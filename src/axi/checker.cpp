@@ -9,7 +9,10 @@ AxiChecker::AxiChecker(sim::SimContext& ctx, std::string name, AxiChannel& upstr
     : Component{ctx, std::move(name)},
       up_{upstream},
       down_{downstream},
-      throw_on_violation_{throw_on_violation} {}
+      throw_on_violation_{throw_on_violation} {
+    upstream.wake_subordinate_on_request(*this);
+    downstream.wake_manager_on_response(*this);
+}
 
 void AxiChecker::reset() {
     w_queue_.clear();
@@ -120,6 +123,17 @@ void AxiChecker::tick() {
         check_r(f);
         up_.channel().r.push(f);
     }
+    update_activity();
+}
+
+void AxiChecker::update_activity() {
+    // Conservative idle contract: the checker's bookkeeping (w_queue_,
+    // awaiting_b_, r_remaining_) only advances on flits, and every flit it
+    // consumes arrives through the wake-wired channels. A held flit
+    // (downstream backpressure) forbids sleeping — draining raises no wake.
+    if (!up_.channel().requests_empty()) { return; }
+    if (!down_.channel().responses_empty()) { return; }
+    idle_forever();
 }
 
 } // namespace realm::axi

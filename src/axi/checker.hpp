@@ -5,7 +5,8 @@
 /// subordinate-side channel. It forwards at most one flit per channel per
 /// cycle (full bus rate) and validates protocol rules on the fly. Used
 /// throughout the test suite to prove that every block in this repository
-/// emits legal AXI4 traffic.
+/// emits legal AXI4 traffic. Idle-aware: a quiet hop costs nothing, so
+/// checked scenarios fast-forward like bare ones.
 #pragma once
 
 #include "axi/channel.hpp"
@@ -48,6 +49,7 @@ public:
 
 private:
     void violation(const std::string& message);
+    void update_activity();
     void check_aw(const AwFlit& f);
     void check_w(const WFlit& f);
     void check_b(const BFlit& f);

@@ -4,7 +4,10 @@ namespace realm::axi {
 
 AxiLatencyProbe::AxiLatencyProbe(sim::SimContext& ctx, std::string name, AxiChannel& upstream,
                                  AxiChannel& downstream)
-    : Component{ctx, std::move(name)}, up_{upstream}, down_{downstream} {}
+    : Component{ctx, std::move(name)}, up_{upstream}, down_{downstream} {
+    upstream.wake_subordinate_on_request(*this);
+    downstream.wake_manager_on_response(*this);
+}
 
 void AxiLatencyProbe::reset() {
     write_start_.clear();
@@ -61,6 +64,17 @@ void AxiLatencyProbe::tick() {
         }
         up_.channel().r.push(f);
     }
+    update_activity();
+}
+
+void AxiLatencyProbe::update_activity() {
+    // Conservative idle contract: a pure pass-through only makes progress
+    // on buffered flits, and both sides wake us via the push hooks. Never
+    // sleep while a flit is still held (downstream backpressure clears
+    // without a wake hook, so we must keep polling until the hop drains).
+    if (!up_.channel().requests_empty()) { return; }
+    if (!down_.channel().responses_empty()) { return; }
+    idle_forever();
 }
 
 } // namespace realm::axi

@@ -6,6 +6,8 @@
 /// pipeline component it adds exactly one cycle per hop; place it
 /// symmetrically in compared configurations (or rely on the traffic
 /// generators' own end-to-end latency stats for absolute numbers).
+/// Honours the activity-aware idle/wake contract: an empty hop costs
+/// nothing, so instrumented scenarios fast-forward like bare ones.
 #pragma once
 
 #include "axi/channel.hpp"
@@ -42,6 +44,8 @@ public:
     }
 
 private:
+    void update_activity();
+
     SubordinateView up_;
     ManagerView down_;
 

@@ -10,6 +10,8 @@ AxiTracer::AxiTracer(sim::SimContext& ctx, std::string name, AxiChannel& upstrea
     : Component{ctx, std::move(name)}, up_{upstream}, down_{downstream},
       capacity_{capacity} {
     records_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+    upstream.wake_subordinate_on_request(*this);
+    downstream.wake_manager_on_response(*this);
 }
 
 void AxiTracer::reset() {
@@ -58,6 +60,16 @@ void AxiTracer::tick() {
         record(TraceRecord{now(), TraceRecord::Channel::kR, f.id, 0, 0, f.last, f.resp});
         up_.channel().r.push(f);
     }
+    update_activity();
+}
+
+void AxiTracer::update_activity() {
+    // Same conservative contract as the latency probe: only buffered flits
+    // create work, and the push hooks wake us; a held flit (backpressure)
+    // forbids sleeping because draining raises no wake.
+    if (!up_.channel().requests_empty()) { return; }
+    if (!down_.channel().responses_empty()) { return; }
+    idle_forever();
 }
 
 void AxiTracer::write_csv(std::ostream& os) const {

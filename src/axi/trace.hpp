@@ -4,7 +4,8 @@
 /// Observability tooling complementing the M&R unit's aggregate statistics:
 /// splice an `AxiTracer` into any channel and get a per-beat, cycle-stamped
 /// log for offline analysis (waveform-style debugging without a waveform
-/// dump). Pass-through component, one cycle per hop like any other.
+/// dump). Pass-through component, one cycle per hop like any other, and
+/// idle-aware: tracing costs nothing while the channel is quiet.
 #pragma once
 
 #include "axi/channel.hpp"
@@ -60,6 +61,7 @@ public:
 
 private:
     void record(TraceRecord r);
+    void update_activity();
 
     SubordinateView up_;
     ManagerView down_;

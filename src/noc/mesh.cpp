@@ -1,0 +1,303 @@
+#include "noc/mesh.hpp"
+
+#include "sim/check.hpp"
+
+#include <string>
+#include <utility>
+
+namespace realm::noc {
+
+std::optional<MeshDir> xy_next_hop(std::uint8_t cols, std::uint8_t cur,
+                                   std::uint8_t dest) noexcept {
+    if (cur == dest) { return std::nullopt; }
+    const std::uint8_t cur_col = cur % cols;
+    const std::uint8_t dest_col = dest % cols;
+    if (dest_col > cur_col) { return MeshDir::kEast; }
+    if (dest_col < cur_col) { return MeshDir::kWest; }
+    return dest / cols > cur / cols ? MeshDir::kSouth : MeshDir::kNorth;
+}
+
+// ---------------------------------------------------------------------------
+// MeshRouter
+// ---------------------------------------------------------------------------
+
+MeshRouter::MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
+                       std::uint8_t cols, ic::AddrMap map, axi::AxiChannel* local_mgr,
+                       std::vector<axi::AxiChannel*> egress, Ports ports)
+    : Component{ctx, std::move(name)},
+      id_{node_id},
+      cols_{cols},
+      map_{std::move(map)},
+      local_mgr_{local_mgr},
+      egress_{std::move(egress)},
+      ports_{ports},
+      ni_{this->name()} {
+    // Activity-aware kernel wiring: every neighbor link feeding this router
+    // has exactly one consumer (this router), so claiming the push hooks is
+    // safe; the local manager and egress channels follow the ring-NI scheme.
+    for (std::size_t d = 0; d < kMeshDirs; ++d) {
+        if (ports_.req_in[d] != nullptr) { ports_.req_in[d]->set_wake_on_push(this); }
+        if (ports_.rsp_in[d] != nullptr) { ports_.rsp_in[d]->set_wake_on_push(this); }
+    }
+    if (local_mgr_ != nullptr) { local_mgr_->wake_subordinate_on_request(*this); }
+    for (axi::AxiChannel* ch : egress_) {
+        if (ch != nullptr) { ch->wake_manager_on_response(*this); }
+    }
+}
+
+void MeshRouter::reset() {
+    ni_.reset();
+    req_rr_ = 0;
+    rsp_rr_ = 0;
+    req_out_used_.fill(false);
+    rsp_out_used_.fill(false);
+    injected_ = 0;
+    ejected_ = 0;
+    forwarded_ = 0;
+    stalls_ = 0;
+}
+
+void MeshRouter::service_network(bool request_net) {
+    auto& in = request_net ? ports_.req_in : ports_.rsp_in;
+    auto& out = request_net ? ports_.req_out : ports_.rsp_out;
+    auto& used = request_net ? req_out_used_ : rsp_out_used_;
+    auto& rr = request_net ? req_rr_ : rsp_rr_;
+    used.fill(false);
+
+    // Every input port may advance its head packet this cycle; the ejection
+    // port (like the ring NI) and each output port take one packet at most.
+    // Rotating input priority keeps merge points fair under sustained
+    // contention; the pointer only moves when a packet moved, so idle ticks
+    // stay no-ops.
+    bool eject_done = false;
+    bool any_moved = false;
+    std::uint8_t first_moved = 0;
+    for (std::uint8_t k = 0; k < kMeshDirs; ++k) {
+        const auto d = static_cast<std::uint8_t>((rr + k) % kMeshDirs);
+        sim::Link<NocPacket>* link = in[d];
+        if (link == nullptr || !link->can_pop()) { continue; }
+        const NocPacket& pkt = link->front();
+        const auto hop = xy_next_hop(cols_, id_, pkt.dest);
+        if (!hop.has_value()) {
+            if (eject_done) {
+                ++stalls_;
+                continue;
+            }
+            const bool ok = request_net ? ni_.try_eject_request(pkt, egress_)
+                                        : ni_.try_eject_response(pkt, local_mgr_);
+            if (ok) {
+                (void)link->pop();
+                ++ejected_;
+                eject_done = true;
+                if (!any_moved) {
+                    any_moved = true;
+                    first_moved = d;
+                }
+            } else {
+                ++stalls_;
+            }
+            continue;
+        }
+        // A packet arriving from direction d travels away from d; XY order
+        // makes the route monotonic per dimension, so it never turns back.
+        REALM_ENSURES(*hop != static_cast<MeshDir>(d),
+                      name() + ": 180-degree turn in XY route");
+        const auto h = static_cast<std::size_t>(*hop);
+        sim::Link<NocPacket>* o = out[h];
+        REALM_ENSURES(o != nullptr, name() + ": XY route leaves the mesh");
+        if (!used[h] && o->can_push()) {
+            o->push(link->pop());
+            used[h] = true;
+            ++forwarded_;
+            if (!any_moved) {
+                any_moved = true;
+                first_moved = d;
+            }
+        } else {
+            ++stalls_;
+        }
+    }
+    if (any_moved) { rr = static_cast<std::uint8_t>((first_moved + 1) % kMeshDirs); }
+}
+
+sim::Link<NocPacket>* MeshRouter::route_out(bool request_net, std::uint8_t dest) {
+    const auto hop = xy_next_hop(cols_, id_, dest);
+    REALM_EXPECTS(hop.has_value(),
+                  name() + ": a mesh node does not route packets to itself");
+    auto& out = request_net ? ports_.req_out : ports_.rsp_out;
+    auto& used = request_net ? req_out_used_ : rsp_out_used_;
+    const auto h = static_cast<std::size_t>(*hop);
+    sim::Link<NocPacket>* o = out[h];
+    REALM_ENSURES(o != nullptr, name() + ": XY route leaves the mesh");
+    if (used[h] || !o->can_push()) { return nullptr; }
+    used[h] = true; // the NI pushes unconditionally into a granted link
+    return o;
+}
+
+void MeshRouter::inject_requests() {
+    if (local_mgr_ == nullptr) { return; }
+    if (ni_.inject_requests(id_, *local_mgr_, map_, [this](std::uint8_t dest) {
+            return route_out(/*request_net=*/true, dest);
+        })) {
+        ++injected_;
+    }
+}
+
+void MeshRouter::inject_responses() {
+    if (egress_.empty()) { return; }
+    if (ni_.inject_responses(id_, egress_, [this](std::uint8_t dest) {
+            return route_out(/*request_net=*/false, dest);
+        })) {
+        ++injected_;
+    }
+}
+
+void MeshRouter::tick() {
+    service_network(/*request_net=*/false);
+    service_network(/*request_net=*/true);
+    inject_responses();
+    inject_requests();
+    update_activity();
+}
+
+void MeshRouter::update_activity() {
+    // Conservative idle contract, same shape as the ring node: a tick is a
+    // no-op iff nothing this router consumes holds a flit (`empty()`, not
+    // `can_pop()` — a flit pushed this cycle needs us next cycle).
+    for (std::size_t d = 0; d < kMeshDirs; ++d) {
+        if (ports_.req_in[d] != nullptr && !ports_.req_in[d]->empty()) { return; }
+        if (ports_.rsp_in[d] != nullptr && !ports_.rsp_in[d]->empty()) { return; }
+    }
+    if (local_mgr_ != nullptr && !local_mgr_->requests_empty()) { return; }
+    for (const axi::AxiChannel* ch : egress_) {
+        if (ch != nullptr && !ch->responses_empty()) { return; }
+    }
+    idle_forever();
+}
+
+// ---------------------------------------------------------------------------
+// NocMesh
+// ---------------------------------------------------------------------------
+
+NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
+                 std::uint8_t cols, ic::AddrMap node_map,
+                 std::vector<std::uint8_t> subordinate_nodes, std::size_t egress_depth)
+    : rows_{rows}, cols_{cols} {
+    const std::uint32_t n32 = static_cast<std::uint32_t>(rows) * cols;
+    REALM_EXPECTS(n32 >= 2, "a mesh needs at least two nodes");
+    REALM_EXPECTS(n32 <= 255, "node ids are 8-bit");
+    const auto n = static_cast<std::uint8_t>(n32);
+    sub_index_.assign(n, -1);
+    for (const std::uint8_t s : subordinate_nodes) {
+        REALM_EXPECTS(s < n, "subordinate node out of range");
+    }
+
+    // Channels and links first (plain objects, no tick order concerns).
+    const auto make_link = [&](std::vector<std::unique_ptr<sim::Link<NocPacket>>>& v,
+                               std::uint8_t i, const char* tag) {
+        v[i] = std::make_unique<sim::Link<NocPacket>>(ctx, 2,
+                                                      name + tag + std::to_string(i));
+    };
+    h_req_fwd_.resize(n);
+    h_req_rev_.resize(n);
+    h_rsp_fwd_.resize(n);
+    h_rsp_rev_.resize(n);
+    v_req_fwd_.resize(n);
+    v_req_rev_.resize(n);
+    v_rsp_fwd_.resize(n);
+    v_rsp_rev_.resize(n);
+    for (std::uint8_t i = 0; i < n; ++i) {
+        mgr_ports_.push_back(std::make_unique<axi::AxiChannel>(
+            ctx, name + ".mgr" + std::to_string(i)));
+        if (i % cols != cols - 1U) { // east neighbor exists
+            make_link(h_req_fwd_, i, ".hreq_e");
+            make_link(h_req_rev_, i, ".hreq_w");
+            make_link(h_rsp_fwd_, i, ".hrsp_e");
+            make_link(h_rsp_rev_, i, ".hrsp_w");
+        }
+        if (i / cols != rows - 1U) { // south neighbor exists
+            make_link(v_req_fwd_, i, ".vreq_s");
+            make_link(v_req_rev_, i, ".vreq_n");
+            make_link(v_rsp_fwd_, i, ".vrsp_s");
+            make_link(v_rsp_rev_, i, ".vrsp_n");
+        }
+    }
+    egress_.resize(n);
+    for (const std::uint8_t s : subordinate_nodes) {
+        std::vector<axi::AxiChannel*> egress_raw;
+        for (std::uint8_t src = 0; src < n; ++src) {
+            egress_[s].push_back(std::make_unique<axi::AxiChannel>(
+                ctx, name + ".eg" + std::to_string(s) + "_" + std::to_string(src),
+                egress_depth));
+            egress_raw.push_back(egress_[s].back().get());
+        }
+        sub_index_[s] = static_cast<int>(sub_ports_.size());
+        sub_ports_.push_back(std::make_unique<axi::AxiChannel>(
+            ctx, name + ".sub" + std::to_string(s)));
+        muxes_.push_back(std::make_unique<ic::AxiMux>(ctx, name + ".mux" + std::to_string(s),
+                                                      std::move(egress_raw),
+                                                      *sub_ports_.back()));
+    }
+
+    // Routers last, in node order (construction order fixes tick order).
+    const auto dir = [](MeshDir d) { return static_cast<std::size_t>(d); };
+    for (std::uint8_t i = 0; i < n; ++i) {
+        std::vector<axi::AxiChannel*> egress_raw;
+        for (const auto& ch : egress_[i]) { egress_raw.push_back(ch.get()); }
+
+        MeshRouter::Ports p;
+        if (i % cols != cols - 1U) { // east neighbor at i+1
+            p.req_out[dir(MeshDir::kEast)] = h_req_fwd_[i].get();
+            p.req_in[dir(MeshDir::kEast)] = h_req_rev_[i].get();
+            p.rsp_out[dir(MeshDir::kEast)] = h_rsp_fwd_[i].get();
+            p.rsp_in[dir(MeshDir::kEast)] = h_rsp_rev_[i].get();
+        }
+        if (i % cols != 0U) { // west neighbor at i-1
+            p.req_out[dir(MeshDir::kWest)] = h_req_rev_[i - 1].get();
+            p.req_in[dir(MeshDir::kWest)] = h_req_fwd_[i - 1].get();
+            p.rsp_out[dir(MeshDir::kWest)] = h_rsp_rev_[i - 1].get();
+            p.rsp_in[dir(MeshDir::kWest)] = h_rsp_fwd_[i - 1].get();
+        }
+        if (i / cols != rows - 1U) { // south neighbor at i+cols
+            p.req_out[dir(MeshDir::kSouth)] = v_req_fwd_[i].get();
+            p.req_in[dir(MeshDir::kSouth)] = v_req_rev_[i].get();
+            p.rsp_out[dir(MeshDir::kSouth)] = v_rsp_fwd_[i].get();
+            p.rsp_in[dir(MeshDir::kSouth)] = v_rsp_rev_[i].get();
+        }
+        if (i / cols != 0U) { // north neighbor at i-cols
+            p.req_out[dir(MeshDir::kNorth)] = v_req_rev_[i - cols].get();
+            p.req_in[dir(MeshDir::kNorth)] = v_req_fwd_[i - cols].get();
+            p.rsp_out[dir(MeshDir::kNorth)] = v_rsp_rev_[i - cols].get();
+            p.rsp_in[dir(MeshDir::kNorth)] = v_rsp_fwd_[i - cols].get();
+        }
+        routers_.push_back(std::make_unique<MeshRouter>(
+            ctx, name + ".r" + std::to_string(i), i, cols, node_map,
+            mgr_ports_[i].get(), std::move(egress_raw), p));
+    }
+}
+
+axi::AxiChannel& NocMesh::subordinate_port(std::uint8_t node) {
+    REALM_EXPECTS(node < sub_index_.size() && sub_index_[node] >= 0,
+                  "node hosts no subordinate");
+    return *sub_ports_[static_cast<std::size_t>(sub_index_[node])];
+}
+
+std::uint64_t NocMesh::total_forwarded() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& r : routers_) { total += r->forwarded(); }
+    return total;
+}
+
+std::uint64_t NocMesh::total_stalls() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& r : routers_) { total += r->stall_cycles(); }
+    return total;
+}
+
+std::uint64_t NocMesh::total_mux_w_stalls() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& m : muxes_) { total += m->w_stall_cycles(); }
+    return total;
+}
+
+} // namespace realm::noc

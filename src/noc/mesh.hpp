@@ -1,0 +1,186 @@
+/// \file
+/// \brief 2D-mesh NoC: XY dimension-ordered routers + AXI network interfaces.
+///
+/// The third fabric of the "regulation is interconnect-agnostic" claim: an
+/// R x C mesh of routers, each optionally hosting one AXI manager and one
+/// subordinate (reached through the same deep per-source egress staging and
+/// `ic::AxiMux` scheme as the ring NI). Packets route X-first then Y —
+/// deterministic, minimal, and deadlock-free (dimension order admits no
+/// cyclic channel dependency, and the request/response split keeps the
+/// protocol deadlock-free under backpressure, exactly as on the ring).
+/// Unlike the single-lane ring, a mesh router moves up to one packet per
+/// output port per cycle, so independent flows on disjoint paths do not
+/// serialize — the multi-path contention regime the DoS matrix probes.
+#pragma once
+
+#include "axi/channel.hpp"
+#include "ic/addr_map.hpp"
+#include "ic/mux.hpp"
+#include "noc/ni.hpp"
+#include "noc/packet.hpp"
+
+#include "sim/component.hpp"
+#include "sim/context.hpp"
+#include "sim/link.hpp"
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace realm::noc {
+
+/// Mesh port directions. Node ids are row-major: node = row * cols + col;
+/// kSouth increases the row, kEast increases the column.
+enum class MeshDir : std::uint8_t { kNorth = 0, kEast = 1, kSouth = 2, kWest = 3 };
+inline constexpr std::size_t kMeshDirs = 4;
+
+[[nodiscard]] constexpr MeshDir opposite(MeshDir d) noexcept {
+    return static_cast<MeshDir>((static_cast<std::uint8_t>(d) + 2) % kMeshDirs);
+}
+
+[[nodiscard]] constexpr const char* to_string(MeshDir d) noexcept {
+    switch (d) {
+    case MeshDir::kNorth: return "N";
+    case MeshDir::kEast: return "E";
+    case MeshDir::kSouth: return "S";
+    case MeshDir::kWest: return "W";
+    }
+    return "?";
+}
+
+/// Next hop of the XY dimension-ordered route from `cur` toward `dest` on a
+/// `cols`-wide row-major mesh: correct the column first (E/W), then the row
+/// (S/N). Returns nullopt when `cur == dest` (eject locally). Pure function
+/// of (cols, cur, dest) — paths are deterministic by construction, which the
+/// routing-invariant tests assert hop by hop.
+[[nodiscard]] std::optional<MeshDir> xy_next_hop(std::uint8_t cols, std::uint8_t cur,
+                                                 std::uint8_t dest) noexcept;
+
+/// One mesh router + network interface. Up to four neighbor ports per
+/// virtual network (request / response), one local manager, one local
+/// subordinate. Per cycle: every input port may advance one packet (ejection
+/// is single-ported per network, like the ring NI), each output port
+/// accepts at most one packet, inputs arbitrate round-robin, and forwarding
+/// has priority over injection.
+class MeshRouter : public sim::Component {
+public:
+    /// Neighbor links, indexed by `MeshDir`; nullptr at mesh edges.
+    /// `in[d]` carries packets *from* the neighbor in direction d,
+    /// `out[d]` carries packets *toward* it.
+    struct Ports {
+        std::array<sim::Link<NocPacket>*, kMeshDirs> req_in{};
+        std::array<sim::Link<NocPacket>*, kMeshDirs> req_out{};
+        std::array<sim::Link<NocPacket>*, kMeshDirs> rsp_in{};
+        std::array<sim::Link<NocPacket>*, kMeshDirs> rsp_out{};
+    };
+
+    MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
+               std::uint8_t cols, ic::AddrMap map, axi::AxiChannel* local_mgr,
+               std::vector<axi::AxiChannel*> egress, Ports ports);
+
+    void reset() override;
+    void tick() override;
+
+    /// \name Statistics
+    ///@{
+    [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+    [[nodiscard]] std::uint64_t ejected() const noexcept { return ejected_; }
+    [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+    /// Cycles an input head could not move (output busy/backpressured or
+    /// ejection staging full) — the mesh analog of ring stalls.
+    [[nodiscard]] std::uint64_t stall_cycles() const noexcept { return stalls_; }
+    ///@}
+
+private:
+    void service_network(bool request_net);
+    void inject_requests();
+    void inject_responses();
+    [[nodiscard]] sim::Link<NocPacket>* route_out(bool request_net, std::uint8_t dest);
+    void update_activity();
+
+    std::uint8_t id_;
+    std::uint8_t cols_;
+    ic::AddrMap map_;
+    axi::AxiChannel* local_mgr_;
+    std::vector<axi::AxiChannel*> egress_;
+    Ports ports_;
+
+    NocNi ni_;
+
+    /// Round-robin input priority per network (advances only when a packet
+    /// moved, so an idle tick stays the promised no-op).
+    std::uint8_t req_rr_ = 0;
+    std::uint8_t rsp_rr_ = 0;
+    /// Per-cycle output reservations (one packet per port per cycle).
+    std::array<bool, kMeshDirs> req_out_used_{};
+    std::array<bool, kMeshDirs> rsp_out_used_{};
+
+    std::uint64_t injected_ = 0;
+    std::uint64_t ejected_ = 0;
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t stalls_ = 0;
+};
+
+/// Mesh assembly: routers, neighbor links, per-subordinate egress muxes.
+/// Mirrors `NocRing`'s interface so the topology subsystem treats both
+/// fabrics through one code path.
+class NocMesh {
+public:
+    /// \param node_map          decodes addresses to node ids (row-major).
+    /// \param subordinate_nodes nodes hosting a local subordinate.
+    /// \param egress_depth      per-source request staging at a subordinate's
+    ///        NI; must cover the in-flight W beats of one source (see
+    ///        `NocRing` — the provisioning argument is fabric-independent).
+    NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
+            std::uint8_t cols, ic::AddrMap node_map,
+            std::vector<std::uint8_t> subordinate_nodes,
+            std::size_t egress_depth = 1024);
+
+    NocMesh(const NocMesh&) = delete;
+    NocMesh& operator=(const NocMesh&) = delete;
+
+    /// Channel a manager at `node` drives (requests in, responses out).
+    [[nodiscard]] axi::AxiChannel& manager_port(std::uint8_t node) {
+        return *mgr_ports_.at(node);
+    }
+    /// Channel to attach a subordinate model at `node`.
+    [[nodiscard]] axi::AxiChannel& subordinate_port(std::uint8_t node);
+
+    [[nodiscard]] MeshRouter& router(std::uint8_t i) { return *routers_.at(i); }
+    [[nodiscard]] std::uint8_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::uint8_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::uint8_t num_nodes() const noexcept {
+        return static_cast<std::uint8_t>(routers_.size());
+    }
+
+    /// Aggregate mesh statistics (hops forwarded across all routers).
+    [[nodiscard]] std::uint64_t total_forwarded() const noexcept;
+    /// Aggregate head-of-line stall cycles across all routers.
+    [[nodiscard]] std::uint64_t total_stalls() const noexcept;
+    /// Aggregate W-channel reservation stalls across the subordinate-side
+    /// egress muxes (the DoS exposure metric, cf. `NocRing`).
+    [[nodiscard]] std::uint64_t total_mux_w_stalls() const noexcept;
+
+private:
+    std::uint8_t rows_;
+    std::uint8_t cols_;
+    std::vector<std::unique_ptr<axi::AxiChannel>> mgr_ports_;
+    /// Neighbor links per network and orientation. `h_*[i]` connects node i
+    /// to node i+1 (east/west pair, absent on the last column); `v_*[i]`
+    /// connects node i to node i+cols (south/north pair, absent on the last
+    /// row). `*_fwd` flows east/south, `*_rev` flows west/north.
+    std::vector<std::unique_ptr<sim::Link<NocPacket>>> h_req_fwd_, h_req_rev_;
+    std::vector<std::unique_ptr<sim::Link<NocPacket>>> h_rsp_fwd_, h_rsp_rev_;
+    std::vector<std::unique_ptr<sim::Link<NocPacket>>> v_req_fwd_, v_req_rev_;
+    std::vector<std::unique_ptr<sim::Link<NocPacket>>> v_rsp_fwd_, v_rsp_rev_;
+    /// egress_[node][src] (nullptr when `node` hosts no subordinate).
+    std::vector<std::vector<std::unique_ptr<axi::AxiChannel>>> egress_;
+    std::vector<std::unique_ptr<axi::AxiChannel>> sub_ports_;
+    std::vector<std::unique_ptr<ic::AxiMux>> muxes_;
+    std::vector<std::unique_ptr<MeshRouter>> routers_;
+    std::vector<int> sub_index_; ///< node -> index into sub_ports_ or -1
+};
+
+} // namespace realm::noc

@@ -1,0 +1,62 @@
+#include "noc/ni.hpp"
+
+#include "sim/check.hpp"
+
+namespace realm::noc {
+
+void NocNi::reset() {
+    w_dest_.clear();
+    w_beats_left_.clear();
+    w_in_flight_.clear();
+    r_in_flight_.clear();
+    rsp_rr_ = 0;
+}
+
+bool NocNi::try_eject_request(const NocPacket& pkt,
+                              const std::vector<axi::AxiChannel*>& egress) {
+    REALM_EXPECTS(pkt.src < egress.size() && egress[pkt.src] != nullptr,
+                  owner_ + ": request ejected at a node without a subordinate");
+    axi::AxiChannel& ch = *egress[pkt.src];
+    if (const auto* aw = std::get_if<axi::AwFlit>(&pkt.flit)) {
+        if (!ch.aw.can_push()) { return false; }
+        ch.aw.push(*aw);
+        return true;
+    }
+    if (const auto* w = std::get_if<axi::WFlit>(&pkt.flit)) {
+        if (!ch.w.can_push()) { return false; }
+        ch.w.push(*w);
+        return true;
+    }
+    const auto* ar = std::get_if<axi::ArFlit>(&pkt.flit);
+    REALM_EXPECTS(ar != nullptr, owner_ + ": malformed request packet");
+    if (!ch.ar.can_push()) { return false; }
+    ch.ar.push(*ar);
+    return true;
+}
+
+bool NocNi::try_eject_response(const NocPacket& pkt, axi::AxiChannel* local_mgr) {
+    REALM_EXPECTS(local_mgr != nullptr,
+                  owner_ + ": response ejected at a node without a manager");
+    if (const auto* b = std::get_if<axi::BFlit>(&pkt.flit)) {
+        if (!local_mgr->b.can_push()) { return false; }
+        if (auto it = w_in_flight_.find(b->id); it != w_in_flight_.end() &&
+                                                it->second.count > 0) {
+            --it->second.count;
+        }
+        local_mgr->b.push(*b);
+        return true;
+    }
+    const auto* r = std::get_if<axi::RFlit>(&pkt.flit);
+    REALM_EXPECTS(r != nullptr, owner_ + ": malformed response packet");
+    if (!local_mgr->r.can_push()) { return false; }
+    if (r->last) {
+        if (auto it = r_in_flight_.find(r->id); it != r_in_flight_.end() &&
+                                                it->second.count > 0) {
+            --it->second.count;
+        }
+    }
+    local_mgr->r.push(*r);
+    return true;
+}
+
+} // namespace realm::noc

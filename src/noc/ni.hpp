@@ -1,0 +1,164 @@
+/// \file
+/// \brief Network-interface bookkeeping shared by every NoC router.
+///
+/// The ring node and the mesh router differ in how packets *move* (one lane
+/// around a circle vs. XY dimension-ordered hops), but their AXI network
+/// interfaces are identical: requests are packetized with an AW-before-data
+/// lane discipline and AXI same-ID ordering, ejected requests land in deep
+/// per-source egress staging in front of an `ic::AxiMux`, and responses are
+/// injected round-robin over the sources waiting at the local subordinate.
+/// `NocNi` owns exactly that state so both fabrics share one flow-control
+/// implementation (and one set of bugs).
+#pragma once
+
+#include "axi/channel.hpp"
+#include "ic/addr_map.hpp"
+#include "noc/packet.hpp"
+
+#include "sim/link.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace realm::noc {
+
+class NocNi {
+public:
+    explicit NocNi(std::string owner) : owner_{std::move(owner)} {}
+
+    void reset();
+
+    /// \name Ejection (packets whose dest is the local node)
+    ///@{
+    /// Delivers a request packet into the per-source egress staging toward
+    /// the local subordinate's mux. Returns false on backpressure.
+    bool try_eject_request(const NocPacket& pkt,
+                           const std::vector<axi::AxiChannel*>& egress);
+    /// Delivers a response packet to the local manager, retiring the same-ID
+    /// ordering bookkeeping on B / last R. Returns false on backpressure.
+    bool try_eject_response(const NocPacket& pkt, axi::AxiChannel* local_mgr);
+    ///@}
+
+    /// \name Injection (local manager / subordinate into the network)
+    ///@{
+    /// Injects at most one request packet from the local manager. `route`
+    /// maps a destination node to the outgoing link able to accept one
+    /// packet this cycle, or nullptr on backpressure (the flit is then held
+    /// and retried, preserving the lane order). AW travels before its data;
+    /// W continuation beats take priority over new reads; an AW or AR whose
+    /// ID has in-flight transactions toward a *different* node stalls until
+    /// they retire (the same rule `ic::AxiDemux` enforces).
+    template <typename RouteFn>
+    bool inject_requests(std::uint8_t self, axi::AxiChannel& mgr,
+                         const ic::AddrMap& map, RouteFn&& route) {
+        if (mgr.aw.can_pop()) {
+            const axi::AwFlit& head = mgr.aw.front();
+            const auto dest_opt = map.decode(head.addr);
+            REALM_EXPECTS(dest_opt.has_value(), owner_ + ": unmapped NoC address");
+            const auto dest = static_cast<std::uint8_t>(*dest_opt);
+            const auto it = w_in_flight_.find(head.id);
+            const bool ordering_ok = it == w_in_flight_.end() ||
+                                     it->second.count == 0 || it->second.dest == dest;
+            if (ordering_ok) {
+                if (sim::Link<NocPacket>* out = route(dest)) {
+                    axi::AwFlit aw = mgr.aw.pop();
+                    auto& fl = w_in_flight_[aw.id];
+                    fl.dest = dest;
+                    ++fl.count;
+                    w_dest_.push_back(dest);
+                    w_beats_left_.push_back(aw.beats());
+                    out->push(NocPacket{self, dest, aw});
+                    return true;
+                }
+                return false; // hold the AW; W/AR behind it wait their turn
+            }
+        }
+        if (!w_dest_.empty() && mgr.w.can_pop()) {
+            if (sim::Link<NocPacket>* out = route(w_dest_.front())) {
+                axi::WFlit w = mgr.w.pop();
+                out->push(NocPacket{self, w_dest_.front(), w});
+                if (--w_beats_left_.front() == 0) {
+                    REALM_ENSURES(w.last, owner_ + ": W burst ended without WLAST");
+                    w_dest_.pop_front();
+                    w_beats_left_.pop_front();
+                }
+                return true;
+            }
+            return false;
+        }
+        if (mgr.ar.can_pop()) {
+            const axi::ArFlit& head = mgr.ar.front();
+            const auto dest_opt = map.decode(head.addr);
+            REALM_EXPECTS(dest_opt.has_value(), owner_ + ": unmapped NoC address");
+            const auto dest = static_cast<std::uint8_t>(*dest_opt);
+            const auto it = r_in_flight_.find(head.id);
+            const bool ordering_ok = it == r_in_flight_.end() ||
+                                     it->second.count == 0 || it->second.dest == dest;
+            if (!ordering_ok) { return false; }
+            if (sim::Link<NocPacket>* out = route(dest)) {
+                axi::ArFlit ar = mgr.ar.pop();
+                auto& fl = r_in_flight_[ar.id];
+                fl.dest = dest;
+                ++fl.count;
+                out->push(NocPacket{self, dest, ar});
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// Injects at most one response packet from the local subordinate,
+    /// round-robin over the sources whose responses wait at the egress mux.
+    /// `route` maps the response's destination (the request's source node)
+    /// to the outgoing link, or nullptr on backpressure — a blocked source
+    /// does not stop a routable one.
+    template <typename RouteFn>
+    bool inject_responses(std::uint8_t self,
+                          const std::vector<axi::AxiChannel*>& egress,
+                          RouteFn&& route) {
+        const auto n = static_cast<std::uint32_t>(egress.size());
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint32_t src = (rsp_rr_ + 1 + i) % n;
+            axi::AxiChannel* ch = egress[src];
+            if (ch == nullptr) { continue; }
+            if (ch->b.can_pop()) {
+                if (sim::Link<NocPacket>* out = route(static_cast<std::uint8_t>(src))) {
+                    out->push(NocPacket{self, static_cast<std::uint8_t>(src), ch->b.pop()});
+                    rsp_rr_ = src;
+                    return true;
+                }
+                continue;
+            }
+            if (ch->r.can_pop()) {
+                if (sim::Link<NocPacket>* out = route(static_cast<std::uint8_t>(src))) {
+                    out->push(NocPacket{self, static_cast<std::uint8_t>(src), ch->r.pop()});
+                    rsp_rr_ = src;
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+    ///@}
+
+private:
+    std::string owner_; ///< router name, for contract messages
+
+    /// Ingress W routing: dest node per accepted AW, in order.
+    std::deque<std::uint8_t> w_dest_;
+    std::deque<std::uint32_t> w_beats_left_;
+    /// AXI same-ID ordering at the ingress (same rule as `ic::AxiDemux`).
+    struct InFlight {
+        std::uint8_t dest = 0;
+        std::uint32_t count = 0;
+    };
+    std::unordered_map<axi::IdT, InFlight> w_in_flight_;
+    std::unordered_map<axi::IdT, InFlight> r_in_flight_;
+    /// Response injection round-robin over egress sources.
+    std::uint32_t rsp_rr_ = 0;
+};
+
+} // namespace realm::noc

@@ -19,7 +19,8 @@ NocNode::NocNode(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
       req_in_{&req_in},
       req_out_{&req_out},
       rsp_in_{&rsp_in},
-      rsp_out_{&rsp_out} {
+      rsp_out_{&rsp_out},
+      ni_{this->name()} {
     // Activity-aware kernel wiring: everything this node consumes wakes it.
     // Each ring link has exactly one consumer (the next node downstream), so
     // claiming the push hook here is safe.
@@ -32,61 +33,11 @@ NocNode::NocNode(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
 }
 
 void NocNode::reset() {
-    w_dest_.clear();
-    w_beats_left_.clear();
-    w_in_flight_.clear();
-    r_in_flight_.clear();
-    rsp_rr_ = 0;
+    ni_.reset();
     injected_ = 0;
     ejected_ = 0;
     forwarded_ = 0;
     ring_stalls_ = 0;
-}
-
-bool NocNode::try_eject(const NocPacket& pkt, bool request_ring) {
-    if (request_ring) {
-        REALM_EXPECTS(pkt.src < egress_.size() && egress_[pkt.src] != nullptr,
-                      name() + ": request ejected at a node without a subordinate");
-        axi::AxiChannel& ch = *egress_[pkt.src];
-        if (const auto* aw = std::get_if<axi::AwFlit>(&pkt.flit)) {
-            if (!ch.aw.can_push()) { return false; }
-            ch.aw.push(*aw);
-            return true;
-        }
-        if (const auto* w = std::get_if<axi::WFlit>(&pkt.flit)) {
-            if (!ch.w.can_push()) { return false; }
-            ch.w.push(*w);
-            return true;
-        }
-        const auto* ar = std::get_if<axi::ArFlit>(&pkt.flit);
-        REALM_EXPECTS(ar != nullptr, name() + ": malformed request packet");
-        if (!ch.ar.can_push()) { return false; }
-        ch.ar.push(*ar);
-        return true;
-    }
-    // Response destined for the local manager.
-    REALM_EXPECTS(local_mgr_ != nullptr,
-                  name() + ": response ejected at a node without a manager");
-    if (const auto* b = std::get_if<axi::BFlit>(&pkt.flit)) {
-        if (!local_mgr_->b.can_push()) { return false; }
-        if (auto it = w_in_flight_.find(b->id); it != w_in_flight_.end() &&
-                                                it->second.count > 0) {
-            --it->second.count;
-        }
-        local_mgr_->b.push(*b);
-        return true;
-    }
-    const auto* r = std::get_if<axi::RFlit>(&pkt.flit);
-    REALM_EXPECTS(r != nullptr, name() + ": malformed response packet");
-    if (!local_mgr_->r.can_push()) { return false; }
-    if (r->last) {
-        if (auto it = r_in_flight_.find(r->id); it != r_in_flight_.end() &&
-                                                it->second.count > 0) {
-            --it->second.count;
-        }
-    }
-    local_mgr_->r.push(*r);
-    return true;
 }
 
 void NocNode::ring_hop(sim::Link<NocPacket>& in, sim::Link<NocPacket>& out,
@@ -94,7 +45,9 @@ void NocNode::ring_hop(sim::Link<NocPacket>& in, sim::Link<NocPacket>& out,
     if (!in.can_pop()) { return; }
     const NocPacket& pkt = in.front();
     if (pkt.dest == id_) {
-        if (try_eject(pkt, request_ring)) {
+        const bool ok = request_ring ? ni_.try_eject_request(pkt, egress_)
+                                     : ni_.try_eject_response(pkt, local_mgr_);
+        if (ok) {
             (void)in.pop();
             ++ejected_;
         } else {
@@ -112,80 +65,19 @@ void NocNode::ring_hop(sim::Link<NocPacket>& in, sim::Link<NocPacket>& out,
 
 void NocNode::inject_requests() {
     if (local_mgr_ == nullptr || !req_out_->can_push()) { return; }
-    axi::AxiChannel& mgr = *local_mgr_;
-
-    // One request packet per cycle. AW before its data; W-continuation
-    // before new reads (a starving AR simply means the write stream owns
-    // the ring slot this cycle).
-    if (mgr.aw.can_pop()) {
-        const axi::AwFlit& head = mgr.aw.front();
-        const auto dest_opt = map_.decode(head.addr);
-        REALM_EXPECTS(dest_opt.has_value(), name() + ": unmapped NoC address");
-        const auto dest = static_cast<std::uint8_t>(*dest_opt);
-        const auto it = w_in_flight_.find(head.id);
-        const bool ordering_ok = it == w_in_flight_.end() || it->second.count == 0 ||
-                                 it->second.dest == dest;
-        if (ordering_ok) {
-            axi::AwFlit aw = mgr.aw.pop();
-            auto& fl = w_in_flight_[aw.id];
-            fl.dest = dest;
-            ++fl.count;
-            w_dest_.push_back(dest);
-            w_beats_left_.push_back(aw.beats());
-            req_out_->push(NocPacket{id_, dest, aw});
-            ++injected_;
-            return;
-        }
-    }
-    if (!w_dest_.empty() && mgr.w.can_pop()) {
-        axi::WFlit w = mgr.w.pop();
-        req_out_->push(NocPacket{id_, w_dest_.front(), w});
-        ++injected_;
-        if (--w_beats_left_.front() == 0) {
-            REALM_ENSURES(w.last, name() + ": W burst ended without WLAST");
-            w_dest_.pop_front();
-            w_beats_left_.pop_front();
-        }
-        return;
-    }
-    if (mgr.ar.can_pop()) {
-        const axi::ArFlit& head = mgr.ar.front();
-        const auto dest_opt = map_.decode(head.addr);
-        REALM_EXPECTS(dest_opt.has_value(), name() + ": unmapped NoC address");
-        const auto dest = static_cast<std::uint8_t>(*dest_opt);
-        const auto it = r_in_flight_.find(head.id);
-        const bool ordering_ok = it == r_in_flight_.end() || it->second.count == 0 ||
-                                 it->second.dest == dest;
-        if (!ordering_ok) { return; }
-        axi::ArFlit ar = mgr.ar.pop();
-        auto& fl = r_in_flight_[ar.id];
-        fl.dest = dest;
-        ++fl.count;
-        req_out_->push(NocPacket{id_, dest, ar});
+    // Single-lane ring: every destination leaves through the one request
+    // link, already known to have room.
+    if (ni_.inject_requests(id_, *local_mgr_, map_,
+                            [this](std::uint8_t) { return req_out_; })) {
         ++injected_;
     }
 }
 
 void NocNode::inject_responses() {
     if (egress_.empty() || !rsp_out_->can_push()) { return; }
-    // Round-robin over the sources whose responses wait at our subordinate.
-    const auto n = static_cast<std::uint32_t>(egress_.size());
-    for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint32_t src = (rsp_rr_ + 1 + i) % n;
-        axi::AxiChannel* ch = egress_[src];
-        if (ch == nullptr) { continue; }
-        if (ch->b.can_pop()) {
-            rsp_out_->push(NocPacket{id_, static_cast<std::uint8_t>(src), ch->b.pop()});
-            ++injected_;
-            rsp_rr_ = src;
-            return;
-        }
-        if (ch->r.can_pop()) {
-            rsp_out_->push(NocPacket{id_, static_cast<std::uint8_t>(src), ch->r.pop()});
-            ++injected_;
-            rsp_rr_ = src;
-            return;
-        }
+    if (ni_.inject_responses(id_, egress_,
+                             [this](std::uint8_t) { return rsp_out_; })) {
+        ++injected_;
     }
 }
 
@@ -201,8 +93,8 @@ void NocNode::update_activity() {
     // Conservative idle contract: every tick is a no-op iff nothing this
     // node consumes holds a flit. Uses `empty()`, not `can_pop()`: a flit
     // pushed this cycle is not yet poppable but does need us next cycle.
-    // Pending W routing state (`w_dest_`) and same-ID ordering stalls only
-    // progress on new flits, all of which arrive through wired links.
+    // Pending W routing state and same-ID ordering stalls (owned by `ni_`)
+    // only progress on new flits, all of which arrive through wired links.
     if (!req_in_->empty() || !rsp_in_->empty()) { return; }
     if (local_mgr_ != nullptr && !local_mgr_->requests_empty()) { return; }
     for (const axi::AxiChannel* ch : egress_) {

@@ -7,19 +7,20 @@
 /// burst-granular W ordering). Rings are unidirectional with one-cycle
 /// hops; forwarding has priority over injection, and a packet whose
 /// ejection buffer is full stalls the ring head (bounded, since the
-/// response ring always drains).
+/// response ring always drains). The NI bookkeeping (lane discipline,
+/// same-ID ordering, response round-robin) lives in the fabric-shared
+/// `NocNi`.
 #pragma once
 
 #include "axi/channel.hpp"
 #include "ic/addr_map.hpp"
+#include "noc/ni.hpp"
 #include "noc/packet.hpp"
 
 #include "sim/component.hpp"
 #include "sim/link.hpp"
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 namespace realm::noc {
@@ -51,7 +52,6 @@ public:
 
 private:
     void ring_hop(sim::Link<NocPacket>& in, sim::Link<NocPacket>& out, bool request_ring);
-    bool try_eject(const NocPacket& pkt, bool request_ring);
     void inject_requests();
     void inject_responses();
     void update_activity();
@@ -65,18 +65,7 @@ private:
     sim::Link<NocPacket>* rsp_in_;
     sim::Link<NocPacket>* rsp_out_;
 
-    /// Ingress W routing: dest node per accepted AW, in order.
-    std::deque<std::uint8_t> w_dest_;
-    std::deque<std::uint32_t> w_beats_left_;
-    /// AXI same-ID ordering at the ingress (same rule as `ic::AxiDemux`).
-    struct InFlight {
-        std::uint8_t dest = 0;
-        std::uint32_t count = 0;
-    };
-    std::unordered_map<axi::IdT, InFlight> w_in_flight_;
-    std::unordered_map<axi::IdT, InFlight> r_in_flight_;
-    /// Response injection round-robin over egress sources.
-    std::uint32_t rsp_rr_ = 0;
+    NocNi ni_;
 
     std::uint64_t injected_ = 0;
     std::uint64_t ejected_ = 0;

@@ -1,10 +1,11 @@
 /// \file
 /// \brief Shared command-line handling for the scenario-driven benches:
-///        `--threads N`, `--json PATH`, `--resume`,
+///        `--threads N`, `--json PATH`, `--report PATH`, `--resume`,
 ///        `--scheduler tick-all|activity`, `--list`.
 #pragma once
 
 #include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 
 #include "sim/context.hpp"
@@ -20,6 +21,9 @@ namespace realm::scenario {
 struct BenchOptions {
     RunnerOptions runner{};
     std::string json_path;
+    /// Rendered markdown report (`--report PATH.md`) — the reviewable CI
+    /// artifact complementing the machine-readable JSON dump.
+    std::string report_path;
     /// With `--json`: reuse results from an existing dump at the same path
     /// for points whose config hash matches (sweep-level resume).
     bool resume = false;
@@ -56,6 +60,8 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
             opts.runner.threads = static_cast<unsigned>(n);
         } else if (arg == "--json") {
             opts.json_path = need_value("--json");
+        } else if (arg == "--report") {
+            opts.report_path = need_value("--report");
         } else if (arg == "--resume") {
             opts.resume = true;
         } else if (arg == "--scheduler") {
@@ -75,8 +81,8 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
             }
             std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s %s[--threads N] [--json PATH] [--resume] "
-                        "[--scheduler tick-all|activity] [--list]\n",
+            std::printf("usage: %s %s[--threads N] [--json PATH] [--report PATH.md] "
+                        "[--resume] [--scheduler tick-all|activity] [--list]\n",
                         argv[0], accept_positional ? "[sweep...] " : "");
             std::exit(0);
         } else if (accept_positional && !arg.empty() && arg[0] != '-') {
@@ -130,6 +136,12 @@ inline std::vector<ScenarioResult> run_with_options(const BenchOptions& opts,
         // The JSON artifact was explicitly requested; a consumer checking
         // only the exit code must not read a stale or missing file.
         std::fprintf(stderr, "failed to write JSON to %s\n", opts.json_path.c_str());
+        std::exit(3);
+    }
+    if (!opts.report_path.empty() &&
+        !write_report_file(opts.report_path, sweep, results)) {
+        std::fprintf(stderr, "failed to write report to %s\n",
+                     opts.report_path.c_str());
         std::exit(3);
     }
     return results;

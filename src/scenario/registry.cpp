@@ -3,6 +3,7 @@
 #include "sim/check.hpp"
 #include "sim/rng.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <utility>
@@ -288,72 +289,106 @@ Sweep make_idle_tail() {
 }
 
 // ---------------------------------------------------------------------------
-// Ring NoC sweeps: multi-manager contention on the Figure 1b fabric.
+// NoC sweeps: multi-manager contention cells, shared across all three
+// fabrics (crossbar / ring / mesh) so the DoS matrix is fabric-comparative.
 // ---------------------------------------------------------------------------
 
-/// How an attacker DMA misbehaves on the ring.
-enum class RingAttack : std::uint8_t {
+/// How an attacker DMA misbehaves.
+enum class DosAttack : std::uint8_t {
     kHog,       ///< 256-beat bursts: burst-granular arbitration damage
     kOverdraft, ///< deeply pipelined sustained demand far beyond any budget
-    kWStall,    ///< AW first, data trickled: reserves the memory node's W
-                ///< channel (the stalling-manager DoS over the NoC)
+    kWStall,    ///< AW first, data trickled: reserves the memory-side W
+                ///< channel (the stalling-manager DoS)
 };
 
-/// What the REALM units on the attacker nodes are programmed to do.
-enum class RingDefense : std::uint8_t { kNone, kFragmentation, kBudget, kThrottle };
+/// What the REALM units on the attacker ports are programmed to do.
+enum class DosDefense : std::uint8_t { kNone, kFragmentation, kBudget, kThrottle };
 
-constexpr const char* ring_attack_name(RingAttack a) {
+constexpr const char* dos_attack_name(DosAttack a) {
     switch (a) {
-    case RingAttack::kHog: return "hog";
-    case RingAttack::kOverdraft: return "overdraft";
-    case RingAttack::kWStall: return "wstall";
+    case DosAttack::kHog: return "hog";
+    case DosAttack::kOverdraft: return "overdraft";
+    case DosAttack::kWStall: return "wstall";
     }
     return "?";
 }
 
-constexpr const char* ring_defense_name(RingDefense d) {
+constexpr const char* dos_defense_name(DosDefense d) {
     switch (d) {
-    case RingDefense::kNone: return "none";
-    case RingDefense::kFragmentation: return "frag";
-    case RingDefense::kBudget: return "budget";
-    case RingDefense::kThrottle: return "throttle";
+    case DosDefense::kNone: return "none";
+    case DosDefense::kFragmentation: return "frag";
+    case DosDefense::kBudget: return "budget";
+    case DosDefense::kThrottle: return "throttle";
     }
     return "?";
 }
 
-struct RingKnobs {
-    std::uint8_t num_nodes = 24;
+struct DosKnobs {
+    TopologyKind fabric = TopologyKind::kRing;
+    std::uint8_t num_nodes = 24;  ///< ring size (ignored by mesh/crossbar)
+    std::uint8_t mesh_rows = 4;   ///< mesh dimensions (kMesh only)
+    std::uint8_t mesh_cols = 6;
     std::uint8_t attackers = 1;
-    RingAttack attack = RingAttack::kHog;
-    RingDefense defense = RingDefense::kNone;
+    DosAttack attack = DosAttack::kHog;
+    DosDefense defense = DosDefense::kNone;
     std::uint64_t victim_bytes = 0x1000;
 };
 
-/// One ring-contention point: a stream victim on node 0 reading (and
-/// lightly writing) the shared memory node while `attackers` DMAs
-/// interfere, every manager node behind a REALM unit. The memory map is
-/// the canonical `make_ring_roles` layout: two memory nodes, the shared
-/// one at 0x0 and a spill node at 0x10'0000.
-ScenarioConfig ring_point(const RingKnobs& k) {
-    constexpr axi::Addr kShared = 0x0;
-    constexpr axi::Addr kSpill = 0x10'0000;
+/// One DoS cell: a stream victim reading (and lightly writing) the shared
+/// memory while `attackers` DMAs interfere, every manager port behind a
+/// REALM unit. On the NoC fabrics the roles follow the canonical
+/// `make_ring_roles` / `make_mesh_roles` layout — two memory nodes, the
+/// shared one at 0x0 and a spill node at 0x10'0000; on the crossbar the
+/// same access pattern lands in DRAM behind the LLC, shifted to the DRAM
+/// base. Cell labels and traffic knobs are identical across fabrics, so the
+/// three matrices compare one regulation story on three interconnects.
+ScenarioConfig dos_point(const DosKnobs& k) {
+    const bool xbar = k.fabric == TopologyKind::kCheshire;
+    const axi::Addr fabric_base = xbar ? 0x8000'0000 : 0x0;
+    const axi::Addr kShared = fabric_base;
+    const axi::Addr kSpill = fabric_base + 0x10'0000;
 
     ScenarioConfig cfg;
-    cfg.topology.kind = TopologyKind::kRing;
-    cfg.topology.ring.num_nodes = k.num_nodes;
-    cfg.topology.ring.nodes = make_ring_roles(k.num_nodes, k.attackers, 2);
+    cfg.topology.kind = k.fabric;
+    std::vector<RingNodeSpec>* nodes = nullptr;
+    switch (k.fabric) {
+    case TopologyKind::kRing:
+        cfg.topology.ring.num_nodes = k.num_nodes;
+        cfg.topology.ring.nodes = make_ring_roles(k.num_nodes, k.attackers, 2);
+        nodes = &cfg.topology.ring.nodes;
+        break;
+    case TopologyKind::kMesh:
+        cfg.topology.mesh.rows = k.mesh_rows;
+        cfg.topology.mesh.cols = k.mesh_cols;
+        cfg.topology.mesh.nodes =
+            make_mesh_roles(k.mesh_rows, k.mesh_cols, k.attackers, 2);
+        nodes = &cfg.topology.mesh.nodes;
+        break;
+    case TopologyKind::kCheshire:
+        cfg.soc.num_dsa = std::max<std::uint32_t>(k.attackers, 1);
+        cfg.soc.llc.max_outstanding = 4;
+        break;
+    }
     // Defense "none" exposes the structural W-reservation vector too: the
     // write buffer is the unit's always-on protection, so strip it from the
     // *attackers'* units to model an unprotected fabric (cf. the
-    // `ablation-dos` pair). The victim's unit stays constant across cells
-    // so defense columns compare the same victim configuration.
-    if (k.defense == RingDefense::kNone) {
-        rt::RealmUnitConfig unprotected = cfg.topology.ring.realm;
-        unprotected.write_buffer_enabled = false;
-        for (auto& node : cfg.topology.ring.nodes) {
-            if (node.role == RingRole::kInterference) {
-                node.realm_config = unprotected;
+    // `ablation-dos` pair). On the NoC fabrics the victim's unit stays
+    // constant across cells so defense columns compare the same victim
+    // configuration; the crossbar SoC has one unit template, so there the
+    // strip applies to every unit (noted per sweep).
+    if (k.defense == DosDefense::kNone) {
+        if (nodes != nullptr) {
+            rt::RealmUnitConfig unprotected = k.fabric == TopologyKind::kMesh
+                                                  ? cfg.topology.mesh.realm
+                                                  : cfg.topology.ring.realm;
+            unprotected.write_buffer_enabled = false;
+            for (auto& node : *nodes) {
+                if (node.role == RingRole::kInterference) {
+                    node.realm_config = unprotected;
+                }
             }
+        } else {
+            cfg.soc.realm.write_buffer_enabled = false;
         }
     }
 
@@ -369,13 +404,13 @@ ScenarioConfig ring_point(const RingKnobs& k) {
     for (std::uint8_t i = 0; i < k.attackers; ++i) {
         InterferenceConfig irq;
         switch (k.attack) {
-        case RingAttack::kHog:
+        case DosAttack::kHog:
             irq.dma.burst_beats = 256;
             irq.dma.num_buffers = 2;
             irq.src = kShared + 0x8000 + static_cast<axi::Addr>(i) * 0x800;
             irq.dst = kSpill + 0x4000 + static_cast<axi::Addr>(i) * 0x1000;
             break;
-        case RingAttack::kOverdraft:
+        case DosAttack::kOverdraft:
             irq.dma.burst_beats = 64;
             irq.dma.num_buffers = 4;
             irq.dma.max_outstanding_reads = 4;
@@ -383,7 +418,7 @@ ScenarioConfig ring_point(const RingKnobs& k) {
             irq.src = kShared + 0x8000 + static_cast<axi::Addr>(i) * 0x800;
             irq.dst = kSpill + 0x4000 + static_cast<axi::Addr>(i) * 0x1000;
             break;
-        case RingAttack::kWStall:
+        case DosAttack::kWStall:
             irq.dma.burst_beats = 8;
             irq.dma.reserve_before_data = true;
             irq.dma.w_stall_cycles = 64;
@@ -402,14 +437,14 @@ ScenarioConfig ring_point(const RingKnobs& k) {
         for (std::uint8_t i = 0; i < k.attackers; ++i) { cfg.boot_plans.push_back(plan); }
     };
     switch (k.defense) {
-    case RingDefense::kNone: break; // unregulated (and no write buffer)
-    case RingDefense::kFragmentation:
+    case DosDefense::kNone: break; // unregulated (and no write buffer)
+    case DosDefense::kFragmentation:
         plan_attackers(RegionPlan{1ULL << 30, 1ULL << 20, 2});
         break;
-    case RingDefense::kBudget:
+    case DosDefense::kBudget:
         plan_attackers(RegionPlan{1024, 2000, 2});
         break;
-    case RingDefense::kThrottle:
+    case DosDefense::kThrottle:
         plan_attackers(RegionPlan{1024, 2000, 2});
         cfg.throttle_dsa = true;
         break;
@@ -420,11 +455,58 @@ ScenarioConfig ring_point(const RingKnobs& k) {
     return cfg;
 }
 
-std::string ring_cell_label(const RingKnobs& k) {
+std::string dos_cell_label(const DosKnobs& k) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%uatk/%s/%s", static_cast<unsigned>(k.attackers),
-                  ring_attack_name(k.attack), ring_defense_name(k.defense));
+                  dos_attack_name(k.attack), dos_defense_name(k.defense));
     return buf;
+}
+
+/// The full 3x3x4 DoS matrix (attackers x attack mode x defense) on one
+/// fabric; every fabric runs the same cells with the same labels.
+Sweep make_dos_matrix(TopologyKind fabric, std::string name, std::string title,
+                      std::vector<std::string> notes) {
+    Sweep s;
+    s.name = std::move(name);
+    s.title = std::move(title);
+    s.notes = std::move(notes);
+    for (const std::uint8_t attackers :
+         {std::uint8_t{1}, std::uint8_t{3}, std::uint8_t{9}}) {
+        for (const DosAttack attack :
+             {DosAttack::kHog, DosAttack::kOverdraft, DosAttack::kWStall}) {
+            for (const DosDefense defense :
+                 {DosDefense::kNone, DosDefense::kFragmentation, DosDefense::kBudget,
+                  DosDefense::kThrottle}) {
+                const DosKnobs k{.fabric = fabric, .attackers = attackers,
+                                 .attack = attack, .defense = defense};
+                s.points.push_back({dos_cell_label(k), dos_point(k)});
+            }
+        }
+    }
+    return s;
+}
+
+/// CI-sized 2x2x2 cross-section of the matrix on one fabric.
+Sweep make_dos_smoke(TopologyKind fabric, std::string name, std::string title,
+                     std::vector<std::string> notes, std::uint8_t ring_nodes = 8,
+                     std::uint8_t mesh_rows = 2, std::uint8_t mesh_cols = 4) {
+    Sweep s;
+    s.name = std::move(name);
+    s.title = std::move(title);
+    s.notes = std::move(notes);
+    for (const std::uint8_t attackers : {std::uint8_t{1}, std::uint8_t{2}}) {
+        for (const DosAttack attack : {DosAttack::kHog, DosAttack::kWStall}) {
+            for (const DosDefense defense : {DosDefense::kNone, DosDefense::kBudget}) {
+                DosKnobs k{.fabric = fabric, .num_nodes = ring_nodes,
+                           .mesh_rows = mesh_rows, .mesh_cols = mesh_cols,
+                           .attackers = attackers, .attack = attack,
+                           .defense = defense};
+                k.victim_bytes = 0x800;
+                s.points.push_back({dos_cell_label(k), dos_point(k)});
+            }
+        }
+    }
+    return s;
 }
 
 Sweep make_ring_contention() {
@@ -438,60 +520,98 @@ Sweep make_ring_contention() {
     for (const std::uint8_t nodes : {std::uint8_t{6}, std::uint8_t{12}, std::uint8_t{24},
                                      std::uint8_t{48}}) {
         char label[32];
-        RingKnobs solo{.num_nodes = nodes, .attackers = 0};
+        DosKnobs solo{.num_nodes = nodes, .attackers = 0};
         std::snprintf(label, sizeof label, "N=%u solo", static_cast<unsigned>(nodes));
-        s.points.push_back({label, ring_point(solo)});
-        RingKnobs hog{.num_nodes = nodes, .attackers = 2, .attack = RingAttack::kHog};
+        s.points.push_back({label, dos_point(solo)});
+        DosKnobs hog{.num_nodes = nodes, .attackers = 2, .attack = DosAttack::kHog};
         std::snprintf(label, sizeof label, "N=%u hog", static_cast<unsigned>(nodes));
-        s.points.push_back({label, ring_point(hog)});
-        RingKnobs def = hog;
-        def.defense = RingDefense::kBudget;
+        s.points.push_back({label, dos_point(hog)});
+        DosKnobs def = hog;
+        def.defense = DosDefense::kBudget;
         std::snprintf(label, sizeof label, "N=%u budget", static_cast<unsigned>(nodes));
-        s.points.push_back({label, ring_point(def)});
+        s.points.push_back({label, dos_point(def)});
+    }
+    return s;
+}
+
+Sweep make_mesh_contention() {
+    Sweep s;
+    s.name = "mesh-contention";
+    s.title = "Mesh NoC scaling: victim latency vs mesh size under 2-attacker contention";
+    s.notes = {"same cells as ring-contention on 2x3 ... 6x8 meshes (6-48 nodes):",
+               "uncontended reference, 256-beat hog attackers, and the same attackers",
+               "budgeted. XY routing spreads the flows over multiple paths, so the",
+               "contention the victim sees concentrates at the memory-column merge."};
+    s.baseline_index = 0;
+    const std::pair<std::uint8_t, std::uint8_t> sizes[] = {
+        {2, 3}, {3, 4}, {4, 6}, {6, 8}};
+    for (const auto& [rows, cols] : sizes) {
+        char label[32];
+        DosKnobs solo{.fabric = TopologyKind::kMesh, .mesh_rows = rows,
+                      .mesh_cols = cols, .attackers = 0};
+        std::snprintf(label, sizeof label, "%ux%u solo", static_cast<unsigned>(rows),
+                      static_cast<unsigned>(cols));
+        s.points.push_back({label, dos_point(solo)});
+        DosKnobs hog = solo;
+        hog.attackers = 2;
+        hog.attack = DosAttack::kHog;
+        std::snprintf(label, sizeof label, "%ux%u hog", static_cast<unsigned>(rows),
+                      static_cast<unsigned>(cols));
+        s.points.push_back({label, dos_point(hog)});
+        DosKnobs def = hog;
+        def.defense = DosDefense::kBudget;
+        std::snprintf(label, sizeof label, "%ux%u budget", static_cast<unsigned>(rows),
+                      static_cast<unsigned>(cols));
+        s.points.push_back({label, dos_point(def)});
     }
     return s;
 }
 
 Sweep make_ring_dos_matrix() {
-    Sweep s;
-    s.name = "ring-dos-matrix";
-    s.title = "Multi-manager DoS matrix on a 24-node ring: "
-              "attackers x attack mode x defense";
-    s.notes = {"cells report the worst-case victim latency (load_lat_max /",
-               "store_lat_max in the JSON dump); 'none' also strips the attackers'",
-               "write buffers, so wstall shows the raw W-reservation DoS of [14]."};
-    for (const std::uint8_t attackers :
-         {std::uint8_t{1}, std::uint8_t{3}, std::uint8_t{9}}) {
-        for (const RingAttack attack :
-             {RingAttack::kHog, RingAttack::kOverdraft, RingAttack::kWStall}) {
-            for (const RingDefense defense :
-                 {RingDefense::kNone, RingDefense::kFragmentation, RingDefense::kBudget,
-                  RingDefense::kThrottle}) {
-                const RingKnobs k{.num_nodes = 24, .attackers = attackers,
-                                  .attack = attack, .defense = defense};
-                s.points.push_back({ring_cell_label(k), ring_point(k)});
-            }
-        }
-    }
-    return s;
+    return make_dos_matrix(
+        TopologyKind::kRing, "ring-dos-matrix",
+        "Multi-manager DoS matrix on a 24-node ring: attackers x attack mode x defense",
+        {"cells report the worst-case victim latency (load_lat_max /",
+         "store_lat_max in the JSON dump); 'none' also strips the attackers'",
+         "write buffers, so wstall shows the raw W-reservation DoS of [14]."});
+}
+
+Sweep make_mesh_dos_matrix() {
+    return make_dos_matrix(
+        TopologyKind::kMesh, "mesh-dos-matrix",
+        "Multi-manager DoS matrix on a 4x6 mesh: attackers x attack mode x defense",
+        {"same cells as ring-dos-matrix on a 24-node XY-routed mesh; multi-path",
+         "contention concentrates at the memory nodes' merge routers, the regime",
+         "where per-manager budgets and burst fragmentation matter most."});
+}
+
+Sweep make_xbar_dos_matrix() {
+    return make_dos_matrix(
+        TopologyKind::kCheshire, "xbar-dos-matrix",
+        "Multi-manager DoS matrix on the Cheshire crossbar: "
+        "attackers x attack mode x defense",
+        {"same cells as ring-dos-matrix on the crossbar SoC (attackers on DSA",
+         "ports, shared span in DRAM behind the LLC). The SoC has one unit",
+         "template, so 'none' strips the write buffer on every unit, victim",
+         "included."});
 }
 
 Sweep make_ring_dos_smoke() {
-    Sweep s;
-    s.name = "ring-dos-smoke";
-    s.title = "Ring DoS matrix, CI-sized: 8 nodes, 2x2x2 cells";
-    s.notes = {"small cross-section of ring-dos-matrix for CI and tests."};
-    for (const std::uint8_t attackers : {std::uint8_t{1}, std::uint8_t{2}}) {
-        for (const RingAttack attack : {RingAttack::kHog, RingAttack::kWStall}) {
-            for (const RingDefense defense : {RingDefense::kNone, RingDefense::kBudget}) {
-                RingKnobs k{.num_nodes = 8, .attackers = attackers, .attack = attack,
-                            .defense = defense};
-                k.victim_bytes = 0x800;
-                s.points.push_back({ring_cell_label(k), ring_point(k)});
-            }
-        }
-    }
-    return s;
+    return make_dos_smoke(TopologyKind::kRing, "ring-dos-smoke",
+                          "Ring DoS matrix, CI-sized: 8 nodes, 2x2x2 cells",
+                          {"small cross-section of ring-dos-matrix for CI and tests."});
+}
+
+Sweep make_mesh_dos_smoke() {
+    return make_dos_smoke(TopologyKind::kMesh, "mesh-dos-smoke",
+                          "Mesh DoS matrix, CI-sized: 2x4 mesh, 2x2x2 cells",
+                          {"small cross-section of mesh-dos-matrix for CI and tests."});
+}
+
+Sweep make_xbar_dos_smoke() {
+    return make_dos_smoke(TopologyKind::kCheshire, "xbar-dos-smoke",
+                          "Crossbar DoS matrix, CI-sized: 2x2x2 cells",
+                          {"small cross-section of xbar-dos-matrix for CI and tests."});
 }
 
 using Factory = Sweep (*)();
@@ -509,6 +629,11 @@ const std::vector<std::pair<std::string, Factory>>& factories() {
         {"ring-contention", &make_ring_contention},
         {"ring-dos-matrix", &make_ring_dos_matrix},
         {"ring-dos-smoke", &make_ring_dos_smoke},
+        {"mesh-contention", &make_mesh_contention},
+        {"mesh-dos-matrix", &make_mesh_dos_matrix},
+        {"mesh-dos-smoke", &make_mesh_dos_smoke},
+        {"xbar-dos-matrix", &make_xbar_dos_matrix},
+        {"xbar-dos-smoke", &make_xbar_dos_smoke},
     };
     return kFactories;
 }

@@ -1,0 +1,193 @@
+#include "scenario/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+
+namespace realm::scenario {
+
+bool parse_dos_cell_label(const std::string& label, DosCellLabel& out) {
+    // <N>atk/<attack>/<defense>, e.g. "3atk/hog/budget".
+    const char* s = label.c_str();
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(s, &end, 10);
+    if (end == s || std::string_view{end}.substr(0, 4) != "atk/") { return false; }
+    const std::string rest{end + 4};
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= rest.size()) {
+        return false;
+    }
+    if (rest.find('/', slash + 1) != std::string::npos) { return false; }
+    out.attackers = static_cast<unsigned>(n);
+    out.attack = rest.substr(0, slash);
+    out.defense = rest.substr(slash + 1);
+    return true;
+}
+
+namespace {
+
+/// Appends `v` to `order` unless already present (first-appearance order).
+template <typename T>
+void note_order(std::vector<T>& order, const T& v) {
+    if (std::find(order.begin(), order.end(), v) == order.end()) {
+        order.push_back(v);
+    }
+}
+
+std::string format_count(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
+/// Cell text: the worst-case victim latency in cycles, flagged when the
+/// point produced no trustworthy number.
+std::string cell_text(const ScenarioResult& r) {
+    if (!r.boot_ok) { return "boot failed"; }
+    std::string text = std::to_string(worst_case_victim_latency(r));
+    if (r.timed_out) { text += " (timed out)"; }
+    return text;
+}
+
+void write_matrix_report(std::ostream& os, const Sweep& sweep,
+                         const std::vector<ScenarioResult>& results,
+                         const std::vector<DosCellLabel>& cells) {
+    std::vector<unsigned> attacker_counts;
+    std::vector<std::string> attacks;
+    std::vector<std::string> defenses;
+    for (const DosCellLabel& c : cells) {
+        note_order(attacker_counts, c.attackers);
+        note_order(attacks, c.attack);
+        note_order(defenses, c.defense);
+    }
+    std::sort(attacker_counts.begin(), attacker_counts.end());
+
+    os << "Cells report the worst-case victim latency in cycles "
+          "(max of load / store latency); the worst cell per defense is "
+          "**bold**.\n";
+
+    for (const std::string& defense : defenses) {
+        // Locate the worst (defined) cell of this defense's table.
+        std::size_t worst_index = results.size();
+        std::uint64_t worst = 0;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].defense != defense || !results[i].boot_ok) { continue; }
+            const std::uint64_t v = worst_case_victim_latency(results[i]);
+            if (worst_index == results.size() || v > worst) {
+                worst_index = i;
+                worst = v;
+            }
+        }
+
+        os << "\n## Defense: `" << defense << "`\n\n";
+        os << "| attackers |";
+        for (const std::string& a : attacks) { os << ' ' << a << " |"; }
+        os << "\n|---|";
+        for (std::size_t i = 0; i < attacks.size(); ++i) { os << "---|"; }
+        os << '\n';
+        for (const unsigned n : attacker_counts) {
+            os << "| " << n << " |";
+            for (const std::string& a : attacks) {
+                std::size_t found = results.size();
+                for (std::size_t i = 0; i < cells.size(); ++i) {
+                    if (cells[i].defense == defense && cells[i].attack == a &&
+                        cells[i].attackers == n) {
+                        found = i;
+                        break;
+                    }
+                }
+                if (found == results.size()) {
+                    os << " – |";
+                } else if (found == worst_index) {
+                    os << " **" << cell_text(results[found]) << "** |";
+                } else {
+                    os << ' ' << cell_text(results[found]) << " |";
+                }
+            }
+            os << '\n';
+        }
+        if (worst_index < results.size()) {
+            os << "\nWorst cell: `" << sweep.points[worst_index].label << "` at "
+               << worst << " cycles.\n";
+        }
+    }
+}
+
+void write_flat_report(std::ostream& os, const Sweep& sweep,
+                       const std::vector<ScenarioResult>& results) {
+    const ScenarioResult* baseline =
+        sweep.baseline_index && *sweep.baseline_index < results.size()
+            ? &results[*sweep.baseline_index]
+            : nullptr;
+    os << "| point | run cycles | ops | load lat mean | load lat max "
+          "| store lat max | DMA B/cyc | hops |";
+    if (baseline != nullptr) { os << " perf vs baseline |"; }
+    os << "\n|---|---|---|---|---|---|---|---|";
+    if (baseline != nullptr) { os << "---|"; }
+    os << '\n';
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult& r = results[i];
+        os << "| " << r.label << " | " << r.run_cycles << " | " << r.ops << " | "
+           << format_count(r.load_lat_mean) << " | " << r.load_lat_max << " | "
+           << r.store_lat_max << " | " << format_count(r.dma_read_bw) << " | "
+           << r.fabric_hops << " |";
+        if (baseline != nullptr) {
+            if (r.run_cycles == 0) {
+                os << " – |";
+            } else {
+                const double pct = 100.0 * static_cast<double>(baseline->run_cycles) /
+                                   static_cast<double>(r.run_cycles);
+                char buf[32];
+                std::snprintf(buf, sizeof buf, " %.1f %% |", pct);
+                os << buf;
+            }
+        }
+        os << '\n';
+    }
+}
+
+} // namespace
+
+void write_report(std::ostream& os, const Sweep& sweep,
+                  const std::vector<ScenarioResult>& results) {
+    os << "# " << sweep.title << "\n\n";
+    os << "Sweep `" << sweep.name << "`, " << results.size() << " points.\n";
+    for (const std::string& note : sweep.notes) { os << "> " << note << '\n'; }
+    os << '\n';
+
+    // Matrix mode only when every point follows the cell-label convention.
+    std::vector<DosCellLabel> cells(results.size());
+    bool matrix = !results.empty() && results.size() == sweep.points.size();
+    for (std::size_t i = 0; matrix && i < results.size(); ++i) {
+        matrix = parse_dos_cell_label(results[i].label, cells[i]);
+    }
+    if (matrix) {
+        write_matrix_report(os, sweep, results, cells);
+    } else {
+        write_flat_report(os, sweep, results);
+    }
+
+    // Flag degenerate points loudly; a green CI job must not hide them.
+    bool flagged = false;
+    for (const ScenarioResult& r : results) {
+        if (r.boot_ok && !r.timed_out) { continue; }
+        if (!flagged) {
+            os << "\n**Flagged points:**\n";
+            flagged = true;
+        }
+        os << "- `" << r.label << "`: "
+           << (!r.boot_ok ? "boot script did not complete" : "timed out") << '\n';
+    }
+}
+
+bool write_report_file(const std::string& path, const Sweep& sweep,
+                       const std::vector<ScenarioResult>& results) {
+    std::ofstream out{path};
+    if (!out) { return false; }
+    write_report(out, sweep, results);
+    return out.good();
+}
+
+} // namespace realm::scenario

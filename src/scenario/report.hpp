@@ -1,0 +1,52 @@
+/// \file
+/// \brief Markdown report renderer: turns a sweep's results into a document
+///        a reviewer can read at a glance.
+///
+/// The JSON dump (`runner.hpp`) is the machine-readable artifact; this is
+/// the human-readable one. DoS-matrix sweeps — every point labelled
+/// `<N>atk/<attack>/<defense>` — render as one table per defense with
+/// attackers x attack-mode cells holding the worst-case victim latency
+/// (max of `load_lat_max` / `store_lat_max`), the worst cell of each table
+/// bolded; any other sweep renders as a flat metrics table with
+/// baseline-relative performance when the sweep names a baseline. Output is
+/// a pure function of (sweep, results), so CI can diff reports across runs
+/// and the golden test pins the format.
+#pragma once
+
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace realm::scenario {
+
+/// Writes the markdown report for one sweep.
+void write_report(std::ostream& os, const Sweep& sweep,
+                  const std::vector<ScenarioResult>& results);
+
+/// Convenience: `write_report` to a file; returns false on I/O failure.
+bool write_report_file(const std::string& path, const Sweep& sweep,
+                       const std::vector<ScenarioResult>& results);
+
+/// One parsed DoS-matrix cell label (`"3atk/hog/budget"`).
+struct DosCellLabel {
+    unsigned attackers = 0;
+    std::string attack;
+    std::string defense;
+};
+
+/// Parses a matrix cell label; returns false when `label` does not follow
+/// the `<N>atk/<attack>/<defense>` convention (the report then falls back
+/// to the flat table).
+[[nodiscard]] bool parse_dos_cell_label(const std::string& label, DosCellLabel& out);
+
+/// The scalar a matrix cell reports: the worst-case latency the victim
+/// observed in that cell (stores included — the wstall damage lands there).
+[[nodiscard]] inline std::uint64_t worst_case_victim_latency(
+    const ScenarioResult& r) noexcept {
+    return r.load_lat_max > r.store_lat_max ? r.load_lat_max : r.store_lat_max;
+}
+
+} // namespace realm::scenario

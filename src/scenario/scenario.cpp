@@ -145,7 +145,7 @@ namespace {
 /// semantics change, invalidating stale caches wholesale.
 class ConfigDigest {
 public:
-    static constexpr std::uint64_t kVersion = 1;
+    static constexpr std::uint64_t kVersion = 2; ///< v2: mesh topology fields
 
     ConfigDigest() { mix(kVersion); }
 
@@ -175,27 +175,33 @@ void mix_realm(ConfigDigest& d, const rt::RealmUnitConfig& r) {
     d.mix(r.num_regions);
 }
 
+void mix_noc(ConfigDigest& d, const NocTopologyConfig& noc) {
+    d.mix(noc.nodes.size());
+    for (const RingNodeSpec& n : noc.nodes) {
+        d.mix(static_cast<std::uint64_t>(n.role));
+        d.mix(n.realm);
+        d.mix(n.realm_config.has_value());
+        if (n.realm_config) { mix_realm(d, *n.realm_config); }
+    }
+    d.mix(noc.mem_base);
+    d.mix(noc.mem_span_bytes);
+    d.mix(noc.mem_stride);
+    d.mix(noc.mem_access_latency);
+    d.mix(noc.mem_max_outstanding);
+    mix_realm(d, noc.realm);
+}
+
 } // namespace
 
 std::uint64_t config_hash(const ScenarioConfig& cfg) {
     ConfigDigest d;
 
     d.mix(static_cast<std::uint64_t>(cfg.topology.kind));
-    const RingTopologyConfig& ring = cfg.topology.ring;
-    d.mix(ring.num_nodes);
-    d.mix(ring.nodes.size());
-    for (const RingNodeSpec& n : ring.nodes) {
-        d.mix(static_cast<std::uint64_t>(n.role));
-        d.mix(n.realm);
-        d.mix(n.realm_config.has_value());
-        if (n.realm_config) { mix_realm(d, *n.realm_config); }
-    }
-    d.mix(ring.mem_base);
-    d.mix(ring.mem_span_bytes);
-    d.mix(ring.mem_stride);
-    d.mix(ring.mem_access_latency);
-    d.mix(ring.mem_max_outstanding);
-    mix_realm(d, ring.realm);
+    d.mix(cfg.topology.ring.num_nodes);
+    mix_noc(d, cfg.topology.ring);
+    d.mix(cfg.topology.mesh.rows);
+    d.mix(cfg.topology.mesh.cols);
+    mix_noc(d, cfg.topology.mesh);
 
     d.mix(cfg.soc.bus_bytes);
     d.mix(cfg.soc.num_dsa);

@@ -12,13 +12,13 @@ namespace realm::scenario {
 std::vector<RingNodeSpec> make_ring_roles(std::uint8_t num_nodes,
                                           std::uint8_t num_attackers,
                                           std::uint8_t num_memories) {
-    REALM_EXPECTS(num_memories >= 1, "a ring needs at least one memory node");
+    REALM_EXPECTS(num_memories >= 1, "a NoC needs at least one memory node");
     REALM_EXPECTS(num_nodes >= 2 + num_memories + num_attackers,
-                  "ring too small for the requested roles");
+                  "fabric too small for the requested roles");
     std::vector<RingNodeSpec> specs(num_nodes);
     specs[0] = RingNodeSpec{RingRole::kVictim, true};
-    // Memories spread evenly over the ring (never node 0): memory k sits at
-    // (k+1) * N / (M+1), nudged forward past any collision.
+    // Memories spread evenly over the node order (never node 0): memory k
+    // sits at (k+1) * N / (M+1), nudged forward past any collision.
     for (std::uint8_t k = 0; k < num_memories; ++k) {
         std::uint8_t pos = static_cast<std::uint8_t>(
             (static_cast<std::uint32_t>(k + 1) * num_nodes) / (num_memories + 1U));
@@ -28,7 +28,7 @@ std::vector<RingNodeSpec> make_ring_roles(std::uint8_t num_nodes,
         specs[pos] = RingNodeSpec{RingRole::kMemory, false};
     }
     // Attackers fill the lowest free positions (interleaved with the
-    // memories on larger rings, like DSAs scattered across a real die).
+    // memories on larger fabrics, like DSAs scattered across a real die).
     std::uint8_t placed = 0;
     for (std::uint8_t i = 1; i < num_nodes && placed < num_attackers; ++i) {
         if (specs[i].role != RingRole::kPassthrough) { continue; }
@@ -37,6 +37,18 @@ std::vector<RingNodeSpec> make_ring_roles(std::uint8_t num_nodes,
     }
     REALM_ENSURES(placed == num_attackers, "attacker placement failed");
     return specs;
+}
+
+std::vector<RingNodeSpec> make_mesh_roles(std::uint8_t rows, std::uint8_t cols,
+                                          std::uint8_t num_attackers,
+                                          std::uint8_t num_memories) {
+    REALM_EXPECTS(static_cast<std::uint32_t>(rows) * cols <= 255,
+                  "node ids are 8-bit: rows * cols must not exceed 255");
+    // Same linear spread as the ring over the row-major order: identical
+    // role-to-node-index assignment keeps DoS cells comparable across
+    // fabrics while XY routing maps the indices onto 2D paths.
+    return make_ring_roles(static_cast<std::uint8_t>(rows * cols), num_attackers,
+                           num_memories);
 }
 
 namespace {
@@ -108,26 +120,33 @@ private:
 };
 
 // ---------------------------------------------------------------------------
-// Ring NoC fabric (Figure 1b at scenario scale).
+// NoC fabrics (ring of Figure 1b, 2D mesh) at scenario scale. Everything
+// except fabric construction is shared: role resolution, the node-level
+// address map, memory-slave attachment, REALM placement, and the direct
+// config path. `Fabric` provides `manager_port` / `subordinate_port` /
+// `total_forwarded` / `total_mux_w_stalls`.
 // ---------------------------------------------------------------------------
 
-class RingTopology final : public TopologyHandle {
-public:
-    RingTopology(sim::SimContext& ctx, const ScenarioConfig& cfg) : cfg_{cfg.topology.ring} {
-        specs_ = cfg_.nodes.empty() ? make_ring_roles(cfg_.num_nodes, 1, 2) : cfg_.nodes;
-        REALM_EXPECTS(specs_.size() == cfg_.num_nodes,
-                      "ring node spec count must equal num_nodes");
+template <typename Fabric>
+class NocTopologyBase : public TopologyHandle {
+protected:
+    /// \param make_fabric  (ctx, node_map, subordinate_nodes) -> Fabric ptr.
+    template <typename MakeFabric>
+    NocTopologyBase(sim::SimContext& ctx, const NocTopologyConfig& cfg,
+                    std::vector<RingNodeSpec> specs, MakeFabric&& make_fabric)
+        : cfg_{cfg}, specs_{std::move(specs)} {
         cfg_.nodes.clear(); // `specs_` is the resolved list; keep one copy
+        const auto num_nodes = static_cast<std::uint8_t>(specs_.size());
 
         // Resolve roles and build the node-level address map: memory node k
         // serves [mem_base + k*stride, + span).
         ic::AddrMap map;
         std::size_t mem_count = 0;
         bool victim_seen = false;
-        for (std::uint8_t n = 0; n < cfg_.num_nodes; ++n) {
+        for (std::uint8_t n = 0; n < num_nodes; ++n) {
             switch (specs_[n].role) {
             case RingRole::kVictim:
-                REALM_EXPECTS(!victim_seen, "a ring hosts exactly one victim node");
+                REALM_EXPECTS(!victim_seen, "a NoC hosts exactly one victim node");
                 victim_seen = true;
                 victim_node_ = n;
                 break;
@@ -143,18 +162,17 @@ public:
             case RingRole::kPassthrough: break;
             }
         }
-        REALM_EXPECTS(victim_seen, "ring topology needs a victim node");
-        REALM_EXPECTS(mem_count > 0, "ring topology needs a memory node");
+        REALM_EXPECTS(victim_seen, "NoC topology needs a victim node");
+        REALM_EXPECTS(mem_count > 0, "NoC topology needs a memory node");
         mem_lo_ = spans_.front().base;
         mem_hi_ = spans_.back().base + spans_.back().bytes;
 
         std::vector<std::uint8_t> sub_nodes;
         for (const Span& s : spans_) { sub_nodes.push_back(s.node); }
-        ring_ = std::make_unique<noc::NocRing>(ctx, "ring", cfg_.num_nodes, map,
-                                               sub_nodes);
+        fabric_ = make_fabric(ctx, std::move(map), std::move(sub_nodes));
         for (Span& s : spans_) {
             mems_.push_back(std::make_unique<mem::AxiMemSlave>(
-                ctx, "mem" + std::to_string(s.node), ring_->subordinate_port(s.node),
+                ctx, "mem" + std::to_string(s.node), fabric_->subordinate_port(s.node),
                 std::make_unique<mem::SramBackend>(cfg_.mem_access_latency,
                                                    cfg_.mem_access_latency),
                 mem::AxiMemSlaveConfig{cfg_.mem_max_outstanding,
@@ -163,22 +181,23 @@ public:
         }
 
         // REALM units last: their response pass-through must observe pushes
-        // from the ring nodes in the same cycle (construction order fixes
-        // evaluation order, as in the crossbar SoC).
-        realm_of_node_.assign(cfg_.num_nodes, -1);
-        for (std::uint8_t n = 0; n < cfg_.num_nodes; ++n) {
+        // from the fabric routers in the same cycle (construction order
+        // fixes evaluation order, as in the crossbar SoC).
+        realm_of_node_.assign(num_nodes, -1);
+        for (std::uint8_t n = 0; n < num_nodes; ++n) {
             const bool manager = specs_[n].role == RingRole::kVictim ||
                                  specs_[n].role == RingRole::kInterference;
             if (!manager || !specs_[n].realm) { continue; }
             realm_of_node_[n] = static_cast<int>(realms_.size());
             realm_up_.push_back(std::make_unique<axi::AxiChannel>(
-                ctx, "ring.up" + std::to_string(n)));
+                ctx, "noc.up" + std::to_string(n)));
             realms_.push_back(std::make_unique<rt::RealmUnit>(
-                ctx, "ring.realm" + std::to_string(n), *realm_up_.back(),
-                ring_->manager_port(n), specs_[n].realm_config.value_or(cfg_.realm)));
+                ctx, "noc.realm" + std::to_string(n), *realm_up_.back(),
+                fabric_->manager_port(n), specs_[n].realm_config.value_or(cfg_.realm)));
         }
     }
 
+public:
     axi::AxiChannel& victim_port() override { return manager_attach(victim_node_); }
     std::size_t num_interference_ports() const override {
         return interference_nodes_.size();
@@ -198,8 +217,9 @@ public:
     void warm(axi::Addr, std::uint64_t) override {} // flat SRAM nodes: no cache
 
     bool boot(const std::vector<RegionPlan>& plans) override {
-        // The ring has no HWRoT boot master (yet); the config path programs
-        // the placed units directly, covering the whole mapped memory span.
+        // The NoC fabrics have no HWRoT boot master (yet); the config path
+        // programs the placed units directly, covering the whole mapped
+        // memory span.
         for (std::size_t p = 0; p < plans.size(); ++p) {
             rt::RealmUnit* unit = unit_for_plan(p);
             if (unit == nullptr) { continue; }
@@ -225,9 +245,9 @@ public:
         return i < interference_nodes_.size() ? unit_at(interference_nodes_[i]) : nullptr;
     }
     std::uint64_t fabric_w_stalls() const override {
-        return ring_->total_mux_w_stalls();
+        return fabric_->total_mux_w_stalls();
     }
-    std::uint64_t fabric_hops() const override { return ring_->total_forwarded(); }
+    std::uint64_t fabric_hops() const override { return fabric_->total_forwarded(); }
 
 private:
     struct Span {
@@ -241,12 +261,12 @@ private:
         for (const Span& s : spans_) {
             if (addr >= s.base && addr < s.base + s.bytes) { return s; }
         }
-        REALM_EXPECTS(false, "address outside every ring memory span");
+        REALM_EXPECTS(false, "address outside every NoC memory span");
         return spans_.front();
     }
     [[nodiscard]] axi::AxiChannel& manager_attach(std::uint8_t node) {
         return realm_of_node_[node] >= 0 ? *realm_up_[realm_of_node_[node]]
-                                         : ring_->manager_port(node);
+                                         : fabric_->manager_port(node);
     }
     [[nodiscard]] const rt::RealmUnit* unit_at(std::uint8_t node) const {
         return realm_of_node_[node] >= 0 ? realms_[realm_of_node_[node]].get() : nullptr;
@@ -257,9 +277,9 @@ private:
         return realm_of_node_[node] >= 0 ? realms_[realm_of_node_[node]].get() : nullptr;
     }
 
-    RingTopologyConfig cfg_;
+    NocTopologyConfig cfg_;
     std::vector<RingNodeSpec> specs_;
-    std::unique_ptr<noc::NocRing> ring_;
+    std::unique_ptr<Fabric> fabric_;
     std::vector<std::unique_ptr<mem::AxiMemSlave>> mems_;
     std::vector<Span> spans_;
     std::vector<std::unique_ptr<axi::AxiChannel>> realm_up_;
@@ -271,6 +291,49 @@ private:
     axi::Addr mem_hi_ = 0;
 };
 
+class RingTopology final : public NocTopologyBase<noc::NocRing> {
+public:
+    RingTopology(sim::SimContext& ctx, const ScenarioConfig& cfg)
+        : NocTopologyBase{ctx, cfg.topology.ring, resolve(cfg.topology.ring),
+                          [&cfg](sim::SimContext& c, ic::AddrMap map,
+                                 std::vector<std::uint8_t> subs) {
+                              return std::make_unique<noc::NocRing>(
+                                  c, "ring", cfg.topology.ring.num_nodes,
+                                  std::move(map), std::move(subs));
+                          }} {}
+
+private:
+    static std::vector<RingNodeSpec> resolve(const RingTopologyConfig& cfg) {
+        std::vector<RingNodeSpec> specs =
+            cfg.nodes.empty() ? make_ring_roles(cfg.num_nodes, 1, 2) : cfg.nodes;
+        REALM_EXPECTS(specs.size() == cfg.num_nodes,
+                      "ring node spec count must equal num_nodes");
+        return specs;
+    }
+};
+
+class MeshTopology final : public NocTopologyBase<noc::NocMesh> {
+public:
+    MeshTopology(sim::SimContext& ctx, const ScenarioConfig& cfg)
+        : NocTopologyBase{ctx, cfg.topology.mesh, resolve(cfg.topology.mesh),
+                          [&cfg](sim::SimContext& c, ic::AddrMap map,
+                                 std::vector<std::uint8_t> subs) {
+                              return std::make_unique<noc::NocMesh>(
+                                  c, "mesh", cfg.topology.mesh.rows,
+                                  cfg.topology.mesh.cols, std::move(map),
+                                  std::move(subs));
+                          }} {}
+
+private:
+    static std::vector<RingNodeSpec> resolve(const MeshTopologyConfig& cfg) {
+        std::vector<RingNodeSpec> specs =
+            cfg.nodes.empty() ? make_mesh_roles(cfg.rows, cfg.cols, 1, 2) : cfg.nodes;
+        REALM_EXPECTS(specs.size() == cfg.num_nodes(),
+                      "mesh node spec count must equal rows * cols");
+        return specs;
+    }
+};
+
 } // namespace
 
 std::unique_ptr<TopologyHandle> make_topology(sim::SimContext& ctx,
@@ -279,6 +342,7 @@ std::unique_ptr<TopologyHandle> make_topology(sim::SimContext& ctx,
     case TopologyKind::kCheshire:
         return std::make_unique<CheshireTopology>(ctx, cfg);
     case TopologyKind::kRing: return std::make_unique<RingTopology>(ctx, cfg);
+    case TopologyKind::kMesh: return std::make_unique<MeshTopology>(ctx, cfg);
     }
     REALM_EXPECTS(false, "unknown topology kind");
     return nullptr;

@@ -4,16 +4,18 @@
 /// The paper's Figure 1b argues REALM regulation is interconnect-agnostic —
 /// the same unit drops in front of a NoC manager port unchanged. This module
 /// makes that claim executable at scenario scale: a `TopologyConfig` selects
-/// either the Cheshire-like crossbar SoC (`kCheshire`) or an N-node ring NoC
-/// (`kRing`, with per-node role assignment and optional REALM placement per
-/// manager node), and a `TopologyHandle` presents both behind one interface
-/// — victim port, interference ports, memory preconditioning, boot/config
-/// path, and observable counters — so `run_scenario` and `ScenarioResult`
-/// work unchanged across fabrics.
+/// the Cheshire-like crossbar SoC (`kCheshire`), an N-node ring NoC
+/// (`kRing`), or an R x C 2D mesh with XY routing (`kMesh`) — the NoC
+/// fabrics with per-node role assignment and optional REALM placement per
+/// manager node — and a `TopologyHandle` presents all of them behind one
+/// interface — victim port, interference ports, memory preconditioning,
+/// boot/config path, and observable counters — so `run_scenario` and
+/// `ScenarioResult` work unchanged across fabrics.
 #pragma once
 
 #include "axi/channel.hpp"
 #include "mem/axi_mem_slave.hpp"
+#include "noc/mesh.hpp"
 #include "noc/ring.hpp"
 #include "realm/realm_unit.hpp"
 #include "soc/cheshire_soc.hpp"
@@ -34,12 +36,22 @@ struct RegionPlan;
 enum class TopologyKind : std::uint8_t {
     kCheshire, ///< crossbar SoC of Figure 5 (`soc::CheshireSoc`)
     kRing,     ///< N-node unidirectional ring NoC of Figure 1b
+    kMesh,     ///< R x C 2D mesh, XY dimension-ordered routing
 };
 
-/// What one ring node hosts.
+[[nodiscard]] constexpr const char* to_string(TopologyKind k) noexcept {
+    switch (k) {
+    case TopologyKind::kCheshire: return "cheshire";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kMesh: return "mesh";
+    }
+    return "?";
+}
+
+/// What one NoC node hosts (ring and mesh share the role vocabulary).
 enum class RingRole : std::uint8_t {
     kPassthrough,  ///< router only, no local manager or subordinate
-    kVictim,       ///< the latency-sensitive core (exactly one per ring)
+    kVictim,       ///< the latency-sensitive core (exactly one per fabric)
     kInterference, ///< one interference DMA manager
     kMemory,       ///< one memory subordinate (an address span of the map)
 };
@@ -54,25 +66,25 @@ enum class RingRole : std::uint8_t {
     return "?";
 }
 
-/// Role and REALM placement of one ring node.
+/// Role and REALM placement of one NoC node.
 struct RingNodeSpec {
     RingRole role = RingRole::kPassthrough;
     /// Place a REALM unit in front of this node's manager port (only
     /// meaningful for kVictim / kInterference nodes).
     bool realm = false;
-    /// Per-node unit parameters; nullopt uses `RingTopologyConfig::realm`.
+    /// Per-node unit parameters; nullopt uses the topology config's `realm`.
     /// Lets a sweep vary one manager's unit (e.g. strip the attackers'
     /// write buffers) while every other unit stays constant across cells.
     std::optional<rt::RealmUnitConfig> realm_config;
 };
 
-/// Ring fabric parameters. Memory node `k` (k-th kMemory node in node order)
-/// serves `[mem_base + k * mem_stride, + mem_span_bytes)`.
-struct RingTopologyConfig {
-    std::uint8_t num_nodes = 6;
-    /// Explicit per-node roles; empty resolves to
-    /// `make_ring_roles(num_nodes, 1, 2)`. When non-empty, the size must
-    /// equal `num_nodes` and exactly one node must be the victim.
+/// Parameters shared by every NoC fabric. Memory node `k` (k-th kMemory
+/// node in node order) serves `[mem_base + k * mem_stride, + mem_span_bytes)`.
+struct NocTopologyConfig {
+    /// Explicit per-node roles; empty resolves to the fabric's canonical
+    /// layout (`make_ring_roles` / `make_mesh_roles` with 1 attacker and 2
+    /// memories). When non-empty, the size must equal the fabric's node
+    /// count and exactly one node must be the victim.
     std::vector<RingNodeSpec> nodes;
 
     axi::Addr mem_base = 0x0;
@@ -85,11 +97,28 @@ struct RingTopologyConfig {
     rt::RealmUnitConfig realm;
 };
 
+/// Ring fabric parameters.
+struct RingTopologyConfig : NocTopologyConfig {
+    std::uint8_t num_nodes = 6;
+};
+
+/// Mesh fabric parameters. Node ids are row-major (`node = row * cols + col`)
+/// and 8-bit, so `rows * cols` must not exceed 255 (checked on construction).
+struct MeshTopologyConfig : NocTopologyConfig {
+    std::uint8_t rows = 2;
+    std::uint8_t cols = 3;
+
+    [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+        return static_cast<std::uint32_t>(rows) * cols;
+    }
+};
+
 /// Fabric selector carried by `ScenarioConfig`. For `kCheshire` the SoC
 /// parameters stay in `ScenarioConfig::soc` (unchanged legacy layout).
 struct TopologyConfig {
     TopologyKind kind = TopologyKind::kCheshire;
     RingTopologyConfig ring{};
+    MeshTopologyConfig mesh{};
 };
 
 /// Canonical ring layout: victim at node 0, `num_memories` memory nodes
@@ -98,6 +127,17 @@ struct TopologyConfig {
 /// gets a REALM unit.
 [[nodiscard]] std::vector<RingNodeSpec>
 make_ring_roles(std::uint8_t num_nodes, std::uint8_t num_attackers,
+                std::uint8_t num_memories = 2);
+
+/// Canonical mesh layout: the same victim/memory/attacker spread as
+/// `make_ring_roles` applied to the row-major node order — the victim sits
+/// in the north-west corner, memories land spread across rows and columns,
+/// attackers fill the lowest free positions. Sharing the linear layout keeps
+/// DoS-matrix cells comparable across fabrics (same roles at the same node
+/// indices), while XY routing turns the linear spread into genuinely
+/// distinct multi-hop paths.
+[[nodiscard]] std::vector<RingNodeSpec>
+make_mesh_roles(std::uint8_t rows, std::uint8_t cols, std::uint8_t num_attackers,
                 std::uint8_t num_memories = 2);
 
 /// One constructed fabric, presented uniformly to `run_scenario`: where the
@@ -122,7 +162,7 @@ public:
     virtual void write_u8(axi::Addr addr, std::uint8_t value) = 0;
     virtual void write_u64(axi::Addr addr, std::uint64_t value) = 0;
     /// Installs the span hot in whatever cache the fabric has (no-op when
-    /// it has none, e.g. the ring's flat SRAM nodes).
+    /// it has none, e.g. the NoC fabrics' flat SRAM nodes).
     virtual void warm(axi::Addr base, std::uint64_t bytes) = 0;
     ///@}
 
@@ -131,7 +171,8 @@ public:
     /// Programs per-unit regulation (plan 0: victim unit, plan 1+i:
     /// interference unit i) and returns false if the configuration path did
     /// not complete. The Cheshire fabric runs the paper's guarded boot-flow
-    /// script on the HWRoT master; the ring programs its units directly.
+    /// script on the HWRoT master; the NoC fabrics program their units
+    /// directly.
     virtual bool boot(const std::vector<RegionPlan>& plans) = 0;
     /// Enables the throttling unit on every interference-side REALM unit.
     virtual void set_interference_throttle(bool enabled) = 0;
@@ -148,7 +189,7 @@ public:
     [[nodiscard]] virtual const rt::RealmUnit* interference_realm(std::size_t i) const = 0;
     /// Cycles the fabric's memory-side W channel stalled on a granted
     /// manager withholding data (the DoS exposure metric; crossbar: LLC
-    /// port, ring: sum over the memory-node egress muxes).
+    /// port, NoC: sum over the memory-node egress muxes).
     [[nodiscard]] virtual std::uint64_t fabric_w_stalls() const = 0;
     /// Packets forwarded across fabric hops (0 on the crossbar).
     [[nodiscard]] virtual std::uint64_t fabric_hops() const = 0;

@@ -1,0 +1,168 @@
+/// Tests for the markdown report renderer: cell-label parsing, the
+/// DoS-matrix golden rendering (format pinned byte for byte), the flat
+/// fallback table, and the file writer.
+#include "scenario/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace realm::scenario {
+namespace {
+
+// --- Cell-label parsing ------------------------------------------------------
+
+TEST(DosCellLabel, ParsesTheMatrixConvention) {
+    DosCellLabel cell;
+    ASSERT_TRUE(parse_dos_cell_label("3atk/hog/budget", cell));
+    EXPECT_EQ(cell.attackers, 3U);
+    EXPECT_EQ(cell.attack, "hog");
+    EXPECT_EQ(cell.defense, "budget");
+
+    ASSERT_TRUE(parse_dos_cell_label("12atk/wstall/none", cell));
+    EXPECT_EQ(cell.attackers, 12U);
+}
+
+TEST(DosCellLabel, RejectsEverythingElse) {
+    DosCellLabel cell;
+    EXPECT_FALSE(parse_dos_cell_label("baseline", cell));
+    EXPECT_FALSE(parse_dos_cell_label("atk/hog/none", cell));
+    EXPECT_FALSE(parse_dos_cell_label("3atk/hog", cell));
+    EXPECT_FALSE(parse_dos_cell_label("3atk/hog/none/extra", cell));
+    EXPECT_FALSE(parse_dos_cell_label("3atk//none", cell));
+    EXPECT_FALSE(parse_dos_cell_label("N=6 solo", cell));
+}
+
+// --- Matrix rendering (golden) -----------------------------------------------
+
+ScenarioResult result_for(std::string label, std::uint64_t load_max,
+                          std::uint64_t store_max) {
+    ScenarioResult r;
+    r.label = std::move(label);
+    r.load_lat_max = load_max;
+    r.store_lat_max = store_max;
+    r.run_cycles = 1000;
+    r.ops = 10;
+    return r;
+}
+
+/// 2 attackers x 2 attacks x 2 defenses, fixed synthetic latencies.
+std::pair<Sweep, std::vector<ScenarioResult>> matrix_fixture() {
+    Sweep sweep;
+    sweep.name = "golden-dos";
+    sweep.title = "Golden DoS matrix";
+    sweep.notes = {"synthetic fixture for the rendering golden test."};
+    std::vector<ScenarioResult> results;
+    const struct {
+        const char* label;
+        std::uint64_t load;
+        std::uint64_t store;
+    } cells[] = {
+        {"1atk/hog/none", 500, 20},   {"1atk/wstall/none", 90, 700},
+        {"2atk/hog/none", 800, 20},   {"2atk/wstall/none", 90, 1200},
+        {"1atk/hog/budget", 30, 20},  {"1atk/wstall/budget", 25, 40},
+        {"2atk/hog/budget", 35, 20},  {"2atk/wstall/budget", 25, 45},
+    };
+    for (const auto& c : cells) {
+        sweep.points.push_back({c.label, ScenarioConfig{}});
+        results.push_back(result_for(c.label, c.load, c.store));
+    }
+    return {sweep, results};
+}
+
+TEST(ReportRendering, DosMatrixGolden) {
+    const auto [sweep, results] = matrix_fixture();
+    std::ostringstream os;
+    write_report(os, sweep, results);
+    const std::string expected =
+        "# Golden DoS matrix\n"
+        "\n"
+        "Sweep `golden-dos`, 8 points.\n"
+        "> synthetic fixture for the rendering golden test.\n"
+        "\n"
+        "Cells report the worst-case victim latency in cycles (max of load / "
+        "store latency); the worst cell per defense is **bold**.\n"
+        "\n"
+        "## Defense: `none`\n"
+        "\n"
+        "| attackers | hog | wstall |\n"
+        "|---|---|---|\n"
+        "| 1 | 500 | 700 |\n"
+        "| 2 | 800 | **1200** |\n"
+        "\n"
+        "Worst cell: `2atk/wstall/none` at 1200 cycles.\n"
+        "\n"
+        "## Defense: `budget`\n"
+        "\n"
+        "| attackers | hog | wstall |\n"
+        "|---|---|---|\n"
+        "| 1 | 30 | 40 |\n"
+        "| 2 | 35 | **45** |\n"
+        "\n"
+        "Worst cell: `2atk/wstall/budget` at 45 cycles.\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ReportRendering, FlagsBootFailuresAndTimeouts) {
+    auto [sweep, results] = matrix_fixture();
+    results[0].boot_ok = false;
+    results[3].timed_out = true;
+    std::ostringstream os;
+    write_report(os, sweep, results);
+    const std::string report = os.str();
+    EXPECT_NE(report.find("boot failed"), std::string::npos);
+    EXPECT_NE(report.find("1200 (timed out)"), std::string::npos);
+    EXPECT_NE(report.find("**Flagged points:**"), std::string::npos);
+    EXPECT_NE(report.find("- `1atk/hog/none`: boot script did not complete"),
+              std::string::npos);
+    EXPECT_NE(report.find("- `2atk/wstall/none`: timed out"), std::string::npos);
+}
+
+// --- Flat fallback -----------------------------------------------------------
+
+TEST(ReportRendering, NonMatrixSweepsFallBackToFlatTableWithBaseline) {
+    Sweep sweep;
+    sweep.name = "flat";
+    sweep.title = "Flat sweep";
+    sweep.baseline_index = 0;
+    sweep.points.push_back({"baseline", ScenarioConfig{}});
+    sweep.points.push_back({"contended", ScenarioConfig{}});
+    ScenarioResult base = result_for("baseline", 10, 5);
+    base.run_cycles = 1000;
+    base.load_lat_mean = 3.5;
+    ScenarioResult slow = result_for("contended", 90, 40);
+    slow.run_cycles = 4000;
+    slow.fabric_hops = 77;
+
+    std::ostringstream os;
+    write_report(os, sweep, {base, slow});
+    const std::string report = os.str();
+    EXPECT_NE(report.find("| point | run cycles |"), std::string::npos);
+    EXPECT_NE(report.find("| baseline | 1000 | 10 | 3.50 | 10 | 5 |"),
+              std::string::npos);
+    EXPECT_NE(report.find(" 100.0 % |"), std::string::npos) << "baseline vs itself";
+    EXPECT_NE(report.find(" 25.0 % |"), std::string::npos) << "4x slower point";
+    EXPECT_NE(report.find("| 77 |"), std::string::npos);
+    EXPECT_EQ(report.find("## Defense"), std::string::npos);
+}
+
+// --- File writer -------------------------------------------------------------
+
+TEST(ReportRendering, WriteReportFileRoundTrips) {
+    const auto [sweep, results] = matrix_fixture();
+    const std::string path = "report_roundtrip.md";
+    ASSERT_TRUE(write_report_file(path, sweep, results));
+    std::ifstream in{path};
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::ostringstream os;
+    write_report(os, sweep, results);
+    EXPECT_EQ(buf.str(), os.str());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace realm::scenario

@@ -1,6 +1,9 @@
 /// Unit tests for the activity-aware scheduler: idle/wake edge cases,
 /// fast-forward semantics, and bit-identical equivalence with the naive
 /// tick-all loop on the Figure 6 SoC topology.
+#include "axi/checker.hpp"
+#include "axi/probe.hpp"
+#include "axi/trace.hpp"
 #include "mem/axi_mem_slave.hpp"
 #include "realm/burst_equalizer.hpp"
 #include "scenario/registry.hpp"
@@ -276,6 +279,61 @@ TEST(SchedulerEquivalence, BurstEqualizerBitIdenticalAndSleeps) {
     EXPECT_EQ(fast.read_lat_mean, naive.read_lat_mean);
     EXPECT_LT(fast.ticks_executed, naive.ticks_executed / 10)
         << "the equalizer pipeline must sleep through the idle tail";
+    EXPECT_GT(fast.fast_forwarded, 150'000U);
+}
+
+TEST(SchedulerEquivalence, InstrumentedChainBitIdenticalAndSleeps) {
+    // Probe, tracer, and checker now opt into the idle contract: a fully
+    // instrumented hop (DMA -> checker -> probe -> tracer -> SRAM) must
+    // agree bit for bit across schedulers and still fast-forward the
+    // quiescent tail — observability must not cost idle cycles.
+    struct Run {
+        std::uint64_t bytes_written = 0;
+        std::uint64_t probe_reads = 0;
+        std::uint64_t probe_writes = 0;
+        double read_lat_mean = 0;
+        std::uint64_t trace_total = 0;
+        std::uint64_t checked_writes = 0;
+        std::uint64_t checked_reads = 0;
+        std::uint64_t ticks_executed = 0;
+        Cycle fast_forwarded = 0;
+    };
+    const auto run_one = [](Scheduler scheduler) {
+        SimContext ctx;
+        ctx.set_scheduler(scheduler);
+        axi::AxiChannel a{ctx, "a"};
+        axi::AxiChannel b{ctx, "b"};
+        axi::AxiChannel c{ctx, "c"};
+        axi::AxiChannel d{ctx, "d"};
+        axi::AxiChecker checker{ctx, "chk", a, b};
+        axi::AxiLatencyProbe probe{ctx, "probe", b, c};
+        axi::AxiTracer tracer{ctx, "trace", c, d};
+        mem::AxiMemSlave slave{ctx, "mem", d, std::make_unique<mem::SramBackend>(1, 1),
+                               mem::AxiMemSlaveConfig{8, 8, 0}};
+        traffic::DmaConfig dcfg;
+        dcfg.burst_beats = 32;
+        traffic::DmaEngine dma{ctx, "dma", a, dcfg};
+        dma.push_job(traffic::DmaJob{0x0, 0x8000, 0x2000, false});
+        ctx.run(200'000); // finite copy plus a long idle tail
+        return Run{dma.bytes_written(),     probe.ar_count(),
+                   probe.aw_count(),        probe.read_latency().mean(),
+                   tracer.total_recorded(), checker.completed_writes(),
+                   checker.completed_reads(), ctx.ticks_executed(),
+                   ctx.fast_forwarded_cycles()};
+    };
+    const Run naive = run_one(Scheduler::kTickAll);
+    const Run fast = run_one(Scheduler::kActivity);
+    EXPECT_EQ(naive.bytes_written, 0x2000U);
+    EXPECT_EQ(fast.bytes_written, naive.bytes_written);
+    EXPECT_EQ(fast.probe_reads, naive.probe_reads);
+    EXPECT_EQ(fast.probe_writes, naive.probe_writes);
+    EXPECT_EQ(fast.read_lat_mean, naive.read_lat_mean);
+    EXPECT_EQ(fast.trace_total, naive.trace_total);
+    EXPECT_EQ(fast.checked_writes, naive.checked_writes);
+    EXPECT_EQ(fast.checked_reads, naive.checked_reads);
+    EXPECT_GT(naive.trace_total, 0U) << "the tracer must have seen traffic";
+    EXPECT_LT(fast.ticks_executed, naive.ticks_executed / 10)
+        << "the instrumented pipeline must sleep through the idle tail";
     EXPECT_GT(fast.fast_forwarded, 150'000U);
 }
 
