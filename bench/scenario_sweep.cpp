@@ -7,9 +7,11 @@
 /// parallelizes points, `--json PATH` dumps machine-readable results (one
 /// sweep per invocation), `--report PATH.md` renders the reviewable
 /// markdown report (DoS matrices become attackers x attack-mode tables per
-/// defense), and `--json PATH --resume` skips points whose config hash
-/// already exists in the dump, enabling cheap incremental re-runs of the
-/// big DoS matrices.
+/// defense), `--json PATH --resume` skips points whose config hash already
+/// exists in the dump, enabling cheap incremental re-runs of the big DoS
+/// matrices, and `--diff BASELINE.json` compares each cell's worst-case
+/// victim latency against a previous run's dump, exiting non-zero past
+/// `--diff-threshold`/`--diff-slack` — the CI latency-regression gate.
 #include "scenario/cli.hpp"
 
 #include <cstdio>
@@ -29,6 +31,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--report supports exactly one sweep per invocation\n");
         return 2;
     }
+    if (!opts.diff_path.empty() && opts.positional.size() > 1) {
+        std::fprintf(stderr, "--diff supports exactly one sweep per invocation\n");
+        return 2;
+    }
     for (const std::string& name : opts.positional) {
         if (!has_sweep(name)) {
             std::fprintf(stderr, "unknown sweep '%s' (try --list)\n", name.c_str());
@@ -36,10 +42,14 @@ int main(int argc, char** argv) {
         }
     }
 
+    int exit_code = 0;
     for (const std::string& name : opts.positional) {
         Sweep sweep = make_sweep(name);
         std::printf("== %s ==\n", sweep.title.c_str());
         const auto results = run_with_options(opts, sweep);
+        if (const int diff_rc = check_diff(opts, sweep, results); diff_rc != 0) {
+            exit_code = diff_rc;
+        }
 
         std::printf("%-22s %12s %8s %9s %9s %9s %10s %9s\n", "label", "cycles", "ops",
                     "lat_mean", "lat_max", "st_max", "dma[B/cyc]", "hops");
@@ -57,5 +67,5 @@ int main(int argc, char** argv) {
         }
         std::printf("\n");
     }
-    return 0;
+    return exit_code;
 }

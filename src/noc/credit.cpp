@@ -1,0 +1,79 @@
+#include "noc/credit.hpp"
+
+#include <utility>
+
+namespace realm::noc {
+
+void NocFlowConfig::validate() const {
+    if (mode == FlowControl::kProvisioned) { return; }
+    REALM_EXPECTS(flits_per_packet >= 1, "flits_per_packet must be >= 1");
+    // NocPacket::flits is 8-bit; a longer worm would silently truncate at
+    // packetization and leak credits at ejection.
+    REALM_EXPECTS(flits_per_packet <= 255, "flits_per_packet must fit 8 bits");
+    REALM_EXPECTS(vc_depth >= flits_per_packet,
+                  "vc_depth must hold at least one whole worm");
+    REALM_EXPECTS(e2e_credits >= flits_per_packet + 1,
+                  "e2e_credits must exceed one worm plus its header");
+}
+
+void NocLink::push(NocPacket pkt) {
+    REALM_EXPECTS(can_push(pkt.flits), "push into busy/full NoC link " + name());
+    if (fc_.mode == FlowControl::kCredited) {
+        buffered_flits_ += pkt.flits;
+        REALM_ENSURES(buffered_flits_ <= fc_.vc_depth,
+                      name() + ": VC buffer exceeds its configured depth");
+        if (buffered_flits_ > peak_flits_) { peak_flits_ = buffered_flits_; }
+        // The worm's tail leaves the sender `flits` cycles after the header;
+        // the channel is busy until then.
+        busy_until_ = ctx_->now() + pkt.flits;
+    }
+    link_.push(std::move(pkt));
+}
+
+NocPacket NocLink::pop() {
+    NocPacket pkt = link_.pop();
+    if (fc_.mode == FlowControl::kCredited) {
+        REALM_ENSURES(buffered_flits_ >= pkt.flits, "NoC link flit underflow");
+        buffered_flits_ -= pkt.flits;
+    }
+    return pkt;
+}
+
+namespace {
+/// Legacy provisioned staging depth: deep enough to cover the in-flight W
+/// beats of one source under the crossbar-style mux reservation (see the
+/// `NocRing` class comment). Only reachable under `FlowControl::kProvisioned`.
+constexpr std::size_t kProvisionedEgressDepth = 1024;
+} // namespace
+
+std::size_t staging_depth(const NocFlowConfig& fc) {
+    return fc.mode == FlowControl::kCredited ? fc.e2e_credits
+                                             : kProvisionedEgressDepth;
+}
+
+void wire_credit_returns(axi::AxiChannel& egress, CreditPool& pool,
+                         const NocFlowConfig& fc) {
+    const std::uint32_t data_flits = fc.packet_flits(/*data_carrying=*/true);
+    egress.aw.set_on_pop([&pool] { pool.release(1); });
+    egress.ar.set_on_pop([&pool] { pool.release(1); });
+    egress.w.set_on_pop([&pool, data_flits] { pool.release(data_flits); });
+}
+
+std::uint32_t staged_request_flits(const axi::AxiChannel& egress,
+                                   const NocFlowConfig& fc) {
+    const std::uint32_t data_flits = fc.packet_flits(/*data_carrying=*/true);
+    return static_cast<std::uint32_t>(egress.aw.occupancy()) +
+           static_cast<std::uint32_t>(egress.ar.occupancy()) +
+           static_cast<std::uint32_t>(egress.w.occupancy()) * data_flits;
+}
+
+void check_staging_invariants(const axi::AxiChannel& egress, const CreditPool& pool,
+                              const NocFlowConfig& fc) {
+    const std::uint32_t staged = staged_request_flits(egress, fc);
+    REALM_ENSURES(staged <= fc.e2e_credits,
+                  "NI staging exceeds its end-to-end credit pool");
+    REALM_ENSURES(staged <= pool.in_flight(),
+                  "staged flits without matching in-flight credits");
+}
+
+} // namespace realm::noc

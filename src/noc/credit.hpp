@@ -1,0 +1,268 @@
+/// \file
+/// \brief Credit-based flow control for the NoC transport layer: wormhole
+///        flit links with per-VC credits, and end-to-end credit pools
+///        between injecting and ejecting network interfaces.
+///
+/// The provisioned transport kept multi-writer subordinates deadlock-free
+/// with 1024-flit per-source egress staging — a bound that was *assumed*.
+/// The credited transport *enforces* every buffer bound instead:
+///
+///  - **Wormhole worms.** A data-carrying packet (W / R beat) serializes
+///    into `flits_per_packet` flits (header + payload sized from the AXI
+///    beat width); address/response packets (AW / AR / B) are single-flit
+///    headers. A link transmits one flit per cycle, so a worm occupies its
+///    link for `flits` cycles — the head-of-line blocking the AXI-REALM RTL
+///    work measures on real interconnects, now visible in the DoS matrix.
+///  - **Per-VC link credits.** Each link (the request and response networks
+///    are disjoint physical links, i.e. one VC each) buffers at most
+///    `vc_depth` flits at the receiver; `NocLink` asserts the bound on
+///    every push.
+///  - **End-to-end credits.** An injecting NI may only send a request worm
+///    toward subordinate node D while it holds `flits` credits from D's
+///    pool; credits return when the target NI's staging drains into the
+///    egress mux. Ejection therefore *never* backpressures the network
+///    (asserted), which removes the protocol-deadlock scenario the deep
+///    staging used to paper over. Responses use a separate pool per
+///    (manager, subordinate) pair, so the request/response split keeps its
+///    deadlock-freedom argument.
+///
+/// `FlowControl::kProvisioned` keeps the legacy model (single-beat packets,
+/// depth-2 links, deep staging) for one release so the DoS matrix can A/B
+/// the two transports.
+#pragma once
+
+#include "axi/channel.hpp"
+#include "noc/packet.hpp"
+
+#include "sim/check.hpp"
+#include "sim/link.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace realm::noc {
+
+/// Transport model of a NoC fabric.
+enum class FlowControl : std::uint8_t {
+    kProvisioned, ///< legacy: single-beat packets, provisioned deep staging
+    kCredited,    ///< wormhole worms, per-VC link credits, e2e NI credits
+};
+
+[[nodiscard]] constexpr const char* to_string(FlowControl fc) noexcept {
+    switch (fc) {
+    case FlowControl::kProvisioned: return "provisioned";
+    case FlowControl::kCredited: return "credited";
+    }
+    return "?";
+}
+
+/// Flow-control knobs shared by every NoC fabric (ring and mesh).
+struct NocFlowConfig {
+    FlowControl mode = FlowControl::kCredited;
+    /// Flits per data-carrying packet (W / R beat): header + payload flits,
+    /// i.e. the AXI beat width over the link phit width. AW / AR / B
+    /// packets are single-flit headers. Ignored (forced 1) when
+    /// `mode == kProvisioned`.
+    std::uint32_t flits_per_packet = 4;
+    /// Receiver buffer depth of one link VC, in flits. Must hold at least
+    /// one whole worm (`vc_depth >= flits_per_packet`).
+    std::uint32_t vc_depth = 8;
+    /// End-to-end credit pool per (source node, target NI) pair, in flits.
+    /// Bounds the per-source staging occupancy at a subordinate NI (request
+    /// pool) and the in-flight responses toward a manager NI (response
+    /// pool). Must exceed one worm plus its header
+    /// (`e2e_credits >= flits_per_packet + 1`) so an AW parked in staging
+    /// can never starve its own data beats.
+    std::uint32_t e2e_credits = 32;
+
+    /// Flit count of a request/response packet under this config.
+    [[nodiscard]] std::uint32_t packet_flits(bool data_carrying) const noexcept {
+        if (mode == FlowControl::kProvisioned) { return 1; }
+        return data_carrying ? flits_per_packet : 1;
+    }
+
+    void validate() const;
+};
+
+/// One end-to-end credit pool: a counted reservation of `capacity` flits of
+/// buffer space at a receiving NI. `in_flight + available == capacity` is
+/// asserted on every transition, so a leak or double-release trips
+/// immediately instead of showing up as a hung sweep hours later.
+class CreditPool {
+public:
+    explicit CreditPool(std::uint32_t capacity = 0) : capacity_{capacity},
+                                                      available_{capacity} {}
+
+    [[nodiscard]] bool can_take(std::uint32_t flits) const noexcept {
+        return available_ >= flits;
+    }
+    void take(std::uint32_t flits) {
+        REALM_EXPECTS(can_take(flits), "credit take without available credits");
+        available_ -= flits;
+    }
+    void release(std::uint32_t flits) {
+        REALM_ENSURES(flits <= in_flight(),
+                      "credit release exceeds in-flight credits");
+        available_ += flits;
+    }
+
+    [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] std::uint32_t available() const noexcept { return available_; }
+    [[nodiscard]] std::uint32_t in_flight() const noexcept {
+        return capacity_ - available_;
+    }
+
+    /// Conservation invariant: credits in flight + credits held equal the
+    /// configured pool. Structurally true of the counter pair; asserting it
+    /// (rather than sampling) documents and pins the contract.
+    void check_conserved() const {
+        REALM_ENSURES(available_ <= capacity_, "credit pool over-released");
+        REALM_ENSURES(in_flight() + available_ == capacity_,
+                      "credit conservation violated");
+    }
+
+private:
+    std::uint32_t capacity_ = 0;
+    std::uint32_t available_ = 0;
+};
+
+/// Every end-to-end pool of one fabric: request pools indexed by
+/// (target subordinate node, source manager node) and response pools by
+/// (target manager node, source subordinate node). Kept separate so the
+/// request/response protocol split stays deadlock-free under credit
+/// exhaustion. Only allocated in credited mode.
+class CreditBook {
+public:
+    CreditBook(std::uint8_t num_nodes, const NocFlowConfig& fc)
+        : n_{num_nodes},
+          req_(static_cast<std::size_t>(num_nodes) * num_nodes,
+               CreditPool{fc.e2e_credits}),
+          rsp_(static_cast<std::size_t>(num_nodes) * num_nodes,
+               CreditPool{fc.e2e_credits}) {}
+
+    [[nodiscard]] CreditPool& req(std::uint8_t dest, std::uint8_t src) {
+        return req_[index(dest, src)];
+    }
+    [[nodiscard]] CreditPool& rsp(std::uint8_t dest, std::uint8_t src) {
+        return rsp_[index(dest, src)];
+    }
+    [[nodiscard]] const CreditPool& req(std::uint8_t dest, std::uint8_t src) const {
+        return req_[index(dest, src)];
+    }
+    [[nodiscard]] const CreditPool& rsp(std::uint8_t dest, std::uint8_t src) const {
+        return rsp_[index(dest, src)];
+    }
+
+    [[nodiscard]] std::uint8_t num_nodes() const noexcept { return n_; }
+
+    /// Asserts conservation on every pool.
+    void check_conserved() const {
+        for (const CreditPool& p : req_) { p.check_conserved(); }
+        for (const CreditPool& p : rsp_) { p.check_conserved(); }
+    }
+
+private:
+    [[nodiscard]] std::size_t index(std::uint8_t dest, std::uint8_t src) const {
+        REALM_EXPECTS(dest < n_ && src < n_, "credit pool index out of range");
+        return static_cast<std::size_t>(dest) * n_ + src;
+    }
+
+    std::uint8_t n_;
+    std::vector<CreditPool> req_;
+    std::vector<CreditPool> rsp_;
+};
+
+/// One NoC link under the selected flow control. In credited mode the link
+/// transmits one flit per cycle (a worm of `n` flits occupies the channel
+/// for `n` cycles — wormhole serialization; the header still forwards with
+/// the usual one-cycle hop latency) and buffers at most `vc_depth` flits at
+/// the receiver, asserted on every push. In provisioned mode it behaves
+/// exactly like the legacy depth-2 `sim::Link` (packets are single-beat,
+/// multiple pushes per cycle allowed).
+class NocLink {
+public:
+    NocLink(const sim::SimContext& ctx, std::string name, const NocFlowConfig& fc)
+        : ctx_{&ctx},
+          fc_{fc},
+          link_{ctx, fc.mode == FlowControl::kCredited ? fc.vc_depth : 2,
+                std::move(name)} {}
+
+    /// True when a packet of `flits` flits may start transmission this
+    /// cycle: the channel is not serializing an earlier worm and the
+    /// receiver-side VC holds enough free flit slots.
+    [[nodiscard]] bool can_push(std::uint32_t flits) const noexcept {
+        if (fc_.mode == FlowControl::kProvisioned) { return link_.can_push(); }
+        return ctx_->now() >= busy_until_ && link_.can_push() &&
+               buffered_flits_ + flits <= fc_.vc_depth;
+    }
+    [[nodiscard]] bool can_push(const NocPacket& pkt) const noexcept {
+        return can_push(pkt.flits);
+    }
+
+    void push(NocPacket pkt);
+
+    [[nodiscard]] bool can_pop() const noexcept { return link_.can_pop(); }
+    [[nodiscard]] const NocPacket& front() const { return link_.front(); }
+    NocPacket pop();
+
+    [[nodiscard]] bool empty() const noexcept { return link_.empty(); }
+    void set_wake_on_push(sim::Component* c) noexcept { link_.set_wake_on_push(c); }
+
+    /// \name Introspection (tests / benches)
+    ///@{
+    [[nodiscard]] std::uint32_t buffered_flits() const noexcept {
+        return buffered_flits_;
+    }
+    [[nodiscard]] std::uint32_t peak_buffered_flits() const noexcept {
+        return peak_flits_;
+    }
+    [[nodiscard]] const NocFlowConfig& flow() const noexcept { return fc_; }
+    [[nodiscard]] const std::string& name() const noexcept { return link_.name(); }
+    ///@}
+
+    /// Asserts the VC-occupancy bound (tests call this every cycle; pushes
+    /// already enforce it inline).
+    void check_bounded() const {
+        if (fc_.mode != FlowControl::kCredited) { return; }
+        REALM_ENSURES(buffered_flits_ <= fc_.vc_depth,
+                      name() + ": VC buffer exceeds its configured depth");
+    }
+
+private:
+    const sim::SimContext* ctx_;
+    NocFlowConfig fc_;
+    sim::Link<NocPacket> link_;
+    std::uint32_t buffered_flits_ = 0;
+    std::uint32_t peak_flits_ = 0;
+    sim::Cycle busy_until_ = 0;
+};
+
+/// \name Staging helpers shared by the ring and mesh assemblies
+///@{
+/// Entries per staging lane under one transport: the end-to-end pool bounds
+/// credited staging (at most `e2e_credits` single-flit entries per lane);
+/// the legacy transport provisions 1024-deep lanes (see `NocRing`).
+[[nodiscard]] std::size_t staging_depth(const NocFlowConfig& fc);
+
+/// Wires the end-to-end credit returns of one per-source staging channel:
+/// the pool's flits come back as the egress mux drains the lanes.
+void wire_credit_returns(axi::AxiChannel& egress, CreditPool& pool,
+                         const NocFlowConfig& fc);
+
+/// Flits currently staged in one per-source egress channel's request lanes,
+/// weighted by worm length (a staged W beat holds its whole worm's buffer
+/// space). Used by the fabric invariant checkers.
+[[nodiscard]] std::uint32_t staged_request_flits(const axi::AxiChannel& egress,
+                                                 const NocFlowConfig& fc);
+
+/// Asserts one (target NI, source) staging against its end-to-end pool:
+/// staged flits within the configured pool, and never more than the
+/// credits actually in flight (a credit is either staged at the NI or
+/// still in the network). Shared by the ring and mesh
+/// `check_flow_invariants`.
+void check_staging_invariants(const axi::AxiChannel& egress, const CreditPool& pool,
+                              const NocFlowConfig& fc);
+///@}
+
+} // namespace realm::noc

@@ -23,7 +23,8 @@ std::optional<MeshDir> xy_next_hop(std::uint8_t cols, std::uint8_t cur,
 
 MeshRouter::MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
                        std::uint8_t cols, ic::AddrMap map, axi::AxiChannel* local_mgr,
-                       std::vector<axi::AxiChannel*> egress, Ports ports)
+                       std::vector<axi::AxiChannel*> egress, Ports ports,
+                       const NocFlowConfig& fc, CreditBook* book)
     : Component{ctx, std::move(name)},
       id_{node_id},
       cols_{cols},
@@ -31,7 +32,7 @@ MeshRouter::MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node
       local_mgr_{local_mgr},
       egress_{std::move(egress)},
       ports_{ports},
-      ni_{this->name()} {
+      ni_{this->name(), fc, book} {
     // Activity-aware kernel wiring: every neighbor link feeding this router
     // has exactly one consumer (this router), so claiming the push hooks is
     // safe; the local manager and egress channels follow the ring-NI scheme.
@@ -74,7 +75,7 @@ void MeshRouter::service_network(bool request_net) {
     std::uint8_t first_moved = 0;
     for (std::uint8_t k = 0; k < kMeshDirs; ++k) {
         const auto d = static_cast<std::uint8_t>((rr + k) % kMeshDirs);
-        sim::Link<NocPacket>* link = in[d];
+        NocLink* link = in[d];
         if (link == nullptr || !link->can_pop()) { continue; }
         const NocPacket& pkt = link->front();
         const auto hop = xy_next_hop(cols_, id_, pkt.dest);
@@ -103,9 +104,9 @@ void MeshRouter::service_network(bool request_net) {
         REALM_ENSURES(*hop != static_cast<MeshDir>(d),
                       name() + ": 180-degree turn in XY route");
         const auto h = static_cast<std::size_t>(*hop);
-        sim::Link<NocPacket>* o = out[h];
+        NocLink* o = out[h];
         REALM_ENSURES(o != nullptr, name() + ": XY route leaves the mesh");
-        if (!used[h] && o->can_push()) {
+        if (!used[h] && o->can_push(pkt)) {
             o->push(link->pop());
             used[h] = true;
             ++forwarded_;
@@ -120,34 +121,37 @@ void MeshRouter::service_network(bool request_net) {
     if (any_moved) { rr = static_cast<std::uint8_t>((first_moved + 1) % kMeshDirs); }
 }
 
-sim::Link<NocPacket>* MeshRouter::route_out(bool request_net, std::uint8_t dest) {
+NocLink* MeshRouter::route_out(bool request_net, std::uint8_t dest,
+                               std::uint32_t flits) {
     const auto hop = xy_next_hop(cols_, id_, dest);
     REALM_EXPECTS(hop.has_value(),
                   name() + ": a mesh node does not route packets to itself");
     auto& out = request_net ? ports_.req_out : ports_.rsp_out;
     auto& used = request_net ? req_out_used_ : rsp_out_used_;
     const auto h = static_cast<std::size_t>(*hop);
-    sim::Link<NocPacket>* o = out[h];
+    NocLink* o = out[h];
     REALM_ENSURES(o != nullptr, name() + ": XY route leaves the mesh");
-    if (used[h] || !o->can_push()) { return nullptr; }
+    if (used[h] || !o->can_push(flits)) { return nullptr; }
     used[h] = true; // the NI pushes unconditionally into a granted link
     return o;
 }
 
 void MeshRouter::inject_requests() {
     if (local_mgr_ == nullptr) { return; }
-    if (ni_.inject_requests(id_, *local_mgr_, map_, [this](std::uint8_t dest) {
-            return route_out(/*request_net=*/true, dest);
-        })) {
+    if (ni_.inject_requests(id_, *local_mgr_, map_,
+                            [this](std::uint8_t dest, std::uint32_t flits) {
+                                return route_out(/*request_net=*/true, dest, flits);
+                            })) {
         ++injected_;
     }
 }
 
 void MeshRouter::inject_responses() {
     if (egress_.empty()) { return; }
-    if (ni_.inject_responses(id_, egress_, [this](std::uint8_t dest) {
-            return route_out(/*request_net=*/false, dest);
-        })) {
+    if (ni_.inject_responses(id_, egress_,
+                             [this](std::uint8_t dest, std::uint32_t flits) {
+                                 return route_out(/*request_net=*/false, dest, flits);
+                             })) {
         ++injected_;
     }
 }
@@ -163,7 +167,10 @@ void MeshRouter::tick() {
 void MeshRouter::update_activity() {
     // Conservative idle contract, same shape as the ring node: a tick is a
     // no-op iff nothing this router consumes holds a flit (`empty()`, not
-    // `can_pop()` — a flit pushed this cycle needs us next cycle).
+    // `can_pop()` — a flit pushed this cycle needs us next cycle). Credit
+    // waits and link serialization windows enable no new work by
+    // themselves; progress always rides on a held flit, which keeps us
+    // awake through the checks below.
     for (std::size_t d = 0; d < kMeshDirs; ++d) {
         if (ports_.req_in[d] != nullptr && !ports_.req_in[d]->empty()) { return; }
         if (ports_.rsp_in[d] != nullptr && !ports_.rsp_in[d]->empty()) { return; }
@@ -181,22 +188,25 @@ void MeshRouter::update_activity() {
 
 NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
                  std::uint8_t cols, ic::AddrMap node_map,
-                 std::vector<std::uint8_t> subordinate_nodes, std::size_t egress_depth)
-    : rows_{rows}, cols_{cols} {
+                 std::vector<std::uint8_t> subordinate_nodes, NocFlowConfig flow)
+    : rows_{rows}, cols_{cols}, flow_{flow} {
     const std::uint32_t n32 = static_cast<std::uint32_t>(rows) * cols;
     REALM_EXPECTS(n32 >= 2, "a mesh needs at least two nodes");
     REALM_EXPECTS(n32 <= 255, "node ids are 8-bit");
+    flow_.validate();
     const auto n = static_cast<std::uint8_t>(n32);
     sub_index_.assign(n, -1);
     for (const std::uint8_t s : subordinate_nodes) {
         REALM_EXPECTS(s < n, "subordinate node out of range");
     }
+    if (flow_.mode == FlowControl::kCredited) {
+        book_ = std::make_unique<CreditBook>(n, flow_);
+    }
 
     // Channels and links first (plain objects, no tick order concerns).
-    const auto make_link = [&](std::vector<std::unique_ptr<sim::Link<NocPacket>>>& v,
+    const auto make_link = [&](std::vector<std::unique_ptr<NocLink>>& v,
                                std::uint8_t i, const char* tag) {
-        v[i] = std::make_unique<sim::Link<NocPacket>>(ctx, 2,
-                                                      name + tag + std::to_string(i));
+        v[i] = std::make_unique<NocLink>(ctx, name + tag + std::to_string(i), flow_);
     };
     h_req_fwd_.resize(n);
     h_req_rev_.resize(n);
@@ -228,7 +238,10 @@ NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
         for (std::uint8_t src = 0; src < n; ++src) {
             egress_[s].push_back(std::make_unique<axi::AxiChannel>(
                 ctx, name + ".eg" + std::to_string(s) + "_" + std::to_string(src),
-                egress_depth));
+                staging_depth(flow_)));
+            if (book_ != nullptr) {
+                wire_credit_returns(*egress_[s].back(), book_->req(s, src), flow_);
+            }
             egress_raw.push_back(egress_[s].back().get());
         }
         sub_index_[s] = static_cast<int>(sub_ports_.size());
@@ -272,7 +285,7 @@ NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
         }
         routers_.push_back(std::make_unique<MeshRouter>(
             ctx, name + ".r" + std::to_string(i), i, cols, node_map,
-            mgr_ports_[i].get(), std::move(egress_raw), p));
+            mgr_ports_[i].get(), std::move(egress_raw), p, flow_, book_.get()));
     }
 }
 
@@ -298,6 +311,32 @@ std::uint64_t NocMesh::total_mux_w_stalls() const noexcept {
     std::uint64_t total = 0;
     for (const auto& m : muxes_) { total += m->w_stall_cycles(); }
     return total;
+}
+
+void NocMesh::check_flow_invariants() const {
+    if (book_ == nullptr) { return; }
+    book_->check_conserved();
+    const auto check_links = [](const std::vector<std::unique_ptr<NocLink>>& v) {
+        for (const auto& link : v) {
+            if (link != nullptr) { link->check_bounded(); }
+        }
+    };
+    check_links(h_req_fwd_);
+    check_links(h_req_rev_);
+    check_links(h_rsp_fwd_);
+    check_links(h_rsp_rev_);
+    check_links(v_req_fwd_);
+    check_links(v_req_rev_);
+    check_links(v_rsp_fwd_);
+    check_links(v_rsp_rev_);
+    for (std::size_t s = 0; s < egress_.size(); ++s) {
+        for (std::size_t src = 0; src < egress_[s].size(); ++src) {
+            check_staging_invariants(*egress_[s][src],
+                                     book_->req(static_cast<std::uint8_t>(s),
+                                                static_cast<std::uint8_t>(src)),
+                                     flow_);
+        }
+    }
 }
 
 } // namespace realm::noc

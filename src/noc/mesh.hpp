@@ -3,7 +3,7 @@
 ///
 /// The third fabric of the "regulation is interconnect-agnostic" claim: an
 /// R x C mesh of routers, each optionally hosting one AXI manager and one
-/// subordinate (reached through the same deep per-source egress staging and
+/// subordinate (reached through the same per-source egress staging and
 /// `ic::AxiMux` scheme as the ring NI). Packets route X-first then Y —
 /// deterministic, minimal, and deadlock-free (dimension order admits no
 /// cyclic channel dependency, and the request/response split keeps the
@@ -11,17 +11,21 @@
 /// Unlike the single-lane ring, a mesh router moves up to one packet per
 /// output port per cycle, so independent flows on disjoint paths do not
 /// serialize — the multi-path contention regime the DoS matrix probes.
+/// Under credited flow control (the default, see credit.hpp) every link is
+/// a wormhole channel: a data worm occupies its output port for
+/// `flits_per_packet` cycles, which is exactly the head-of-line blocking at
+/// the memory-column merge routers the matrix exists to expose.
 #pragma once
 
 #include "axi/channel.hpp"
 #include "ic/addr_map.hpp"
 #include "ic/mux.hpp"
+#include "noc/credit.hpp"
 #include "noc/ni.hpp"
 #include "noc/packet.hpp"
 
 #include "sim/component.hpp"
 #include "sim/context.hpp"
-#include "sim/link.hpp"
 
 #include <array>
 #include <cstdint>
@@ -70,15 +74,16 @@ public:
     /// `in[d]` carries packets *from* the neighbor in direction d,
     /// `out[d]` carries packets *toward* it.
     struct Ports {
-        std::array<sim::Link<NocPacket>*, kMeshDirs> req_in{};
-        std::array<sim::Link<NocPacket>*, kMeshDirs> req_out{};
-        std::array<sim::Link<NocPacket>*, kMeshDirs> rsp_in{};
-        std::array<sim::Link<NocPacket>*, kMeshDirs> rsp_out{};
+        std::array<NocLink*, kMeshDirs> req_in{};
+        std::array<NocLink*, kMeshDirs> req_out{};
+        std::array<NocLink*, kMeshDirs> rsp_in{};
+        std::array<NocLink*, kMeshDirs> rsp_out{};
     };
 
     MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
                std::uint8_t cols, ic::AddrMap map, axi::AxiChannel* local_mgr,
-               std::vector<axi::AxiChannel*> egress, Ports ports);
+               std::vector<axi::AxiChannel*> egress, Ports ports,
+               const NocFlowConfig& fc, CreditBook* book);
 
     void reset() override;
     void tick() override;
@@ -97,7 +102,8 @@ private:
     void service_network(bool request_net);
     void inject_requests();
     void inject_responses();
-    [[nodiscard]] sim::Link<NocPacket>* route_out(bool request_net, std::uint8_t dest);
+    [[nodiscard]] NocLink* route_out(bool request_net, std::uint8_t dest,
+                                     std::uint32_t flits);
     void update_activity();
 
     std::uint8_t id_;
@@ -130,13 +136,11 @@ class NocMesh {
 public:
     /// \param node_map          decodes addresses to node ids (row-major).
     /// \param subordinate_nodes nodes hosting a local subordinate.
-    /// \param egress_depth      per-source request staging at a subordinate's
-    ///        NI; must cover the in-flight W beats of one source (see
-    ///        `NocRing` — the provisioning argument is fabric-independent).
+    /// \param flow              transport model and its knobs (shared with
+    ///        `NocRing` — the flow-control argument is fabric-independent).
     NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
             std::uint8_t cols, ic::AddrMap node_map,
-            std::vector<std::uint8_t> subordinate_nodes,
-            std::size_t egress_depth = 1024);
+            std::vector<std::uint8_t> subordinate_nodes, NocFlowConfig flow = {});
 
     NocMesh(const NocMesh&) = delete;
     NocMesh& operator=(const NocMesh&) = delete;
@@ -154,6 +158,11 @@ public:
     [[nodiscard]] std::uint8_t num_nodes() const noexcept {
         return static_cast<std::uint8_t>(routers_.size());
     }
+    [[nodiscard]] const NocFlowConfig& flow() const noexcept { return flow_; }
+    /// End-to-end credit book (credited mode only; nullptr otherwise).
+    [[nodiscard]] const CreditBook* credit_book() const noexcept {
+        return book_.get();
+    }
 
     /// Aggregate mesh statistics (hops forwarded across all routers).
     [[nodiscard]] std::uint64_t total_forwarded() const noexcept;
@@ -163,18 +172,24 @@ public:
     /// egress muxes (the DoS exposure metric, cf. `NocRing`).
     [[nodiscard]] std::uint64_t total_mux_w_stalls() const noexcept;
 
+    /// Asserts every flow-control invariant of the fabric (see
+    /// `NocRing::check_flow_invariants`).
+    void check_flow_invariants() const;
+
 private:
     std::uint8_t rows_;
     std::uint8_t cols_;
+    NocFlowConfig flow_;
+    std::unique_ptr<CreditBook> book_;
     std::vector<std::unique_ptr<axi::AxiChannel>> mgr_ports_;
     /// Neighbor links per network and orientation. `h_*[i]` connects node i
     /// to node i+1 (east/west pair, absent on the last column); `v_*[i]`
     /// connects node i to node i+cols (south/north pair, absent on the last
     /// row). `*_fwd` flows east/south, `*_rev` flows west/north.
-    std::vector<std::unique_ptr<sim::Link<NocPacket>>> h_req_fwd_, h_req_rev_;
-    std::vector<std::unique_ptr<sim::Link<NocPacket>>> h_rsp_fwd_, h_rsp_rev_;
-    std::vector<std::unique_ptr<sim::Link<NocPacket>>> v_req_fwd_, v_req_rev_;
-    std::vector<std::unique_ptr<sim::Link<NocPacket>>> v_rsp_fwd_, v_rsp_rev_;
+    std::vector<std::unique_ptr<NocLink>> h_req_fwd_, h_req_rev_;
+    std::vector<std::unique_ptr<NocLink>> h_rsp_fwd_, h_rsp_rev_;
+    std::vector<std::unique_ptr<NocLink>> v_req_fwd_, v_req_rev_;
+    std::vector<std::unique_ptr<NocLink>> v_rsp_fwd_, v_rsp_rev_;
     /// egress_[node][src] (nullptr when `node` hosts no subordinate).
     std::vector<std::vector<std::unique_ptr<axi::AxiChannel>>> egress_;
     std::vector<std::unique_ptr<axi::AxiChannel>> sub_ports_;

@@ -16,20 +16,34 @@ bool NocNi::try_eject_request(const NocPacket& pkt,
                               const std::vector<axi::AxiChannel*>& egress) {
     REALM_EXPECTS(pkt.src < egress.size() && egress[pkt.src] != nullptr,
                   owner_ + ": request ejected at a node without a subordinate");
+    const bool credited = fc_.mode == FlowControl::kCredited;
     axi::AxiChannel& ch = *egress[pkt.src];
     if (const auto* aw = std::get_if<axi::AwFlit>(&pkt.flit)) {
-        if (!ch.aw.can_push()) { return false; }
+        if (!ch.aw.can_push()) {
+            // The injector held credits for this flit, so the staging space
+            // exists by construction; a full lane here is a credit leak.
+            REALM_ENSURES(!credited,
+                          owner_ + ": credited request ejection backpressured");
+            return false;
+        }
         ch.aw.push(*aw);
         return true;
     }
     if (const auto* w = std::get_if<axi::WFlit>(&pkt.flit)) {
-        if (!ch.w.can_push()) { return false; }
+        if (!ch.w.can_push()) {
+            REALM_ENSURES(!credited,
+                          owner_ + ": credited request ejection backpressured");
+            return false;
+        }
         ch.w.push(*w);
         return true;
     }
     const auto* ar = std::get_if<axi::ArFlit>(&pkt.flit);
     REALM_EXPECTS(ar != nullptr, owner_ + ": malformed request packet");
-    if (!ch.ar.can_push()) { return false; }
+    if (!ch.ar.can_push()) {
+        REALM_ENSURES(!credited, owner_ + ": credited request ejection backpressured");
+        return false;
+    }
     ch.ar.push(*ar);
     return true;
 }
@@ -44,6 +58,7 @@ bool NocNi::try_eject_response(const NocPacket& pkt, axi::AxiChannel* local_mgr)
             --it->second.count;
         }
         local_mgr->b.push(*b);
+        if (book_ != nullptr) { book_->rsp(pkt.dest, pkt.src).release(pkt.flits); }
         return true;
     }
     const auto* r = std::get_if<axi::RFlit>(&pkt.flit);
@@ -56,6 +71,7 @@ bool NocNi::try_eject_response(const NocPacket& pkt, axi::AxiChannel* local_mgr)
         }
     }
     local_mgr->r.push(*r);
+    if (book_ != nullptr) { book_->rsp(pkt.dest, pkt.src).release(pkt.flits); }
     return true;
 }
 

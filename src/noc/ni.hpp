@@ -4,18 +4,26 @@
 /// The ring node and the mesh router differ in how packets *move* (one lane
 /// around a circle vs. XY dimension-ordered hops), but their AXI network
 /// interfaces are identical: requests are packetized with an AW-before-data
-/// lane discipline and AXI same-ID ordering, ejected requests land in deep
+/// lane discipline and AXI same-ID ordering, ejected requests land in
 /// per-source egress staging in front of an `ic::AxiMux`, and responses are
 /// injected round-robin over the sources waiting at the local subordinate.
 /// `NocNi` owns exactly that state so both fabrics share one flow-control
 /// implementation (and one set of bugs).
+///
+/// Under `FlowControl::kCredited` the NI also enforces end-to-end credits:
+/// a request worm is injected only while the source holds credits from the
+/// target subordinate's pool (returned when the target's staging drains
+/// into the egress mux), so request ejection can never backpressure the
+/// network — asserted, not provisioned. Responses draw on a separate pool
+/// per (manager, subordinate) pair, bounding in-flight responses toward any
+/// manager; those credits return when the response ejects into the local
+/// manager channel.
 #pragma once
 
 #include "axi/channel.hpp"
 #include "ic/addr_map.hpp"
+#include "noc/credit.hpp"
 #include "noc/packet.hpp"
-
-#include "sim/link.hpp"
 
 #include <cstdint>
 #include <deque>
@@ -27,33 +35,46 @@ namespace realm::noc {
 
 class NocNi {
 public:
-    explicit NocNi(std::string owner) : owner_{std::move(owner)} {}
+    /// \param book  End-to-end credit book of the fabric; required in
+    ///              credited mode, ignored (may be null) otherwise.
+    NocNi(std::string owner, const NocFlowConfig& fc, CreditBook* book)
+        : owner_{std::move(owner)}, fc_{fc}, book_{book} {
+        REALM_EXPECTS(fc_.mode == FlowControl::kProvisioned || book_ != nullptr,
+                      owner_ + ": credited flow control needs a credit book");
+    }
 
     void reset();
 
     /// \name Ejection (packets whose dest is the local node)
     ///@{
     /// Delivers a request packet into the per-source egress staging toward
-    /// the local subordinate's mux. Returns false on backpressure.
+    /// the local subordinate's mux. Returns false on backpressure — which
+    /// end-to-end credits make impossible in credited mode (asserted: the
+    /// injector reserved the staging space before sending).
     bool try_eject_request(const NocPacket& pkt,
                            const std::vector<axi::AxiChannel*>& egress);
     /// Delivers a response packet to the local manager, retiring the same-ID
-    /// ordering bookkeeping on B / last R. Returns false on backpressure.
+    /// ordering bookkeeping on B / last R and returning the response's
+    /// end-to-end credits. Returns false on backpressure.
     bool try_eject_response(const NocPacket& pkt, axi::AxiChannel* local_mgr);
     ///@}
 
     /// \name Injection (local manager / subordinate into the network)
     ///@{
     /// Injects at most one request packet from the local manager. `route`
-    /// maps a destination node to the outgoing link able to accept one
-    /// packet this cycle, or nullptr on backpressure (the flit is then held
-    /// and retried, preserving the lane order). AW travels before its data;
-    /// W continuation beats take priority over new reads; an AW or AR whose
-    /// ID has in-flight transactions toward a *different* node stalls until
-    /// they retire (the same rule `ic::AxiDemux` enforces).
+    /// maps (destination node, worm flits) to the outgoing link able to
+    /// accept that worm this cycle, or nullptr on backpressure (the flit is
+    /// then held and retried, preserving the lane order). AW travels before
+    /// its data; W continuation beats take priority over new reads; an AW
+    /// or AR whose ID has in-flight transactions toward a *different* node
+    /// stalls until they retire (the same rule `ic::AxiDemux` enforces).
+    /// In credited mode every packet additionally needs end-to-end credits
+    /// from the target subordinate's pool; a credit-starved head holds its
+    /// lane exactly like link backpressure.
     template <typename RouteFn>
     bool inject_requests(std::uint8_t self, axi::AxiChannel& mgr,
                          const ic::AddrMap& map, RouteFn&& route) {
+        const std::uint32_t data_flits = fc_.packet_flits(/*data_carrying=*/true);
         if (mgr.aw.can_pop()) {
             const axi::AwFlit& head = mgr.aw.front();
             const auto dest_opt = map.decode(head.addr);
@@ -63,23 +84,30 @@ public:
             const bool ordering_ok = it == w_in_flight_.end() ||
                                      it->second.count == 0 || it->second.dest == dest;
             if (ordering_ok) {
-                if (sim::Link<NocPacket>* out = route(dest)) {
+                if (NocLink* out = req_credits_ok(self, dest, 1)
+                                       ? route(dest, std::uint32_t{1})
+                                       : nullptr) {
                     axi::AwFlit aw = mgr.aw.pop();
                     auto& fl = w_in_flight_[aw.id];
                     fl.dest = dest;
                     ++fl.count;
                     w_dest_.push_back(dest);
                     w_beats_left_.push_back(aw.beats());
-                    out->push(NocPacket{self, dest, aw});
+                    req_take(self, dest, 1);
+                    out->push(make_packet(self, dest, 1, aw));
                     return true;
                 }
                 return false; // hold the AW; W/AR behind it wait their turn
             }
         }
         if (!w_dest_.empty() && mgr.w.can_pop()) {
-            if (sim::Link<NocPacket>* out = route(w_dest_.front())) {
+            const std::uint8_t dest = w_dest_.front();
+            if (NocLink* out = req_credits_ok(self, dest, data_flits)
+                                   ? route(dest, data_flits)
+                                   : nullptr) {
                 axi::WFlit w = mgr.w.pop();
-                out->push(NocPacket{self, w_dest_.front(), w});
+                req_take(self, dest, data_flits);
+                out->push(make_packet(self, dest, data_flits, w));
                 if (--w_beats_left_.front() == 0) {
                     REALM_ENSURES(w.last, owner_ + ": W burst ended without WLAST");
                     w_dest_.pop_front();
@@ -98,12 +126,15 @@ public:
             const bool ordering_ok = it == r_in_flight_.end() ||
                                      it->second.count == 0 || it->second.dest == dest;
             if (!ordering_ok) { return false; }
-            if (sim::Link<NocPacket>* out = route(dest)) {
+            if (NocLink* out = req_credits_ok(self, dest, 1)
+                                   ? route(dest, std::uint32_t{1})
+                                   : nullptr) {
                 axi::ArFlit ar = mgr.ar.pop();
                 auto& fl = r_in_flight_[ar.id];
                 fl.dest = dest;
                 ++fl.count;
-                out->push(NocPacket{self, dest, ar});
+                req_take(self, dest, 1);
+                out->push(make_packet(self, dest, 1, ar));
                 return true;
             }
         }
@@ -112,29 +143,37 @@ public:
 
     /// Injects at most one response packet from the local subordinate,
     /// round-robin over the sources whose responses wait at the egress mux.
-    /// `route` maps the response's destination (the request's source node)
-    /// to the outgoing link, or nullptr on backpressure — a blocked source
-    /// does not stop a routable one.
+    /// `route` maps (response destination, worm flits) to the outgoing
+    /// link, or nullptr on backpressure — a blocked or credit-starved
+    /// source does not stop a routable one.
     template <typename RouteFn>
     bool inject_responses(std::uint8_t self,
                           const std::vector<axi::AxiChannel*>& egress,
                           RouteFn&& route) {
+        const std::uint32_t data_flits = fc_.packet_flits(/*data_carrying=*/true);
         const auto n = static_cast<std::uint32_t>(egress.size());
         for (std::uint32_t i = 0; i < n; ++i) {
             const std::uint32_t src = (rsp_rr_ + 1 + i) % n;
             axi::AxiChannel* ch = egress[src];
             if (ch == nullptr) { continue; }
+            const auto dest = static_cast<std::uint8_t>(src);
             if (ch->b.can_pop()) {
-                if (sim::Link<NocPacket>* out = route(static_cast<std::uint8_t>(src))) {
-                    out->push(NocPacket{self, static_cast<std::uint8_t>(src), ch->b.pop()});
+                if (NocLink* out = rsp_credits_ok(self, dest, 1)
+                                       ? route(dest, std::uint32_t{1})
+                                       : nullptr) {
+                    rsp_take(self, dest, 1);
+                    out->push(make_packet(self, dest, 1, ch->b.pop()));
                     rsp_rr_ = src;
                     return true;
                 }
                 continue;
             }
             if (ch->r.can_pop()) {
-                if (sim::Link<NocPacket>* out = route(static_cast<std::uint8_t>(src))) {
-                    out->push(NocPacket{self, static_cast<std::uint8_t>(src), ch->r.pop()});
+                if (NocLink* out = rsp_credits_ok(self, dest, data_flits)
+                                       ? route(dest, data_flits)
+                                       : nullptr) {
+                    rsp_take(self, dest, data_flits);
+                    out->push(make_packet(self, dest, data_flits, ch->r.pop()));
                     rsp_rr_ = src;
                     return true;
                 }
@@ -144,8 +183,38 @@ public:
     }
     ///@}
 
+    [[nodiscard]] const NocFlowConfig& flow() const noexcept { return fc_; }
+
 private:
+    template <typename Flit>
+    [[nodiscard]] NocPacket make_packet(std::uint8_t self, std::uint8_t dest,
+                                        std::uint32_t flits, Flit&& flit) const {
+        NocPacket pkt;
+        pkt.src = self;
+        pkt.dest = dest;
+        pkt.flits = static_cast<std::uint8_t>(flits);
+        pkt.flit = std::forward<Flit>(flit);
+        return pkt;
+    }
+
+    [[nodiscard]] bool req_credits_ok(std::uint8_t self, std::uint8_t dest,
+                                      std::uint32_t flits) const {
+        return book_ == nullptr || book_->req(dest, self).can_take(flits);
+    }
+    void req_take(std::uint8_t self, std::uint8_t dest, std::uint32_t flits) {
+        if (book_ != nullptr) { book_->req(dest, self).take(flits); }
+    }
+    [[nodiscard]] bool rsp_credits_ok(std::uint8_t self, std::uint8_t dest,
+                                      std::uint32_t flits) const {
+        return book_ == nullptr || book_->rsp(dest, self).can_take(flits);
+    }
+    void rsp_take(std::uint8_t self, std::uint8_t dest, std::uint32_t flits) {
+        if (book_ != nullptr) { book_->rsp(dest, self).take(flits); }
+    }
+
     std::string owner_; ///< router name, for contract messages
+    NocFlowConfig fc_;
+    CreditBook* book_; ///< fabric-owned end-to-end pools (credited mode)
 
     /// Ingress W routing: dest node per accepted AW, in order.
     std::deque<std::uint8_t> w_dest_;

@@ -8,9 +8,9 @@ namespace realm::noc {
 
 NocNode::NocNode(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
                  ic::AddrMap map, axi::AxiChannel* local_mgr,
-                 std::vector<axi::AxiChannel*> egress, sim::Link<NocPacket>& req_in,
-                 sim::Link<NocPacket>& req_out, sim::Link<NocPacket>& rsp_in,
-                 sim::Link<NocPacket>& rsp_out)
+                 std::vector<axi::AxiChannel*> egress, NocLink& req_in,
+                 NocLink& req_out, NocLink& rsp_in, NocLink& rsp_out,
+                 const NocFlowConfig& fc, CreditBook* book)
     : Component{ctx, std::move(name)},
       id_{node_id},
       map_{std::move(map)},
@@ -20,7 +20,7 @@ NocNode::NocNode(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
       req_out_{&req_out},
       rsp_in_{&rsp_in},
       rsp_out_{&rsp_out},
-      ni_{this->name()} {
+      ni_{this->name(), fc, book} {
     // Activity-aware kernel wiring: everything this node consumes wakes it.
     // Each ring link has exactly one consumer (the next node downstream), so
     // claiming the push hook here is safe.
@@ -40,8 +40,7 @@ void NocNode::reset() {
     ring_stalls_ = 0;
 }
 
-void NocNode::ring_hop(sim::Link<NocPacket>& in, sim::Link<NocPacket>& out,
-                       bool request_ring) {
+void NocNode::ring_hop(NocLink& in, NocLink& out, bool request_ring) {
     if (!in.can_pop()) { return; }
     const NocPacket& pkt = in.front();
     if (pkt.dest == id_) {
@@ -55,7 +54,7 @@ void NocNode::ring_hop(sim::Link<NocPacket>& in, sim::Link<NocPacket>& out,
         }
         return;
     }
-    if (out.can_push()) {
+    if (out.can_push(pkt)) {
         out.push(in.pop());
         ++forwarded_;
     } else {
@@ -64,19 +63,24 @@ void NocNode::ring_hop(sim::Link<NocPacket>& in, sim::Link<NocPacket>& out,
 }
 
 void NocNode::inject_requests() {
-    if (local_mgr_ == nullptr || !req_out_->can_push()) { return; }
+    if (local_mgr_ == nullptr) { return; }
     // Single-lane ring: every destination leaves through the one request
-    // link, already known to have room.
+    // link; the NI supplies the worm length so the link can gate on
+    // serialization and VC space.
     if (ni_.inject_requests(id_, *local_mgr_, map_,
-                            [this](std::uint8_t) { return req_out_; })) {
+                            [this](std::uint8_t, std::uint32_t flits) {
+                                return req_out_->can_push(flits) ? req_out_ : nullptr;
+                            })) {
         ++injected_;
     }
 }
 
 void NocNode::inject_responses() {
-    if (egress_.empty() || !rsp_out_->can_push()) { return; }
+    if (egress_.empty()) { return; }
     if (ni_.inject_responses(id_, egress_,
-                             [this](std::uint8_t) { return rsp_out_; })) {
+                             [this](std::uint8_t, std::uint32_t flits) {
+                                 return rsp_out_->can_push(flits) ? rsp_out_ : nullptr;
+                             })) {
         ++injected_;
     }
 }
@@ -93,8 +97,10 @@ void NocNode::update_activity() {
     // Conservative idle contract: every tick is a no-op iff nothing this
     // node consumes holds a flit. Uses `empty()`, not `can_pop()`: a flit
     // pushed this cycle is not yet poppable but does need us next cycle.
-    // Pending W routing state and same-ID ordering stalls (owned by `ni_`)
-    // only progress on new flits, all of which arrive through wired links.
+    // Pending W routing state, same-ID ordering stalls, and credit waits
+    // (owned by `ni_`) only progress while a flit is held somewhere we
+    // drain from, all of which arrive through wired links; a link's
+    // serialization window expiring enables no new work by itself.
     if (!req_in_->empty() || !rsp_in_->empty()) { return; }
     if (local_mgr_ != nullptr && !local_mgr_->requests_empty()) { return; }
     for (const axi::AxiChannel* ch : egress_) {

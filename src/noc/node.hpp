@@ -5,20 +5,22 @@
 /// as a subordinate) and one local subordinate (reached through per-source
 /// egress channels and an `ic::AxiMux`, which enforces the usual
 /// burst-granular W ordering). Rings are unidirectional with one-cycle
-/// hops; forwarding has priority over injection, and a packet whose
-/// ejection buffer is full stalls the ring head (bounded, since the
-/// response ring always drains). The NI bookkeeping (lane discipline,
-/// same-ID ordering, response round-robin) lives in the fabric-shared
-/// `NocNi`.
+/// hops; forwarding has priority over injection. Under credited flow
+/// control a request worm only enters the ring once its end-to-end credits
+/// reserved the target staging, so request ejection never stalls the ring
+/// head; under the legacy provisioned transport a full ejection buffer
+/// stalls the head (bounded, since the response ring always drains). The
+/// NI bookkeeping (lane discipline, same-ID ordering, response
+/// round-robin, credit accounting) lives in the fabric-shared `NocNi`.
 #pragma once
 
 #include "axi/channel.hpp"
 #include "ic/addr_map.hpp"
+#include "noc/credit.hpp"
 #include "noc/ni.hpp"
 #include "noc/packet.hpp"
 
 #include "sim/component.hpp"
-#include "sim/link.hpp"
 
 #include <cstdint>
 #include <vector>
@@ -34,10 +36,13 @@ public:
     /// \param egress         per-source channels toward the local
     ///                       subordinate's mux (empty if none).
     /// \param req_in/out, rsp_in/out  ring links (owned by `NocRing`).
+    /// \param fc             fabric flow-control configuration.
+    /// \param book           end-to-end credit book (owned by `NocRing`;
+    ///                       nullptr in provisioned mode).
     NocNode(sim::SimContext& ctx, std::string name, std::uint8_t node_id, ic::AddrMap map,
             axi::AxiChannel* local_mgr, std::vector<axi::AxiChannel*> egress,
-            sim::Link<NocPacket>& req_in, sim::Link<NocPacket>& req_out,
-            sim::Link<NocPacket>& rsp_in, sim::Link<NocPacket>& rsp_out);
+            NocLink& req_in, NocLink& req_out, NocLink& rsp_in, NocLink& rsp_out,
+            const NocFlowConfig& fc, CreditBook* book);
 
     void reset() override;
     void tick() override;
@@ -51,7 +56,7 @@ public:
     ///@}
 
 private:
-    void ring_hop(sim::Link<NocPacket>& in, sim::Link<NocPacket>& out, bool request_ring);
+    void ring_hop(NocLink& in, NocLink& out, bool request_ring);
     void inject_requests();
     void inject_responses();
     void update_activity();
@@ -60,10 +65,10 @@ private:
     ic::AddrMap map_;
     axi::AxiChannel* local_mgr_;
     std::vector<axi::AxiChannel*> egress_;
-    sim::Link<NocPacket>* req_in_;
-    sim::Link<NocPacket>* req_out_;
-    sim::Link<NocPacket>* rsp_in_;
-    sim::Link<NocPacket>* rsp_out_;
+    NocLink* req_in_;
+    NocLink* req_out_;
+    NocLink* rsp_in_;
+    NocLink* rsp_out_;
 
     NocNi ni_;
 

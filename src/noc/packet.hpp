@@ -11,18 +11,33 @@
 namespace realm::noc {
 
 /// One AXI channel beat in flight on the network. Request packets (AW/W/AR)
-/// travel on the request ring, response packets (B/R) on the response ring;
-/// the two-ring split makes the request-response protocol deadlock-free
-/// under backpressure.
+/// travel on the request network, response packets (B/R) on the response
+/// network; the two-network split makes the request-response protocol
+/// deadlock-free under backpressure.
+///
+/// Under `FlowControl::kCredited` a packet is a wormhole *worm* of `flits`
+/// flits: data-carrying beats (W / R) serialize into
+/// `NocFlowConfig::flits_per_packet` flits (header + payload sized from the
+/// AXI beat width), address/response beats (AW / AR / B) are single-flit
+/// headers. A link transmits one flit per cycle, so `flits` is also the
+/// channel occupancy of the packet. Legacy provisioned transport keeps
+/// `flits == 1` everywhere.
 struct NocPacket {
-    std::uint8_t src = 0;  ///< injecting node
-    std::uint8_t dest = 0; ///< ejecting node
+    std::uint8_t src = 0;   ///< injecting node
+    std::uint8_t dest = 0;  ///< ejecting node
+    std::uint8_t flits = 1; ///< worm length in flits (1 = bare header)
     std::variant<axi::AwFlit, axi::WFlit, axi::BFlit, axi::ArFlit, axi::RFlit> flit;
 
     [[nodiscard]] bool is_request() const noexcept {
         return std::holds_alternative<axi::AwFlit>(flit) ||
                std::holds_alternative<axi::WFlit>(flit) ||
                std::holds_alternative<axi::ArFlit>(flit);
+    }
+    /// True for the beats that carry bus data (and therefore serialize into
+    /// multi-flit worms under credited flow control).
+    [[nodiscard]] bool data_carrying() const noexcept {
+        return std::holds_alternative<axi::WFlit>(flit) ||
+               std::holds_alternative<axi::RFlit>(flit);
     }
 };
 

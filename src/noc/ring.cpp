@@ -9,21 +9,25 @@ namespace realm::noc {
 
 NocRing::NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
                  ic::AddrMap node_map, std::vector<std::uint8_t> subordinate_nodes,
-                 std::size_t egress_depth)
-    : sub_index_(num_nodes, -1) {
+                 NocFlowConfig flow)
+    : flow_{flow}, sub_index_(num_nodes, -1) {
     REALM_EXPECTS(num_nodes >= 2, "a ring needs at least two nodes");
+    flow_.validate();
     for (const std::uint8_t s : subordinate_nodes) {
         REALM_EXPECTS(s < num_nodes, "subordinate node out of range");
+    }
+    if (flow_.mode == FlowControl::kCredited) {
+        book_ = std::make_unique<CreditBook>(num_nodes, flow_);
     }
 
     // Channels and links first (plain objects, no tick order concerns).
     for (std::uint8_t i = 0; i < num_nodes; ++i) {
         mgr_ports_.push_back(std::make_unique<axi::AxiChannel>(
             ctx, name + ".mgr" + std::to_string(i)));
-        req_links_.push_back(std::make_unique<sim::Link<NocPacket>>(
-            ctx, 2, name + ".req" + std::to_string(i)));
-        rsp_links_.push_back(std::make_unique<sim::Link<NocPacket>>(
-            ctx, 2, name + ".rsp" + std::to_string(i)));
+        req_links_.push_back(std::make_unique<NocLink>(
+            ctx, name + ".req" + std::to_string(i), flow_));
+        rsp_links_.push_back(std::make_unique<NocLink>(
+            ctx, name + ".rsp" + std::to_string(i), flow_));
     }
     egress_.resize(num_nodes);
     for (const std::uint8_t s : subordinate_nodes) {
@@ -31,7 +35,10 @@ NocRing::NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
         for (std::uint8_t src = 0; src < num_nodes; ++src) {
             egress_[s].push_back(std::make_unique<axi::AxiChannel>(
                 ctx, name + ".eg" + std::to_string(s) + "_" + std::to_string(src),
-                egress_depth));
+                staging_depth(flow_)));
+            if (book_ != nullptr) {
+                wire_credit_returns(*egress_[s].back(), book_->req(s, src), flow_);
+            }
             egress_raw.push_back(egress_[s].back().get());
         }
         sub_index_[s] = static_cast<int>(sub_ports_.size());
@@ -50,7 +57,7 @@ NocRing::NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
         nodes_.push_back(std::make_unique<NocNode>(
             ctx, name + ".node" + std::to_string(i), i, node_map, mgr_ports_[i].get(),
             std::move(egress_raw), *req_links_[prev], *req_links_[i], *rsp_links_[prev],
-            *rsp_links_[i]));
+            *rsp_links_[i], flow_, book_.get()));
     }
 }
 
@@ -76,6 +83,21 @@ std::uint64_t NocRing::total_mux_w_stalls() const noexcept {
     std::uint64_t total = 0;
     for (const auto& m : muxes_) { total += m->w_stall_cycles(); }
     return total;
+}
+
+void NocRing::check_flow_invariants() const {
+    if (book_ == nullptr) { return; }
+    book_->check_conserved();
+    for (const auto& link : req_links_) { link->check_bounded(); }
+    for (const auto& link : rsp_links_) { link->check_bounded(); }
+    for (std::size_t s = 0; s < egress_.size(); ++s) {
+        for (std::size_t src = 0; src < egress_[s].size(); ++src) {
+            check_staging_invariants(*egress_[s][src],
+                                     book_->req(static_cast<std::uint8_t>(s),
+                                                static_cast<std::uint8_t>(src)),
+                                     flow_);
+        }
+    }
 }
 
 } // namespace realm::noc

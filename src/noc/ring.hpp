@@ -7,11 +7,24 @@
 /// `ic::AxiMux` (which provides the burst-granular W ordering a real NI
 /// needs). REALM units drop in front of any manager port unchanged —
 /// regulation is interconnect-agnostic, which this module exists to prove.
+///
+/// Flow control (see credit.hpp): under the default `FlowControl::kCredited`
+/// transport, per-source staging is sized by the end-to-end credit pool and
+/// its occupancy is *enforced* — the injecting NI only sends while it holds
+/// credits, returned as the egress mux drains the staging. The legacy
+/// `kProvisioned` transport instead provisions 1024-flit staging deep
+/// enough to cover the in-flight W beats of one source: the mux reserves
+/// the subordinate's W channel per granted burst, and a non-granted source
+/// whose staging fills would stall the ring head — with the granted
+/// source's data *behind* it in the same lane, that is a protocol deadlock.
+/// Deep per-source buffers are how single-lane ring NIs made multi-writer
+/// subordinates safe before credits enforced the bound.
 #pragma once
 
 #include "axi/channel.hpp"
 #include "ic/addr_map.hpp"
 #include "ic/mux.hpp"
+#include "noc/credit.hpp"
 #include "noc/node.hpp"
 
 #include "sim/context.hpp"
@@ -26,16 +39,10 @@ class NocRing {
 public:
     /// \param node_map          decodes addresses to node ids.
     /// \param subordinate_nodes nodes hosting a local subordinate.
-    /// \param egress_depth      per-source request staging at a subordinate's
-    ///        NI. Must cover the in-flight W beats of one source: the mux
-    ///        reserves the subordinate's W channel per granted burst, and a
-    ///        non-granted source whose staging fills would stall the ring
-    ///        head — with the granted source's data *behind* it in the same
-    ///        lane, that is a protocol deadlock. Deep per-source buffers are
-    ///        how single-lane ring NIs make multi-writer subordinates safe.
+    /// \param flow              transport model and its knobs.
     NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
             ic::AddrMap node_map, std::vector<std::uint8_t> subordinate_nodes,
-            std::size_t egress_depth = 1024);
+            NocFlowConfig flow = {});
 
     NocRing(const NocRing&) = delete;
     NocRing& operator=(const NocRing&) = delete;
@@ -51,6 +58,11 @@ public:
     [[nodiscard]] std::uint8_t num_nodes() const noexcept {
         return static_cast<std::uint8_t>(nodes_.size());
     }
+    [[nodiscard]] const NocFlowConfig& flow() const noexcept { return flow_; }
+    /// End-to-end credit book (credited mode only; nullptr otherwise).
+    [[nodiscard]] const CreditBook* credit_book() const noexcept {
+        return book_.get();
+    }
 
     /// Aggregate ring statistics (hops forwarded across all nodes).
     [[nodiscard]] std::uint64_t total_forwarded() const noexcept;
@@ -60,10 +72,19 @@ public:
     /// egress muxes (the DoS exposure metric, cf. `AxiXbar::w_stall_cycles`).
     [[nodiscard]] std::uint64_t total_mux_w_stalls() const noexcept;
 
+    /// Asserts every flow-control invariant of the fabric (credited mode):
+    /// credit conservation on every pool, staged NI flits within the
+    /// end-to-end pool, and every link VC within `vc_depth`. Pushes and
+    /// pool transitions already assert these inline; tests call this every
+    /// cycle to pin the whole-fabric picture.
+    void check_flow_invariants() const;
+
 private:
+    NocFlowConfig flow_;
+    std::unique_ptr<CreditBook> book_;
     std::vector<std::unique_ptr<axi::AxiChannel>> mgr_ports_;
-    std::vector<std::unique_ptr<sim::Link<NocPacket>>> req_links_;
-    std::vector<std::unique_ptr<sim::Link<NocPacket>>> rsp_links_;
+    std::vector<std::unique_ptr<NocLink>> req_links_;
+    std::vector<std::unique_ptr<NocLink>> rsp_links_;
     /// egress_[node][src] (nullptr when `node` hosts no subordinate).
     std::vector<std::vector<std::unique_ptr<axi::AxiChannel>>> egress_;
     std::vector<std::unique_ptr<axi::AxiChannel>> sub_ports_;

@@ -1,6 +1,7 @@
 /// \file
 /// \brief Shared command-line handling for the scenario-driven benches:
 ///        `--threads N`, `--json PATH`, `--report PATH`, `--resume`,
+///        `--diff BASELINE.json [--diff-threshold F] [--diff-slack N]`,
 ///        `--scheduler tick-all|activity`, `--list`.
 #pragma once
 
@@ -27,6 +28,12 @@ struct BenchOptions {
     /// With `--json`: reuse results from an existing dump at the same path
     /// for points whose config hash matches (sweep-level resume).
     bool resume = false;
+    /// Report-to-report regression gate: compare each point's worst-case
+    /// victim latency against a previous run's JSON dump (keyed by label)
+    /// and make the bench exit non-zero past the threshold.
+    std::string diff_path;
+    double diff_threshold = 0.10;  ///< fractional growth allowed per cell
+    std::uint64_t diff_slack = 50; ///< plus this many absolute cycles
     sim::Scheduler scheduler = sim::Scheduler::kActivity;
     bool scheduler_forced = false; ///< --scheduler given on the command line
     /// Non-flag arguments, in order (e.g. sweep names for `scenario_sweep`).
@@ -64,6 +71,26 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
             opts.report_path = need_value("--report");
         } else if (arg == "--resume") {
             opts.resume = true;
+        } else if (arg == "--diff") {
+            opts.diff_path = need_value("--diff");
+        } else if (arg == "--diff-threshold") {
+            const char* value = need_value("--diff-threshold");
+            char* end = nullptr;
+            opts.diff_threshold = std::strtod(value, &end);
+            if (end == value || *end != '\0' || opts.diff_threshold < 0.0) {
+                std::fprintf(stderr, "--diff-threshold expects a non-negative "
+                                     "fraction, got '%s'\n", value);
+                std::exit(2);
+            }
+        } else if (arg == "--diff-slack") {
+            const char* value = need_value("--diff-slack");
+            char* end = nullptr;
+            opts.diff_slack = std::strtoull(value, &end, 10);
+            if (end == value || *end != '\0') {
+                std::fprintf(stderr, "--diff-slack expects a cycle count, got '%s'\n",
+                             value);
+                std::exit(2);
+            }
         } else if (arg == "--scheduler") {
             const std::string v = need_value("--scheduler");
             if (v == "tick-all" || v == "tickall") {
@@ -82,7 +109,8 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
             std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s %s[--threads N] [--json PATH] [--report PATH.md] "
-                        "[--resume] [--scheduler tick-all|activity] [--list]\n",
+                        "[--resume] [--diff BASELINE.json] [--diff-threshold F] "
+                        "[--diff-slack N] [--scheduler tick-all|activity] [--list]\n",
                         argv[0], accept_positional ? "[sweep...] " : "");
             std::exit(0);
         } else if (accept_positional && !arg.empty() && arg[0] != '-') {
@@ -145,6 +173,44 @@ inline std::vector<ScenarioResult> run_with_options(const BenchOptions& opts,
         std::exit(3);
     }
     return results;
+}
+
+/// Runs the `--diff` regression gate against the baseline dump and prints
+/// one line per regressed (or new) cell. Returns the process exit code
+/// contribution: 0 when clean, 4 when any cell regressed past the
+/// threshold, 5 when the baseline had no comparable points at all (a diff
+/// against nothing must not pass silently).
+inline int check_diff(const BenchOptions& opts, const Sweep& sweep,
+                      const std::vector<ScenarioResult>& results) {
+    if (opts.diff_path.empty()) { return 0; }
+    const DiffReport diff = diff_against_baseline(opts.diff_path, results,
+                                                  opts.diff_threshold,
+                                                  opts.diff_slack);
+    for (const DiffEntry& e : diff.entries) {
+        if (e.missing_in_baseline) {
+            std::fprintf(stderr, "%s: diff: '%s' not in baseline (new point)\n",
+                         sweep.name.c_str(), e.label.c_str());
+        } else if (e.regressed) {
+            std::fprintf(stderr,
+                         "%s: diff REGRESSION: '%s' worst-case victim latency "
+                         "%llu -> %llu cycles (threshold %+.0f%% + %llu)\n",
+                         sweep.name.c_str(), e.label.c_str(),
+                         static_cast<unsigned long long>(e.baseline_worst),
+                         static_cast<unsigned long long>(e.current_worst),
+                         opts.diff_threshold * 100.0,
+                         static_cast<unsigned long long>(opts.diff_slack));
+        }
+    }
+    if (diff.compared == 0) {
+        std::fprintf(stderr, "%s: diff: baseline %s has no comparable points\n",
+                     sweep.name.c_str(), opts.diff_path.c_str());
+        return 5;
+    }
+    std::fprintf(stderr, "%s: diff vs %s: %zu/%zu cells compared, %zu regression%s\n",
+                 sweep.name.c_str(), opts.diff_path.c_str(), diff.compared,
+                 results.size(), diff.regressions,
+                 diff.regressions == 1 ? "" : "s");
+    return diff.ok() ? 0 : 4;
 }
 
 } // namespace realm::scenario

@@ -602,6 +602,43 @@ Sweep make_ring_dos_smoke() {
                           {"small cross-section of ring-dos-matrix for CI and tests."});
 }
 
+/// The smoke cells re-run with deliberately tight credited-transport knobs:
+/// a VC barely holding one worm and a small end-to-end pool. This is the
+/// regime where wormhole serialization and credit exhaustion dominate —
+/// head-of-line blocking, back-pressured injection — and where a
+/// flow-control bug would deadlock. CI runs these next to the default
+/// smokes precisely because the bounds are enforced by assertion: a credit
+/// leak or buffer overrun aborts the run instead of skewing a number.
+Sweep make_credit_smoke(TopologyKind fabric, std::string name, std::string title) {
+    Sweep s = make_dos_smoke(
+        fabric, std::move(name), std::move(title),
+        {"tight credited flow control: flits_per_packet 4, vc_depth 4 (one",
+         "worm), e2e_credits 8 — worst-case serialization and credit",
+         "back-pressure; every buffer bound asserted, deadlock-free required."});
+    for (SweepPoint& p : s.points) {
+        NocTopologyConfig& noc = fabric == TopologyKind::kMesh
+                                     ? static_cast<NocTopologyConfig&>(p.config.topology.mesh)
+                                     : static_cast<NocTopologyConfig&>(p.config.topology.ring);
+        noc.flow_control = noc::FlowControl::kCredited;
+        noc.flits_per_packet = 4;
+        noc.vc_depth = 4;
+        noc.e2e_credits = 8;
+    }
+    return s;
+}
+
+Sweep make_ring_credit_smoke() {
+    return make_credit_smoke(TopologyKind::kRing, "ring-credit-dos-smoke",
+                             "Ring DoS smoke under tight credits: 8 nodes, "
+                             "vc_depth=4, e2e_credits=8");
+}
+
+Sweep make_mesh_credit_smoke() {
+    return make_credit_smoke(TopologyKind::kMesh, "mesh-credit-dos-smoke",
+                             "Mesh DoS smoke under tight credits: 2x4 mesh, "
+                             "vc_depth=4, e2e_credits=8");
+}
+
 Sweep make_mesh_dos_smoke() {
     return make_dos_smoke(TopologyKind::kMesh, "mesh-dos-smoke",
                           "Mesh DoS matrix, CI-sized: 2x4 mesh, 2x2x2 cells",
@@ -629,6 +666,8 @@ const std::vector<std::pair<std::string, Factory>>& factories() {
         {"ring-contention", &make_ring_contention},
         {"ring-dos-matrix", &make_ring_dos_matrix},
         {"ring-dos-smoke", &make_ring_dos_smoke},
+        {"ring-credit-dos-smoke", &make_ring_credit_smoke},
+        {"mesh-credit-dos-smoke", &make_mesh_credit_smoke},
         {"mesh-contention", &make_mesh_contention},
         {"mesh-dos-matrix", &make_mesh_dos_matrix},
         {"mesh-dos-smoke", &make_mesh_dos_smoke},

@@ -1,5 +1,7 @@
 #include "scenario/runner.hpp"
 
+#include "scenario/report.hpp" // worst_case_victim_latency
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -240,6 +242,50 @@ bool scan_bool(const std::string& line, const char* key, bool fallback) {
     return start == nullptr ? fallback : std::strncmp(start, "true", 4) == 0;
 }
 
+/// Extracts the point's label (first string field of every point line).
+/// Labels come from the registry and never contain escapes in practice; a
+/// label with a quote simply fails to parse and the point is skipped, in
+/// line with the loaders' overall tolerance.
+bool scan_label(const std::string& line, std::string& out) {
+    const char* start = find_value(line, "label");
+    if (start == nullptr || *start != '"') { return false; }
+    const char* close = std::strchr(start + 1, '"');
+    if (close == nullptr) { return false; }
+    out.assign(start + 1, close);
+    return true;
+}
+
+/// Parses the metric fields of one point line (shared by the hash-keyed
+/// resume loader and the label-keyed diff loader).
+ScenarioResult scan_result(const std::string& line) {
+    ScenarioResult r;
+    r.seed = scan_u64(line, "seed");
+    r.boot_ok = scan_bool(line, "boot_ok", true);
+    r.timed_out = scan_bool(line, "timed_out", false);
+    r.run_cycles = scan_u64(line, "run_cycles");
+    r.ops = scan_u64(line, "ops");
+    r.load_lat_mean = scan_number(line, "load_lat_mean");
+    r.load_lat_min = scan_u64(line, "load_lat_min");
+    r.load_lat_max = scan_u64(line, "load_lat_max");
+    r.load_lat_p99 = scan_u64(line, "load_lat_p99");
+    r.store_lat_mean = scan_number(line, "store_lat_mean");
+    r.store_lat_max = scan_u64(line, "store_lat_max");
+    r.dma_bytes = scan_u64(line, "dma_bytes");
+    r.dma_read_bw = scan_number(line, "dma_read_bw");
+    r.dma_depletions = scan_u64(line, "dma_depletions");
+    r.dma_isolation_cycles = scan_u64(line, "dma_isolation_cycles");
+    r.dma_throttle_stalls = scan_u64(line, "dma_throttle_stalls");
+    r.dma_cut_through = scan_u64(line, "dma_cut_through");
+    r.xbar_w_stalls = scan_u64(line, "xbar_w_stalls");
+    r.fabric_hops = scan_u64(line, "fabric_hops");
+    r.ticks_executed = scan_u64(line, "ticks_executed");
+    r.ticks_skipped = scan_u64(line, "ticks_skipped");
+    r.fast_forwarded_cycles = scan_u64(line, "fast_forwarded_cycles");
+    r.simulated_cycles = scan_u64(line, "simulated_cycles");
+    r.wall_seconds = scan_number(line, "wall_seconds");
+    return r;
+}
+
 } // namespace
 
 std::unordered_map<std::uint64_t, ScenarioResult>
@@ -256,34 +302,61 @@ load_json_results(const std::string& path) {
             line.c_str() + hash_pos + std::strlen("\"config_hash\": \""), &end, 16);
         if (end == nullptr || *end != '"') { continue; }
 
-        ScenarioResult r;
-        r.seed = scan_u64(line, "seed");
-        r.boot_ok = scan_bool(line, "boot_ok", true);
-        r.timed_out = scan_bool(line, "timed_out", false);
-        r.run_cycles = scan_u64(line, "run_cycles");
-        r.ops = scan_u64(line, "ops");
-        r.load_lat_mean = scan_number(line, "load_lat_mean");
-        r.load_lat_min = scan_u64(line, "load_lat_min");
-        r.load_lat_max = scan_u64(line, "load_lat_max");
-        r.load_lat_p99 = scan_u64(line, "load_lat_p99");
-        r.store_lat_mean = scan_number(line, "store_lat_mean");
-        r.store_lat_max = scan_u64(line, "store_lat_max");
-        r.dma_bytes = scan_u64(line, "dma_bytes");
-        r.dma_read_bw = scan_number(line, "dma_read_bw");
-        r.dma_depletions = scan_u64(line, "dma_depletions");
-        r.dma_isolation_cycles = scan_u64(line, "dma_isolation_cycles");
-        r.dma_throttle_stalls = scan_u64(line, "dma_throttle_stalls");
-        r.dma_cut_through = scan_u64(line, "dma_cut_through");
-        r.xbar_w_stalls = scan_u64(line, "xbar_w_stalls");
-        r.fabric_hops = scan_u64(line, "fabric_hops");
-        r.ticks_executed = scan_u64(line, "ticks_executed");
-        r.ticks_skipped = scan_u64(line, "ticks_skipped");
-        r.fast_forwarded_cycles = scan_u64(line, "fast_forwarded_cycles");
-        r.simulated_cycles = scan_u64(line, "simulated_cycles");
-        r.wall_seconds = scan_number(line, "wall_seconds");
-        cache.emplace(hash, std::move(r));
+        cache.emplace(hash, scan_result(line));
     }
     return cache;
+}
+
+std::unordered_map<std::string, ScenarioResult>
+load_json_results_by_label(const std::string& path) {
+    std::unordered_map<std::string, ScenarioResult> cache;
+    std::ifstream in{path};
+    if (!in) { return cache; }
+    std::string line;
+    std::string label;
+    while (std::getline(in, line)) {
+        // Point lines are the ones carrying a config hash (the document
+        // header also has a "label"-free "sweep" string, never matched).
+        if (line.find("\"config_hash\": \"") == std::string::npos) { continue; }
+        if (!scan_label(line, label)) { continue; }
+        ScenarioResult r = scan_result(line);
+        r.label = label;
+        cache.emplace(std::move(label), std::move(r));
+    }
+    return cache;
+}
+
+DiffReport diff_against_baseline(const std::string& baseline_path,
+                                 const std::vector<ScenarioResult>& results,
+                                 double rel_threshold, std::uint64_t abs_slack) {
+    const std::unordered_map<std::string, ScenarioResult> baseline =
+        load_json_results_by_label(baseline_path);
+    DiffReport report;
+    for (const ScenarioResult& r : results) {
+        DiffEntry e;
+        e.label = r.label;
+        e.current_worst = worst_case_victim_latency(r);
+        const auto it = baseline.find(r.label);
+        if (it == baseline.end()) {
+            e.missing_in_baseline = true;
+            report.entries.push_back(std::move(e));
+            continue;
+        }
+        ++report.compared;
+        e.baseline_worst = worst_case_victim_latency(it->second);
+        const bool health_regressed =
+            (r.timed_out && !it->second.timed_out) ||
+            (!r.boot_ok && it->second.boot_ok);
+        const double limit =
+            static_cast<double>(e.baseline_worst) * (1.0 + rel_threshold);
+        const bool latency_regressed =
+            static_cast<double>(e.current_worst) > limit &&
+            e.current_worst > e.baseline_worst + abs_slack;
+        e.regressed = health_regressed || latency_regressed;
+        report.regressions += e.regressed ? 1U : 0U;
+        report.entries.push_back(std::move(e));
+    }
+    return report;
 }
 
 } // namespace realm::scenario

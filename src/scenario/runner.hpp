@@ -71,4 +71,44 @@ bool write_json_file(const std::string& path, const Sweep& sweep,
 [[nodiscard]] std::unordered_map<std::uint64_t, ScenarioResult>
 load_json_results(const std::string& path);
 
+/// Parses a previous `write_json` dump back into results keyed by point
+/// *label* — the report-to-report key: labels are stable across code
+/// changes that move `config_hash` (that is the point of the differ),
+/// while hashes are stable across label renames (that is the point of
+/// resume). Same tolerance as `load_json_results`.
+[[nodiscard]] std::unordered_map<std::string, ScenarioResult>
+load_json_results_by_label(const std::string& path);
+
+/// \name Report-to-report regression diffing
+///@{
+/// One compared point of `diff_against_baseline`.
+struct DiffEntry {
+    std::string label;
+    std::uint64_t baseline_worst = 0; ///< worst-case victim latency, baseline
+    std::uint64_t current_worst = 0;  ///< worst-case victim latency, this run
+    bool missing_in_baseline = false; ///< new point (informational)
+    bool regressed = false;
+};
+
+struct DiffReport {
+    std::vector<DiffEntry> entries; ///< in result order
+    std::size_t compared = 0;       ///< points present in both runs
+    std::size_t regressions = 0;
+    [[nodiscard]] bool ok() const noexcept { return regressions == 0; }
+};
+
+/// Compares each result's worst-case victim latency (max of load/store
+/// latency maxima, the DoS-matrix cell metric) against a previous run's
+/// JSON dump at `baseline_path`, keyed by label. A point regresses when it
+/// exceeds the baseline by more than `rel_threshold` (fractional) *and*
+/// more than `abs_slack` cycles — the slack keeps single-digit-latency
+/// cells from tripping on one-cycle jitter — or when it times out / fails
+/// to boot where the baseline did not. Points absent from the baseline are
+/// reported as new, never as regressions.
+[[nodiscard]] DiffReport diff_against_baseline(const std::string& baseline_path,
+                                               const std::vector<ScenarioResult>& results,
+                                               double rel_threshold = 0.10,
+                                               std::uint64_t abs_slack = 50);
+///@}
+
 } // namespace realm::scenario

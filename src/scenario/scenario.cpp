@@ -145,7 +145,7 @@ namespace {
 /// semantics change, invalidating stale caches wholesale.
 class ConfigDigest {
 public:
-    static constexpr std::uint64_t kVersion = 2; ///< v2: mesh topology fields
+    static constexpr std::uint64_t kVersion = 3; ///< v3: NoC flow-control fields
 
     ConfigDigest() { mix(kVersion); }
 
@@ -188,6 +188,12 @@ void mix_noc(ConfigDigest& d, const NocTopologyConfig& noc) {
     d.mix(noc.mem_stride);
     d.mix(noc.mem_access_latency);
     d.mix(noc.mem_max_outstanding);
+    // Flow-control fields (v3): credited vs provisioned transports must
+    // never alias in a resume cache.
+    d.mix(static_cast<std::uint64_t>(noc.flow_control));
+    d.mix(noc.flits_per_packet);
+    d.mix(noc.vc_depth);
+    d.mix(noc.e2e_credits);
     mix_realm(d, noc.realm);
 }
 

@@ -248,6 +248,7 @@ public:
         return fabric_->total_mux_w_stalls();
     }
     std::uint64_t fabric_hops() const override { return fabric_->total_forwarded(); }
+    void check_flow_invariants() const override { fabric_->check_flow_invariants(); }
 
 private:
     struct Span {
@@ -299,7 +300,8 @@ public:
                                  std::vector<std::uint8_t> subs) {
                               return std::make_unique<noc::NocRing>(
                                   c, "ring", cfg.topology.ring.num_nodes,
-                                  std::move(map), std::move(subs));
+                                  std::move(map), std::move(subs),
+                                  cfg.topology.ring.flow());
                           }} {}
 
 private:
@@ -321,7 +323,7 @@ public:
                               return std::make_unique<noc::NocMesh>(
                                   c, "mesh", cfg.topology.mesh.rows,
                                   cfg.topology.mesh.cols, std::move(map),
-                                  std::move(subs));
+                                  std::move(subs), cfg.topology.mesh.flow());
                           }} {}
 
 private:

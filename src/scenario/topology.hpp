@@ -93,6 +93,27 @@ struct NocTopologyConfig {
     std::uint32_t mem_access_latency = 1;
     std::uint32_t mem_max_outstanding = 8;
 
+    /// \name Transport flow control (see noc/credit.hpp)
+    ///@{
+    /// `kCredited` (default): wormhole flit links with per-VC credits and
+    /// end-to-end NI credits — every buffer bound enforced, not
+    /// provisioned. `kProvisioned` keeps the legacy transport (single-beat
+    /// packets, 1024-flit staging) for one release so sweeps can A/B the
+    /// two models.
+    noc::FlowControl flow_control = noc::FlowControl::kCredited;
+    /// Flits per data-carrying packet (W / R beat worm length).
+    std::uint32_t flits_per_packet = 4;
+    /// Link VC buffer depth in flits (must hold one whole worm).
+    std::uint32_t vc_depth = 8;
+    /// End-to-end credit pool per (source, target NI) pair, in flits.
+    std::uint32_t e2e_credits = 32;
+    ///@}
+
+    [[nodiscard]] noc::NocFlowConfig flow() const noexcept {
+        return noc::NocFlowConfig{flow_control, flits_per_packet, vc_depth,
+                                  e2e_credits};
+    }
+
     /// Template applied to every placed REALM unit.
     rt::RealmUnitConfig realm;
 };
@@ -193,6 +214,10 @@ public:
     [[nodiscard]] virtual std::uint64_t fabric_w_stalls() const = 0;
     /// Packets forwarded across fabric hops (0 on the crossbar).
     [[nodiscard]] virtual std::uint64_t fabric_hops() const = 0;
+    /// Asserts the fabric's flow-control invariants (credit conservation,
+    /// bounded NI staging, bounded link VCs). No-op on fabrics without
+    /// credited flow control; tests call it every cycle.
+    virtual void check_flow_invariants() const {}
     ///@}
 };
 

@@ -9,6 +9,7 @@
 #include "sim/types.hpp"
 
 #include <deque>
+#include <functional>
 #include <string>
 #include <utility>
 
@@ -86,6 +87,7 @@ public:
         T v = std::move(entries_.front().value);
         entries_.pop_front();
         ++total_popped_;
+        if (on_pop_) { on_pop_(); }
         return v;
     }
 
@@ -95,8 +97,15 @@ public:
     /// Scheduler wake-up wiring (activity-aware kernel): component woken
     /// whenever a flit is pushed — wire the consumer here so it may declare
     /// itself idle while the link is empty. (Producers never sleep while
-    /// backpressured, so there is no pop-side hook.)
+    /// backpressured, so there is no pop-side wake hook.)
     void set_wake_on_push(Component* c) noexcept { wake_on_push_ = c; }
+
+    /// Drain hook: invoked after every successful pop. The NoC's credited
+    /// flow control uses this to return end-to-end credits when a staged
+    /// flit leaves the network-interface buffer toward its subordinate.
+    /// Note `clear()` bypasses the hook — credit state must be reset
+    /// alongside the link by whoever owns both.
+    void set_on_pop(std::function<void()> hook) { on_pop_ = std::move(hook); }
 
     /// \name Introspection
     ///@{
@@ -122,6 +131,7 @@ private:
     std::uint64_t total_pushed_ = 0;
     std::uint64_t total_popped_ = 0;
     Component* wake_on_push_ = nullptr;
+    std::function<void()> on_pop_;
 };
 
 /// FIFO whose entries become poppable at an arbitrary future cycle; completion

@@ -204,6 +204,15 @@ TEST_F(MeshFixture, RealmUnitRegulatesOverMesh) {
     EXPECT_GT(dma.chunks_completed(), 2U);
 }
 
+TEST_F(MeshFixture, DefaultTransportIsCreditedAndBookkept) {
+    // The fixture constructs the mesh with the default flow config: the
+    // credited transport with a live end-to-end credit book (same default
+    // as the ring — the flow-control layer is fabric-independent).
+    EXPECT_EQ(mesh->flow().mode, FlowControl::kCredited);
+    ASSERT_NE(mesh->credit_book(), nullptr);
+    mesh->check_flow_invariants();
+}
+
 TEST_F(MeshFixture, BackpressureDoesNotDeadlock) {
     // Saturate both subordinates from both managers simultaneously with
     // interleaved reads and writes; everything must drain.

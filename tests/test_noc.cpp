@@ -146,6 +146,36 @@ TEST_F(RingFixture, RealmUnitRegulatesOverNoc) {
     EXPECT_GT(dma.chunks_completed(), 2U);
 }
 
+TEST_F(RingFixture, DefaultTransportIsCreditedAndBookkept) {
+    // The fixture constructs the ring with the default flow config: the
+    // credited transport with a live end-to-end credit book. All the
+    // fixture traffic above therefore exercises worms + credits.
+    EXPECT_EQ(ring->flow().mode, FlowControl::kCredited);
+    ASSERT_NE(ring->credit_book(), nullptr);
+    ring->check_flow_invariants();
+}
+
+TEST(RingProvisioned, LegacyTransportStillWorksEndToEnd) {
+    // `FlowControl::kProvisioned` is the one-release A/B escape hatch: the
+    // legacy single-beat transport with deep provisioned staging must keep
+    // working until it is removed.
+    sim::SimContext ctx;
+    ic::AddrMap map;
+    map.add(0x0, 0x10000, 2, "mem2");
+    NocFlowConfig fc;
+    fc.mode = FlowControl::kProvisioned;
+    NocRing ring{ctx, "ring", 4, map, std::vector<std::uint8_t>{2}, fc};
+    EXPECT_EQ(ring.credit_book(), nullptr);
+    mem::AxiMemSlave mem2{ctx, "mem2", ring.subordinate_port(2),
+                          std::make_unique<mem::SramBackend>(1, 1),
+                          mem::AxiMemSlaveConfig{8, 8, 0}};
+    push_write_burst(ctx, ring.manager_port(0), 1, 0x100, 4, 8, 0x2A);
+    const axi::BFlit b = collect_b(ctx, ring.manager_port(0));
+    EXPECT_EQ(b.resp, axi::Resp::kOkay);
+    EXPECT_EQ(static_cast<mem::SramBackend&>(mem2.backend()).store().read_u8(0x100),
+              0x2A);
+}
+
 TEST_F(RingFixture, BackpressureDoesNotDeadlock) {
     // Saturate both subordinates from both managers simultaneously with
     // interleaved reads and writes; everything must drain.
