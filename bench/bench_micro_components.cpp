@@ -6,6 +6,7 @@
 #include "axi/channel.hpp"
 #include "ic/xbar.hpp"
 #include "noc/credit.hpp"
+#include "noc/routing.hpp"
 #include "mem/axi_mem_slave.hpp"
 #include "mem/llc.hpp"
 #include "realm/splitter.hpp"
@@ -169,6 +170,34 @@ void BM_MeshNocCycle(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_MeshNocCycle)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MeshRoutePolicy(benchmark::State& state) {
+    // Host-side cost of the routing decision itself, per policy: every
+    // (cur, dest) pair of a 4x6 mesh through `permitted_hops`, with the
+    // per-worm route-class hash on the O1TURN path. This is the function
+    // every router calls for every packet it moves, so a slow policy here
+    // taxes the whole fabric simulation.
+    const auto policy = static_cast<noc::RoutingPolicy>(state.range(0));
+    constexpr std::uint8_t kRows = 4;
+    constexpr std::uint8_t kCols = 6;
+    std::uint16_t seq = 0;
+    std::uint64_t decisions = 0;
+    for (auto _ : state) {
+        for (std::uint8_t cur = 0; cur < kRows * kCols; ++cur) {
+            for (std::uint8_t dest = 0; dest < kRows * kCols; ++dest) {
+                const std::uint8_t vc = noc::route_class(policy, cur, dest, seq++);
+                benchmark::DoNotOptimize(
+                    noc::permitted_hops(policy, kCols, cur, dest, vc));
+                ++decisions;
+            }
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
+    state.SetLabel(noc::to_string(policy));
+    state.counters["decisions/s"] =
+        benchmark::Counter(static_cast<double>(decisions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MeshRoutePolicy)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_SusanTraceGeneration(benchmark::State& state) {
     traffic::SusanConfig cfg;

@@ -1,20 +1,22 @@
 /// \file
-/// \brief One DoS cell, three fabrics, two transports: the
+/// \brief One DoS cell, three fabrics, four mesh routing policies: the
 ///        interconnect-agnostic claim as a side-by-side table.
 ///
 /// Runs the same 2-attacker hog cell — identical victim, identical attacker
 /// DMAs, identical REALM programming — on the Cheshire crossbar, an 8-node
 /// ring, and a 2x4 mesh, undefended and budget-defended, using the smoke
-/// sweeps from the registry. The NoC fabrics run each cell under *both*
-/// flow-control models: the legacy provisioned transport (single-beat
-/// packets, 1024-flit staging) and the credited transport (wormhole worms,
-/// per-VC credits, end-to-end NI credits), so the worst-cell latencies of
-/// the two models sit side by side. The absolute numbers differ per fabric
-/// and per transport (an LLC in front of DRAM vs. flat SRAM NoC nodes;
-/// serialization makes head-of-line blocking visible), but the *story* is
-/// the same everywhere: the undefended cell wrecks the victim's tail
-/// latency, the budgeted cell restores it. That is Figure 1 of the paper,
-/// executable.
+/// sweeps from the registry. The mesh runs each cell under *all four*
+/// routing policies (XY / YX / O1TURN / west-first), so the worst-cell
+/// latencies of the policies sit side by side: XY and YX concentrate the
+/// merge contention on columns vs rows, O1TURN randomizes the path per
+/// worm, west-first adapts by link occupancy. The absolute numbers differ
+/// per fabric and per policy (an LLC in front of DRAM vs. flat SRAM NoC
+/// nodes; different merge hotspots), but the *story* is the same
+/// everywhere: the undefended cell wrecks the victim's tail latency, the
+/// budgeted cell restores it. That is Figure 1 of the paper, executable —
+/// with the routing-freedom axis the paper's evaluation methodology calls
+/// for.
+#include "noc/routing.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
@@ -29,19 +31,11 @@ using namespace realm::scenario;
 
 namespace {
 
-/// Applies one flow-control model to every NoC point of a sweep.
-void set_flow(Sweep& sweep, noc::FlowControl mode) {
-    for (SweepPoint& p : sweep.points) {
-        p.config.topology.ring.flow_control = mode;
-        p.config.topology.mesh.flow_control = mode;
-    }
-}
-
-void print_rows(const char* fabric, const char* flow,
+void print_rows(const char* fabric, const char* routing,
                 const std::vector<ScenarioResult>& results) {
     for (const ScenarioResult& r : results) {
-        std::printf("%-10s %-12s %-18s %10.2f %10llu %12.2f %10llu\n", fabric, flow,
-                    r.label.c_str(), r.load_lat_mean,
+        std::printf("%-10s %-12s %-18s %10.2f %10llu %12.2f %10llu\n", fabric,
+                    routing, r.label.c_str(), r.load_lat_mean,
                     static_cast<unsigned long long>(worst_case_victim_latency(r)),
                     r.dma_read_bw, static_cast<unsigned long long>(r.fabric_hops));
     }
@@ -50,9 +44,9 @@ void print_rows(const char* fabric, const char* flow,
 } // namespace
 
 int main() {
-    std::puts("== The same DoS cell on three fabrics, two NoC transports ==\n");
-    std::printf("%-10s %-12s %-18s %10s %10s %12s %10s\n", "fabric", "flow", "cell",
-                "lat_mean", "lat_max", "dma[B/cyc]", "hops");
+    std::puts("== The same DoS cell on three fabrics, four mesh routing policies ==\n");
+    std::printf("%-10s %-12s %-18s %10s %10s %12s %10s\n", "fabric", "routing",
+                "cell", "lat_mean", "lat_max", "dma[B/cyc]", "hops");
 
     const ScenarioRunner runner{RunnerOptions{.threads = 2}};
     const std::pair<const char*, const char*> fabrics[] = {
@@ -67,27 +61,27 @@ int main() {
         Sweep pair;
         pair.name = sweep.name;
         pair.points = {sweep.points.at(4), sweep.points.at(5)};
-        const bool is_noc = pair.points[0].config.topology.kind != TopologyKind::kCheshire;
-        if (!is_noc) {
-            // The crossbar has no NoC transport to select; say so instead
-            // of printing an empty column.
+        if (pair.points[0].config.topology.kind != TopologyKind::kMesh) {
+            // Only the mesh has a routing policy to vary; the crossbar and
+            // the single-path ring say so instead of printing a fake axis.
             print_rows(fabric, "n/a", runner.run(pair));
             continue;
         }
-        for (const noc::FlowControl mode :
-             {noc::FlowControl::kProvisioned, noc::FlowControl::kCredited}) {
+        for (const noc::RoutingPolicy routing : noc::kAllRoutingPolicies) {
             Sweep variant = pair;
-            set_flow(variant, mode);
-            print_rows(fabric, noc::to_string(mode), runner.run(variant));
+            for (SweepPoint& p : variant.points) {
+                p.config.topology.mesh.routing = routing;
+            }
+            print_rows(fabric, noc::to_string(routing), runner.run(variant));
         }
     }
 
     std::puts("\nthe same RegionPlan tames the same attackers on a crossbar, a ring,");
-    std::puts("and an XY-routed mesh, under both the provisioned and the credited");
-    std::puts("transport — regulation composes with the fabric, not against it. The");
-    std::puts("credited rows surface the wormhole head-of-line blocking the 1024-flit");
-    std::puts("provisioned staging used to hide. Full matrices: scenario_sweep");
-    std::puts("{xbar,ring,mesh}-dos-matrix --report PATH.md renders the reviewable");
+    std::puts("and a 2D mesh under every routing policy — regulation composes with");
+    std::puts("the fabric, not against it. Routing freedom moves the merge hotspot");
+    std::puts("(XY: memory columns, YX: rows, O1TURN/west-first: spread) but only");
+    std::puts("regulation bounds the victim's tail. Full matrices: scenario_sweep");
+    std::puts("mesh-routing-dos-matrix --report PATH.md renders the per-policy");
     std::puts("attacker x mode tables; --diff BASELINE.json gates regressions.");
     return 0;
 }

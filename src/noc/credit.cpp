@@ -5,7 +5,6 @@
 namespace realm::noc {
 
 void NocFlowConfig::validate() const {
-    if (mode == FlowControl::kProvisioned) { return; }
     REALM_EXPECTS(flits_per_packet >= 1, "flits_per_packet must be >= 1");
     // NocPacket::flits is 8-bit; a longer worm would silently truncate at
     // packetization and leak credits at ejection.
@@ -17,46 +16,42 @@ void NocFlowConfig::validate() const {
 }
 
 void NocLink::push(NocPacket pkt) {
-    REALM_EXPECTS(can_push(pkt.flits), "push into busy/full NoC link " + name());
-    if (fc_.mode == FlowControl::kCredited) {
-        buffered_flits_ += pkt.flits;
-        REALM_ENSURES(buffered_flits_ <= fc_.vc_depth,
-                      name() + ": VC buffer exceeds its configured depth");
-        if (buffered_flits_ > peak_flits_) { peak_flits_ = buffered_flits_; }
-        // The worm's tail leaves the sender `flits` cycles after the header;
-        // the channel is busy until then.
-        busy_until_ = ctx_->now() + pkt.flits;
-    }
-    link_.push(std::move(pkt));
+    REALM_EXPECTS(pkt.vc < vcs_.size(), "push into unknown VC of " + name_);
+    REALM_EXPECTS(can_push(pkt.flits, pkt.vc),
+                  "push into busy/full NoC link " + name_);
+    buffered_[pkt.vc] += pkt.flits;
+    REALM_ENSURES(buffered_[pkt.vc] <= fc_.vc_depth,
+                  name_ + ": VC buffer exceeds its configured depth");
+    if (buffered_[pkt.vc] > peak_[pkt.vc]) { peak_[pkt.vc] = buffered_[pkt.vc]; }
+    // The worm's tail leaves the sender `flits` cycles after the header;
+    // the physical channel is busy until then (shared across VCs).
+    busy_until_ = ctx_->now() + pkt.flits;
+    vcs_[pkt.vc]->push(std::move(pkt));
 }
 
-NocPacket NocLink::pop() {
-    NocPacket pkt = link_.pop();
-    if (fc_.mode == FlowControl::kCredited) {
-        REALM_ENSURES(buffered_flits_ >= pkt.flits, "NoC link flit underflow");
-        buffered_flits_ -= pkt.flits;
-    }
+NocPacket NocLink::pop(std::uint8_t vc) {
+    NocPacket pkt = vcs_.at(vc)->pop();
+    REALM_ENSURES(buffered_[vc] >= pkt.flits, "NoC link flit underflow");
+    buffered_[vc] -= pkt.flits;
     return pkt;
 }
 
-namespace {
-/// Legacy provisioned staging depth: deep enough to cover the in-flight W
-/// beats of one source under the crossbar-style mux reservation (see the
-/// `NocRing` class comment). Only reachable under `FlowControl::kProvisioned`.
-constexpr std::size_t kProvisionedEgressDepth = 1024;
-} // namespace
+std::size_t staging_depth(const NocFlowConfig& fc) { return fc.e2e_credits; }
 
-std::size_t staging_depth(const NocFlowConfig& fc) {
-    return fc.mode == FlowControl::kCredited ? fc.e2e_credits
-                                             : kProvisionedEgressDepth;
-}
-
-void wire_credit_returns(axi::AxiChannel& egress, CreditPool& pool,
-                         const NocFlowConfig& fc) {
+void wire_credit_returns(const sim::SimContext& ctx, axi::AxiChannel& egress,
+                         CreditPool& pool, const NocFlowConfig& fc) {
     const std::uint32_t data_flits = fc.packet_flits(/*data_carrying=*/true);
-    egress.aw.set_on_pop([&pool] { pool.release(1); });
-    egress.ar.set_on_pop([&pool] { pool.release(1); });
-    egress.w.set_on_pop([&pool, data_flits] { pool.release(data_flits); });
+    const std::uint32_t delay = fc.credit_return_delay;
+    const auto returner = [&ctx, &pool, delay](std::uint32_t flits) {
+        if (delay == 0) {
+            pool.release(flits);
+        } else {
+            pool.release_at(ctx.now() + delay, flits);
+        }
+    };
+    egress.aw.set_on_pop([returner] { returner(1); });
+    egress.ar.set_on_pop([returner] { returner(1); });
+    egress.w.set_on_pop([returner, data_flits] { returner(data_flits); });
 }
 
 std::uint32_t staged_request_flits(const axi::AxiChannel& egress,
@@ -68,8 +63,9 @@ std::uint32_t staged_request_flits(const axi::AxiChannel& egress,
 }
 
 void check_staging_invariants(const axi::AxiChannel& egress, const CreditPool& pool,
-                              const NocFlowConfig& fc) {
-    const std::uint32_t staged = staged_request_flits(egress, fc);
+                              const NocFlowConfig& fc,
+                              std::uint32_t stashed_flits) {
+    const std::uint32_t staged = staged_request_flits(egress, fc) + stashed_flits;
     REALM_ENSURES(staged <= fc.e2e_credits,
                   "NI staging exceeds its end-to-end credit pool");
     REALM_ENSURES(staged <= pool.in_flight(),

@@ -3,9 +3,9 @@
 ///        flit links with per-VC credits, and end-to-end credit pools
 ///        between injecting and ejecting network interfaces.
 ///
-/// The provisioned transport kept multi-writer subordinates deadlock-free
-/// with 1024-flit per-source egress staging — a bound that was *assumed*.
-/// The credited transport *enforces* every buffer bound instead:
+/// The credited transport *enforces* every buffer bound (the legacy
+/// provisioned transport and its assumed 1024-flit staging are gone — the
+/// credited numbers are the tracked baseline):
 ///
 ///  - **Wormhole worms.** A data-carrying packet (W / R beat) serializes
 ///    into `flits_per_packet` flits (header + payload sized from the AXI
@@ -13,22 +13,22 @@
 ///    headers. A link transmits one flit per cycle, so a worm occupies its
 ///    link for `flits` cycles — the head-of-line blocking the AXI-REALM RTL
 ///    work measures on real interconnects, now visible in the DoS matrix.
-///  - **Per-VC link credits.** Each link (the request and response networks
-///    are disjoint physical links, i.e. one VC each) buffers at most
-///    `vc_depth` flits at the receiver; `NocLink` asserts the bound on
-///    every push.
+///  - **Per-VC link credits.** Each link buffers at most `vc_depth` flits
+///    per virtual channel at the receiver; `NocLink` asserts the bound on
+///    every push. The request and response networks are disjoint physical
+///    links; a link carries one VC by default, two under the O1TURN
+///    routing policy (one per route class — see noc/routing.hpp).
 ///  - **End-to-end credits.** An injecting NI may only send a request worm
 ///    toward subordinate node D while it holds `flits` credits from D's
 ///    pool; credits return when the target NI's staging drains into the
 ///    egress mux. Ejection therefore *never* backpressures the network
-///    (asserted), which removes the protocol-deadlock scenario the deep
-///    staging used to paper over. Responses use a separate pool per
-///    (manager, subordinate) pair, so the request/response split keeps its
-///    deadlock-freedom argument.
-///
-/// `FlowControl::kProvisioned` keeps the legacy model (single-beat packets,
-/// depth-2 links, deep staging) for one release so the DoS matrix can A/B
-/// the two transports.
+///    (asserted). Responses use a separate pool per (manager, subordinate)
+///    pair, so the request/response split keeps its deadlock-freedom
+///    argument. With `credit_return_delay > 0` a returning credit rides
+///    the response network for that many cycles instead of materializing
+///    at the drain point instantaneously — the pool tracks the pending
+///    returns, and conservation (held + in flight == capacity) stays
+///    asserted on every transition.
 #pragma once
 
 #include "axi/channel.hpp"
@@ -38,32 +38,18 @@
 #include "sim/link.hpp"
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace realm::noc {
 
-/// Transport model of a NoC fabric.
-enum class FlowControl : std::uint8_t {
-    kProvisioned, ///< legacy: single-beat packets, provisioned deep staging
-    kCredited,    ///< wormhole worms, per-VC link credits, e2e NI credits
-};
-
-[[nodiscard]] constexpr const char* to_string(FlowControl fc) noexcept {
-    switch (fc) {
-    case FlowControl::kProvisioned: return "provisioned";
-    case FlowControl::kCredited: return "credited";
-    }
-    return "?";
-}
-
 /// Flow-control knobs shared by every NoC fabric (ring and mesh).
 struct NocFlowConfig {
-    FlowControl mode = FlowControl::kCredited;
     /// Flits per data-carrying packet (W / R beat): header + payload flits,
     /// i.e. the AXI beat width over the link phit width. AW / AR / B
-    /// packets are single-flit headers. Ignored (forced 1) when
-    /// `mode == kProvisioned`.
+    /// packets are single-flit headers.
     std::uint32_t flits_per_packet = 4;
     /// Receiver buffer depth of one link VC, in flits. Must hold at least
     /// one whole worm (`vc_depth >= flits_per_packet`).
@@ -75,10 +61,15 @@ struct NocFlowConfig {
     /// (`e2e_credits >= flits_per_packet + 1`) so an AW parked in staging
     /// can never starve its own data beats.
     std::uint32_t e2e_credits = 32;
+    /// Cycles a returning end-to-end credit spends riding the response
+    /// network before the injector may reuse it (0 = instantaneous release
+    /// at the drain point, the historical behaviour). Sharpens the
+    /// round-trip-limited throughput numbers without touching any buffer
+    /// bound: a pending return still counts as in flight.
+    std::uint32_t credit_return_delay = 0;
 
     /// Flit count of a request/response packet under this config.
     [[nodiscard]] std::uint32_t packet_flits(bool data_carrying) const noexcept {
-        if (mode == FlowControl::kProvisioned) { return 1; }
         return data_carrying ? flits_per_packet : 1;
     }
 
@@ -88,7 +79,9 @@ struct NocFlowConfig {
 /// One end-to-end credit pool: a counted reservation of `capacity` flits of
 /// buffer space at a receiving NI. `in_flight + available == capacity` is
 /// asserted on every transition, so a leak or double-release trips
-/// immediately instead of showing up as a hung sweep hours later.
+/// immediately instead of showing up as a hung sweep hours later. Credits
+/// released with `release_at` stay in flight (riding the response network)
+/// until their ready cycle; `settle(now)` matures them.
 class CreditPool {
 public:
     explicit CreditPool(std::uint32_t capacity = 0) : capacity_{capacity},
@@ -101,37 +94,72 @@ public:
         REALM_EXPECTS(can_take(flits), "credit take without available credits");
         available_ -= flits;
     }
+    /// Immediate release (zero return delay): the flits are reusable now.
     void release(std::uint32_t flits) {
-        REALM_ENSURES(flits <= in_flight(),
+        REALM_ENSURES(flits <= in_flight() - pending_total_,
                       "credit release exceeds in-flight credits");
         available_ += flits;
+    }
+    /// Delayed release: the credits stay in flight until `ready_at`
+    /// (returns ride the response network), then mature on `settle`.
+    void release_at(sim::Cycle ready_at, std::uint32_t flits) {
+        REALM_ENSURES(flits <= in_flight() - pending_total_,
+                      "credit release exceeds in-flight credits");
+        pending_.push_back(Pending{ready_at, flits});
+        pending_total_ += flits;
+    }
+    /// Matures every pending return whose ready cycle has arrived. Returns
+    /// are queued in release order and delays are uniform, so the queue
+    /// head is always the earliest.
+    void settle(sim::Cycle now) {
+        while (!pending_.empty() && pending_.front().ready_at <= now) {
+            available_ += pending_.front().flits;
+            pending_total_ -= pending_.front().flits;
+            pending_.pop_front();
+        }
     }
 
     [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
     [[nodiscard]] std::uint32_t available() const noexcept { return available_; }
+    /// Credits not reusable by the injector: taken by in-network/staged
+    /// worms *plus* pending returns still riding the response network.
     [[nodiscard]] std::uint32_t in_flight() const noexcept {
         return capacity_ - available_;
     }
+    /// The pending-return share of `in_flight()`.
+    [[nodiscard]] std::uint32_t pending_returns() const noexcept {
+        return pending_total_;
+    }
 
     /// Conservation invariant: credits in flight + credits held equal the
-    /// configured pool. Structurally true of the counter pair; asserting it
-    /// (rather than sampling) documents and pins the contract.
+    /// configured pool, and pending returns never exceed what is in flight.
+    /// Structurally true of the counters; asserting it (rather than
+    /// sampling) documents and pins the contract.
     void check_conserved() const {
         REALM_ENSURES(available_ <= capacity_, "credit pool over-released");
         REALM_ENSURES(in_flight() + available_ == capacity_,
                       "credit conservation violated");
+        REALM_ENSURES(pending_total_ <= in_flight(),
+                      "pending credit returns exceed in-flight credits");
     }
 
 private:
+    struct Pending {
+        sim::Cycle ready_at = 0;
+        std::uint32_t flits = 0;
+    };
+
     std::uint32_t capacity_ = 0;
     std::uint32_t available_ = 0;
+    std::uint32_t pending_total_ = 0;
+    std::deque<Pending> pending_;
 };
 
 /// Every end-to-end pool of one fabric: request pools indexed by
 /// (target subordinate node, source manager node) and response pools by
 /// (target manager node, source subordinate node). Kept separate so the
 /// request/response protocol split stays deadlock-free under credit
-/// exhaustion. Only allocated in credited mode.
+/// exhaustion.
 class CreditBook {
 public:
     CreditBook(std::uint8_t num_nodes, const NocFlowConfig& fc)
@@ -173,82 +201,106 @@ private:
     std::vector<CreditPool> rsp_;
 };
 
-/// One NoC link under the selected flow control. In credited mode the link
-/// transmits one flit per cycle (a worm of `n` flits occupies the channel
-/// for `n` cycles — wormhole serialization; the header still forwards with
-/// the usual one-cycle hop latency) and buffers at most `vc_depth` flits at
-/// the receiver, asserted on every push. In provisioned mode it behaves
-/// exactly like the legacy depth-2 `sim::Link` (packets are single-beat,
-/// multiple pushes per cycle allowed).
+/// One NoC link: a physical wormhole channel carrying `num_vcs` virtual
+/// channels. The channel transmits one flit per cycle (a worm of `n` flits
+/// occupies it for `n` cycles — wormhole serialization; the header still
+/// forwards with the usual one-cycle hop latency) and each VC buffers at
+/// most `vc_depth` flits at the receiver, asserted on every push. A packet
+/// rides the VC named by its route class (`NocPacket::vc`); VCs hold
+/// private buffers, so a blocked worm in one class never holds buffer
+/// space another class waits on — the O1TURN deadlock-freedom requirement
+/// (see noc/routing.hpp).
 class NocLink {
 public:
-    NocLink(const sim::SimContext& ctx, std::string name, const NocFlowConfig& fc)
-        : ctx_{&ctx},
-          fc_{fc},
-          link_{ctx, fc.mode == FlowControl::kCredited ? fc.vc_depth : 2,
-                std::move(name)} {}
-
-    /// True when a packet of `flits` flits may start transmission this
-    /// cycle: the channel is not serializing an earlier worm and the
-    /// receiver-side VC holds enough free flit slots.
-    [[nodiscard]] bool can_push(std::uint32_t flits) const noexcept {
-        if (fc_.mode == FlowControl::kProvisioned) { return link_.can_push(); }
-        return ctx_->now() >= busy_until_ && link_.can_push() &&
-               buffered_flits_ + flits <= fc_.vc_depth;
+    NocLink(const sim::SimContext& ctx, std::string name, const NocFlowConfig& fc,
+            std::uint8_t num_vcs = 1)
+        : ctx_{&ctx}, fc_{fc}, name_{std::move(name)} {
+        REALM_EXPECTS(num_vcs >= 1, "a NoC link needs at least one VC");
+        buffered_.assign(num_vcs, 0);
+        peak_.assign(num_vcs, 0);
+        vcs_.reserve(num_vcs);
+        for (std::uint8_t v = 0; v < num_vcs; ++v) {
+            vcs_.push_back(std::make_unique<sim::Link<NocPacket>>(
+                ctx, fc.vc_depth, name_));
+        }
     }
-    [[nodiscard]] bool can_push(const NocPacket& pkt) const noexcept {
-        return can_push(pkt.flits);
+
+    /// True when a packet of `flits` flits may start transmission on VC
+    /// `vc` this cycle: the physical channel is not serializing an earlier
+    /// worm and that VC holds enough free flit slots at the receiver.
+    [[nodiscard]] bool can_push(std::uint32_t flits, std::uint8_t vc = 0) const {
+        return ctx_->now() >= busy_until_ && vcs_.at(vc)->can_push() &&
+               buffered_[vc] + flits <= fc_.vc_depth;
+    }
+    [[nodiscard]] bool can_push(const NocPacket& pkt) const {
+        return can_push(pkt.flits, pkt.vc);
     }
 
     void push(NocPacket pkt);
 
-    [[nodiscard]] bool can_pop() const noexcept { return link_.can_pop(); }
-    [[nodiscard]] const NocPacket& front() const { return link_.front(); }
-    NocPacket pop();
-
-    [[nodiscard]] bool empty() const noexcept { return link_.empty(); }
-    void set_wake_on_push(sim::Component* c) noexcept { link_.set_wake_on_push(c); }
-
-    /// \name Introspection (tests / benches)
-    ///@{
-    [[nodiscard]] std::uint32_t buffered_flits() const noexcept {
-        return buffered_flits_;
+    [[nodiscard]] bool can_pop(std::uint8_t vc = 0) const {
+        return vcs_.at(vc)->can_pop();
     }
-    [[nodiscard]] std::uint32_t peak_buffered_flits() const noexcept {
-        return peak_flits_;
+    [[nodiscard]] const NocPacket& front(std::uint8_t vc = 0) const {
+        return vcs_.at(vc)->front();
+    }
+    NocPacket pop(std::uint8_t vc = 0);
+
+    [[nodiscard]] bool empty() const noexcept {
+        for (const auto& vc : vcs_) {
+            if (!vc->empty()) { return false; }
+        }
+        return true;
+    }
+    void set_wake_on_push(sim::Component* c) noexcept {
+        for (const auto& vc : vcs_) { vc->set_wake_on_push(c); }
+    }
+
+    /// \name Introspection (routing adaptivity, tests, benches)
+    ///@{
+    [[nodiscard]] std::uint8_t num_vcs() const noexcept {
+        return static_cast<std::uint8_t>(vcs_.size());
+    }
+    [[nodiscard]] std::uint32_t buffered_flits(std::uint8_t vc = 0) const {
+        return buffered_.at(vc);
+    }
+    [[nodiscard]] std::uint32_t peak_buffered_flits(std::uint8_t vc = 0) const {
+        return peak_.at(vc);
     }
     [[nodiscard]] const NocFlowConfig& flow() const noexcept { return fc_; }
-    [[nodiscard]] const std::string& name() const noexcept { return link_.name(); }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
     ///@}
 
-    /// Asserts the VC-occupancy bound (tests call this every cycle; pushes
-    /// already enforce it inline).
+    /// Asserts the per-VC occupancy bound (tests call this every cycle;
+    /// pushes already enforce it inline).
     void check_bounded() const {
-        if (fc_.mode != FlowControl::kCredited) { return; }
-        REALM_ENSURES(buffered_flits_ <= fc_.vc_depth,
-                      name() + ": VC buffer exceeds its configured depth");
+        for (const std::uint32_t b : buffered_) {
+            REALM_ENSURES(b <= fc_.vc_depth,
+                          name_ + ": VC buffer exceeds its configured depth");
+        }
     }
 
 private:
     const sim::SimContext* ctx_;
     NocFlowConfig fc_;
-    sim::Link<NocPacket> link_;
-    std::uint32_t buffered_flits_ = 0;
-    std::uint32_t peak_flits_ = 0;
+    std::string name_;
+    std::vector<std::unique_ptr<sim::Link<NocPacket>>> vcs_;
+    std::vector<std::uint32_t> buffered_;
+    std::vector<std::uint32_t> peak_;
     sim::Cycle busy_until_ = 0;
 };
 
 /// \name Staging helpers shared by the ring and mesh assemblies
 ///@{
-/// Entries per staging lane under one transport: the end-to-end pool bounds
-/// credited staging (at most `e2e_credits` single-flit entries per lane);
-/// the legacy transport provisions 1024-deep lanes (see `NocRing`).
+/// Entries per staging lane: the end-to-end pool bounds staging at
+/// `e2e_credits` single-flit entries per lane.
 [[nodiscard]] std::size_t staging_depth(const NocFlowConfig& fc);
 
 /// Wires the end-to-end credit returns of one per-source staging channel:
-/// the pool's flits come back as the egress mux drains the lanes.
-void wire_credit_returns(axi::AxiChannel& egress, CreditPool& pool,
-                         const NocFlowConfig& fc);
+/// the pool's flits come back as the egress mux drains the lanes — after
+/// `credit_return_delay` cycles on the response network when configured.
+void wire_credit_returns(const sim::SimContext& ctx, axi::AxiChannel& egress,
+                         CreditPool& pool, const NocFlowConfig& fc);
 
 /// Flits currently staged in one per-source egress channel's request lanes,
 /// weighted by worm length (a staged W beat holds its whole worm's buffer
@@ -257,12 +309,14 @@ void wire_credit_returns(axi::AxiChannel& egress, CreditPool& pool,
                                                  const NocFlowConfig& fc);
 
 /// Asserts one (target NI, source) staging against its end-to-end pool:
-/// staged flits within the configured pool, and never more than the
-/// credits actually in flight (a credit is either staged at the NI or
+/// staged flits (lane occupancy plus the NI's reorder stash, see `NocNi`)
+/// within the configured pool, and never more than the credits actually in
+/// flight (a credit is either staged at the NI, stashed for reordering, or
 /// still in the network). Shared by the ring and mesh
 /// `check_flow_invariants`.
 void check_staging_invariants(const axi::AxiChannel& egress, const CreditPool& pool,
-                              const NocFlowConfig& fc);
+                              const NocFlowConfig& fc,
+                              std::uint32_t stashed_flits = 0);
 ///@}
 
 } // namespace realm::noc

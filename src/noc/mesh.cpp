@@ -7,16 +7,6 @@
 
 namespace realm::noc {
 
-std::optional<MeshDir> xy_next_hop(std::uint8_t cols, std::uint8_t cur,
-                                   std::uint8_t dest) noexcept {
-    if (cur == dest) { return std::nullopt; }
-    const std::uint8_t cur_col = cur % cols;
-    const std::uint8_t dest_col = dest % cols;
-    if (dest_col > cur_col) { return MeshDir::kEast; }
-    if (dest_col < cur_col) { return MeshDir::kWest; }
-    return dest / cols > cur / cols ? MeshDir::kSouth : MeshDir::kNorth;
-}
-
 // ---------------------------------------------------------------------------
 // MeshRouter
 // ---------------------------------------------------------------------------
@@ -24,7 +14,8 @@ std::optional<MeshDir> xy_next_hop(std::uint8_t cols, std::uint8_t cur,
 MeshRouter::MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
                        std::uint8_t cols, ic::AddrMap map, axi::AxiChannel* local_mgr,
                        std::vector<axi::AxiChannel*> egress, Ports ports,
-                       const NocFlowConfig& fc, CreditBook* book)
+                       const NocFlowConfig& fc, CreditBook* book,
+                       RoutingPolicy routing)
     : Component{ctx, std::move(name)},
       id_{node_id},
       cols_{cols},
@@ -32,7 +23,9 @@ MeshRouter::MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node
       local_mgr_{local_mgr},
       egress_{std::move(egress)},
       ports_{ports},
-      ni_{this->name(), fc, book} {
+      routing_{routing},
+      num_vcs_{route_num_vcs(routing)},
+      ni_{ctx, this->name(), fc, book, routing} {
     // Activity-aware kernel wiring: every neighbor link feeding this router
     // has exactly one consumer (this router), so claiming the push hooks is
     // safe; the local manager and egress channels follow the ring-NI scheme.
@@ -50,6 +43,8 @@ void MeshRouter::reset() {
     ni_.reset();
     req_rr_ = 0;
     rsp_rr_ = 0;
+    req_vc_rr_.fill(0);
+    rsp_vc_rr_.fill(0);
     req_out_used_.fill(false);
     rsp_out_used_.fill(false);
     injected_ = 0;
@@ -58,89 +53,122 @@ void MeshRouter::reset() {
     stalls_ = 0;
 }
 
-void MeshRouter::service_network(bool request_net) {
-    auto& in = request_net ? ports_.req_in : ports_.rsp_in;
+NocLink* MeshRouter::route_out(bool request_net, std::uint8_t dest,
+                               std::uint32_t flits, std::uint8_t vc) {
+    const HopSet hops = permitted_hops(routing_, cols_, id_, dest, vc);
+    REALM_EXPECTS(!hops.empty(),
+                  name() + ": a mesh node does not route packets to itself");
+    return pick_output(request_net, hops, flits, vc, std::nullopt);
+}
+
+NocLink* MeshRouter::pick_output(bool request_net, const HopSet& hops,
+                                 std::uint32_t flits, std::uint8_t vc,
+                                 std::optional<MeshDir> from) {
     auto& out = request_net ? ports_.req_out : ports_.rsp_out;
     auto& used = request_net ? req_out_used_ : rsp_out_used_;
+    // Among the permitted (always productive, hence never reversing) hops,
+    // take the one whose target VC holds the fewest buffered flits — the
+    // adaptive freedom of the west-first turn model. Deterministic
+    // policies permit exactly one hop, so the scan degenerates to the old
+    // single-candidate check.
+    NocLink* best = nullptr;
+    std::size_t best_dir = 0;
+    for (std::uint8_t k = 0; k < hops.count; ++k) {
+        const MeshDir hop = hops.dir[k];
+        if (from.has_value()) {
+            // A packet arriving from direction d travels away from d; every
+            // policy here is minimal, so it never turns back.
+            REALM_ENSURES(hop != *from, name() + ": 180-degree turn in mesh route");
+        }
+        const auto h = static_cast<std::size_t>(hop);
+        NocLink* o = out[h];
+        REALM_ENSURES(o != nullptr, name() + ": route leaves the mesh");
+        if (used[h] || !o->can_push(flits, vc)) { continue; }
+        if (best == nullptr || o->buffered_flits(vc) < best->buffered_flits(vc)) {
+            best = o;
+            best_dir = h;
+        }
+    }
+    if (best == nullptr) { return nullptr; }
+    used[best_dir] = true; // the caller pushes unconditionally into a grant
+    return best;
+}
+
+void MeshRouter::service_network(bool request_net) {
+    auto& in = request_net ? ports_.req_in : ports_.rsp_in;
+    auto& used = request_net ? req_out_used_ : rsp_out_used_;
     auto& rr = request_net ? req_rr_ : rsp_rr_;
+    auto& vc_rr = request_net ? req_vc_rr_ : rsp_vc_rr_;
     used.fill(false);
 
-    // Every input port may advance its head packet this cycle; the ejection
-    // port (like the ring NI) and each output port take one packet at most.
-    // Rotating input priority keeps merge points fair under sustained
-    // contention; the pointer only moves when a packet moved, so idle ticks
-    // stay no-ops.
+    // Every input port may advance one packet this cycle — the first
+    // movable VC head in per-port priority order; the ejection port (like
+    // the ring NI) and each output port take one packet at most. Rotating
+    // input priority keeps merge points fair under sustained contention;
+    // the pointer only moves when a packet moved, so idle ticks stay
+    // no-ops.
     bool eject_done = false;
     bool any_moved = false;
     std::uint8_t first_moved = 0;
     for (std::uint8_t k = 0; k < kMeshDirs; ++k) {
         const auto d = static_cast<std::uint8_t>((rr + k) % kMeshDirs);
         NocLink* link = in[d];
-        if (link == nullptr || !link->can_pop()) { continue; }
-        const NocPacket& pkt = link->front();
-        const auto hop = xy_next_hop(cols_, id_, pkt.dest);
-        if (!hop.has_value()) {
-            if (eject_done) {
-                ++stalls_;
+        if (link == nullptr) { continue; }
+        bool port_moved = false;
+        bool port_blocked = false;
+        for (std::uint8_t j = 0; j < num_vcs_ && !port_moved; ++j) {
+            const auto vc = static_cast<std::uint8_t>((vc_rr[d] + j) % num_vcs_);
+            if (!link->can_pop(vc)) { continue; }
+            const NocPacket& pkt = link->front(vc);
+            const HopSet hops =
+                permitted_hops(routing_, cols_, id_, pkt.dest, pkt.vc);
+            if (hops.empty()) {
+                if (eject_done) {
+                    port_blocked = true;
+                    continue;
+                }
+                const bool ok = request_net ? ni_.try_eject_request(pkt, egress_)
+                                            : ni_.try_eject_response(pkt, local_mgr_);
+                if (ok) {
+                    (void)link->pop(vc);
+                    ++ejected_;
+                    eject_done = true;
+                    port_moved = true;
+                    vc_rr[d] = static_cast<std::uint8_t>((vc + 1) % num_vcs_);
+                } else {
+                    port_blocked = true;
+                }
                 continue;
             }
-            const bool ok = request_net ? ni_.try_eject_request(pkt, egress_)
-                                        : ni_.try_eject_response(pkt, local_mgr_);
-            if (ok) {
-                (void)link->pop();
-                ++ejected_;
-                eject_done = true;
-                if (!any_moved) {
-                    any_moved = true;
-                    first_moved = d;
-                }
+            if (NocLink* o = pick_output(request_net, hops, pkt.flits, pkt.vc,
+                                         static_cast<MeshDir>(d))) {
+                o->push(link->pop(vc));
+                ++forwarded_;
+                port_moved = true;
+                vc_rr[d] = static_cast<std::uint8_t>((vc + 1) % num_vcs_);
             } else {
-                ++stalls_;
+                port_blocked = true;
             }
-            continue;
         }
-        // A packet arriving from direction d travels away from d; XY order
-        // makes the route monotonic per dimension, so it never turns back.
-        REALM_ENSURES(*hop != static_cast<MeshDir>(d),
-                      name() + ": 180-degree turn in XY route");
-        const auto h = static_cast<std::size_t>(*hop);
-        NocLink* o = out[h];
-        REALM_ENSURES(o != nullptr, name() + ": XY route leaves the mesh");
-        if (!used[h] && o->can_push(pkt)) {
-            o->push(link->pop());
-            used[h] = true;
-            ++forwarded_;
+        if (port_moved) {
             if (!any_moved) {
                 any_moved = true;
                 first_moved = d;
             }
-        } else {
+        } else if (port_blocked) {
             ++stalls_;
         }
     }
     if (any_moved) { rr = static_cast<std::uint8_t>((first_moved + 1) % kMeshDirs); }
 }
 
-NocLink* MeshRouter::route_out(bool request_net, std::uint8_t dest,
-                               std::uint32_t flits) {
-    const auto hop = xy_next_hop(cols_, id_, dest);
-    REALM_EXPECTS(hop.has_value(),
-                  name() + ": a mesh node does not route packets to itself");
-    auto& out = request_net ? ports_.req_out : ports_.rsp_out;
-    auto& used = request_net ? req_out_used_ : rsp_out_used_;
-    const auto h = static_cast<std::size_t>(*hop);
-    NocLink* o = out[h];
-    REALM_ENSURES(o != nullptr, name() + ": XY route leaves the mesh");
-    if (used[h] || !o->can_push(flits)) { return nullptr; }
-    used[h] = true; // the NI pushes unconditionally into a granted link
-    return o;
-}
-
 void MeshRouter::inject_requests() {
     if (local_mgr_ == nullptr) { return; }
     if (ni_.inject_requests(id_, *local_mgr_, map_,
-                            [this](std::uint8_t dest, std::uint32_t flits) {
-                                return route_out(/*request_net=*/true, dest, flits);
+                            [this](std::uint8_t dest, std::uint32_t flits,
+                                   std::uint8_t vc) {
+                                return route_out(/*request_net=*/true, dest, flits,
+                                                 vc);
                             })) {
         ++injected_;
     }
@@ -149,14 +177,17 @@ void MeshRouter::inject_requests() {
 void MeshRouter::inject_responses() {
     if (egress_.empty()) { return; }
     if (ni_.inject_responses(id_, egress_,
-                             [this](std::uint8_t dest, std::uint32_t flits) {
-                                 return route_out(/*request_net=*/false, dest, flits);
+                             [this](std::uint8_t dest, std::uint32_t flits,
+                                    std::uint8_t vc) {
+                                 return route_out(/*request_net=*/false, dest,
+                                                  flits, vc);
                              })) {
         ++injected_;
     }
 }
 
 void MeshRouter::tick() {
+    ni_.drain_response_stash(local_mgr_);
     service_network(/*request_net=*/false);
     service_network(/*request_net=*/true);
     inject_responses();
@@ -168,9 +199,9 @@ void MeshRouter::update_activity() {
     // Conservative idle contract, same shape as the ring node: a tick is a
     // no-op iff nothing this router consumes holds a flit (`empty()`, not
     // `can_pop()` — a flit pushed this cycle needs us next cycle). Credit
-    // waits and link serialization windows enable no new work by
-    // themselves; progress always rides on a held flit, which keeps us
-    // awake through the checks below.
+    // waits (including delayed credit returns) and link serialization
+    // windows enable no new work by themselves; progress always rides on a
+    // held flit, which keeps us awake through the checks below.
     for (std::size_t d = 0; d < kMeshDirs; ++d) {
         if (ports_.req_in[d] != nullptr && !ports_.req_in[d]->empty()) { return; }
         if (ports_.rsp_in[d] != nullptr && !ports_.rsp_in[d]->empty()) { return; }
@@ -179,6 +210,9 @@ void MeshRouter::update_activity() {
     for (const axi::AxiChannel* ch : egress_) {
         if (ch != nullptr && !ch->responses_empty()) { return; }
     }
+    // A stashed response only progresses as the local manager drains,
+    // which raises no wake — never sleep on one.
+    if (ni_.has_stashed_responses()) { return; }
     idle_forever();
 }
 
@@ -188,8 +222,9 @@ void MeshRouter::update_activity() {
 
 NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
                  std::uint8_t cols, ic::AddrMap node_map,
-                 std::vector<std::uint8_t> subordinate_nodes, NocFlowConfig flow)
-    : rows_{rows}, cols_{cols}, flow_{flow} {
+                 std::vector<std::uint8_t> subordinate_nodes, NocFlowConfig flow,
+                 RoutingPolicy routing)
+    : rows_{rows}, cols_{cols}, flow_{flow}, routing_{routing} {
     const std::uint32_t n32 = static_cast<std::uint32_t>(rows) * cols;
     REALM_EXPECTS(n32 >= 2, "a mesh needs at least two nodes");
     REALM_EXPECTS(n32 <= 255, "node ids are 8-bit");
@@ -199,14 +234,16 @@ NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
     for (const std::uint8_t s : subordinate_nodes) {
         REALM_EXPECTS(s < n, "subordinate node out of range");
     }
-    if (flow_.mode == FlowControl::kCredited) {
-        book_ = std::make_unique<CreditBook>(n, flow_);
-    }
+    book_ = std::make_unique<CreditBook>(n, flow_);
 
     // Channels and links first (plain objects, no tick order concerns).
+    // The routing policy fixes the per-link VC count (O1TURN needs one VC
+    // per route class).
+    const std::uint8_t vcs = route_num_vcs(routing_);
     const auto make_link = [&](std::vector<std::unique_ptr<NocLink>>& v,
                                std::uint8_t i, const char* tag) {
-        v[i] = std::make_unique<NocLink>(ctx, name + tag + std::to_string(i), flow_);
+        v[i] = std::make_unique<NocLink>(ctx, name + tag + std::to_string(i), flow_,
+                                         vcs);
     };
     h_req_fwd_.resize(n);
     h_req_rev_.resize(n);
@@ -239,9 +276,7 @@ NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
             egress_[s].push_back(std::make_unique<axi::AxiChannel>(
                 ctx, name + ".eg" + std::to_string(s) + "_" + std::to_string(src),
                 staging_depth(flow_)));
-            if (book_ != nullptr) {
-                wire_credit_returns(*egress_[s].back(), book_->req(s, src), flow_);
-            }
+            wire_credit_returns(ctx, *egress_[s].back(), book_->req(s, src), flow_);
             egress_raw.push_back(egress_[s].back().get());
         }
         sub_index_[s] = static_cast<int>(sub_ports_.size());
@@ -285,7 +320,8 @@ NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
         }
         routers_.push_back(std::make_unique<MeshRouter>(
             ctx, name + ".r" + std::to_string(i), i, cols, node_map,
-            mgr_ports_[i].get(), std::move(egress_raw), p, flow_, book_.get()));
+            mgr_ports_[i].get(), std::move(egress_raw), p, flow_, book_.get(),
+            routing_));
     }
 }
 
@@ -314,7 +350,6 @@ std::uint64_t NocMesh::total_mux_w_stalls() const noexcept {
 }
 
 void NocMesh::check_flow_invariants() const {
-    if (book_ == nullptr) { return; }
     book_->check_conserved();
     const auto check_links = [](const std::vector<std::unique_ptr<NocLink>>& v) {
         for (const auto& link : v) {
@@ -331,10 +366,23 @@ void NocMesh::check_flow_invariants() const {
     check_links(v_rsp_rev_);
     for (std::size_t s = 0; s < egress_.size(); ++s) {
         for (std::size_t src = 0; src < egress_[s].size(); ++src) {
-            check_staging_invariants(*egress_[s][src],
-                                     book_->req(static_cast<std::uint8_t>(s),
-                                                static_cast<std::uint8_t>(src)),
-                                     flow_);
+            check_staging_invariants(
+                *egress_[s][src],
+                book_->req(static_cast<std::uint8_t>(s),
+                           static_cast<std::uint8_t>(src)),
+                flow_,
+                routers_[s]->ni().stashed_request_flits(
+                    static_cast<std::uint8_t>(src)));
+        }
+    }
+    // Response reorder stashes are bounded by the response pools: a stashed
+    // response still holds its end-to-end credits.
+    for (std::size_t d = 0; d < routers_.size(); ++d) {
+        for (std::uint8_t src = 0; src < routers_.size(); ++src) {
+            REALM_ENSURES(
+                routers_[d]->ni().stashed_response_flits(src) <=
+                    book_->rsp(static_cast<std::uint8_t>(d), src).in_flight(),
+                "stashed response flits without matching in-flight credits");
         }
     }
 }

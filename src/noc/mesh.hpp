@@ -1,20 +1,24 @@
 /// \file
-/// \brief 2D-mesh NoC: XY dimension-ordered routers + AXI network interfaces.
+/// \brief 2D-mesh NoC: policy-routed routers + AXI network interfaces.
 ///
 /// The third fabric of the "regulation is interconnect-agnostic" claim: an
 /// R x C mesh of routers, each optionally hosting one AXI manager and one
 /// subordinate (reached through the same per-source egress staging and
-/// `ic::AxiMux` scheme as the ring NI). Packets route X-first then Y —
-/// deterministic, minimal, and deadlock-free (dimension order admits no
-/// cyclic channel dependency, and the request/response split keeps the
-/// protocol deadlock-free under backpressure, exactly as on the ring).
-/// Unlike the single-lane ring, a mesh router moves up to one packet per
-/// output port per cycle, so independent flows on disjoint paths do not
-/// serialize — the multi-path contention regime the DoS matrix probes.
-/// Under credited flow control (the default, see credit.hpp) every link is
-/// a wormhole channel: a data worm occupies its output port for
-/// `flits_per_packet` cycles, which is exactly the head-of-line blocking at
-/// the memory-column merge routers the matrix exists to expose.
+/// `ic::AxiMux` scheme as the ring NI). The routing decision lives in
+/// noc/routing.hpp as a pluggable `RoutingPolicy` — deterministic XY / YX
+/// dimension order, per-worm randomized O1TURN (two VCs, one per route
+/// class), or turn-model adaptive west-first (output chosen by per-VC
+/// occupancy among the permitted hops). Every policy is minimal and
+/// deadlock-free (per-policy arguments in routing.hpp), and the ejecting
+/// NI restores per-pair injection order, so the request/response split and
+/// the AXI same-ID rules hold under all of them. Unlike the single-lane
+/// ring, a mesh router moves up to one packet per output port per cycle,
+/// so independent flows on disjoint paths do not serialize — the
+/// multi-path contention regime the DoS matrix probes. Every link is a
+/// wormhole channel (see credit.hpp): a data worm occupies its output port
+/// for `flits_per_packet` cycles, which is exactly the head-of-line
+/// blocking at the memory-column merge routers the matrix exists to
+/// expose — and exactly the hotspot the routing-policy axis moves around.
 #pragma once
 
 #include "axi/channel.hpp"
@@ -23,6 +27,7 @@
 #include "noc/credit.hpp"
 #include "noc/ni.hpp"
 #include "noc/packet.hpp"
+#include "noc/routing.hpp"
 
 #include "sim/component.hpp"
 #include "sim/context.hpp"
@@ -35,39 +40,16 @@
 
 namespace realm::noc {
 
-/// Mesh port directions. Node ids are row-major: node = row * cols + col;
-/// kSouth increases the row, kEast increases the column.
-enum class MeshDir : std::uint8_t { kNorth = 0, kEast = 1, kSouth = 2, kWest = 3 };
-inline constexpr std::size_t kMeshDirs = 4;
-
-[[nodiscard]] constexpr MeshDir opposite(MeshDir d) noexcept {
-    return static_cast<MeshDir>((static_cast<std::uint8_t>(d) + 2) % kMeshDirs);
-}
-
-[[nodiscard]] constexpr const char* to_string(MeshDir d) noexcept {
-    switch (d) {
-    case MeshDir::kNorth: return "N";
-    case MeshDir::kEast: return "E";
-    case MeshDir::kSouth: return "S";
-    case MeshDir::kWest: return "W";
-    }
-    return "?";
-}
-
-/// Next hop of the XY dimension-ordered route from `cur` toward `dest` on a
-/// `cols`-wide row-major mesh: correct the column first (E/W), then the row
-/// (S/N). Returns nullopt when `cur == dest` (eject locally). Pure function
-/// of (cols, cur, dest) — paths are deterministic by construction, which the
-/// routing-invariant tests assert hop by hop.
-[[nodiscard]] std::optional<MeshDir> xy_next_hop(std::uint8_t cols, std::uint8_t cur,
-                                                 std::uint8_t dest) noexcept;
-
 /// One mesh router + network interface. Up to four neighbor ports per
 /// virtual network (request / response), one local manager, one local
-/// subordinate. Per cycle: every input port may advance one packet (ejection
-/// is single-ported per network, like the ring NI), each output port
-/// accepts at most one packet, inputs arbitrate round-robin, and forwarding
-/// has priority over injection.
+/// subordinate. Per cycle: every input port may advance one packet (the
+/// first movable VC head wins, rotating per-port VC priority so neither
+/// class starves; ejection is single-ported per network, like the ring
+/// NI), each output port accepts at most one packet, inputs arbitrate
+/// round-robin, and forwarding has priority over injection. The next hop
+/// comes from the fabric's `RoutingPolicy`; when the policy permits more
+/// than one productive hop (west-first), the router takes the candidate
+/// whose target VC holds the fewest buffered flits.
 class MeshRouter : public sim::Component {
 public:
     /// Neighbor links, indexed by `MeshDir`; nullptr at mesh edges.
@@ -83,10 +65,15 @@ public:
     MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
                std::uint8_t cols, ic::AddrMap map, axi::AxiChannel* local_mgr,
                std::vector<axi::AxiChannel*> egress, Ports ports,
-               const NocFlowConfig& fc, CreditBook* book);
+               const NocFlowConfig& fc, CreditBook* book,
+               RoutingPolicy routing = RoutingPolicy::kXY);
 
     void reset() override;
     void tick() override;
+
+    [[nodiscard]] RoutingPolicy routing() const noexcept { return routing_; }
+    /// NI bookkeeping (reorder-stash introspection for invariant checks).
+    [[nodiscard]] const NocNi& ni() const noexcept { return ni_; }
 
     /// \name Statistics
     ///@{
@@ -102,8 +89,19 @@ private:
     void service_network(bool request_net);
     void inject_requests();
     void inject_responses();
+    /// Injection-side routing: computes the permitted hops for `dest` and
+    /// picks an output (asserting the set is non-empty — a node never
+    /// routes to itself).
     [[nodiscard]] NocLink* route_out(bool request_net, std::uint8_t dest,
-                                     std::uint32_t flits);
+                                     std::uint32_t flits, std::uint8_t vc);
+    /// Picks the best permitted output for a worm from an already-computed
+    /// hop set (`from` is the arrival direction for the 180-degree-turn
+    /// assertion; nullopt at injection). Split from `route_out` so the
+    /// forwarding hot loop computes `permitted_hops` exactly once per
+    /// packet.
+    [[nodiscard]] NocLink* pick_output(bool request_net, const HopSet& hops,
+                                       std::uint32_t flits, std::uint8_t vc,
+                                       std::optional<MeshDir> from);
     void update_activity();
 
     std::uint8_t id_;
@@ -112,6 +110,8 @@ private:
     axi::AxiChannel* local_mgr_;
     std::vector<axi::AxiChannel*> egress_;
     Ports ports_;
+    RoutingPolicy routing_;
+    std::uint8_t num_vcs_;
 
     NocNi ni_;
 
@@ -119,6 +119,9 @@ private:
     /// moved, so an idle tick stays the promised no-op).
     std::uint8_t req_rr_ = 0;
     std::uint8_t rsp_rr_ = 0;
+    /// Per-port VC priority per network (rotates past the VC that moved).
+    std::array<std::uint8_t, kMeshDirs> req_vc_rr_{};
+    std::array<std::uint8_t, kMeshDirs> rsp_vc_rr_{};
     /// Per-cycle output reservations (one packet per port per cycle).
     std::array<bool, kMeshDirs> req_out_used_{};
     std::array<bool, kMeshDirs> rsp_out_used_{};
@@ -138,9 +141,12 @@ public:
     /// \param subordinate_nodes nodes hosting a local subordinate.
     /// \param flow              transport model and its knobs (shared with
     ///        `NocRing` — the flow-control argument is fabric-independent).
+    /// \param routing           routing policy applied fabric-wide (fixes
+    ///        the per-link VC count: 2 under O1TURN, 1 otherwise).
     NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
             std::uint8_t cols, ic::AddrMap node_map,
-            std::vector<std::uint8_t> subordinate_nodes, NocFlowConfig flow = {});
+            std::vector<std::uint8_t> subordinate_nodes, NocFlowConfig flow = {},
+            RoutingPolicy routing = RoutingPolicy::kXY);
 
     NocMesh(const NocMesh&) = delete;
     NocMesh& operator=(const NocMesh&) = delete;
@@ -159,7 +165,8 @@ public:
         return static_cast<std::uint8_t>(routers_.size());
     }
     [[nodiscard]] const NocFlowConfig& flow() const noexcept { return flow_; }
-    /// End-to-end credit book (credited mode only; nullptr otherwise).
+    [[nodiscard]] RoutingPolicy routing() const noexcept { return routing_; }
+    /// End-to-end credit book.
     [[nodiscard]] const CreditBook* credit_book() const noexcept {
         return book_.get();
     }
@@ -173,13 +180,15 @@ public:
     [[nodiscard]] std::uint64_t total_mux_w_stalls() const noexcept;
 
     /// Asserts every flow-control invariant of the fabric (see
-    /// `NocRing::check_flow_invariants`).
+    /// `NocRing::check_flow_invariants`), including the reorder-stash
+    /// bounds of every NI.
     void check_flow_invariants() const;
 
 private:
     std::uint8_t rows_;
     std::uint8_t cols_;
     NocFlowConfig flow_;
+    RoutingPolicy routing_;
     std::unique_ptr<CreditBook> book_;
     std::vector<std::unique_ptr<axi::AxiChannel>> mgr_ports_;
     /// Neighbor links per network and orientation. `h_*[i]` connects node i

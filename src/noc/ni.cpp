@@ -10,68 +10,113 @@ void NocNi::reset() {
     w_in_flight_.clear();
     r_in_flight_.clear();
     rsp_rr_ = 0;
+    req_seq_.clear();
+    rsp_seq_.clear();
+    req_reorder_.clear();
+    rsp_reorder_.clear();
+}
+
+void NocNi::deliver_request(const NocPacket& pkt, axi::AxiChannel& ch) {
+    // The injector held credits for this flit, so the staging space exists
+    // by construction; a full lane here is a credit leak.
+    if (const auto* aw = std::get_if<axi::AwFlit>(&pkt.flit)) {
+        REALM_ENSURES(ch.aw.can_push(),
+                      owner_ + ": credited request ejection backpressured");
+        ch.aw.push(*aw);
+        return;
+    }
+    if (const auto* w = std::get_if<axi::WFlit>(&pkt.flit)) {
+        REALM_ENSURES(ch.w.can_push(),
+                      owner_ + ": credited request ejection backpressured");
+        ch.w.push(*w);
+        return;
+    }
+    const auto* ar = std::get_if<axi::ArFlit>(&pkt.flit);
+    REALM_EXPECTS(ar != nullptr, owner_ + ": malformed request packet");
+    REALM_ENSURES(ch.ar.can_push(),
+                  owner_ + ": credited request ejection backpressured");
+    ch.ar.push(*ar);
 }
 
 bool NocNi::try_eject_request(const NocPacket& pkt,
                               const std::vector<axi::AxiChannel*>& egress) {
     REALM_EXPECTS(pkt.src < egress.size() && egress[pkt.src] != nullptr,
                   owner_ + ": request ejected at a node without a subordinate");
-    const bool credited = fc_.mode == FlowControl::kCredited;
     axi::AxiChannel& ch = *egress[pkt.src];
-    if (const auto* aw = std::get_if<axi::AwFlit>(&pkt.flit)) {
-        if (!ch.aw.can_push()) {
-            // The injector held credits for this flit, so the staging space
-            // exists by construction; a full lane here is a credit leak.
-            REALM_ENSURES(!credited,
-                          owner_ + ": credited request ejection backpressured");
-            return false;
-        }
-        ch.aw.push(*aw);
+    Reorder& ro = req_reorder_[pkt.src];
+    if (pkt.seq != ro.expected) {
+        // Early arrival on a faster path: hold it (its credits stay in
+        // flight) until the injection-order predecessors catch up.
+        const bool inserted = ro.stash.emplace(pkt.seq, pkt).second;
+        REALM_ENSURES(inserted, owner_ + ": duplicate request sequence number");
         return true;
     }
-    if (const auto* w = std::get_if<axi::WFlit>(&pkt.flit)) {
-        if (!ch.w.can_push()) {
-            REALM_ENSURES(!credited,
-                          owner_ + ": credited request ejection backpressured");
-            return false;
-        }
-        ch.w.push(*w);
+    deliver_request(pkt, ch);
+    ++ro.expected;
+    // Close any gap the stash already covers, in injection order
+    // (request delivery never backpressures, so this drains fully).
+    drain_stash(ro, [&](const NocPacket& p) {
+        deliver_request(p, ch);
         return true;
-    }
-    const auto* ar = std::get_if<axi::ArFlit>(&pkt.flit);
-    REALM_EXPECTS(ar != nullptr, owner_ + ": malformed request packet");
-    if (!ch.ar.can_push()) {
-        REALM_ENSURES(!credited, owner_ + ": credited request ejection backpressured");
-        return false;
-    }
-    ch.ar.push(*ar);
+    });
     return true;
+}
+
+bool NocNi::deliver_response(const NocPacket& pkt, axi::AxiChannel& mgr) {
+    if (const auto* b = std::get_if<axi::BFlit>(&pkt.flit)) {
+        if (!mgr.b.can_push()) { return false; }
+        if (auto it = w_in_flight_.find(b->id); it != w_in_flight_.end() &&
+                                                it->second.count > 0) {
+            --it->second.count;
+        }
+        mgr.b.push(*b);
+    } else {
+        const auto* r = std::get_if<axi::RFlit>(&pkt.flit);
+        REALM_EXPECTS(r != nullptr, owner_ + ": malformed response packet");
+        if (!mgr.r.can_push()) { return false; }
+        if (r->last) {
+            if (auto it = r_in_flight_.find(r->id); it != r_in_flight_.end() &&
+                                                    it->second.count > 0) {
+                --it->second.count;
+            }
+        }
+        mgr.r.push(*r);
+    }
+    // The response credits stay in flight until the delivery into the
+    // manager channel actually happens (which may lag the arrival when the
+    // packet sat in the reorder stash).
+    CreditPool& pool = book_->rsp(pkt.dest, pkt.src);
+    if (fc_.credit_return_delay == 0) {
+        pool.release(pkt.flits);
+    } else {
+        pool.release_at(ctx_->now() + fc_.credit_return_delay, pkt.flits);
+    }
+    return true;
+}
+
+void NocNi::drain_response_stash(axi::AxiChannel* local_mgr) {
+    if (local_mgr == nullptr) { return; }
+    for (auto& [src, ro] : rsp_reorder_) {
+        drain_stash(ro, [&](const NocPacket& p) {
+            return deliver_response(p, *local_mgr);
+        });
+    }
 }
 
 bool NocNi::try_eject_response(const NocPacket& pkt, axi::AxiChannel* local_mgr) {
     REALM_EXPECTS(local_mgr != nullptr,
                   owner_ + ": response ejected at a node without a manager");
-    if (const auto* b = std::get_if<axi::BFlit>(&pkt.flit)) {
-        if (!local_mgr->b.can_push()) { return false; }
-        if (auto it = w_in_flight_.find(b->id); it != w_in_flight_.end() &&
-                                                it->second.count > 0) {
-            --it->second.count;
-        }
-        local_mgr->b.push(*b);
-        if (book_ != nullptr) { book_->rsp(pkt.dest, pkt.src).release(pkt.flits); }
+    Reorder& ro = rsp_reorder_[pkt.src];
+    if (pkt.seq != ro.expected) {
+        const bool inserted = ro.stash.emplace(pkt.seq, pkt).second;
+        REALM_ENSURES(inserted, owner_ + ": duplicate response sequence number");
         return true;
     }
-    const auto* r = std::get_if<axi::RFlit>(&pkt.flit);
-    REALM_EXPECTS(r != nullptr, owner_ + ": malformed response packet");
-    if (!local_mgr->r.can_push()) { return false; }
-    if (r->last) {
-        if (auto it = r_in_flight_.find(r->id); it != r_in_flight_.end() &&
-                                                it->second.count > 0) {
-            --it->second.count;
-        }
-    }
-    local_mgr->r.push(*r);
-    if (book_ != nullptr) { book_->rsp(pkt.dest, pkt.src).release(pkt.flits); }
+    if (!deliver_response(pkt, *local_mgr)) { return false; }
+    ++ro.expected;
+    drain_stash(ro, [&](const NocPacket& p) {
+        return deliver_response(p, *local_mgr);
+    });
     return true;
 }
 

@@ -2,7 +2,7 @@
 /// \brief Network-interface bookkeeping shared by every NoC router.
 ///
 /// The ring node and the mesh router differ in how packets *move* (one lane
-/// around a circle vs. XY dimension-ordered hops), but their AXI network
+/// around a circle vs. policy-routed 2D hops), but their AXI network
 /// interfaces are identical: requests are packetized with an AW-before-data
 /// lane discipline and AXI same-ID ordering, ejected requests land in
 /// per-source egress staging in front of an `ic::AxiMux`, and responses are
@@ -10,23 +10,40 @@
 /// `NocNi` owns exactly that state so both fabrics share one flow-control
 /// implementation (and one set of bugs).
 ///
-/// Under `FlowControl::kCredited` the NI also enforces end-to-end credits:
-/// a request worm is injected only while the source holds credits from the
-/// target subordinate's pool (returned when the target's staging drains
-/// into the egress mux), so request ejection can never backpressure the
-/// network — asserted, not provisioned. Responses draw on a separate pool
-/// per (manager, subordinate) pair, bounding in-flight responses toward any
-/// manager; those credits return when the response ejects into the local
-/// manager channel.
+/// The NI enforces end-to-end credits: a request worm is injected only
+/// while the source holds credits from the target subordinate's pool
+/// (returned when the target's staging drains into the egress mux), so
+/// request ejection can never backpressure the network — asserted, not
+/// provisioned. Responses draw on a separate pool per (manager,
+/// subordinate) pair, bounding in-flight responses toward any manager;
+/// those credits return when the response ejects into the local manager
+/// channel. With `credit_return_delay > 0` every return additionally rides
+/// the response network for that many cycles before the injector sees it.
+///
+/// **Ordering under multi-path routing.** Adaptive and randomized mesh
+/// policies (O1TURN, west-first) can deliver two worms of one (src, dest)
+/// pair out of injection order. The NI therefore stamps every worm with a
+/// per-(pair, network) sequence number at injection, and the ejecting side
+/// holds out-of-order arrivals in a reorder stash until the gap closes —
+/// delivery into the egress lanes / the local manager is always in
+/// injection order, which preserves the AW-before-data lane pairing and
+/// the AXI same-ID rules under every routing policy. The stash is bounded
+/// by the end-to-end credit pool (a stashed worm still holds its credits),
+/// so it adds no unbounded buffer; under single-path policies (XY, YX, the
+/// ring) arrivals are always in order and the stash stays empty.
 #pragma once
 
 #include "axi/channel.hpp"
 #include "ic/addr_map.hpp"
 #include "noc/credit.hpp"
 #include "noc/packet.hpp"
+#include "noc/routing.hpp"
+
+#include "sim/context.hpp"
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,42 +52,66 @@ namespace realm::noc {
 
 class NocNi {
 public:
-    /// \param book  End-to-end credit book of the fabric; required in
-    ///              credited mode, ignored (may be null) otherwise.
-    NocNi(std::string owner, const NocFlowConfig& fc, CreditBook* book)
-        : owner_{std::move(owner)}, fc_{fc}, book_{book} {
-        REALM_EXPECTS(fc_.mode == FlowControl::kProvisioned || book_ != nullptr,
-                      owner_ + ": credited flow control needs a credit book");
+    /// \param ctx      Simulation clock (credit-return maturation).
+    /// \param book     End-to-end credit book of the fabric (required).
+    /// \param routing  Routing policy of the fabric — the NI assigns each
+    ///                 worm's route class / VC at injection (kXY for the
+    ///                 ring and every other single-path fabric).
+    NocNi(const sim::SimContext& ctx, std::string owner, const NocFlowConfig& fc,
+          CreditBook* book, RoutingPolicy routing = RoutingPolicy::kXY)
+        : ctx_{&ctx}, owner_{std::move(owner)}, fc_{fc}, book_{book},
+          routing_{routing} {
+        REALM_EXPECTS(book_ != nullptr, owner_ + ": NoC NI needs a credit book");
     }
 
     void reset();
 
     /// \name Ejection (packets whose dest is the local node)
     ///@{
-    /// Delivers a request packet into the per-source egress staging toward
-    /// the local subordinate's mux. Returns false on backpressure — which
-    /// end-to-end credits make impossible in credited mode (asserted: the
-    /// injector reserved the staging space before sending).
+    /// Accepts a request packet: in-order packets are delivered into the
+    /// per-source egress staging toward the local subordinate's mux (space
+    /// guaranteed — the injector reserved it through the credit pool,
+    /// asserted); out-of-order packets are stashed until the gap closes.
+    /// Always succeeds (returns true) so the router can retire the link
+    /// head unconditionally.
     bool try_eject_request(const NocPacket& pkt,
                            const std::vector<axi::AxiChannel*>& egress);
-    /// Delivers a response packet to the local manager, retiring the same-ID
-    /// ordering bookkeeping on B / last R and returning the response's
-    /// end-to-end credits. Returns false on backpressure.
+    /// Accepts a response packet: in-order packets are delivered to the
+    /// local manager (retiring the same-ID bookkeeping on B / last R and
+    /// returning the response's end-to-end credits); out-of-order packets
+    /// are stashed. Returns false only when the in-order head cannot be
+    /// delivered this cycle (manager channel backpressure).
     bool try_eject_response(const NocPacket& pkt, axi::AxiChannel* local_mgr);
+    /// Retries delivering in-order stashed responses. Required every tick:
+    /// after a drain stops on manager backpressure, the stash head *is*
+    /// the expected packet, and no future arrival will carry that sequence
+    /// number again — delivery must be retried as the manager drains, not
+    /// on arrival. (Requests never need this: their delivery cannot
+    /// backpressure, so a request drain never stops early.)
+    void drain_response_stash(axi::AxiChannel* local_mgr);
+    /// True while any response sits in the reorder stash — the owning
+    /// router must stay awake (stash progress rides on the local manager
+    /// draining, which raises no wake).
+    [[nodiscard]] bool has_stashed_responses() const {
+        for (const auto& [src, ro] : rsp_reorder_) {
+            if (!ro.stash.empty()) { return true; }
+        }
+        return false;
+    }
     ///@}
 
     /// \name Injection (local manager / subordinate into the network)
     ///@{
     /// Injects at most one request packet from the local manager. `route`
-    /// maps (destination node, worm flits) to the outgoing link able to
-    /// accept that worm this cycle, or nullptr on backpressure (the flit is
-    /// then held and retried, preserving the lane order). AW travels before
-    /// its data; W continuation beats take priority over new reads; an AW
-    /// or AR whose ID has in-flight transactions toward a *different* node
-    /// stalls until they retire (the same rule `ic::AxiDemux` enforces).
-    /// In credited mode every packet additionally needs end-to-end credits
-    /// from the target subordinate's pool; a credit-starved head holds its
-    /// lane exactly like link backpressure.
+    /// maps (destination node, worm flits, route class/VC) to the outgoing
+    /// link able to accept that worm this cycle, or nullptr on backpressure
+    /// (the flit is then held and retried, preserving the lane order). AW
+    /// travels before its data; W continuation beats take priority over new
+    /// reads; an AW or AR whose ID has in-flight transactions toward a
+    /// *different* node stalls until they retire (the same rule
+    /// `ic::AxiDemux` enforces). Every packet additionally needs end-to-end
+    /// credits from the target subordinate's pool; a credit-starved head
+    /// holds its lane exactly like link backpressure.
     template <typename RouteFn>
     bool inject_requests(std::uint8_t self, axi::AxiChannel& mgr,
                          const ic::AddrMap& map, RouteFn&& route) {
@@ -84,9 +125,8 @@ public:
             const bool ordering_ok = it == w_in_flight_.end() ||
                                      it->second.count == 0 || it->second.dest == dest;
             if (ordering_ok) {
-                if (NocLink* out = req_credits_ok(self, dest, 1)
-                                       ? route(dest, std::uint32_t{1})
-                                       : nullptr) {
+                if (NocLink* out = try_route(self, dest, 1, /*request_net=*/true,
+                                             route)) {
                     axi::AwFlit aw = mgr.aw.pop();
                     auto& fl = w_in_flight_[aw.id];
                     fl.dest = dest;
@@ -94,7 +134,7 @@ public:
                     w_dest_.push_back(dest);
                     w_beats_left_.push_back(aw.beats());
                     req_take(self, dest, 1);
-                    out->push(make_packet(self, dest, 1, aw));
+                    out->push(make_packet(self, dest, 1, /*request_net=*/true, aw));
                     return true;
                 }
                 return false; // hold the AW; W/AR behind it wait their turn
@@ -102,12 +142,12 @@ public:
         }
         if (!w_dest_.empty() && mgr.w.can_pop()) {
             const std::uint8_t dest = w_dest_.front();
-            if (NocLink* out = req_credits_ok(self, dest, data_flits)
-                                   ? route(dest, data_flits)
-                                   : nullptr) {
+            if (NocLink* out = try_route(self, dest, data_flits,
+                                         /*request_net=*/true, route)) {
                 axi::WFlit w = mgr.w.pop();
                 req_take(self, dest, data_flits);
-                out->push(make_packet(self, dest, data_flits, w));
+                out->push(make_packet(self, dest, data_flits, /*request_net=*/true,
+                                      w));
                 if (--w_beats_left_.front() == 0) {
                     REALM_ENSURES(w.last, owner_ + ": W burst ended without WLAST");
                     w_dest_.pop_front();
@@ -126,15 +166,14 @@ public:
             const bool ordering_ok = it == r_in_flight_.end() ||
                                      it->second.count == 0 || it->second.dest == dest;
             if (!ordering_ok) { return false; }
-            if (NocLink* out = req_credits_ok(self, dest, 1)
-                                   ? route(dest, std::uint32_t{1})
-                                   : nullptr) {
+            if (NocLink* out = try_route(self, dest, 1, /*request_net=*/true,
+                                         route)) {
                 axi::ArFlit ar = mgr.ar.pop();
                 auto& fl = r_in_flight_[ar.id];
                 fl.dest = dest;
                 ++fl.count;
                 req_take(self, dest, 1);
-                out->push(make_packet(self, dest, 1, ar));
+                out->push(make_packet(self, dest, 1, /*request_net=*/true, ar));
                 return true;
             }
         }
@@ -143,9 +182,9 @@ public:
 
     /// Injects at most one response packet from the local subordinate,
     /// round-robin over the sources whose responses wait at the egress mux.
-    /// `route` maps (response destination, worm flits) to the outgoing
-    /// link, or nullptr on backpressure — a blocked or credit-starved
-    /// source does not stop a routable one.
+    /// `route` maps (response destination, worm flits, route class/VC) to
+    /// the outgoing link, or nullptr on backpressure — a blocked or
+    /// credit-starved source does not stop a routable one.
     template <typename RouteFn>
     bool inject_responses(std::uint8_t self,
                           const std::vector<axi::AxiChannel*>& egress,
@@ -158,22 +197,22 @@ public:
             if (ch == nullptr) { continue; }
             const auto dest = static_cast<std::uint8_t>(src);
             if (ch->b.can_pop()) {
-                if (NocLink* out = rsp_credits_ok(self, dest, 1)
-                                       ? route(dest, std::uint32_t{1})
-                                       : nullptr) {
+                if (NocLink* out = try_route(self, dest, 1, /*request_net=*/false,
+                                             route)) {
                     rsp_take(self, dest, 1);
-                    out->push(make_packet(self, dest, 1, ch->b.pop()));
+                    out->push(make_packet(self, dest, 1, /*request_net=*/false,
+                                          ch->b.pop()));
                     rsp_rr_ = src;
                     return true;
                 }
                 continue;
             }
             if (ch->r.can_pop()) {
-                if (NocLink* out = rsp_credits_ok(self, dest, data_flits)
-                                       ? route(dest, data_flits)
-                                       : nullptr) {
+                if (NocLink* out = try_route(self, dest, data_flits,
+                                             /*request_net=*/false, route)) {
                     rsp_take(self, dest, data_flits);
-                    out->push(make_packet(self, dest, data_flits, ch->r.pop()));
+                    out->push(make_packet(self, dest, data_flits,
+                                          /*request_net=*/false, ch->r.pop()));
                     rsp_rr_ = src;
                     return true;
                 }
@@ -184,37 +223,102 @@ public:
     ///@}
 
     [[nodiscard]] const NocFlowConfig& flow() const noexcept { return fc_; }
+    [[nodiscard]] RoutingPolicy routing() const noexcept { return routing_; }
+
+    /// \name Reorder-stash introspection (fabric invariant checkers)
+    ///@{
+    /// Flits stashed out of order for request packets from `src` (0 under
+    /// single-path policies).
+    [[nodiscard]] std::uint32_t stashed_request_flits(std::uint8_t src) const {
+        return stashed_flits(req_reorder_, src);
+    }
+    /// Flits stashed out of order for response packets from `src`.
+    [[nodiscard]] std::uint32_t stashed_response_flits(std::uint8_t src) const {
+        return stashed_flits(rsp_reorder_, src);
+    }
+    ///@}
 
 private:
+    /// Per-(pair, network) reorder state at the ejecting side: the next
+    /// expected sequence number and the stash of early arrivals.
+    struct Reorder {
+        std::uint16_t expected = 0;
+        std::map<std::uint16_t, NocPacket> stash;
+    };
+
     template <typename Flit>
     [[nodiscard]] NocPacket make_packet(std::uint8_t self, std::uint8_t dest,
-                                        std::uint32_t flits, Flit&& flit) const {
+                                        std::uint32_t flits, bool request_net,
+                                        Flit&& flit) {
+        auto& seq = (request_net ? req_seq_ : rsp_seq_)[dest];
         NocPacket pkt;
         pkt.src = self;
         pkt.dest = dest;
         pkt.flits = static_cast<std::uint8_t>(flits);
+        pkt.seq = seq++;
+        pkt.vc = route_class(routing_, self, dest, pkt.seq);
         pkt.flit = std::forward<Flit>(flit);
         return pkt;
     }
 
-    [[nodiscard]] bool req_credits_ok(std::uint8_t self, std::uint8_t dest,
-                                      std::uint32_t flits) const {
-        return book_ == nullptr || book_->req(dest, self).can_take(flits);
-    }
-    void req_take(std::uint8_t self, std::uint8_t dest, std::uint32_t flits) {
-        if (book_ != nullptr) { book_->req(dest, self).take(flits); }
-    }
-    [[nodiscard]] bool rsp_credits_ok(std::uint8_t self, std::uint8_t dest,
-                                      std::uint32_t flits) const {
-        return book_ == nullptr || book_->rsp(dest, self).can_take(flits);
-    }
-    void rsp_take(std::uint8_t self, std::uint8_t dest, std::uint32_t flits) {
-        if (book_ != nullptr) { book_->rsp(dest, self).take(flits); }
+    /// Credit gate + route lookup for one candidate worm. Matures pending
+    /// credit returns first so a delayed return becomes visible the cycle
+    /// it arrives.
+    template <typename RouteFn>
+    [[nodiscard]] NocLink* try_route(std::uint8_t self, std::uint8_t dest,
+                                     std::uint32_t flits, bool request_net,
+                                     RouteFn&& route) {
+        CreditPool& pool = request_net ? book_->req(dest, self)
+                                       : book_->rsp(dest, self);
+        pool.settle(ctx_->now());
+        if (!pool.can_take(flits)) { return nullptr; }
+        const auto& seq_map = request_net ? req_seq_ : rsp_seq_;
+        const auto it = seq_map.find(dest);
+        const std::uint16_t seq = it == seq_map.end() ? 0 : it->second;
+        return route(dest, flits, route_class(routing_, self, dest, seq));
     }
 
+    void req_take(std::uint8_t self, std::uint8_t dest, std::uint32_t flits) {
+        book_->req(dest, self).take(flits);
+    }
+    void rsp_take(std::uint8_t self, std::uint8_t dest, std::uint32_t flits) {
+        book_->rsp(dest, self).take(flits);
+    }
+
+    /// Delivers consecutive stashed packets starting at `ro.expected`
+    /// until the stash has a gap or `deliver` reports backpressure.
+    template <typename Deliver>
+    static void drain_stash(Reorder& ro, Deliver&& deliver) {
+        for (auto it = ro.stash.find(ro.expected); it != ro.stash.end();
+             it = ro.stash.find(ro.expected)) {
+            if (!deliver(it->second)) { return; }
+            ro.stash.erase(it);
+            ++ro.expected;
+        }
+    }
+
+    /// Pushes one in-order request packet into its egress lane (space
+    /// asserted — the injector held credits for it).
+    void deliver_request(const NocPacket& pkt, axi::AxiChannel& ch);
+    /// Delivers one in-order response packet to the local manager; returns
+    /// false on manager-channel backpressure.
+    bool deliver_response(const NocPacket& pkt, axi::AxiChannel& mgr);
+
+    [[nodiscard]] static std::uint32_t
+    stashed_flits(const std::map<std::uint8_t, Reorder>& reorder,
+                  std::uint8_t src) {
+        const auto it = reorder.find(src);
+        if (it == reorder.end()) { return 0; }
+        std::uint32_t total = 0;
+        for (const auto& [seq, pkt] : it->second.stash) { total += pkt.flits; }
+        return total;
+    }
+
+    const sim::SimContext* ctx_;
     std::string owner_; ///< router name, for contract messages
     NocFlowConfig fc_;
-    CreditBook* book_; ///< fabric-owned end-to-end pools (credited mode)
+    CreditBook* book_; ///< fabric-owned end-to-end pools
+    RoutingPolicy routing_;
 
     /// Ingress W routing: dest node per accepted AW, in order.
     std::deque<std::uint8_t> w_dest_;
@@ -228,6 +332,14 @@ private:
     std::unordered_map<axi::IdT, InFlight> r_in_flight_;
     /// Response injection round-robin over egress sources.
     std::uint32_t rsp_rr_ = 0;
+    /// Per-destination injection sequence counters (requests / responses).
+    std::unordered_map<std::uint8_t, std::uint16_t> req_seq_;
+    std::unordered_map<std::uint8_t, std::uint16_t> rsp_seq_;
+    /// Per-source ejection reorder state (requests / responses). Ordered
+    /// maps: the per-tick stash drain iterates them, and delivery order
+    /// must be deterministic (ascending source node).
+    std::map<std::uint8_t, Reorder> req_reorder_;
+    std::map<std::uint8_t, Reorder> rsp_reorder_;
 };
 
 } // namespace realm::noc

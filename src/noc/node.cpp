@@ -20,7 +20,7 @@ NocNode::NocNode(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
       req_out_{&req_out},
       rsp_in_{&rsp_in},
       rsp_out_{&rsp_out},
-      ni_{this->name(), fc, book} {
+      ni_{ctx, this->name(), fc, book} {
     // Activity-aware kernel wiring: everything this node consumes wakes it.
     // Each ring link has exactly one consumer (the next node downstream), so
     // claiming the push hook here is safe.
@@ -68,8 +68,10 @@ void NocNode::inject_requests() {
     // link; the NI supplies the worm length so the link can gate on
     // serialization and VC space.
     if (ni_.inject_requests(id_, *local_mgr_, map_,
-                            [this](std::uint8_t, std::uint32_t flits) {
-                                return req_out_->can_push(flits) ? req_out_ : nullptr;
+                            [this](std::uint8_t, std::uint32_t flits,
+                                   std::uint8_t vc) {
+                                return req_out_->can_push(flits, vc) ? req_out_
+                                                                     : nullptr;
                             })) {
         ++injected_;
     }
@@ -78,14 +80,17 @@ void NocNode::inject_requests() {
 void NocNode::inject_responses() {
     if (egress_.empty()) { return; }
     if (ni_.inject_responses(id_, egress_,
-                             [this](std::uint8_t, std::uint32_t flits) {
-                                 return rsp_out_->can_push(flits) ? rsp_out_ : nullptr;
+                             [this](std::uint8_t, std::uint32_t flits,
+                                    std::uint8_t vc) {
+                                 return rsp_out_->can_push(flits, vc) ? rsp_out_
+                                                                      : nullptr;
                              })) {
         ++injected_;
     }
 }
 
 void NocNode::tick() {
+    ni_.drain_response_stash(local_mgr_);
     ring_hop(*rsp_in_, *rsp_out_, /*request_ring=*/false);
     ring_hop(*req_in_, *req_out_, /*request_ring=*/true);
     inject_responses();
@@ -106,6 +111,7 @@ void NocNode::update_activity() {
     for (const axi::AxiChannel* ch : egress_) {
         if (ch != nullptr && !ch->responses_empty()) { return; }
     }
+    if (ni_.has_stashed_responses()) { return; }
     idle_forever();
 }
 

@@ -5,11 +5,9 @@
 /// as a subordinate) and one local subordinate (reached through per-source
 /// egress channels and an `ic::AxiMux`, which enforces the usual
 /// burst-granular W ordering). Rings are unidirectional with one-cycle
-/// hops; forwarding has priority over injection. Under credited flow
-/// control a request worm only enters the ring once its end-to-end credits
-/// reserved the target staging, so request ejection never stalls the ring
-/// head; under the legacy provisioned transport a full ejection buffer
-/// stalls the head (bounded, since the response ring always drains). The
+/// hops; forwarding has priority over injection. A request worm only
+/// enters the ring once its end-to-end credits reserved the target
+/// staging, so request ejection never stalls the ring head. The
 /// NI bookkeeping (lane discipline, same-ID ordering, response
 /// round-robin, credit accounting) lives in the fabric-shared `NocNi`.
 #pragma once
@@ -37,8 +35,7 @@ public:
     ///                       subordinate's mux (empty if none).
     /// \param req_in/out, rsp_in/out  ring links (owned by `NocRing`).
     /// \param fc             fabric flow-control configuration.
-    /// \param book           end-to-end credit book (owned by `NocRing`;
-    ///                       nullptr in provisioned mode).
+    /// \param book           end-to-end credit book (owned by `NocRing`).
     NocNode(sim::SimContext& ctx, std::string name, std::uint8_t node_id, ic::AddrMap map,
             axi::AxiChannel* local_mgr, std::vector<axi::AxiChannel*> egress,
             NocLink& req_in, NocLink& req_out, NocLink& rsp_in, NocLink& rsp_out,
@@ -46,6 +43,9 @@ public:
 
     void reset() override;
     void tick() override;
+
+    /// NI bookkeeping (reorder-stash introspection for invariant checks).
+    [[nodiscard]] const NocNi& ni() const noexcept { return ni_; }
 
     /// \name Statistics
     ///@{

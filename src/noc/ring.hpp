@@ -8,17 +8,13 @@
 /// needs). REALM units drop in front of any manager port unchanged —
 /// regulation is interconnect-agnostic, which this module exists to prove.
 ///
-/// Flow control (see credit.hpp): under the default `FlowControl::kCredited`
-/// transport, per-source staging is sized by the end-to-end credit pool and
-/// its occupancy is *enforced* — the injecting NI only sends while it holds
-/// credits, returned as the egress mux drains the staging. The legacy
-/// `kProvisioned` transport instead provisions 1024-flit staging deep
-/// enough to cover the in-flight W beats of one source: the mux reserves
-/// the subordinate's W channel per granted burst, and a non-granted source
-/// whose staging fills would stall the ring head — with the granted
-/// source's data *behind* it in the same lane, that is a protocol deadlock.
-/// Deep per-source buffers are how single-lane ring NIs made multi-writer
-/// subordinates safe before credits enforced the bound.
+/// Flow control (see credit.hpp): per-source staging is sized by the
+/// end-to-end credit pool and its occupancy is *enforced* — the injecting
+/// NI only sends while it holds credits, returned as the egress mux drains
+/// the staging (after `credit_return_delay` cycles on the response network
+/// when configured). Without the credit bound, the mux's per-granted-burst
+/// W-channel reservation plus a filling staging lane would be a protocol
+/// deadlock; credits make the bound structural instead of provisioned.
 #pragma once
 
 #include "axi/channel.hpp"
@@ -59,7 +55,7 @@ public:
         return static_cast<std::uint8_t>(nodes_.size());
     }
     [[nodiscard]] const NocFlowConfig& flow() const noexcept { return flow_; }
-    /// End-to-end credit book (credited mode only; nullptr otherwise).
+    /// End-to-end credit book.
     [[nodiscard]] const CreditBook* credit_book() const noexcept {
         return book_.get();
     }
@@ -72,10 +68,10 @@ public:
     /// egress muxes (the DoS exposure metric, cf. `AxiXbar::w_stall_cycles`).
     [[nodiscard]] std::uint64_t total_mux_w_stalls() const noexcept;
 
-    /// Asserts every flow-control invariant of the fabric (credited mode):
-    /// credit conservation on every pool, staged NI flits within the
-    /// end-to-end pool, and every link VC within `vc_depth`. Pushes and
-    /// pool transitions already assert these inline; tests call this every
+    /// Asserts every flow-control invariant of the fabric: credit
+    /// conservation on every pool, staged NI flits within the end-to-end
+    /// pool, and every link VC within `vc_depth`. Pushes and pool
+    /// transitions already assert these inline; tests call this every
     /// cycle to pin the whole-fabric picture.
     void check_flow_invariants() const;
 

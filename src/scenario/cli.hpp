@@ -2,9 +2,11 @@
 /// \brief Shared command-line handling for the scenario-driven benches:
 ///        `--threads N`, `--json PATH`, `--report PATH`, `--resume`,
 ///        `--diff BASELINE.json [--diff-threshold F] [--diff-slack N]`,
-///        `--scheduler tick-all|activity`, `--list`.
+///        `--scheduler tick-all|activity`,
+///        `--routing xy|yx|o1turn|west-first`, `--list`.
 #pragma once
 
+#include "noc/routing.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
@@ -14,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +39,9 @@ struct BenchOptions {
     std::uint64_t diff_slack = 50; ///< plus this many absolute cycles
     sim::Scheduler scheduler = sim::Scheduler::kActivity;
     bool scheduler_forced = false; ///< --scheduler given on the command line
+    /// `--routing`: force one mesh routing policy on every point (handy for
+    /// re-running a whole matrix under one policy without a new sweep).
+    std::optional<noc::RoutingPolicy> routing;
     /// Non-flag arguments, in order (e.g. sweep names for `scenario_sweep`).
     std::vector<std::string> positional;
 };
@@ -102,6 +108,16 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
                 std::exit(2);
             }
             opts.scheduler_forced = true;
+        } else if (arg == "--routing") {
+            const std::string v = need_value("--routing");
+            const auto policy = noc::parse_routing_policy(v);
+            if (!policy.has_value()) {
+                std::fprintf(stderr,
+                             "unknown routing policy '%s' (xy|yx|o1turn|west-first)\n",
+                             v.c_str());
+                std::exit(2);
+            }
+            opts.routing = *policy;
         } else if (arg == "--list") {
             for (const std::string& name : sweep_names()) {
                 std::printf("%s\n", name.c_str());
@@ -110,7 +126,8 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s %s[--threads N] [--json PATH] [--report PATH.md] "
                         "[--resume] [--diff BASELINE.json] [--diff-threshold F] "
-                        "[--diff-slack N] [--scheduler tick-all|activity] [--list]\n",
+                        "[--diff-slack N] [--scheduler tick-all|activity] "
+                        "[--routing xy|yx|o1turn|west-first] [--list]\n",
                         argv[0], accept_positional ? "[sweep...] " : "");
             std::exit(0);
         } else if (accept_positional && !arg.empty() && arg[0] != '-') {
@@ -127,10 +144,14 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
     return opts;
 }
 
-/// Applies CLI overrides (currently the scheduler) to every point.
+/// Applies CLI overrides (scheduler, mesh routing policy) to every point.
 inline void apply_overrides(const BenchOptions& opts, Sweep& sweep) {
-    if (!opts.scheduler_forced) { return; }
-    for (SweepPoint& p : sweep.points) { p.config.scheduler = opts.scheduler; }
+    for (SweepPoint& p : sweep.points) {
+        if (opts.scheduler_forced) { p.config.scheduler = opts.scheduler; }
+        if (opts.routing.has_value()) {
+            p.config.topology.mesh.routing = *opts.routing;
+        }
+    }
 }
 
 /// Runs a sweep under the CLI options and optionally writes the JSON dump.

@@ -332,6 +332,10 @@ struct DosKnobs {
     DosAttack attack = DosAttack::kHog;
     DosDefense defense = DosDefense::kNone;
     std::uint64_t victim_bytes = 0x1000;
+    /// Mesh routing policy (kMesh only); labelled only by the routing
+    /// sweeps so the legacy matrices keep their labels (and resume keys).
+    noc::RoutingPolicy routing = noc::RoutingPolicy::kXY;
+    bool label_routing = false;
 };
 
 /// One DoS cell: a stream victim reading (and lightly writing) the shared
@@ -360,6 +364,7 @@ ScenarioConfig dos_point(const DosKnobs& k) {
     case TopologyKind::kMesh:
         cfg.topology.mesh.rows = k.mesh_rows;
         cfg.topology.mesh.cols = k.mesh_cols;
+        cfg.topology.mesh.routing = k.routing;
         cfg.topology.mesh.nodes =
             make_mesh_roles(k.mesh_rows, k.mesh_cols, k.attackers, 2);
         nodes = &cfg.topology.mesh.nodes;
@@ -457,9 +462,59 @@ ScenarioConfig dos_point(const DosKnobs& k) {
 
 std::string dos_cell_label(const DosKnobs& k) {
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%uatk/%s/%s", static_cast<unsigned>(k.attackers),
-                  dos_attack_name(k.attack), dos_defense_name(k.defense));
+    if (k.label_routing) {
+        std::snprintf(buf, sizeof buf, "%uatk/%s/%s/%s",
+                      static_cast<unsigned>(k.attackers), dos_attack_name(k.attack),
+                      dos_defense_name(k.defense), noc::to_string(k.routing));
+    } else {
+        std::snprintf(buf, sizeof buf, "%uatk/%s/%s",
+                      static_cast<unsigned>(k.attackers), dos_attack_name(k.attack),
+                      dos_defense_name(k.defense));
+    }
     return buf;
+}
+
+
+/// The single source of truth for the full-matrix cell grid (attackers x
+/// attack mode x defense). Both the per-fabric matrices and the
+/// routing-policy study iterate this grid, so the cells can never drift
+/// apart.
+template <typename Emit>
+void for_each_matrix_cell(Emit&& emit) {
+    for (const std::uint8_t attackers :
+         {std::uint8_t{1}, std::uint8_t{3}, std::uint8_t{9}}) {
+        for (const DosAttack attack :
+             {DosAttack::kHog, DosAttack::kOverdraft, DosAttack::kWStall}) {
+            for (const DosDefense defense :
+                 {DosDefense::kNone, DosDefense::kFragmentation, DosDefense::kBudget,
+                  DosDefense::kThrottle}) {
+                emit(attackers, attack, defense);
+            }
+        }
+    }
+}
+
+/// The CI-sized 2x2x2 smoke cell grid, shared the same way.
+template <typename Emit>
+void for_each_smoke_cell(Emit&& emit) {
+    for (const std::uint8_t attackers : {std::uint8_t{1}, std::uint8_t{2}}) {
+        for (const DosAttack attack : {DosAttack::kHog, DosAttack::kWStall}) {
+            for (const DosDefense defense : {DosDefense::kNone, DosDefense::kBudget}) {
+                emit(attackers, attack, defense);
+            }
+        }
+    }
+}
+
+/// Smoke-grid knobs on one fabric (small fabrics, small victim working set).
+DosKnobs smoke_knobs(TopologyKind fabric, std::uint8_t ring_nodes,
+                     std::uint8_t mesh_rows, std::uint8_t mesh_cols,
+                     std::uint8_t attackers, DosAttack attack, DosDefense defense) {
+    DosKnobs k{.fabric = fabric, .num_nodes = ring_nodes, .mesh_rows = mesh_rows,
+               .mesh_cols = mesh_cols, .attackers = attackers, .attack = attack,
+               .defense = defense};
+    k.victim_bytes = 0x800;
+    return k;
 }
 
 /// The full 3x3x4 DoS matrix (attackers x attack mode x defense) on one
@@ -470,19 +525,12 @@ Sweep make_dos_matrix(TopologyKind fabric, std::string name, std::string title,
     s.name = std::move(name);
     s.title = std::move(title);
     s.notes = std::move(notes);
-    for (const std::uint8_t attackers :
-         {std::uint8_t{1}, std::uint8_t{3}, std::uint8_t{9}}) {
-        for (const DosAttack attack :
-             {DosAttack::kHog, DosAttack::kOverdraft, DosAttack::kWStall}) {
-            for (const DosDefense defense :
-                 {DosDefense::kNone, DosDefense::kFragmentation, DosDefense::kBudget,
-                  DosDefense::kThrottle}) {
-                const DosKnobs k{.fabric = fabric, .attackers = attackers,
-                                 .attack = attack, .defense = defense};
-                s.points.push_back({dos_cell_label(k), dos_point(k)});
-            }
-        }
-    }
+    for_each_matrix_cell([&](std::uint8_t attackers, DosAttack attack,
+                             DosDefense defense) {
+        const DosKnobs k{.fabric = fabric, .attackers = attackers,
+                         .attack = attack, .defense = defense};
+        s.points.push_back({dos_cell_label(k), dos_point(k)});
+    });
     return s;
 }
 
@@ -494,18 +542,12 @@ Sweep make_dos_smoke(TopologyKind fabric, std::string name, std::string title,
     s.name = std::move(name);
     s.title = std::move(title);
     s.notes = std::move(notes);
-    for (const std::uint8_t attackers : {std::uint8_t{1}, std::uint8_t{2}}) {
-        for (const DosAttack attack : {DosAttack::kHog, DosAttack::kWStall}) {
-            for (const DosDefense defense : {DosDefense::kNone, DosDefense::kBudget}) {
-                DosKnobs k{.fabric = fabric, .num_nodes = ring_nodes,
-                           .mesh_rows = mesh_rows, .mesh_cols = mesh_cols,
-                           .attackers = attackers, .attack = attack,
-                           .defense = defense};
-                k.victim_bytes = 0x800;
-                s.points.push_back({dos_cell_label(k), dos_point(k)});
-            }
-        }
-    }
+    for_each_smoke_cell([&](std::uint8_t attackers, DosAttack attack,
+                            DosDefense defense) {
+        const DosKnobs k = smoke_knobs(fabric, ring_nodes, mesh_rows, mesh_cols,
+                                       attackers, attack, defense);
+        s.points.push_back({dos_cell_label(k), dos_point(k)});
+    });
     return s;
 }
 
@@ -603,7 +645,8 @@ Sweep make_ring_dos_smoke() {
 }
 
 /// The smoke cells re-run with deliberately tight credited-transport knobs:
-/// a VC barely holding one worm and a small end-to-end pool. This is the
+/// a VC barely holding one worm, a small end-to-end pool, and a non-zero
+/// credit-return delay (returns ride the response network). This is the
 /// regime where wormhole serialization and credit exhaustion dominate —
 /// head-of-line blocking, back-pressured injection — and where a
 /// flow-control bug would deadlock. CI runs these next to the default
@@ -613,16 +656,17 @@ Sweep make_credit_smoke(TopologyKind fabric, std::string name, std::string title
     Sweep s = make_dos_smoke(
         fabric, std::move(name), std::move(title),
         {"tight credited flow control: flits_per_packet 4, vc_depth 4 (one",
-         "worm), e2e_credits 8 — worst-case serialization and credit",
-         "back-pressure; every buffer bound asserted, deadlock-free required."});
+         "worm), e2e_credits 8, credit_return_delay 4 — worst-case",
+         "serialization and credit back-pressure; every buffer bound",
+         "asserted, deadlock-free required."});
     for (SweepPoint& p : s.points) {
         NocTopologyConfig& noc = fabric == TopologyKind::kMesh
                                      ? static_cast<NocTopologyConfig&>(p.config.topology.mesh)
                                      : static_cast<NocTopologyConfig&>(p.config.topology.ring);
-        noc.flow_control = noc::FlowControl::kCredited;
         noc.flits_per_packet = 4;
         noc.vc_depth = 4;
         noc.e2e_credits = 8;
+        noc.credit_return_delay = 4;
     }
     return s;
 }
@@ -651,6 +695,106 @@ Sweep make_xbar_dos_smoke() {
                           {"small cross-section of xbar-dos-matrix for CI and tests."});
 }
 
+// ---------------------------------------------------------------------------
+// Routing-policy sweeps: every mesh DoS cell under all four routing
+// policies (XY / YX / O1TURN / west-first), labelled
+// <N>atk/<attack>/<defense>/<policy> so the matrix report renders the
+// policy as a row dimension. This converts the single-fabric DoS matrix
+// into a routing-freedom study: how much does fabric freedom buy the
+// victim under the same regulation budget?
+// ---------------------------------------------------------------------------
+
+/// The full 3x3x4 DoS matrix x 4 routing policies on the 4x6 mesh.
+Sweep make_mesh_routing_dos_matrix() {
+    Sweep s;
+    s.name = "mesh-routing-dos-matrix";
+    s.title = "Mesh DoS matrix x routing policy (XY / YX / O1TURN / west-first)";
+    s.notes = {"the same attackers x attack x defense cells as mesh-dos-matrix,",
+               "run under all four routing policies on the same 4x6 mesh: XY/YX",
+               "concentrate merges on columns/rows, O1TURN randomizes per worm",
+               "(two VCs), west-first adapts by link occupancy. Cells report the",
+               "worst-case victim latency; per-policy rows are comparable cell",
+               "by cell."};
+    for (const noc::RoutingPolicy routing : noc::kAllRoutingPolicies) {
+        for_each_matrix_cell([&](std::uint8_t attackers, DosAttack attack,
+                                 DosDefense defense) {
+            DosKnobs k{.fabric = TopologyKind::kMesh, .attackers = attackers,
+                       .attack = attack, .defense = defense};
+            k.routing = routing;
+            k.label_routing = true;
+            ScenarioConfig cfg = dos_point(k);
+            // The undefended 9-attacker cells are legitimately an order of
+            // magnitude slower under the multi-path policies (reorder
+            // round trips, row/column spread); give them headroom so a
+            // harness timeout never reads as a deadlock.
+            cfg.max_cycles = 30'000'000;
+            s.points.push_back({dos_cell_label(k), std::move(cfg)});
+        });
+    }
+    return s;
+}
+
+/// CI-sized cross-section: the 2x2x2 smoke cells under all four policies.
+Sweep make_mesh_routing_dos_smoke() {
+    Sweep s;
+    s.name = "mesh-routing-dos-smoke";
+    s.title = "Mesh routing-policy DoS smoke: 2x4 mesh, 2x2x2 cells x 4 policies";
+    s.notes = {"small cross-section of mesh-routing-dos-matrix for CI: every",
+               "policy must complete the same cells without deadlock, and the",
+               "defended cells must beat the undefended ones under each policy."};
+    for (const noc::RoutingPolicy routing : noc::kAllRoutingPolicies) {
+        for_each_smoke_cell([&](std::uint8_t attackers, DosAttack attack,
+                                DosDefense defense) {
+            DosKnobs k = smoke_knobs(TopologyKind::kMesh, /*ring_nodes=*/8,
+                                     /*mesh_rows=*/2, /*mesh_cols=*/4, attackers,
+                                     attack, defense);
+            k.routing = routing;
+            k.label_routing = true;
+            s.points.push_back({dos_cell_label(k), dos_point(k)});
+        });
+    }
+    return s;
+}
+
+/// Contention scaling x routing policy: how each policy spreads two hog
+/// attackers as the mesh grows.
+Sweep make_mesh_routing_contention() {
+    Sweep s;
+    s.name = "mesh-routing-contention";
+    s.title = "Mesh contention scaling x routing policy (2 hog attackers)";
+    s.notes = {"per size and policy: uncontended reference, 256-beat hog",
+               "attackers, and the same attackers budgeted — mesh-contention",
+               "with the routing policy as an extra axis. The flat report",
+               "carries the policy in the point label."};
+    s.baseline_index = 0;
+    const std::pair<std::uint8_t, std::uint8_t> sizes[] = {{2, 3}, {4, 6}};
+    for (const noc::RoutingPolicy routing : noc::kAllRoutingPolicies) {
+        for (const auto& [rows, cols] : sizes) {
+            char label[48];
+            DosKnobs solo{.fabric = TopologyKind::kMesh, .mesh_rows = rows,
+                          .mesh_cols = cols, .attackers = 0, .routing = routing};
+            std::snprintf(label, sizeof label, "%ux%u solo %s",
+                          static_cast<unsigned>(rows), static_cast<unsigned>(cols),
+                          noc::to_string(routing));
+            s.points.push_back({label, dos_point(solo)});
+            DosKnobs hog = solo;
+            hog.attackers = 2;
+            hog.attack = DosAttack::kHog;
+            std::snprintf(label, sizeof label, "%ux%u hog %s",
+                          static_cast<unsigned>(rows), static_cast<unsigned>(cols),
+                          noc::to_string(routing));
+            s.points.push_back({label, dos_point(hog)});
+            DosKnobs def = hog;
+            def.defense = DosDefense::kBudget;
+            std::snprintf(label, sizeof label, "%ux%u budget %s",
+                          static_cast<unsigned>(rows), static_cast<unsigned>(cols),
+                          noc::to_string(routing));
+            s.points.push_back({label, dos_point(def)});
+        }
+    }
+    return s;
+}
+
 using Factory = Sweep (*)();
 
 const std::vector<std::pair<std::string, Factory>>& factories() {
@@ -671,6 +815,9 @@ const std::vector<std::pair<std::string, Factory>>& factories() {
         {"mesh-contention", &make_mesh_contention},
         {"mesh-dos-matrix", &make_mesh_dos_matrix},
         {"mesh-dos-smoke", &make_mesh_dos_smoke},
+        {"mesh-routing-dos-matrix", &make_mesh_routing_dos_matrix},
+        {"mesh-routing-dos-smoke", &make_mesh_routing_dos_smoke},
+        {"mesh-routing-contention", &make_mesh_routing_contention},
         {"xbar-dos-matrix", &make_xbar_dos_matrix},
         {"xbar-dos-smoke", &make_xbar_dos_smoke},
     };

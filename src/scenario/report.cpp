@@ -1,5 +1,7 @@
 #include "scenario/report.hpp"
 
+#include "noc/routing.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -9,7 +11,8 @@
 namespace realm::scenario {
 
 bool parse_dos_cell_label(const std::string& label, DosCellLabel& out) {
-    // <N>atk/<attack>/<defense>, e.g. "3atk/hog/budget".
+    // <N>atk/<attack>/<defense>[/<policy>], e.g. "3atk/hog/budget" or
+    // "3atk/hog/budget/o1turn".
     const char* s = label.c_str();
     char* end = nullptr;
     const unsigned long n = std::strtoul(s, &end, 10);
@@ -19,10 +22,21 @@ bool parse_dos_cell_label(const std::string& label, DosCellLabel& out) {
     if (slash == std::string::npos || slash == 0 || slash + 1 >= rest.size()) {
         return false;
     }
-    if (rest.find('/', slash + 1) != std::string::npos) { return false; }
+    std::string defense = rest.substr(slash + 1);
+    std::string policy;
+    if (const std::size_t slash2 = defense.find('/'); slash2 != std::string::npos) {
+        policy = defense.substr(slash2 + 1);
+        defense.resize(slash2);
+        // Only a registered routing policy makes a fourth segment valid —
+        // anything else is not a matrix label.
+        if (defense.empty() || !noc::parse_routing_policy(policy).has_value()) {
+            return false;
+        }
+    }
     out.attackers = static_cast<unsigned>(n);
     out.attack = rest.substr(0, slash);
-    out.defense = rest.substr(slash + 1);
+    out.defense = std::move(defense);
+    out.policy = std::move(policy);
     return true;
 }
 
@@ -57,12 +71,17 @@ void write_matrix_report(std::ostream& os, const Sweep& sweep,
     std::vector<unsigned> attacker_counts;
     std::vector<std::string> attacks;
     std::vector<std::string> defenses;
+    std::vector<std::string> policies;
     for (const DosCellLabel& c : cells) {
         note_order(attacker_counts, c.attackers);
         note_order(attacks, c.attack);
         note_order(defenses, c.defense);
+        note_order(policies, c.policy);
     }
     std::sort(attacker_counts.begin(), attacker_counts.end());
+    // Sweeps without a routing axis carry one empty policy; keep the row
+    // dimension collapsed (and the rendered format byte-identical) there.
+    const bool has_policy = policies.size() > 1 || !policies.front().empty();
 
     os << "Cells report the worst-case victim latency in cycles "
           "(max of load / store latency); the worst cell per defense is "
@@ -82,31 +101,35 @@ void write_matrix_report(std::ostream& os, const Sweep& sweep,
         }
 
         os << "\n## Defense: `" << defense << "`\n\n";
-        os << "| attackers |";
+        os << "| " << (has_policy ? "attackers · routing" : "attackers") << " |";
         for (const std::string& a : attacks) { os << ' ' << a << " |"; }
         os << "\n|---|";
         for (std::size_t i = 0; i < attacks.size(); ++i) { os << "---|"; }
         os << '\n';
         for (const unsigned n : attacker_counts) {
-            os << "| " << n << " |";
-            for (const std::string& a : attacks) {
-                std::size_t found = results.size();
-                for (std::size_t i = 0; i < cells.size(); ++i) {
-                    if (cells[i].defense == defense && cells[i].attack == a &&
-                        cells[i].attackers == n) {
-                        found = i;
-                        break;
+            for (const std::string& policy : policies) {
+                os << "| " << n;
+                if (has_policy) { os << " · " << policy; }
+                os << " |";
+                for (const std::string& a : attacks) {
+                    std::size_t found = results.size();
+                    for (std::size_t i = 0; i < cells.size(); ++i) {
+                        if (cells[i].defense == defense && cells[i].attack == a &&
+                            cells[i].attackers == n && cells[i].policy == policy) {
+                            found = i;
+                            break;
+                        }
+                    }
+                    if (found == results.size()) {
+                        os << " – |";
+                    } else if (found == worst_index) {
+                        os << " **" << cell_text(results[found]) << "** |";
+                    } else {
+                        os << ' ' << cell_text(results[found]) << " |";
                     }
                 }
-                if (found == results.size()) {
-                    os << " – |";
-                } else if (found == worst_index) {
-                    os << " **" << cell_text(results[found]) << "** |";
-                } else {
-                    os << ' ' << cell_text(results[found]) << " |";
-                }
+                os << '\n';
             }
-            os << '\n';
         }
         if (worst_index < results.size()) {
             os << "\nWorst cell: `" << sweep.points[worst_index].label << "` at "

@@ -30,16 +30,22 @@ void write_report(std::ostream& os, const Sweep& sweep,
 bool write_report_file(const std::string& path, const Sweep& sweep,
                        const std::vector<ScenarioResult>& results);
 
-/// One parsed DoS-matrix cell label (`"3atk/hog/budget"`).
+/// One parsed DoS-matrix cell label (`"3atk/hog/budget"`, or with the
+/// routing-policy axis `"3atk/hog/budget/o1turn"`).
 struct DosCellLabel {
     unsigned attackers = 0;
     std::string attack;
     std::string defense;
+    /// Mesh routing policy of the cell (empty when the sweep has no
+    /// routing axis). Only valid policy names parse — see
+    /// `noc::parse_routing_policy`.
+    std::string policy;
 };
 
 /// Parses a matrix cell label; returns false when `label` does not follow
-/// the `<N>atk/<attack>/<defense>` convention (the report then falls back
-/// to the flat table).
+/// the `<N>atk/<attack>/<defense>[/<policy>]` convention (the report then
+/// falls back to the flat table). The optional fourth segment must name a
+/// registered routing policy.
 [[nodiscard]] bool parse_dos_cell_label(const std::string& label, DosCellLabel& out);
 
 /// The scalar a matrix cell reports: the worst-case latency the victim

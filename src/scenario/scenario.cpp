@@ -145,7 +145,9 @@ namespace {
 /// semantics change, invalidating stale caches wholesale.
 class ConfigDigest {
 public:
-    static constexpr std::uint64_t kVersion = 3; ///< v3: NoC flow-control fields
+    static constexpr std::uint64_t kVersion = 4; ///< v4: mesh routing policy,
+                                                 ///< credit-return delay,
+                                                 ///< provisioned mode removed
 
     ConfigDigest() { mix(kVersion); }
 
@@ -188,12 +190,13 @@ void mix_noc(ConfigDigest& d, const NocTopologyConfig& noc) {
     d.mix(noc.mem_stride);
     d.mix(noc.mem_access_latency);
     d.mix(noc.mem_max_outstanding);
-    // Flow-control fields (v3): credited vs provisioned transports must
-    // never alias in a resume cache.
-    d.mix(static_cast<std::uint64_t>(noc.flow_control));
+    // Flow-control and routing fields (v4): different transport knobs or
+    // routing policies must never alias in a resume cache.
     d.mix(noc.flits_per_packet);
     d.mix(noc.vc_depth);
     d.mix(noc.e2e_credits);
+    d.mix(noc.credit_return_delay);
+    d.mix(static_cast<std::uint64_t>(noc.routing));
     mix_realm(d, noc.realm);
 }
 

@@ -323,7 +323,8 @@ public:
                               return std::make_unique<noc::NocMesh>(
                                   c, "mesh", cfg.topology.mesh.rows,
                                   cfg.topology.mesh.cols, std::move(map),
-                                  std::move(subs), cfg.topology.mesh.flow());
+                                  std::move(subs), cfg.topology.mesh.flow(),
+                                  cfg.topology.mesh.routing);
                           }} {}
 
 private:

@@ -5,7 +5,8 @@
 /// the same unit drops in front of a NoC manager port unchanged. This module
 /// makes that claim executable at scenario scale: a `TopologyConfig` selects
 /// the Cheshire-like crossbar SoC (`kCheshire`), an N-node ring NoC
-/// (`kRing`), or an R x C 2D mesh with XY routing (`kMesh`) — the NoC
+/// (`kRing`), or an R x C 2D mesh with a pluggable routing policy
+/// (`kMesh`, XY / YX / O1TURN / west-first; see noc/routing.hpp) — the NoC
 /// fabrics with per-node role assignment and optional REALM placement per
 /// manager node — and a `TopologyHandle` presents all of them behind one
 /// interface — victim port, interference ports, memory preconditioning,
@@ -36,7 +37,7 @@ struct RegionPlan;
 enum class TopologyKind : std::uint8_t {
     kCheshire, ///< crossbar SoC of Figure 5 (`soc::CheshireSoc`)
     kRing,     ///< N-node unidirectional ring NoC of Figure 1b
-    kMesh,     ///< R x C 2D mesh, XY dimension-ordered routing
+    kMesh,     ///< R x C 2D mesh, routing policy per `NocTopologyConfig`
 };
 
 [[nodiscard]] constexpr const char* to_string(TopologyKind k) noexcept {
@@ -95,23 +96,28 @@ struct NocTopologyConfig {
 
     /// \name Transport flow control (see noc/credit.hpp)
     ///@{
-    /// `kCredited` (default): wormhole flit links with per-VC credits and
-    /// end-to-end NI credits — every buffer bound enforced, not
-    /// provisioned. `kProvisioned` keeps the legacy transport (single-beat
-    /// packets, 1024-flit staging) for one release so sweeps can A/B the
-    /// two models.
-    noc::FlowControl flow_control = noc::FlowControl::kCredited;
+    /// Wormhole flit links with per-VC credits and end-to-end NI credits —
+    /// every buffer bound enforced, not provisioned.
     /// Flits per data-carrying packet (W / R beat worm length).
     std::uint32_t flits_per_packet = 4;
     /// Link VC buffer depth in flits (must hold one whole worm).
     std::uint32_t vc_depth = 8;
     /// End-to-end credit pool per (source, target NI) pair, in flits.
     std::uint32_t e2e_credits = 32;
+    /// Cycles a returning end-to-end credit rides the response network
+    /// before the injector may reuse it (0 = instantaneous release at the
+    /// drain point, the historical behaviour).
+    std::uint32_t credit_return_delay = 0;
     ///@}
 
+    /// Mesh routing policy (see noc/routing.hpp): deterministic XY
+    /// (default) / YX dimension order, per-worm randomized O1TURN, or
+    /// turn-model adaptive west-first. Ignored by the single-path ring.
+    noc::RoutingPolicy routing = noc::RoutingPolicy::kXY;
+
     [[nodiscard]] noc::NocFlowConfig flow() const noexcept {
-        return noc::NocFlowConfig{flow_control, flits_per_packet, vc_depth,
-                                  e2e_credits};
+        return noc::NocFlowConfig{flits_per_packet, vc_depth, e2e_credits,
+                                  credit_return_delay};
     }
 
     /// Template applied to every placed REALM unit.

@@ -1,9 +1,11 @@
 /// Tests for the credited NoC transport (noc/credit.hpp): wormhole link
-/// serialization and VC bounds, end-to-end credit pools, whole-fabric
+/// serialization and VC bounds (multi-VC links included), end-to-end
+/// credit pools with delayed credit returns (credits riding the response
+/// network, conservation asserted on every transition), whole-fabric
 /// credit conservation asserted every cycle under the worst DoS-matrix
-/// cell, flow-control config hashing/resume (credited vs provisioned must
-/// never alias), and scheduler equivalence under deliberately tight
-/// credits.
+/// cell, flow-control config hashing/resume (different transport knobs or
+/// routing policies must never alias), and scheduler equivalence under
+/// deliberately tight credits.
 #include "noc/credit.hpp"
 #include "noc/mesh.hpp"
 #include "noc/ring.hpp"
@@ -75,9 +77,31 @@ TEST(NocFlowConfig, ValidationRejectsUnderSizedBuffers) {
     fc.vc_depth = 512;
     fc.e2e_credits = 1024;
     EXPECT_THROW(fc.validate(), sim::ContractViolation);
-    // Provisioned mode ignores the credited knobs entirely.
-    fc.mode = FlowControl::kProvisioned;
-    EXPECT_NO_THROW(fc.validate());
+}
+
+TEST(CreditPool, DelayedReturnsRideTheResponseNetwork) {
+    // release_at keeps the credits in flight until the ready cycle:
+    // conservation holds through the whole pending window, and settle
+    // matures exactly the returns whose cycle has arrived.
+    CreditPool pool{8};
+    pool.take(6);
+    pool.release_at(/*ready_at=*/10, 4);
+    EXPECT_EQ(pool.available(), 2U);
+    EXPECT_EQ(pool.in_flight(), 6U) << "pending returns still count in flight";
+    EXPECT_EQ(pool.pending_returns(), 4U);
+    pool.check_conserved();
+
+    pool.settle(9);
+    EXPECT_EQ(pool.available(), 2U) << "not matured yet";
+    pool.settle(10);
+    EXPECT_EQ(pool.available(), 6U);
+    EXPECT_EQ(pool.pending_returns(), 0U);
+    pool.check_conserved();
+
+    // Releasing more than the worm-held share (in flight minus pending) is
+    // a leak and trips the contract.
+    pool.release_at(20, 2);
+    EXPECT_THROW(pool.release(1), sim::ContractViolation);
 }
 
 // --- NocLink -----------------------------------------------------------------
@@ -131,17 +155,34 @@ TEST(NocLink, VcOccupancyIsBoundedAndAsserted) {
     EXPECT_EQ(link.peak_buffered_flits(), 8U);
 }
 
-TEST(NocLink, ProvisionedModeKeepsLegacyDepthTwoBehavior) {
+TEST(NocLink, VirtualChannelsHavePrivateBuffersAndASharedChannel) {
+    // The O1TURN deadlock argument rests on exactly this: a full VC 0 must
+    // not take buffer space VC 1 needs, while the physical channel's
+    // serialization window is shared (a time bound, not a held resource).
     sim::SimContext ctx;
     NocFlowConfig fc;
-    fc.mode = FlowControl::kProvisioned;
-    NocLink link{ctx, "l", fc};
-    // Two pushes in the same cycle (the legacy spill register): no
-    // serialization window, capacity 2.
-    link.push(worm_of(1));
-    ASSERT_TRUE(link.can_push(1));
-    link.push(worm_of(1));
-    EXPECT_FALSE(link.can_push(1));
+    fc.vc_depth = 4;
+    NocLink link{ctx, "l", fc, /*num_vcs=*/2};
+
+    NocPacket w0 = worm_of(4);
+    link.push(w0); // fills VC 0 and opens a 4-cycle serialization window
+    EXPECT_FALSE(link.can_push(4, 0)) << "VC 0 full";
+    EXPECT_FALSE(link.can_push(4, 1)) << "channel busy serializing the worm";
+    for (int c = 0; c < 4; ++c) { ctx.step(); }
+    EXPECT_FALSE(link.can_push(4, 0)) << "VC 0 still full";
+    EXPECT_TRUE(link.can_push(4, 1)) << "VC 1 buffers are private";
+    NocPacket w1 = worm_of(4);
+    w1.vc = 1;
+    link.push(w1);
+    EXPECT_EQ(link.buffered_flits(0), 4U);
+    EXPECT_EQ(link.buffered_flits(1), 4U);
+    EXPECT_NO_THROW(link.check_bounded());
+    // Per-VC pop: draining VC 1 frees only VC 1.
+    for (int c = 0; c < 4; ++c) { ctx.step(); }
+    ASSERT_TRUE(link.can_pop(1));
+    (void)link.pop(1);
+    EXPECT_EQ(link.buffered_flits(1), 0U);
+    EXPECT_EQ(link.buffered_flits(0), 4U);
 }
 
 // --- Whole-fabric conservation under the worst DoS cell ----------------------
@@ -196,31 +237,50 @@ TEST(CreditConservation, HoldsEveryCycleOnTheTightCreditRing) {
                               15000);
 }
 
-// --- Credited vs provisioned: A/B and no-alias hashing -----------------------
+// --- Delayed credit returns: A/B, conservation, and no-alias hashing ---------
 
-TEST(FlowControlAb, BothTransportsCompleteTheSameCell) {
-    ScenarioConfig cfg = cell_config("ring-dos-smoke", "2atk/hog/none");
-    cfg.topology.ring.flow_control = FlowControl::kProvisioned;
-    const ScenarioResult provisioned = run_scenario(cfg, "provisioned");
-    cfg.topology.ring.flow_control = FlowControl::kCredited;
-    const ScenarioResult credited = run_scenario(cfg, "credited");
-    for (const ScenarioResult* r : {&provisioned, &credited}) {
-        EXPECT_TRUE(r->boot_ok);
-        EXPECT_FALSE(r->timed_out);
-        EXPECT_GT(r->ops, 0U);
-        EXPECT_GT(r->fabric_hops, 0U);
-    }
-    // Wormhole serialization makes contention strictly more expensive than
-    // the infinitely-buffered legacy model hides.
-    EXPECT_GE(credited.load_lat_max, provisioned.load_lat_max);
+TEST(CreditReturnDelay, DelayedReturnsCompleteAndBoundSoloThroughput) {
+    // A contended cell with credits riding the response network for 16
+    // cycles still completes (no leak, no deadlock). Note the *victim* may
+    // even speed up there — slow credit round trips throttle the
+    // credit-hungry attackers hardest — so the monotonicity check runs on
+    // the uncontended cell, where the victim is the only credit consumer
+    // and a slower loop can only cost cycles.
+    ScenarioConfig contended = cell_config("ring-dos-smoke", "2atk/hog/none");
+    contended.topology.ring.credit_return_delay = 16;
+    const ScenarioResult delayed = run_scenario(contended, "delay16");
+    EXPECT_TRUE(delayed.boot_ok);
+    EXPECT_FALSE(delayed.timed_out);
+    EXPECT_GT(delayed.ops, 0U);
+    EXPECT_GT(delayed.fabric_hops, 0U);
+
+    ScenarioConfig solo = cell_config("ring-contention", "N=6 solo");
+    const ScenarioResult solo_instant = run_scenario(solo, "solo-delay0");
+    solo.topology.ring.credit_return_delay = 16;
+    const ScenarioResult solo_delayed = run_scenario(solo, "solo-delay16");
+    ASSERT_FALSE(solo_instant.timed_out);
+    ASSERT_FALSE(solo_delayed.timed_out);
+    EXPECT_GE(solo_delayed.run_cycles, solo_instant.run_cycles)
+        << "slower credit round trips cannot speed an uncontended victim up";
+    // Default delay 0 is the historical behaviour: bit-identical numbers.
+    ScenarioConfig again = cell_config("ring-contention", "N=6 solo");
+    const ScenarioResult solo_repeat = run_scenario(again, "solo-again");
+    EXPECT_EQ(solo_repeat.run_cycles, solo_instant.run_cycles);
+    EXPECT_EQ(solo_repeat.load_lat_max, solo_instant.load_lat_max);
 }
 
-TEST(FlowControlHash, CreditedAndProvisionedNeverAlias) {
+TEST(CreditReturnDelay, ConservationHoldsEveryCycleUnderDelayedReturns) {
+    // The satellite contract: with credit_return_delay the pending returns
+    // are part of the in-flight count, and whole-fabric conservation is
+    // asserted on every cycle of a contended run (not sampled).
+    ScenarioConfig cfg = cell_config("mesh-dos-smoke", "2atk/wstall/none");
+    cfg.topology.mesh.credit_return_delay = 8;
+    step_and_check_invariants(cfg, 10000);
+}
+
+TEST(FlowControlHash, TransportKnobsNeverAlias) {
     const ScenarioConfig base = cell_config("ring-dos-smoke", "1atk/hog/none");
     ScenarioConfig c = base;
-    c.topology.ring.flow_control = FlowControl::kProvisioned;
-    EXPECT_NE(scenario::config_hash(base), scenario::config_hash(c));
-    c = base;
     c.topology.ring.flits_per_packet = 8;
     EXPECT_NE(scenario::config_hash(base), scenario::config_hash(c));
     c = base;
@@ -229,33 +289,34 @@ TEST(FlowControlHash, CreditedAndProvisionedNeverAlias) {
     c = base;
     c.topology.ring.e2e_credits = 64;
     EXPECT_NE(scenario::config_hash(base), scenario::config_hash(c));
+    c = base;
+    c.topology.ring.credit_return_delay = 4;
+    EXPECT_NE(scenario::config_hash(base), scenario::config_hash(c));
 }
 
-TEST(FlowControlResume, CreditedPointIsNeverServedFromAProvisionedDump) {
-    // `--json PATH --resume` keys on config_hash (v3 mixes the
-    // flow-control fields): a dump produced by the provisioned transport
-    // must not satisfy the credited point, and vice versa — a resume alias
-    // here would silently report legacy numbers as credited ones.
+TEST(FlowControlResume, DelayedPointIsNeverServedFromAnInstantDump) {
+    // `--json PATH --resume` keys on config_hash (v4 mixes the
+    // credit-return delay): a dump produced with instantaneous returns
+    // must not satisfy a delayed point, and vice versa — a resume alias
+    // here would silently report the wrong round-trip numbers.
     const std::string path = "flow_ab_resume.json";
-    Sweep provisioned;
-    provisioned.name = "flow-ab";
+    Sweep instant;
+    instant.name = "flow-ab";
     ScenarioConfig cfg = cell_config("ring-dos-smoke", "1atk/hog/budget");
     cfg.victim.stream.repeat = 1; // keep the test quick
-    cfg.topology.ring.flow_control = FlowControl::kProvisioned;
-    provisioned.points.push_back({"cell", cfg});
+    instant.points.push_back({"cell", cfg});
 
     const scenario::ScenarioRunner runner{scenario::RunnerOptions{.threads = 1}};
-    ASSERT_TRUE(scenario::write_json_file(path, provisioned,
-                                          runner.run(provisioned)));
+    ASSERT_TRUE(scenario::write_json_file(path, instant, runner.run(instant)));
 
-    Sweep credited = provisioned;
-    credited.points[0].config.topology.ring.flow_control = FlowControl::kCredited;
+    Sweep delayed = instant;
+    delayed.points[0].config.topology.ring.credit_return_delay = 8;
     std::size_t reused = ~std::size_t{0};
-    (void)runner.run_resumed(credited, path, &reused);
-    EXPECT_EQ(reused, 0U) << "credited point aliased a provisioned dump";
+    (void)runner.run_resumed(delayed, path, &reused);
+    EXPECT_EQ(reused, 0U) << "delayed point aliased an instant-return dump";
 
-    // The matching transport *is* reused — resume still works.
-    (void)runner.run_resumed(provisioned, path, &reused);
+    // The matching config *is* reused — resume still works.
+    (void)runner.run_resumed(instant, path, &reused);
     EXPECT_EQ(reused, 1U);
     std::remove(path.c_str());
 }

@@ -93,6 +93,149 @@ TEST(XyRouting, SelfIsEjection) {
     EXPECT_EQ(opposite(MeshDir::kEast), MeshDir::kWest);
 }
 
+// --- Pluggable routing policies ----------------------------------------------
+
+constexpr auto& kPolicies = kAllRoutingPolicies;
+
+/// Applies one hop to a node id.
+std::uint8_t step_dir(std::uint8_t cols, std::uint8_t cur, MeshDir d) {
+    switch (d) {
+    case MeshDir::kNorth: return static_cast<std::uint8_t>(cur - cols);
+    case MeshDir::kEast: return static_cast<std::uint8_t>(cur + 1);
+    case MeshDir::kSouth: return static_cast<std::uint8_t>(cur + cols);
+    case MeshDir::kWest: return static_cast<std::uint8_t>(cur - 1);
+    }
+    return cur;
+}
+
+int manhattan(std::uint8_t cols, std::uint8_t a, std::uint8_t b) {
+    return std::abs(int(a / cols) - int(b / cols)) +
+           std::abs(int(a % cols) - int(b % cols));
+}
+
+TEST(RoutingPolicies, YxPathsAreMinimalDeterministicAndRowFirst) {
+    // The YX mirror of the XY invariant: terminates, Manhattan-minimal,
+    // never reverses, and corrects the row strictly before the column.
+    constexpr std::uint8_t rows = 4;
+    constexpr std::uint8_t cols = 6;
+    for (std::uint8_t src = 0; src < rows * cols; ++src) {
+        for (std::uint8_t dest = 0; dest < rows * cols; ++dest) {
+            std::uint8_t cur = src;
+            bool x_phase = false;
+            std::optional<MeshDir> prev;
+            int hops = 0;
+            while (cur != dest) {
+                const auto hop = yx_next_hop(cols, cur, dest);
+                ASSERT_TRUE(hop.has_value());
+                if (prev) { EXPECT_NE(*hop, opposite(*prev)) << "180-degree turn"; }
+                const bool horizontal =
+                    *hop == MeshDir::kEast || *hop == MeshDir::kWest;
+                if (x_phase) { EXPECT_TRUE(horizontal) << "Y move after X move"; }
+                x_phase = x_phase || horizontal;
+                prev = hop;
+                cur = step_dir(cols, cur, *hop);
+                ASSERT_LT(cur, rows * cols);
+                ASSERT_LE(++hops, manhattan(cols, src, dest)) << "not minimal";
+            }
+            EXPECT_EQ(hops, manhattan(cols, src, dest));
+            EXPECT_FALSE(yx_next_hop(cols, dest, dest).has_value());
+        }
+    }
+}
+
+TEST(RoutingPolicies, EveryPolicyPermitsOnlyProductiveHops) {
+    // Exhaustive over a 4x6 mesh, both route classes: permitted hops are
+    // non-empty away from the destination, unique, strictly reduce the
+    // Manhattan distance (minimality — which also rules out 180-degree
+    // turns), and the set is empty exactly at the destination.
+    constexpr std::uint8_t rows = 4;
+    constexpr std::uint8_t cols = 6;
+    for (const RoutingPolicy policy : kPolicies) {
+        for (std::uint8_t cur = 0; cur < rows * cols; ++cur) {
+            for (std::uint8_t dest = 0; dest < rows * cols; ++dest) {
+                for (std::uint8_t cls = 0; cls < route_num_vcs(policy); ++cls) {
+                    const HopSet hops = permitted_hops(policy, cols, cur, dest, cls);
+                    if (cur == dest) {
+                        EXPECT_TRUE(hops.empty());
+                        continue;
+                    }
+                    ASSERT_GT(hops.count, 0U) << to_string(policy);
+                    for (std::uint8_t k = 0; k < hops.count; ++k) {
+                        const std::uint8_t next = step_dir(cols, cur, hops.dir[k]);
+                        ASSERT_LT(next, rows * cols)
+                            << to_string(policy) << " leaves the mesh";
+                        EXPECT_EQ(manhattan(cols, next, dest),
+                                  manhattan(cols, cur, dest) - 1)
+                            << to_string(policy) << " permits a non-productive hop";
+                    }
+                    if (hops.count == 2) { EXPECT_NE(hops.dir[0], hops.dir[1]); }
+                }
+            }
+        }
+    }
+}
+
+TEST(RoutingPolicies, WestFirstProhibitsTurnsIntoWest) {
+    // The Glass/Ni turn-model argument hinges on west hops coming first:
+    // whenever the destination lies west, west is the *only* permitted hop,
+    // so no N->W / S->W turn can ever be generated.
+    constexpr std::uint8_t rows = 4;
+    constexpr std::uint8_t cols = 6;
+    for (std::uint8_t cur = 0; cur < rows * cols; ++cur) {
+        for (std::uint8_t dest = 0; dest < rows * cols; ++dest) {
+            if (cur == dest) { continue; }
+            const HopSet hops =
+                permitted_hops(RoutingPolicy::kWestFirst, cols, cur, dest, 0);
+            const bool dest_west = dest % cols < cur % cols;
+            bool has_west = false;
+            for (std::uint8_t k = 0; k < hops.count; ++k) {
+                has_west = has_west || hops.dir[k] == MeshDir::kWest;
+            }
+            if (dest_west) {
+                EXPECT_EQ(hops.count, 1U);
+                EXPECT_TRUE(has_west) << "westward distance must drain first";
+            } else {
+                EXPECT_FALSE(has_west) << "west is never an adaptive option";
+            }
+        }
+    }
+}
+
+TEST(RoutingPolicies, O1TurnClassIsDeterministicPerWormAndUsesBothRails) {
+    // The per-worm class is a pure function of (src, dest, seq) — replays
+    // are deterministic — and over a window of worms both rails appear
+    // (otherwise the policy degenerates to XY or YX). Class selects the VC.
+    EXPECT_EQ(route_num_vcs(RoutingPolicy::kO1Turn), 2);
+    EXPECT_EQ(route_num_vcs(RoutingPolicy::kXY), 1);
+    bool saw[2] = {false, false};
+    for (std::uint16_t seq = 0; seq < 64; ++seq) {
+        const std::uint8_t cls = route_class(RoutingPolicy::kO1Turn, 3, 17, seq);
+        ASSERT_LE(cls, 1);
+        EXPECT_EQ(cls, route_class(RoutingPolicy::kO1Turn, 3, 17, seq))
+            << "class must be replay-deterministic";
+        saw[cls] = true;
+        // Deterministic policies always ride class/VC 0.
+        EXPECT_EQ(route_class(RoutingPolicy::kWestFirst, 3, 17, seq), 0);
+    }
+    EXPECT_TRUE(saw[0] && saw[1]) << "both rails must be exercised";
+    // Class 0 follows the XY rails, class 1 the YX rails.
+    const HopSet h0 = permitted_hops(RoutingPolicy::kO1Turn, 6, 0, 23, 0);
+    const HopSet h1 = permitted_hops(RoutingPolicy::kO1Turn, 6, 0, 23, 1);
+    ASSERT_EQ(h0.count, 1U);
+    ASSERT_EQ(h1.count, 1U);
+    EXPECT_EQ(h0.dir[0], *xy_next_hop(6, 0, 23));
+    EXPECT_EQ(h1.dir[0], *yx_next_hop(6, 0, 23));
+}
+
+TEST(RoutingPolicies, NamesRoundTrip) {
+    for (const RoutingPolicy policy : kPolicies) {
+        const auto parsed = parse_routing_policy(to_string(policy));
+        ASSERT_TRUE(parsed.has_value()) << to_string(policy);
+        EXPECT_EQ(*parsed, policy);
+    }
+    EXPECT_FALSE(parse_routing_policy("extra").has_value());
+}
+
 // --- Mesh substrate ----------------------------------------------------------
 
 /// 2x3 mesh: managers at 0 (NW corner) and 2 (NE corner), SRAMs at 3 (fast)
@@ -207,9 +350,10 @@ TEST_F(MeshFixture, RealmUnitRegulatesOverMesh) {
 TEST_F(MeshFixture, DefaultTransportIsCreditedAndBookkept) {
     // The fixture constructs the mesh with the default flow config: the
     // credited transport with a live end-to-end credit book (same default
-    // as the ring — the flow-control layer is fabric-independent).
-    EXPECT_EQ(mesh->flow().mode, FlowControl::kCredited);
+    // as the ring — the flow-control layer is fabric-independent), routed
+    // XY unless a policy is selected.
     ASSERT_NE(mesh->credit_book(), nullptr);
+    EXPECT_EQ(mesh->routing(), RoutingPolicy::kXY);
     mesh->check_flow_invariants();
 }
 
@@ -400,6 +544,181 @@ TEST(MeshConfigHash, MeshFieldsAreSemantic) {
     c = base;
     c.topology.kind = TopologyKind::kRing;
     EXPECT_NE(scenario::config_hash(base), scenario::config_hash(c));
+}
+
+TEST(MeshConfigHash, RoutingPoliciesNeverAlias) {
+    // config_hash v4 mixes the routing knob: the same cell under two
+    // policies must never be served from one `--resume` cache entry.
+    const ScenarioConfig base = small_mesh_point(0);
+    std::vector<std::uint64_t> hashes;
+    for (const RoutingPolicy policy : kPolicies) {
+        ScenarioConfig c = base;
+        c.topology.mesh.routing = policy;
+        hashes.push_back(scenario::config_hash(c));
+    }
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+        for (std::size_t j = i + 1; j < hashes.size(); ++j) {
+            EXPECT_NE(hashes[i], hashes[j])
+                << to_string(kPolicies[i]) << " vs " << to_string(kPolicies[j]);
+        }
+    }
+}
+
+// --- Routing policies at scenario scale --------------------------------------
+
+/// The named cell of `mesh-routing-dos-smoke` under one policy.
+ScenarioConfig routing_smoke_cell(RoutingPolicy policy, const std::string& cell) {
+    Sweep sweep = scenario::make_sweep("mesh-routing-dos-smoke");
+    const std::string label = cell + "/" + to_string(policy);
+    for (const SweepPoint& p : sweep.points) {
+        if (p.label == label) { return p.config; }
+    }
+    ADD_FAILURE() << "no cell " << label;
+    return {};
+}
+
+TEST(MeshRoutingRegistry, RoutingSweepsCoverEveryPolicyWithMatchingCells) {
+    const Sweep matrix = scenario::make_sweep("mesh-routing-dos-matrix");
+    const Sweep base = scenario::make_sweep("mesh-dos-matrix");
+    ASSERT_EQ(matrix.points.size(), base.points.size() * 4);
+    for (std::size_t k = 0; k < kNumRoutingPolicies; ++k) {
+        const RoutingPolicy policy = kPolicies[k];
+        for (std::size_t i = 0; i < base.points.size(); ++i) {
+            const SweepPoint& p = matrix.points[k * base.points.size() + i];
+            EXPECT_EQ(p.label,
+                      base.points[i].label + "/" + to_string(policy));
+            EXPECT_EQ(p.config.topology.mesh.routing, policy);
+            // Identical traffic knobs per cell: only the policy varies.
+            EXPECT_EQ(p.config.interference.size(),
+                      base.points[i].config.interference.size());
+        }
+    }
+    for (const char* name :
+         {"mesh-routing-dos-smoke", "mesh-routing-contention"}) {
+        ASSERT_TRUE(scenario::has_sweep(name)) << name;
+        EXPECT_FALSE(scenario::make_sweep(name).points.empty()) << name;
+    }
+}
+
+TEST(MeshRoutingPolicies, WorstSmokeCellCompletesUnderEveryPolicy) {
+    // The acceptance gate in miniature: the heaviest smoke cell (two
+    // stalling writers, no regulation, write buffers stripped) must finish
+    // without deadlock or timeout under all four policies — the reorder
+    // stash closes every multi-path gap, and the per-class VCs keep O1TURN
+    // deadlock-free.
+    for (const RoutingPolicy policy : kPolicies) {
+        SCOPED_TRACE(to_string(policy));
+        const ScenarioResult res = run_scenario(
+            routing_smoke_cell(policy, "2atk/wstall/none"), to_string(policy));
+        EXPECT_TRUE(res.boot_ok);
+        EXPECT_FALSE(res.timed_out);
+        EXPECT_GT(res.ops, 0U);
+        EXPECT_GT(res.fabric_hops, 0U);
+    }
+}
+
+TEST(MeshRoutingPolicies, BudgetDefenseHoldsUnderEveryPolicy) {
+    // Regulation is routing-agnostic: under each policy the budgeted cell
+    // must restore the victim relative to the undefended one.
+    for (const RoutingPolicy policy : kPolicies) {
+        SCOPED_TRACE(to_string(policy));
+        const ScenarioResult none = run_scenario(
+            routing_smoke_cell(policy, "2atk/hog/none"), "none");
+        const ScenarioResult budget = run_scenario(
+            routing_smoke_cell(policy, "2atk/hog/budget"), "budget");
+        EXPECT_EQ(budget.ops, none.ops);
+        EXPECT_LT(budget.load_lat_mean, none.load_lat_mean);
+    }
+}
+
+TEST(MeshRoutingPolicies, SameIdOrderingHoldsUnderEveryPolicy) {
+    // Same ID to the slow then the fast subordinate under each policy: the
+    // NI ordering rule plus the ejection-side reorder stash must keep the
+    // responses in order even when the paths differ (O1TURN / west-first).
+    for (const RoutingPolicy policy : kPolicies) {
+        SCOPED_TRACE(to_string(policy));
+        sim::SimContext ctx;
+        ic::AddrMap map;
+        map.add(0x0000, 0x10000, 3, "mem3");
+        map.add(0x1'0000, 0x10000, 5, "mem5");
+        NocMesh mesh{ctx, "mesh", 2, 3, map, std::vector<std::uint8_t>{3, 5},
+                     NocFlowConfig{}, policy};
+        mem::AxiMemSlave mem3{ctx, "mem3", mesh.subordinate_port(3),
+                              std::make_unique<mem::SramBackend>(1, 1),
+                              mem::AxiMemSlaveConfig{8, 8, 0}};
+        mem::AxiMemSlave mem5{ctx, "mem5", mesh.subordinate_port(5),
+                              std::make_unique<mem::SramBackend>(4, 4),
+                              mem::AxiMemSlaveConfig{8, 8, 0}};
+        axi::ManagerView mgr{mesh.manager_port(0)};
+        mgr.send_ar(axi::make_ar(5, 0x1'0000, 1, 3)); // slow node 5
+        ctx.step();
+        mgr.send_ar(axi::make_ar(5, 0x0000, 1, 3)); // fast node 3
+        step_until(ctx, [&] { return mgr.has_r(); });
+        (void)mgr.recv_r();
+        step_until(ctx, [&] { return mgr.has_r(); });
+        (void)mgr.recv_r();
+        mesh.check_flow_invariants();
+    }
+}
+
+TEST(MeshRoutingPolicies, DmaCopyPreservesDataUnderEveryPolicy) {
+    // End-to-end data integrity per policy: a DMA copy across the mesh
+    // must land byte-exact — this is what the reorder stash protects (an
+    // in-network overtake would otherwise scramble the AW/W lane pairing).
+    for (const RoutingPolicy policy : kPolicies) {
+        SCOPED_TRACE(to_string(policy));
+        sim::SimContext ctx;
+        ic::AddrMap map;
+        map.add(0x0000, 0x10000, 3, "mem3");
+        map.add(0x1'0000, 0x10000, 5, "mem5");
+        NocMesh mesh{ctx, "mesh", 2, 3, map, std::vector<std::uint8_t>{3, 5},
+                     NocFlowConfig{}, policy};
+        mem::AxiMemSlave mem3{ctx, "mem3", mesh.subordinate_port(3),
+                              std::make_unique<mem::SramBackend>(1, 1),
+                              mem::AxiMemSlaveConfig{8, 8, 0}};
+        mem::AxiMemSlave mem5{ctx, "mem5", mesh.subordinate_port(5),
+                              std::make_unique<mem::SramBackend>(4, 4),
+                              mem::AxiMemSlaveConfig{8, 8, 0}};
+        auto& store3 = static_cast<mem::SramBackend&>(mem3.backend()).store();
+        auto& store5 = static_cast<mem::SramBackend&>(mem5.backend()).store();
+        for (axi::Addr a = 0; a < 0x1000; a += 8) { store3.write_u64(a, a ^ 0xABCD); }
+        traffic::DmaConfig dcfg;
+        dcfg.burst_beats = 16;
+        traffic::DmaEngine dma{ctx, "dma", mesh.manager_port(2), dcfg};
+        dma.push_job(traffic::DmaJob{0x0, 0x1'0000, 0x1000, false});
+        step_until(ctx, [&] { return dma.idle(); }, 200000);
+        for (axi::Addr a = 0; a < 0x1000; a += 8) {
+            ASSERT_EQ(store5.read_u64(0x1'0000 + a), a ^ 0xABCDU)
+                << "corruption at offset " << a;
+        }
+        mesh.check_flow_invariants();
+    }
+}
+
+TEST(MeshRoutingSchedulerEquivalence, ActivityMatchesTickAllPerPolicy) {
+    // The idle/wake contract must hold under every policy — including the
+    // reorder-stash rule (never sleep on a stashed response) and the
+    // two-VC O1TURN links.
+    for (const RoutingPolicy policy : kPolicies) {
+        SCOPED_TRACE(to_string(policy));
+        ScenarioConfig cfg = routing_smoke_cell(policy, "1atk/wstall/none");
+        cfg.scheduler = sim::Scheduler::kTickAll;
+        const ScenarioResult naive = scenario::run_scenario(cfg);
+        cfg.scheduler = sim::Scheduler::kActivity;
+        const ScenarioResult fast = scenario::run_scenario(cfg);
+        ASSERT_FALSE(naive.timed_out);
+        EXPECT_EQ(naive.run_cycles, fast.run_cycles);
+        EXPECT_EQ(naive.ops, fast.ops);
+        EXPECT_EQ(naive.load_lat_mean, fast.load_lat_mean);
+        EXPECT_EQ(naive.load_lat_max, fast.load_lat_max);
+        EXPECT_EQ(naive.store_lat_max, fast.store_lat_max);
+        EXPECT_EQ(naive.dma_bytes, fast.dma_bytes);
+        EXPECT_EQ(naive.xbar_w_stalls, fast.xbar_w_stalls);
+        EXPECT_EQ(naive.fabric_hops, fast.fabric_hops);
+        EXPECT_EQ(naive.simulated_cycles, fast.simulated_cycles);
+        EXPECT_EQ(naive.ticks_skipped, 0U);
+        EXPECT_GT(fast.ticks_skipped, 0U) << "idle routers must be skipped";
+    }
 }
 
 } // namespace

@@ -148,24 +148,24 @@ TEST_F(RingFixture, RealmUnitRegulatesOverNoc) {
 
 TEST_F(RingFixture, DefaultTransportIsCreditedAndBookkept) {
     // The fixture constructs the ring with the default flow config: the
-    // credited transport with a live end-to-end credit book. All the
-    // fixture traffic above therefore exercises worms + credits.
-    EXPECT_EQ(ring->flow().mode, FlowControl::kCredited);
+    // credited transport with a live end-to-end credit book (the legacy
+    // provisioned escape hatch is gone — credits are the only transport).
+    // All the fixture traffic above therefore exercises worms + credits.
     ASSERT_NE(ring->credit_book(), nullptr);
     ring->check_flow_invariants();
 }
 
-TEST(RingProvisioned, LegacyTransportStillWorksEndToEnd) {
-    // `FlowControl::kProvisioned` is the one-release A/B escape hatch: the
-    // legacy single-beat transport with deep provisioned staging must keep
-    // working until it is removed.
+TEST(RingCreditDelay, DelayedCreditReturnsStillCompleteEndToEnd) {
+    // With credit_return_delay the end-to-end credits ride the response
+    // network instead of materializing at the drain point; traffic must
+    // still complete (slower round trips, never a leak).
     sim::SimContext ctx;
     ic::AddrMap map;
     map.add(0x0, 0x10000, 2, "mem2");
     NocFlowConfig fc;
-    fc.mode = FlowControl::kProvisioned;
+    fc.credit_return_delay = 6;
     NocRing ring{ctx, "ring", 4, map, std::vector<std::uint8_t>{2}, fc};
-    EXPECT_EQ(ring.credit_book(), nullptr);
+    ASSERT_NE(ring.credit_book(), nullptr);
     mem::AxiMemSlave mem2{ctx, "mem2", ring.subordinate_port(2),
                           std::make_unique<mem::SramBackend>(1, 1),
                           mem::AxiMemSlaveConfig{8, 8, 0}};
@@ -174,6 +174,7 @@ TEST(RingProvisioned, LegacyTransportStillWorksEndToEnd) {
     EXPECT_EQ(b.resp, axi::Resp::kOkay);
     EXPECT_EQ(static_cast<mem::SramBackend&>(mem2.backend()).store().read_u8(0x100),
               0x2A);
+    ring.check_flow_invariants();
 }
 
 TEST_F(RingFixture, BackpressureDoesNotDeadlock) {

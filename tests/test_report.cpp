@@ -25,12 +25,29 @@ TEST(DosCellLabel, ParsesTheMatrixConvention) {
     EXPECT_EQ(cell.attackers, 12U);
 }
 
+TEST(DosCellLabel, ParsesTheRoutingPolicyAxis) {
+    // A fourth segment is valid only when it names a registered routing
+    // policy; the base three-segment convention leaves `policy` empty.
+    DosCellLabel cell;
+    ASSERT_TRUE(parse_dos_cell_label("3atk/hog/budget/o1turn", cell));
+    EXPECT_EQ(cell.attackers, 3U);
+    EXPECT_EQ(cell.attack, "hog");
+    EXPECT_EQ(cell.defense, "budget");
+    EXPECT_EQ(cell.policy, "o1turn");
+    ASSERT_TRUE(parse_dos_cell_label("1atk/wstall/none/west-first", cell));
+    EXPECT_EQ(cell.policy, "west-first");
+    ASSERT_TRUE(parse_dos_cell_label("2atk/hog/none", cell));
+    EXPECT_TRUE(cell.policy.empty());
+}
+
 TEST(DosCellLabel, RejectsEverythingElse) {
     DosCellLabel cell;
     EXPECT_FALSE(parse_dos_cell_label("baseline", cell));
     EXPECT_FALSE(parse_dos_cell_label("atk/hog/none", cell));
     EXPECT_FALSE(parse_dos_cell_label("3atk/hog", cell));
-    EXPECT_FALSE(parse_dos_cell_label("3atk/hog/none/extra", cell));
+    EXPECT_FALSE(parse_dos_cell_label("3atk/hog/none/extra", cell))
+        << "a fourth segment must name a routing policy";
+    EXPECT_FALSE(parse_dos_cell_label("3atk/hog/none/xy/more", cell));
     EXPECT_FALSE(parse_dos_cell_label("3atk//none", cell));
     EXPECT_FALSE(parse_dos_cell_label("N=6 solo", cell));
 }
@@ -103,6 +120,39 @@ TEST(ReportRendering, DosMatrixGolden) {
         "\n"
         "Worst cell: `2atk/wstall/budget` at 45 cycles.\n";
     EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ReportRendering, RoutingPolicyRendersAsARowDimension) {
+    // Cells labelled with the routing axis render one row per
+    // (attackers, policy) combination under each defense; sweeps without
+    // the axis keep the legacy format (pinned by DosMatrixGolden above).
+    Sweep sweep;
+    sweep.name = "routing-dos";
+    sweep.title = "Routing DoS matrix";
+    std::vector<ScenarioResult> results;
+    const struct {
+        const char* label;
+        std::uint64_t load;
+    } cells[] = {
+        {"1atk/hog/none/xy", 500},
+        {"1atk/hog/none/yx", 520},
+        {"2atk/hog/none/xy", 800},
+        {"2atk/hog/none/yx", 900},
+    };
+    for (const auto& c : cells) {
+        sweep.points.push_back({c.label, ScenarioConfig{}});
+        results.push_back(result_for(c.label, c.load, 10));
+    }
+    std::ostringstream os;
+    write_report(os, sweep, results);
+    const std::string report = os.str();
+    EXPECT_NE(report.find("| attackers · routing | hog |"), std::string::npos);
+    EXPECT_NE(report.find("| 1 · xy | 500 |"), std::string::npos);
+    EXPECT_NE(report.find("| 1 · yx | 520 |"), std::string::npos);
+    EXPECT_NE(report.find("| 2 · xy | 800 |"), std::string::npos);
+    EXPECT_NE(report.find("| 2 · yx | **900** |"), std::string::npos);
+    EXPECT_NE(report.find("Worst cell: `2atk/hog/none/yx` at 900 cycles."),
+              std::string::npos);
 }
 
 TEST(ReportRendering, FlagsBootFailuresAndTimeouts) {
