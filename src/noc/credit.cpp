@@ -15,35 +15,87 @@ void NocFlowConfig::validate() const {
                   "e2e_credits must exceed one worm plus its header");
 }
 
+void NocLink::commit(Entry e) {
+    VcState& s = vc_[e.pkt.vc];
+    REALM_ENSURES(s.count < cap_, name_ + ": VC ring overflow");
+    s.flits += e.pkt.flits;
+    REALM_ENSURES(s.flits <= fc_.vc_depth,
+                  name_ + ": VC buffer exceeds its configured depth");
+    if (s.flits > s.peak) { s.peak = s.flits; }
+    slot(e.pkt.vc, s.head + s.count) = std::move(e);
+    ++s.count;
+}
+
 void NocLink::push(NocPacket pkt) {
-    REALM_EXPECTS(pkt.vc < vcs_.size(), "push into unknown VC of " + name_);
+    REALM_EXPECTS(pkt.vc < vc_.size(), "push into unknown VC of " + name_);
     REALM_EXPECTS(can_push(pkt.flits, pkt.vc),
                   "push into busy/full NoC link " + name_);
-    buffered_[pkt.vc] += pkt.flits;
-    REALM_ENSURES(buffered_[pkt.vc] <= fc_.vc_depth,
-                  name_ + ": VC buffer exceeds its configured depth");
-    if (buffered_[pkt.vc] > peak_[pkt.vc]) { peak_[pkt.vc] = buffered_[pkt.vc]; }
     // The worm's tail leaves the sender `flits` cycles after the header;
     // the physical channel is busy until then (shared across VCs).
     busy_until_ = ctx_->now() + pkt.flits;
-    vcs_[pkt.vc]->push(std::move(pkt));
+    if (!edge_) {
+        commit(Entry{std::move(pkt), ctx_->now()});
+        if (wake_on_push_ != nullptr) { wake_on_push_->wake(ctx_->now() + 1); }
+        return;
+    }
+    // Edge mode: stage producer-side, stamped with the staging cycle so
+    // visibility stays exactly N+1 however late the barrier commits it.
+    VcState& s = vc_[pkt.vc];
+    ++s.staged_count;
+    s.staged_flits += pkt.flits;
+    if (staged_.empty() && !pop_dirty_) { ctx_->note_edge_dirty(*this); }
+    staged_.push_back(Entry{std::move(pkt), ctx_->now()});
+    // Keep the fast-forward hint honest without touching the (possibly
+    // cross-shard) consumer: the component wake fires at the flush.
+    ctx_->note_wake(ctx_->now() + 1);
 }
 
 NocPacket NocLink::pop(std::uint8_t vc) {
-    NocPacket pkt = vcs_.at(vc)->pop();
-    REALM_ENSURES(buffered_[vc] >= pkt.flits, "NoC link flit underflow");
-    buffered_[vc] -= pkt.flits;
+    REALM_EXPECTS(can_pop(vc), "pop from empty NoC link " + name_);
+    VcState& s = vc_[vc];
+    Entry& e = slot(vc, s.head);
+    NocPacket pkt = std::move(e.pkt);
+    REALM_ENSURES(s.flits >= pkt.flits, "NoC link flit underflow");
+    s.flits -= pkt.flits;
+    s.head = (s.head + 1) % cap_;
+    --s.count;
+    if (edge_ && !pop_dirty_ && staged_.empty()) {
+        // The producer's capacity snapshot must learn about this pop at
+        // the next edge even if nothing gets pushed meanwhile.
+        pop_dirty_ = true;
+        ctx_->note_edge_dirty(*this);
+    }
     return pkt;
+}
+
+void NocLink::flush_edge(sim::Cycle now) {
+    const bool arrived = !staged_.empty();
+    for (Entry& e : staged_) { commit(std::move(e)); }
+    staged_.clear();
+    for (VcState& s : vc_) {
+        s.staged_count = 0;
+        s.staged_flits = 0;
+        s.snap_count = s.count;
+        s.snap_flits = s.flits;
+    }
+    pop_dirty_ = false;
+    if (arrived && wake_on_push_ != nullptr) { wake_on_push_->wake(now); }
 }
 
 std::size_t staging_depth(const NocFlowConfig& fc) { return fc.e2e_credits; }
 
 void wire_credit_returns(const sim::SimContext& ctx, axi::AxiChannel& egress,
-                         CreditPool& pool, const NocFlowConfig& fc) {
+                         CreditPool& pool, const NocFlowConfig& fc,
+                         bool deferred) {
+    REALM_EXPECTS(!deferred || fc.credit_return_delay >= 1,
+                  "deferred credit returns require credit_return_delay >= 1");
     const std::uint32_t data_flits = fc.packet_flits(/*data_carrying=*/true);
     const std::uint32_t delay = fc.credit_return_delay;
-    const auto returner = [&ctx, &pool, delay](std::uint32_t flits) {
-        if (delay == 0) {
+    const auto returner = [&ctx, &pool, delay, deferred](std::uint32_t flits) {
+        if (deferred) {
+            if (pool.stage_empty()) { ctx.note_edge_dirty(pool); }
+            pool.stage_release(ctx.now() + delay, flits);
+        } else if (delay == 0) {
             pool.release(flits);
         } else {
             pool.release_at(ctx.now() + delay, flits);

@@ -29,18 +29,27 @@
 ///    at the drain point instantaneously — the pool tracks the pending
 ///    returns, and conservation (held + in flight == capacity) stays
 ///    asserted on every transition.
+///
+/// Sharded execution (see `sim::EdgeFlushable`): links and pools that cross
+/// shard boundaries run in *edge-registered* mode — producer-side writes
+/// are staged thread-privately during the tick phase and committed at the
+/// cycle-edge barrier. Because the registered contract already makes every
+/// push visible only at N+1 (and mesh credit returns ride the response
+/// network for >= 1 cycle), the commit point is unobservable: results are
+/// bit-identical for every shard count, including the single-thread run.
 #pragma once
 
 #include "axi/channel.hpp"
 #include "noc/packet.hpp"
 
 #include "sim/check.hpp"
+#include "sim/context.hpp"
 #include "sim/link.hpp"
 
 #include <cstdint>
 #include <deque>
-#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace realm::noc {
@@ -63,9 +72,11 @@ struct NocFlowConfig {
     std::uint32_t e2e_credits = 32;
     /// Cycles a returning end-to-end credit spends riding the response
     /// network before the injector may reuse it (0 = instantaneous release
-    /// at the drain point, the historical behaviour). Sharpens the
-    /// round-trip-limited throughput numbers without touching any buffer
-    /// bound: a pending return still counts as in flight.
+    /// at the drain point, the historical behaviour; the mesh forces >= 1
+    /// so credit returns are cycle-edge events the sharded kernel can
+    /// commit at the barrier). Sharpens the round-trip-limited throughput
+    /// numbers without touching any buffer bound: a pending return still
+    /// counts as in flight.
     std::uint32_t credit_return_delay = 0;
 
     /// Flit count of a request/response packet under this config.
@@ -82,7 +93,14 @@ struct NocFlowConfig {
 /// immediately instead of showing up as a hung sweep hours later. Credits
 /// released with `release_at` stay in flight (riding the response network)
 /// until their ready cycle; `settle(now)` matures them.
-class CreditPool {
+///
+/// Cross-shard pools use `stage_release` instead of `release_at`: the
+/// releasing shard appends to a pool-private staging vector (no lock — one
+/// shard releases into any given pool) and the kernel commits the batch at
+/// the cycle edge via `flush_edge`. The taker's `settle`/`take` run on the
+/// consuming shard and never touch the staging storage, so the tick phase
+/// is race-free.
+class CreditPool : public sim::EdgeFlushable {
 public:
     explicit CreditPool(std::uint32_t capacity = 0) : capacity_{capacity},
                                                       available_{capacity} {}
@@ -107,6 +125,24 @@ public:
                       "credit release exceeds in-flight credits");
         pending_.push_back(Pending{ready_at, flits});
         pending_total_ += flits;
+    }
+    /// Cross-shard release: staged thread-privately, committed into the
+    /// pending queue at the cycle-edge flush. `ready_at` must be strictly
+    /// past the staging cycle (the mesh forces `credit_return_delay >= 1`),
+    /// so deferring the commit to the barrier is unobservable.
+    void stage_release(sim::Cycle ready_at, std::uint32_t flits) {
+        staged_.push_back(Pending{ready_at, flits});
+    }
+    [[nodiscard]] bool stage_empty() const noexcept { return staged_.empty(); }
+    /// Commits staged releases (kernel barrier; single-threaded).
+    void flush_edge(sim::Cycle /*now*/) override {
+        for (const Pending& p : staged_) {
+            REALM_ENSURES(p.flits <= in_flight() - pending_total_,
+                          "credit release exceeds in-flight credits");
+            pending_.push_back(p);
+            pending_total_ += p.flits;
+        }
+        staged_.clear();
     }
     /// Matures every pending return whose ready cycle has arrived. Returns
     /// are queued in release order and delays are uniform, so the queue
@@ -153,6 +189,7 @@ private:
     std::uint32_t available_ = 0;
     std::uint32_t pending_total_ = 0;
     std::deque<Pending> pending_;
+    std::vector<Pending> staged_; ///< cross-shard releases awaiting the edge
 };
 
 /// Every end-to-end pool of one fabric: request pools indexed by
@@ -160,45 +197,47 @@ private:
 /// (target manager node, source subordinate node). Kept separate so the
 /// request/response protocol split stays deadlock-free under credit
 /// exhaustion.
+///
+/// Pools materialize lazily: a 32x32 mesh would otherwise eagerly build
+/// 2 x 1024^2 pools, of which the role map ever touches a few thousand
+/// (managers x memories). `unordered_map` is node-based, so references
+/// handed to the credit-return closures stay valid forever.
 class CreditBook {
 public:
-    CreditBook(std::uint8_t num_nodes, const NocFlowConfig& fc)
-        : n_{num_nodes},
-          req_(static_cast<std::size_t>(num_nodes) * num_nodes,
-               CreditPool{fc.e2e_credits}),
-          rsp_(static_cast<std::size_t>(num_nodes) * num_nodes,
-               CreditPool{fc.e2e_credits}) {}
+    CreditBook(NodeId num_nodes, const NocFlowConfig& fc)
+        : n_{num_nodes}, credits_{fc.e2e_credits} {}
 
-    [[nodiscard]] CreditPool& req(std::uint8_t dest, std::uint8_t src) {
-        return req_[index(dest, src)];
+    [[nodiscard]] CreditPool& req(NodeId dest, NodeId src) const {
+        return pool(req_, dest, src);
     }
-    [[nodiscard]] CreditPool& rsp(std::uint8_t dest, std::uint8_t src) {
-        return rsp_[index(dest, src)];
-    }
-    [[nodiscard]] const CreditPool& req(std::uint8_t dest, std::uint8_t src) const {
-        return req_[index(dest, src)];
-    }
-    [[nodiscard]] const CreditPool& rsp(std::uint8_t dest, std::uint8_t src) const {
-        return rsp_[index(dest, src)];
+    [[nodiscard]] CreditPool& rsp(NodeId dest, NodeId src) const {
+        return pool(rsp_, dest, src);
     }
 
-    [[nodiscard]] std::uint8_t num_nodes() const noexcept { return n_; }
+    [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
 
-    /// Asserts conservation on every pool.
+    /// Asserts conservation on every (materialized) pool.
     void check_conserved() const {
-        for (const CreditPool& p : req_) { p.check_conserved(); }
-        for (const CreditPool& p : rsp_) { p.check_conserved(); }
+        for (const auto& [key, p] : req_) { p.check_conserved(); }
+        for (const auto& [key, p] : rsp_) { p.check_conserved(); }
     }
 
 private:
-    [[nodiscard]] std::size_t index(std::uint8_t dest, std::uint8_t src) const {
+    using PoolMap = std::unordered_map<std::uint32_t, CreditPool>;
+
+    [[nodiscard]] CreditPool& pool(PoolMap& m, NodeId dest, NodeId src) const {
         REALM_EXPECTS(dest < n_ && src < n_, "credit pool index out of range");
-        return static_cast<std::size_t>(dest) * n_ + src;
+        const std::uint32_t key =
+            (static_cast<std::uint32_t>(dest) << 16) | src;
+        return m.try_emplace(key, credits_).first->second;
     }
 
-    std::uint8_t n_;
-    std::vector<CreditPool> req_;
-    std::vector<CreditPool> rsp_;
+    NodeId n_;
+    std::uint32_t credits_;
+    /// Mutable: materializing an untouched pool is unobservable (it is
+    /// born full), so const callers may trigger it.
+    mutable PoolMap req_;
+    mutable PoolMap rsp_;
 };
 
 /// One NoC link: a physical wormhole channel carrying `num_vcs` virtual
@@ -210,27 +249,48 @@ private:
 /// private buffers, so a blocked worm in one class never holds buffer
 /// space another class waits on — the O1TURN deadlock-freedom requirement
 /// (see noc/routing.hpp).
-class NocLink {
+///
+/// Storage: one contiguous backing array of (packet, push cycle) slots for
+/// all VCs of the link — `vc_depth` slots per VC, addressed as per-VC ring
+/// buffers — replacing the former per-VC heap-allocated queues. The whole
+/// in-flight state of a router port is one cache-friendly block.
+///
+/// Modes:
+///  - **Immediate** (default; ring fabric, standalone links): `push`
+///    commits into the ring at once. Capacity checks see pops the moment
+///    they happen — including same-cycle pops by consumers that ticked
+///    earlier, which is why immediate links must never cross shards.
+///  - **Edge-registered** (`edge_registered = true`; every mesh link):
+///    `push` stages producer-side, the kernel commits at the cycle-edge
+///    barrier (`flush_edge`), and the producer's capacity view is a
+///    snapshot refreshed at the same barrier. Pushes are stamped with the
+///    staging cycle, so visibility (at N+1) is exactly the registered
+///    contract; what changes is that a pop at cycle N frees sender-visible
+///    space at N+1 instead of same-cycle — deterministic and
+///    order-independent, hence safe under any shard layout (the flit
+///    exchange of the sharded kernel), at the cost of one cycle of
+///    capacity-return latency.
+class NocLink : public sim::EdgeFlushable {
 public:
     NocLink(const sim::SimContext& ctx, std::string name, const NocFlowConfig& fc,
-            std::uint8_t num_vcs = 1)
-        : ctx_{&ctx}, fc_{fc}, name_{std::move(name)} {
+            std::uint8_t num_vcs = 1, bool edge_registered = false)
+        : ctx_{&ctx}, fc_{fc}, name_{std::move(name)}, edge_{edge_registered},
+          cap_{fc.vc_depth} {
         REALM_EXPECTS(num_vcs >= 1, "a NoC link needs at least one VC");
-        buffered_.assign(num_vcs, 0);
-        peak_.assign(num_vcs, 0);
-        vcs_.reserve(num_vcs);
-        for (std::uint8_t v = 0; v < num_vcs; ++v) {
-            vcs_.push_back(std::make_unique<sim::Link<NocPacket>>(
-                ctx, fc.vc_depth, name_));
-        }
+        vc_.resize(num_vcs);
+        slots_.resize(static_cast<std::size_t>(num_vcs) * cap_);
     }
 
     /// True when a packet of `flits` flits may start transmission on VC
     /// `vc` this cycle: the physical channel is not serializing an earlier
-    /// worm and that VC holds enough free flit slots at the receiver.
+    /// worm and that VC holds enough free flit slots at the receiver (in
+    /// edge mode, as of the last cycle edge).
     [[nodiscard]] bool can_push(std::uint32_t flits, std::uint8_t vc = 0) const {
-        return ctx_->now() >= busy_until_ && vcs_.at(vc)->can_push() &&
-               buffered_[vc] + flits <= fc_.vc_depth;
+        const VcState& s = vc_.at(vc);
+        const std::uint32_t pkts = edge_ ? s.snap_count + s.staged_count : s.count;
+        const std::uint32_t occ = edge_ ? s.snap_flits + s.staged_flits : s.flits;
+        return ctx_->now() >= busy_until_ && pkts < cap_ &&
+               occ + flits <= fc_.vc_depth;
     }
     [[nodiscard]] bool can_push(const NocPacket& pkt) const {
         return can_push(pkt.flits, pkt.vc);
@@ -239,33 +299,44 @@ public:
     void push(NocPacket pkt);
 
     [[nodiscard]] bool can_pop(std::uint8_t vc = 0) const {
-        return vcs_.at(vc)->can_pop();
+        const VcState& s = vc_.at(vc);
+        return s.count > 0 && slot(vc, s.head).pushed_at < ctx_->now();
     }
     [[nodiscard]] const NocPacket& front(std::uint8_t vc = 0) const {
-        return vcs_.at(vc)->front();
+        REALM_EXPECTS(can_pop(vc), "front of empty NoC link " + name_);
+        return slot(vc, vc_.at(vc).head).pkt;
     }
     NocPacket pop(std::uint8_t vc = 0);
 
+    /// Consumer view: no committed packets on any VC (staged pushes are
+    /// covered by the flush-time wake, so a consumer may sleep on this).
     [[nodiscard]] bool empty() const noexcept {
-        for (const auto& vc : vcs_) {
-            if (!vc->empty()) { return false; }
+        for (const VcState& s : vc_) {
+            if (s.count > 0) { return false; }
         }
         return true;
     }
-    void set_wake_on_push(sim::Component* c) noexcept {
-        for (const auto& vc : vcs_) { vc->set_wake_on_push(c); }
-    }
+    void set_wake_on_push(sim::Component* c) noexcept { wake_on_push_ = c; }
+
+    /// Commits staged pushes into the rings and refreshes the producer's
+    /// capacity snapshot (kernel barrier; single-threaded).
+    void flush_edge(sim::Cycle now) override;
 
     /// \name Introspection (routing adaptivity, tests, benches)
     ///@{
     [[nodiscard]] std::uint8_t num_vcs() const noexcept {
-        return static_cast<std::uint8_t>(vcs_.size());
+        return static_cast<std::uint8_t>(vc_.size());
     }
+    /// Producer-side occupancy: committed + own staged flits in edge mode
+    /// (deterministic under any shard layout — never reads state another
+    /// shard is mutating), live occupancy otherwise. The west-first
+    /// adaptivity tie-break reads this.
     [[nodiscard]] std::uint32_t buffered_flits(std::uint8_t vc = 0) const {
-        return buffered_.at(vc);
+        const VcState& s = vc_.at(vc);
+        return edge_ ? s.snap_flits + s.staged_flits : s.flits;
     }
     [[nodiscard]] std::uint32_t peak_buffered_flits(std::uint8_t vc = 0) const {
-        return peak_.at(vc);
+        return vc_.at(vc).peak;
     }
     [[nodiscard]] const NocFlowConfig& flow() const noexcept { return fc_; }
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -274,20 +345,50 @@ public:
     /// Asserts the per-VC occupancy bound (tests call this every cycle;
     /// pushes already enforce it inline).
     void check_bounded() const {
-        for (const std::uint32_t b : buffered_) {
-            REALM_ENSURES(b <= fc_.vc_depth,
+        for (const VcState& s : vc_) {
+            REALM_ENSURES(s.flits + s.staged_flits <= fc_.vc_depth,
                           name_ + ": VC buffer exceeds its configured depth");
         }
     }
 
 private:
+    struct Entry {
+        NocPacket pkt;
+        sim::Cycle pushed_at = 0;
+    };
+    /// Per-VC ring state over the shared backing array. `count`/`flits` are
+    /// live (consumer + flush); `snap_*` is the producer's edge snapshot;
+    /// `staged_*` counts the producer's uncommitted pushes.
+    struct VcState {
+        std::uint32_t head = 0;
+        std::uint32_t count = 0;
+        std::uint32_t flits = 0;
+        std::uint32_t peak = 0;
+        std::uint32_t snap_count = 0;
+        std::uint32_t snap_flits = 0;
+        std::uint32_t staged_count = 0;
+        std::uint32_t staged_flits = 0;
+    };
+
+    [[nodiscard]] Entry& slot(std::uint8_t vc, std::uint32_t pos) {
+        return slots_[static_cast<std::size_t>(vc) * cap_ + pos % cap_];
+    }
+    [[nodiscard]] const Entry& slot(std::uint8_t vc, std::uint32_t pos) const {
+        return slots_[static_cast<std::size_t>(vc) * cap_ + pos % cap_];
+    }
+    void commit(Entry e); ///< inserts one entry into its VC ring
+
     const sim::SimContext* ctx_;
     NocFlowConfig fc_;
     std::string name_;
-    std::vector<std::unique_ptr<sim::Link<NocPacket>>> vcs_;
-    std::vector<std::uint32_t> buffered_;
-    std::vector<std::uint32_t> peak_;
+    bool edge_;
+    std::uint32_t cap_; ///< ring slots per VC (== vc_depth packets)
+    std::vector<Entry> slots_;
+    std::vector<VcState> vc_;
+    std::vector<Entry> staged_; ///< edge mode: pushes awaiting the barrier
+    bool pop_dirty_ = false;    ///< edge mode: pops since the last flush
     sim::Cycle busy_until_ = 0;
+    sim::Component* wake_on_push_ = nullptr;
 };
 
 /// \name Staging helpers shared by the ring and mesh assemblies
@@ -299,8 +400,12 @@ private:
 /// Wires the end-to-end credit returns of one per-source staging channel:
 /// the pool's flits come back as the egress mux drains the lanes — after
 /// `credit_return_delay` cycles on the response network when configured.
+/// With `deferred` (mesh fabrics), returns are staged into the pool and
+/// committed at the cycle-edge barrier so they are safe to fire from any
+/// shard; requires `credit_return_delay >= 1`.
 void wire_credit_returns(const sim::SimContext& ctx, axi::AxiChannel& egress,
-                         CreditPool& pool, const NocFlowConfig& fc);
+                         CreditPool& pool, const NocFlowConfig& fc,
+                         bool deferred = false);
 
 /// Flits currently staged in one per-source egress channel's request lanes,
 /// weighted by worm length (a staged W beat holds its whole worm's buffer

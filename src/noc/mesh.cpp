@@ -2,6 +2,7 @@
 
 #include "sim/check.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -11,11 +12,12 @@ namespace realm::noc {
 // MeshRouter
 // ---------------------------------------------------------------------------
 
-MeshRouter::MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
-                       std::uint8_t cols, ic::AddrMap map, axi::AxiChannel* local_mgr,
+MeshRouter::MeshRouter(sim::SimContext& ctx, std::string name, NodeId node_id,
+                       NodeId cols, NodeId num_nodes, ic::AddrMap map,
+                       axi::AxiChannel* local_mgr,
                        std::vector<axi::AxiChannel*> egress, Ports ports,
                        const NocFlowConfig& fc, CreditBook* book,
-                       RoutingPolicy routing)
+                       RoutingPolicy routing, bool deferred_credits)
     : Component{ctx, std::move(name)},
       id_{node_id},
       cols_{cols},
@@ -25,7 +27,7 @@ MeshRouter::MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node
       ports_{ports},
       routing_{routing},
       num_vcs_{route_num_vcs(routing)},
-      ni_{ctx, this->name(), fc, book, routing} {
+      ni_{ctx, this->name(), num_nodes, fc, book, routing, deferred_credits} {
     // Activity-aware kernel wiring: every neighbor link feeding this router
     // has exactly one consumer (this router), so claiming the push hooks is
     // safe; the local manager and egress channels follow the ring-NI scheme.
@@ -53,7 +55,7 @@ void MeshRouter::reset() {
     stalls_ = 0;
 }
 
-NocLink* MeshRouter::route_out(bool request_net, std::uint8_t dest,
+NocLink* MeshRouter::route_out(bool request_net, NodeId dest,
                                std::uint32_t flits, std::uint8_t vc) {
     const HopSet hops = permitted_hops(routing_, cols_, id_, dest, vc);
     REALM_EXPECTS(!hops.empty(),
@@ -165,7 +167,7 @@ void MeshRouter::service_network(bool request_net) {
 void MeshRouter::inject_requests() {
     if (local_mgr_ == nullptr) { return; }
     if (ni_.inject_requests(id_, *local_mgr_, map_,
-                            [this](std::uint8_t dest, std::uint32_t flits,
+                            [this](NodeId dest, std::uint32_t flits,
                                    std::uint8_t vc) {
                                 return route_out(/*request_net=*/true, dest, flits,
                                                  vc);
@@ -177,7 +179,7 @@ void MeshRouter::inject_requests() {
 void MeshRouter::inject_responses() {
     if (egress_.empty()) { return; }
     if (ni_.inject_responses(id_, egress_,
-                             [this](std::uint8_t dest, std::uint32_t flits,
+                             [this](NodeId dest, std::uint32_t flits,
                                     std::uint8_t vc) {
                                  return route_out(/*request_net=*/false, dest,
                                                   flits, vc);
@@ -220,30 +222,39 @@ void MeshRouter::update_activity() {
 // NocMesh
 // ---------------------------------------------------------------------------
 
-NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
-                 std::uint8_t cols, ic::AddrMap node_map,
-                 std::vector<std::uint8_t> subordinate_nodes, NocFlowConfig flow,
+NocMesh::NocMesh(sim::SimContext& ctx, std::string name, NodeId rows,
+                 NodeId cols, ic::AddrMap node_map,
+                 std::vector<NodeId> subordinate_nodes, NocFlowConfig flow,
                  RoutingPolicy routing)
     : rows_{rows}, cols_{cols}, flow_{flow}, routing_{routing} {
     const std::uint32_t n32 = static_cast<std::uint32_t>(rows) * cols;
     REALM_EXPECTS(n32 >= 2, "a mesh needs at least two nodes");
-    REALM_EXPECTS(n32 <= 255, "node ids are 8-bit");
+    REALM_EXPECTS(n32 <= 65535, "node ids are 16-bit");
+    // The mesh always runs the shard-safe transport — edge-registered
+    // neighbor links and cycle-edge credit returns — so its behaviour never
+    // depends on the shard count (including 1). Deferred returns need at
+    // least one cycle of return latency.
+    flow_.credit_return_delay = std::max<std::uint32_t>(1, flow_.credit_return_delay);
     flow_.validate();
-    const auto n = static_cast<std::uint8_t>(n32);
+    const auto n = static_cast<NodeId>(n32);
+    stripe_shards_ = std::min<unsigned>(std::max(1U, ctx.shards()),
+                                        static_cast<unsigned>(cols));
     sub_index_.assign(n, -1);
-    for (const std::uint8_t s : subordinate_nodes) {
+    for (const NodeId s : subordinate_nodes) {
         REALM_EXPECTS(s < n, "subordinate node out of range");
     }
     book_ = std::make_unique<CreditBook>(n, flow_);
 
     // Channels and links first (plain objects, no tick order concerns).
     // The routing policy fixes the per-link VC count (O1TURN needs one VC
-    // per route class).
+    // per route class). Every router<->router link is edge-registered:
+    // pushes stage producer-side and commit at the cycle-edge flush, which
+    // is what makes cross-shard traffic order-independent within a cycle.
     const std::uint8_t vcs = route_num_vcs(routing_);
     const auto make_link = [&](std::vector<std::unique_ptr<NocLink>>& v,
-                               std::uint8_t i, const char* tag) {
+                               NodeId i, const char* tag) {
         v[i] = std::make_unique<NocLink>(ctx, name + tag + std::to_string(i), flow_,
-                                         vcs);
+                                         vcs, /*edge_registered=*/true);
     };
     h_req_fwd_.resize(n);
     h_req_rev_.resize(n);
@@ -253,7 +264,8 @@ NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
     v_req_rev_.resize(n);
     v_rsp_fwd_.resize(n);
     v_rsp_rev_.resize(n);
-    for (std::uint8_t i = 0; i < n; ++i) {
+    for (NodeId i = 0; i < n; ++i) {
+        const sim::ShardScope scope{ctx, shard_of_node(i)};
         mgr_ports_.push_back(std::make_unique<axi::AxiChannel>(
             ctx, name + ".mgr" + std::to_string(i)));
         if (i % cols != cols - 1U) { // east neighbor exists
@@ -270,13 +282,15 @@ NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
         }
     }
     egress_.resize(n);
-    for (const std::uint8_t s : subordinate_nodes) {
+    for (const NodeId s : subordinate_nodes) {
+        const sim::ShardScope scope{ctx, shard_of_node(s)};
         std::vector<axi::AxiChannel*> egress_raw;
-        for (std::uint8_t src = 0; src < n; ++src) {
+        for (NodeId src = 0; src < n; ++src) {
             egress_[s].push_back(std::make_unique<axi::AxiChannel>(
                 ctx, name + ".eg" + std::to_string(s) + "_" + std::to_string(src),
                 staging_depth(flow_)));
-            wire_credit_returns(ctx, *egress_[s].back(), book_->req(s, src), flow_);
+            wire_credit_returns(ctx, *egress_[s].back(), book_->req(s, src), flow_,
+                                /*deferred=*/true);
             egress_raw.push_back(egress_[s].back().get());
         }
         sub_index_[s] = static_cast<int>(sub_ports_.size());
@@ -289,7 +303,8 @@ NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
 
     // Routers last, in node order (construction order fixes tick order).
     const auto dir = [](MeshDir d) { return static_cast<std::size_t>(d); };
-    for (std::uint8_t i = 0; i < n; ++i) {
+    for (NodeId i = 0; i < n; ++i) {
+        const sim::ShardScope scope{ctx, shard_of_node(i)};
         std::vector<axi::AxiChannel*> egress_raw;
         for (const auto& ch : egress_[i]) { egress_raw.push_back(ch.get()); }
 
@@ -319,13 +334,13 @@ NocMesh::NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
             p.rsp_in[dir(MeshDir::kNorth)] = v_rsp_fwd_[i - cols].get();
         }
         routers_.push_back(std::make_unique<MeshRouter>(
-            ctx, name + ".r" + std::to_string(i), i, cols, node_map,
+            ctx, name + ".r" + std::to_string(i), i, cols, n, node_map,
             mgr_ports_[i].get(), std::move(egress_raw), p, flow_, book_.get(),
-            routing_));
+            routing_, /*deferred_credits=*/true));
     }
 }
 
-axi::AxiChannel& NocMesh::subordinate_port(std::uint8_t node) {
+axi::AxiChannel& NocMesh::subordinate_port(NodeId node) {
     REALM_EXPECTS(node < sub_index_.size() && sub_index_[node] >= 0,
                   "node hosts no subordinate");
     return *sub_ports_[static_cast<std::size_t>(sub_index_[node])];
@@ -368,20 +383,19 @@ void NocMesh::check_flow_invariants() const {
         for (std::size_t src = 0; src < egress_[s].size(); ++src) {
             check_staging_invariants(
                 *egress_[s][src],
-                book_->req(static_cast<std::uint8_t>(s),
-                           static_cast<std::uint8_t>(src)),
+                book_->req(static_cast<NodeId>(s), static_cast<NodeId>(src)),
                 flow_,
                 routers_[s]->ni().stashed_request_flits(
-                    static_cast<std::uint8_t>(src)));
+                    static_cast<NodeId>(src)));
         }
     }
     // Response reorder stashes are bounded by the response pools: a stashed
     // response still holds its end-to-end credits.
     for (std::size_t d = 0; d < routers_.size(); ++d) {
-        for (std::uint8_t src = 0; src < routers_.size(); ++src) {
+        for (NodeId src = 0; src < routers_.size(); ++src) {
             REALM_ENSURES(
                 routers_[d]->ni().stashed_response_flits(src) <=
-                    book_->rsp(static_cast<std::uint8_t>(d), src).in_flight(),
+                    book_->rsp(static_cast<NodeId>(d), src).in_flight(),
                 "stashed response flits without matching in-flight credits");
         }
     }

@@ -62,11 +62,16 @@ public:
         std::array<NocLink*, kMeshDirs> rsp_out{};
     };
 
-    MeshRouter(sim::SimContext& ctx, std::string name, std::uint8_t node_id,
-               std::uint8_t cols, ic::AddrMap map, axi::AxiChannel* local_mgr,
+    /// \param deferred_credits  Stage credit releases for the cycle-edge
+    ///        flush (required under spatial sharding; `NocMesh` always
+    ///        passes true so behaviour never depends on the shard count).
+    MeshRouter(sim::SimContext& ctx, std::string name, NodeId node_id,
+               NodeId cols, NodeId num_nodes, ic::AddrMap map,
+               axi::AxiChannel* local_mgr,
                std::vector<axi::AxiChannel*> egress, Ports ports,
                const NocFlowConfig& fc, CreditBook* book,
-               RoutingPolicy routing = RoutingPolicy::kXY);
+               RoutingPolicy routing = RoutingPolicy::kXY,
+               bool deferred_credits = false);
 
     void reset() override;
     void tick() override;
@@ -92,7 +97,7 @@ private:
     /// Injection-side routing: computes the permitted hops for `dest` and
     /// picks an output (asserting the set is non-empty — a node never
     /// routes to itself).
-    [[nodiscard]] NocLink* route_out(bool request_net, std::uint8_t dest,
+    [[nodiscard]] NocLink* route_out(bool request_net, NodeId dest,
                                      std::uint32_t flits, std::uint8_t vc);
     /// Picks the best permitted output for a worm from an already-computed
     /// hop set (`from` is the arrival direction for the 180-degree-turn
@@ -104,8 +109,8 @@ private:
                                        std::optional<MeshDir> from);
     void update_activity();
 
-    std::uint8_t id_;
-    std::uint8_t cols_;
+    NodeId id_;
+    NodeId cols_;
     ic::AddrMap map_;
     axi::AxiChannel* local_mgr_;
     std::vector<axi::AxiChannel*> egress_;
@@ -143,26 +148,34 @@ public:
     ///        `NocRing` — the flow-control argument is fabric-independent).
     /// \param routing           routing policy applied fabric-wide (fixes
     ///        the per-link VC count: 2 under O1TURN, 1 otherwise).
-    NocMesh(sim::SimContext& ctx, std::string name, std::uint8_t rows,
-            std::uint8_t cols, ic::AddrMap node_map,
-            std::vector<std::uint8_t> subordinate_nodes, NocFlowConfig flow = {},
+    NocMesh(sim::SimContext& ctx, std::string name, NodeId rows,
+            NodeId cols, ic::AddrMap node_map,
+            std::vector<NodeId> subordinate_nodes, NocFlowConfig flow = {},
             RoutingPolicy routing = RoutingPolicy::kXY);
 
     NocMesh(const NocMesh&) = delete;
     NocMesh& operator=(const NocMesh&) = delete;
 
     /// Channel a manager at `node` drives (requests in, responses out).
-    [[nodiscard]] axi::AxiChannel& manager_port(std::uint8_t node) {
+    [[nodiscard]] axi::AxiChannel& manager_port(NodeId node) {
         return *mgr_ports_.at(node);
     }
     /// Channel to attach a subordinate model at `node`.
-    [[nodiscard]] axi::AxiChannel& subordinate_port(std::uint8_t node);
+    [[nodiscard]] axi::AxiChannel& subordinate_port(NodeId node);
 
-    [[nodiscard]] MeshRouter& router(std::uint8_t i) { return *routers_.at(i); }
-    [[nodiscard]] std::uint8_t rows() const noexcept { return rows_; }
-    [[nodiscard]] std::uint8_t cols() const noexcept { return cols_; }
-    [[nodiscard]] std::uint8_t num_nodes() const noexcept {
-        return static_cast<std::uint8_t>(routers_.size());
+    [[nodiscard]] MeshRouter& router(NodeId i) { return *routers_.at(i); }
+    [[nodiscard]] NodeId rows() const noexcept { return rows_; }
+    [[nodiscard]] NodeId cols() const noexcept { return cols_; }
+    [[nodiscard]] NodeId num_nodes() const noexcept {
+        return static_cast<NodeId>(routers_.size());
+    }
+    /// Spatial shard hosting node `n`'s tile (column stripe). The stripe
+    /// count is fixed at construction from the context's shard setting, so
+    /// all of a tile's components (router, mux, memory, attached cores)
+    /// land on one shard and every cross-shard path is an edge-registered
+    /// neighbor link.
+    [[nodiscard]] unsigned shard_of_node(NodeId n) const noexcept {
+        return static_cast<unsigned>(n % cols_) * stripe_shards_ / cols_;
     }
     [[nodiscard]] const NocFlowConfig& flow() const noexcept { return flow_; }
     [[nodiscard]] RoutingPolicy routing() const noexcept { return routing_; }
@@ -185,8 +198,10 @@ public:
     void check_flow_invariants() const;
 
 private:
-    std::uint8_t rows_;
-    std::uint8_t cols_;
+    NodeId rows_;
+    NodeId cols_;
+    /// Column stripes used for spatial sharding (min(shards, cols)).
+    unsigned stripe_shards_ = 1;
     NocFlowConfig flow_;
     RoutingPolicy routing_;
     std::unique_ptr<CreditBook> book_;

@@ -10,10 +10,30 @@ void NocNi::reset() {
     w_in_flight_.clear();
     r_in_flight_.clear();
     rsp_rr_ = 0;
-    req_seq_.clear();
-    rsp_seq_.clear();
-    req_reorder_.clear();
-    rsp_reorder_.clear();
+    std::fill(req_seq_.begin(), req_seq_.end(), 0);
+    std::fill(rsp_seq_.begin(), rsp_seq_.end(), 0);
+    for (Reorder& ro : req_reorder_) {
+        ro.expected = 0;
+        ro.stash.clear();
+    }
+    for (Reorder& ro : rsp_reorder_) {
+        ro.expected = 0;
+        ro.stash.clear();
+    }
+    arena_.clear(); // every stash index was just dropped
+    rsp_stash_srcs_.clear();
+}
+
+void NocNi::update_rsp_stash_index(NodeId src) {
+    const bool nonempty = !rsp_reorder_[src].stash.empty();
+    const auto it =
+        std::lower_bound(rsp_stash_srcs_.begin(), rsp_stash_srcs_.end(), src);
+    const bool present = it != rsp_stash_srcs_.end() && *it == src;
+    if (nonempty && !present) {
+        rsp_stash_srcs_.insert(it, src);
+    } else if (!nonempty && present) {
+        rsp_stash_srcs_.erase(it);
+    }
 }
 
 void NocNi::deliver_request(const NocPacket& pkt, axi::AxiChannel& ch) {
@@ -47,7 +67,7 @@ bool NocNi::try_eject_request(const NocPacket& pkt,
     if (pkt.seq != ro.expected) {
         // Early arrival on a faster path: hold it (its credits stay in
         // flight) until the injection-order predecessors catch up.
-        const bool inserted = ro.stash.emplace(pkt.seq, pkt).second;
+        const bool inserted = ro.stash_insert(arena_, pkt.seq, pkt);
         REALM_ENSURES(inserted, owner_ + ": duplicate request sequence number");
         return true;
     }
@@ -55,19 +75,36 @@ bool NocNi::try_eject_request(const NocPacket& pkt,
     ++ro.expected;
     // Close any gap the stash already covers, in injection order
     // (request delivery never backpressures, so this drains fully).
-    drain_stash(ro, [&](const NocPacket& p) {
+    drain_stash(arena_, ro, [&](const NocPacket& p) {
         deliver_request(p, ch);
         return true;
     });
     return true;
 }
 
+void NocNi::release_response_credits(const NocPacket& pkt) {
+    // The response credits stay in flight until the delivery into the
+    // manager channel actually happens (which may lag the arrival when the
+    // packet sat in the reorder stash).
+    CreditPool& pool = book_->rsp(pkt.dest, pkt.src);
+    if (deferred_credits_) {
+        // The pool's taker (the subordinate NI at pkt.src) may tick on a
+        // different shard: stage the return for the cycle-edge flush.
+        if (pool.stage_empty()) { ctx_->note_edge_dirty(pool); }
+        pool.stage_release(ctx_->now() + fc_.credit_return_delay, pkt.flits);
+    } else if (fc_.credit_return_delay == 0) {
+        pool.release(pkt.flits);
+    } else {
+        pool.release_at(ctx_->now() + fc_.credit_return_delay, pkt.flits);
+    }
+}
+
 bool NocNi::deliver_response(const NocPacket& pkt, axi::AxiChannel& mgr) {
     if (const auto* b = std::get_if<axi::BFlit>(&pkt.flit)) {
         if (!mgr.b.can_push()) { return false; }
-        if (auto it = w_in_flight_.find(b->id); it != w_in_flight_.end() &&
-                                                it->second.count > 0) {
-            --it->second.count;
+        if (InFlight* fl = find_in_flight_mut(w_in_flight_, b->id);
+            fl != nullptr && fl->count > 0) {
+            --fl->count;
         }
         mgr.b.push(*b);
     } else {
@@ -75,31 +112,27 @@ bool NocNi::deliver_response(const NocPacket& pkt, axi::AxiChannel& mgr) {
         REALM_EXPECTS(r != nullptr, owner_ + ": malformed response packet");
         if (!mgr.r.can_push()) { return false; }
         if (r->last) {
-            if (auto it = r_in_flight_.find(r->id); it != r_in_flight_.end() &&
-                                                    it->second.count > 0) {
-                --it->second.count;
+            if (InFlight* fl = find_in_flight_mut(r_in_flight_, r->id);
+                fl != nullptr && fl->count > 0) {
+                --fl->count;
             }
         }
         mgr.r.push(*r);
     }
-    // The response credits stay in flight until the delivery into the
-    // manager channel actually happens (which may lag the arrival when the
-    // packet sat in the reorder stash).
-    CreditPool& pool = book_->rsp(pkt.dest, pkt.src);
-    if (fc_.credit_return_delay == 0) {
-        pool.release(pkt.flits);
-    } else {
-        pool.release_at(ctx_->now() + fc_.credit_return_delay, pkt.flits);
-    }
+    release_response_credits(pkt);
     return true;
 }
 
 void NocNi::drain_response_stash(axi::AxiChannel* local_mgr) {
-    if (local_mgr == nullptr) { return; }
-    for (auto& [src, ro] : rsp_reorder_) {
-        drain_stash(ro, [&](const NocPacket& p) {
+    if (local_mgr == nullptr || rsp_stash_srcs_.empty()) { return; }
+    // Iterate a snapshot (ascending source): draining rewrites the index.
+    const std::vector<NodeId> srcs = rsp_stash_srcs_;
+    for (const NodeId src : srcs) {
+        Reorder& ro = rsp_reorder_[src];
+        drain_stash(arena_, ro, [&](const NocPacket& p) {
             return deliver_response(p, *local_mgr);
         });
+        update_rsp_stash_index(src);
     }
 }
 
@@ -108,15 +141,17 @@ bool NocNi::try_eject_response(const NocPacket& pkt, axi::AxiChannel* local_mgr)
                   owner_ + ": response ejected at a node without a manager");
     Reorder& ro = rsp_reorder_[pkt.src];
     if (pkt.seq != ro.expected) {
-        const bool inserted = ro.stash.emplace(pkt.seq, pkt).second;
+        const bool inserted = ro.stash_insert(arena_, pkt.seq, pkt);
         REALM_ENSURES(inserted, owner_ + ": duplicate response sequence number");
+        update_rsp_stash_index(pkt.src);
         return true;
     }
     if (!deliver_response(pkt, *local_mgr)) { return false; }
     ++ro.expected;
-    drain_stash(ro, [&](const NocPacket& p) {
+    drain_stash(arena_, ro, [&](const NocPacket& p) {
         return deliver_response(p, *local_mgr);
     });
+    update_rsp_stash_index(pkt.src);
     return true;
 }
 

@@ -31,37 +31,54 @@
 /// by the end-to-end credit pool (a stashed worm still holds its credits),
 /// so it adds no unbounded buffer; under single-path policies (XY, YX, the
 /// ring) arrivals are always in order and the stash stays empty.
+///
+/// **Hot-path layout.** Every per-cycle table is contiguous and indexed by
+/// node id (sequence counters, reorder state) or scanned linearly over a
+/// handful of live entries (same-ID tracking) — the former per-pair
+/// `std::map` / `std::unordered_map` node churn is gone, which is what the
+/// 16x16/32x32 fabrics tick millions of times.
 #pragma once
 
 #include "axi/channel.hpp"
 #include "ic/addr_map.hpp"
+#include "noc/arena.hpp"
 #include "noc/credit.hpp"
 #include "noc/packet.hpp"
 #include "noc/routing.hpp"
 
 #include "sim/context.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace realm::noc {
 
 class NocNi {
 public:
-    /// \param ctx      Simulation clock (credit-return maturation).
-    /// \param book     End-to-end credit book of the fabric (required).
-    /// \param routing  Routing policy of the fabric — the NI assigns each
-    ///                 worm's route class / VC at injection (kXY for the
-    ///                 ring and every other single-path fabric).
-    NocNi(const sim::SimContext& ctx, std::string owner, const NocFlowConfig& fc,
-          CreditBook* book, RoutingPolicy routing = RoutingPolicy::kXY)
+    /// \param ctx        Simulation clock (credit-return maturation).
+    /// \param num_nodes  Fabric size — dimensions the per-node tables.
+    /// \param book       End-to-end credit book of the fabric (required).
+    /// \param routing    Routing policy of the fabric — the NI assigns each
+    ///                   worm's route class / VC at injection (kXY for the
+    ///                   ring and every other single-path fabric).
+    /// \param deferred_credits  Stage credit releases for the cycle-edge
+    ///                   flush instead of releasing inline — required when
+    ///                   the fabric is spatially sharded (mesh), where the
+    ///                   released pool's taker may live on another shard.
+    NocNi(const sim::SimContext& ctx, std::string owner, NodeId num_nodes,
+          const NocFlowConfig& fc, CreditBook* book,
+          RoutingPolicy routing = RoutingPolicy::kXY,
+          bool deferred_credits = false)
         : ctx_{&ctx}, owner_{std::move(owner)}, fc_{fc}, book_{book},
-          routing_{routing} {
+          routing_{routing}, deferred_credits_{deferred_credits},
+          req_seq_(num_nodes, 0), rsp_seq_(num_nodes, 0),
+          req_reorder_(num_nodes), rsp_reorder_(num_nodes) {
         REALM_EXPECTS(book_ != nullptr, owner_ + ": NoC NI needs a credit book");
+        REALM_EXPECTS(!deferred_credits_ || fc_.credit_return_delay >= 1,
+                      owner_ + ": deferred credit returns need delay >= 1");
     }
 
     void reset();
@@ -91,12 +108,9 @@ public:
     void drain_response_stash(axi::AxiChannel* local_mgr);
     /// True while any response sits in the reorder stash — the owning
     /// router must stay awake (stash progress rides on the local manager
-    /// draining, which raises no wake).
-    [[nodiscard]] bool has_stashed_responses() const {
-        for (const auto& [src, ro] : rsp_reorder_) {
-            if (!ro.stash.empty()) { return true; }
-        }
-        return false;
+    /// draining, which raises no wake). O(1): tracked, not scanned.
+    [[nodiscard]] bool has_stashed_responses() const noexcept {
+        return !rsp_stash_srcs_.empty();
     }
     ///@}
 
@@ -113,24 +127,24 @@ public:
     /// credits from the target subordinate's pool; a credit-starved head
     /// holds its lane exactly like link backpressure.
     template <typename RouteFn>
-    bool inject_requests(std::uint8_t self, axi::AxiChannel& mgr,
+    bool inject_requests(NodeId self, axi::AxiChannel& mgr,
                          const ic::AddrMap& map, RouteFn&& route) {
         const std::uint32_t data_flits = fc_.packet_flits(/*data_carrying=*/true);
         if (mgr.aw.can_pop()) {
             const axi::AwFlit& head = mgr.aw.front();
             const auto dest_opt = map.decode(head.addr);
             REALM_EXPECTS(dest_opt.has_value(), owner_ + ": unmapped NoC address");
-            const auto dest = static_cast<std::uint8_t>(*dest_opt);
-            const auto it = w_in_flight_.find(head.id);
-            const bool ordering_ok = it == w_in_flight_.end() ||
-                                     it->second.count == 0 || it->second.dest == dest;
+            const auto dest = static_cast<NodeId>(*dest_opt);
+            const InFlight* fl = find_in_flight(w_in_flight_, head.id);
+            const bool ordering_ok =
+                fl == nullptr || fl->count == 0 || fl->dest == dest;
             if (ordering_ok) {
                 if (NocLink* out = try_route(self, dest, 1, /*request_net=*/true,
                                              route)) {
                     axi::AwFlit aw = mgr.aw.pop();
-                    auto& fl = w_in_flight_[aw.id];
-                    fl.dest = dest;
-                    ++fl.count;
+                    InFlight& slot = in_flight_slot(w_in_flight_, aw.id);
+                    slot.dest = dest;
+                    ++slot.count;
                     w_dest_.push_back(dest);
                     w_beats_left_.push_back(aw.beats());
                     req_take(self, dest, 1);
@@ -141,7 +155,7 @@ public:
             }
         }
         if (!w_dest_.empty() && mgr.w.can_pop()) {
-            const std::uint8_t dest = w_dest_.front();
+            const NodeId dest = w_dest_.front();
             if (NocLink* out = try_route(self, dest, data_flits,
                                          /*request_net=*/true, route)) {
                 axi::WFlit w = mgr.w.pop();
@@ -161,17 +175,17 @@ public:
             const axi::ArFlit& head = mgr.ar.front();
             const auto dest_opt = map.decode(head.addr);
             REALM_EXPECTS(dest_opt.has_value(), owner_ + ": unmapped NoC address");
-            const auto dest = static_cast<std::uint8_t>(*dest_opt);
-            const auto it = r_in_flight_.find(head.id);
-            const bool ordering_ok = it == r_in_flight_.end() ||
-                                     it->second.count == 0 || it->second.dest == dest;
+            const auto dest = static_cast<NodeId>(*dest_opt);
+            const InFlight* fl = find_in_flight(r_in_flight_, head.id);
+            const bool ordering_ok =
+                fl == nullptr || fl->count == 0 || fl->dest == dest;
             if (!ordering_ok) { return false; }
             if (NocLink* out = try_route(self, dest, 1, /*request_net=*/true,
                                          route)) {
                 axi::ArFlit ar = mgr.ar.pop();
-                auto& fl = r_in_flight_[ar.id];
-                fl.dest = dest;
-                ++fl.count;
+                InFlight& slot = in_flight_slot(r_in_flight_, ar.id);
+                slot.dest = dest;
+                ++slot.count;
                 req_take(self, dest, 1);
                 out->push(make_packet(self, dest, 1, /*request_net=*/true, ar));
                 return true;
@@ -186,7 +200,7 @@ public:
     /// the outgoing link, or nullptr on backpressure — a blocked or
     /// credit-starved source does not stop a routable one.
     template <typename RouteFn>
-    bool inject_responses(std::uint8_t self,
+    bool inject_responses(NodeId self,
                           const std::vector<axi::AxiChannel*>& egress,
                           RouteFn&& route) {
         const std::uint32_t data_flits = fc_.packet_flits(/*data_carrying=*/true);
@@ -195,7 +209,7 @@ public:
             const std::uint32_t src = (rsp_rr_ + 1 + i) % n;
             axi::AxiChannel* ch = egress[src];
             if (ch == nullptr) { continue; }
-            const auto dest = static_cast<std::uint8_t>(src);
+            const auto dest = static_cast<NodeId>(src);
             if (ch->b.can_pop()) {
                 if (NocLink* out = try_route(self, dest, 1, /*request_net=*/false,
                                              route)) {
@@ -229,28 +243,56 @@ public:
     ///@{
     /// Flits stashed out of order for request packets from `src` (0 under
     /// single-path policies).
-    [[nodiscard]] std::uint32_t stashed_request_flits(std::uint8_t src) const {
-        return stashed_flits(req_reorder_, src);
+    [[nodiscard]] std::uint32_t stashed_request_flits(NodeId src) const {
+        return stashed_flits(arena_, req_reorder_, src);
     }
     /// Flits stashed out of order for response packets from `src`.
-    [[nodiscard]] std::uint32_t stashed_response_flits(std::uint8_t src) const {
-        return stashed_flits(rsp_reorder_, src);
+    [[nodiscard]] std::uint32_t stashed_response_flits(NodeId src) const {
+        return stashed_flits(arena_, rsp_reorder_, src);
     }
     ///@}
 
 private:
     /// Per-(pair, network) reorder state at the ejecting side: the next
-    /// expected sequence number and the stash of early arrivals.
+    /// expected sequence number and the stash of early arrivals. The stash
+    /// is a small unsorted vector — only multi-path policies ever populate
+    /// it, delivery always looks up the exact `expected` number, and its
+    /// size is bounded by the end-to-end credit pool.
     struct Reorder {
         std::uint16_t expected = 0;
-        std::map<std::uint16_t, NocPacket> stash;
+        /// (seq, arena slot) pairs — the packets themselves live in the
+        /// NI's `PacketArena`, so the per-pair vector stays tiny and all
+        /// stashed payloads share one contiguous slab.
+        std::vector<std::pair<std::uint16_t, PacketArena::Slot>> stash;
+
+        [[nodiscard]] bool stash_insert(PacketArena& arena, std::uint16_t seq,
+                                        const NocPacket& pkt) {
+            for (const auto& [s, slot] : stash) {
+                if (s == seq) { return false; }
+            }
+            stash.emplace_back(seq, arena.acquire(pkt));
+            return true;
+        }
+        /// Removes and returns the entry for `seq`, if stashed.
+        [[nodiscard]] bool stash_take(PacketArena& arena, std::uint16_t seq,
+                                      NocPacket& out) {
+            for (auto it = stash.begin(); it != stash.end(); ++it) {
+                if (it->first == seq) {
+                    out = std::move(arena[it->second]);
+                    arena.release(it->second);
+                    stash.erase(it);
+                    return true;
+                }
+            }
+            return false;
+        }
     };
 
     template <typename Flit>
-    [[nodiscard]] NocPacket make_packet(std::uint8_t self, std::uint8_t dest,
+    [[nodiscard]] NocPacket make_packet(NodeId self, NodeId dest,
                                         std::uint32_t flits, bool request_net,
                                         Flit&& flit) {
-        auto& seq = (request_net ? req_seq_ : rsp_seq_)[dest];
+        std::uint16_t& seq = (request_net ? req_seq_ : rsp_seq_)[dest];
         NocPacket pkt;
         pkt.src = self;
         pkt.dest = dest;
@@ -265,34 +307,35 @@ private:
     /// credit returns first so a delayed return becomes visible the cycle
     /// it arrives.
     template <typename RouteFn>
-    [[nodiscard]] NocLink* try_route(std::uint8_t self, std::uint8_t dest,
+    [[nodiscard]] NocLink* try_route(NodeId self, NodeId dest,
                                      std::uint32_t flits, bool request_net,
                                      RouteFn&& route) {
         CreditPool& pool = request_net ? book_->req(dest, self)
                                        : book_->rsp(dest, self);
         pool.settle(ctx_->now());
         if (!pool.can_take(flits)) { return nullptr; }
-        const auto& seq_map = request_net ? req_seq_ : rsp_seq_;
-        const auto it = seq_map.find(dest);
-        const std::uint16_t seq = it == seq_map.end() ? 0 : it->second;
+        const std::uint16_t seq = (request_net ? req_seq_ : rsp_seq_)[dest];
         return route(dest, flits, route_class(routing_, self, dest, seq));
     }
 
-    void req_take(std::uint8_t self, std::uint8_t dest, std::uint32_t flits) {
+    void req_take(NodeId self, NodeId dest, std::uint32_t flits) {
         book_->req(dest, self).take(flits);
     }
-    void rsp_take(std::uint8_t self, std::uint8_t dest, std::uint32_t flits) {
+    void rsp_take(NodeId self, NodeId dest, std::uint32_t flits) {
         book_->rsp(dest, self).take(flits);
     }
 
     /// Delivers consecutive stashed packets starting at `ro.expected`
     /// until the stash has a gap or `deliver` reports backpressure.
     template <typename Deliver>
-    static void drain_stash(Reorder& ro, Deliver&& deliver) {
-        for (auto it = ro.stash.find(ro.expected); it != ro.stash.end();
-             it = ro.stash.find(ro.expected)) {
-            if (!deliver(it->second)) { return; }
-            ro.stash.erase(it);
+    static void drain_stash(PacketArena& arena, Reorder& ro, Deliver&& deliver) {
+        NocPacket pkt;
+        while (ro.stash_take(arena, ro.expected, pkt)) {
+            if (!deliver(pkt)) {
+                // Put it back: delivery is retried next tick.
+                ro.stash.emplace_back(ro.expected, arena.acquire(pkt));
+                return;
+            }
             ++ro.expected;
         }
     }
@@ -303,15 +346,61 @@ private:
     /// Delivers one in-order response packet to the local manager; returns
     /// false on manager-channel backpressure.
     bool deliver_response(const NocPacket& pkt, axi::AxiChannel& mgr);
+    /// Returns the response's end-to-end credits (staged for the edge
+    /// flush when the fabric is sharded).
+    void release_response_credits(const NocPacket& pkt);
+
+    /// Keeps `rsp_stash_srcs_` (the sorted list of sources with stashed
+    /// responses) in sync after a stash mutation for `src`.
+    void update_rsp_stash_index(NodeId src);
 
     [[nodiscard]] static std::uint32_t
-    stashed_flits(const std::map<std::uint8_t, Reorder>& reorder,
-                  std::uint8_t src) {
-        const auto it = reorder.find(src);
-        if (it == reorder.end()) { return 0; }
+    stashed_flits(const PacketArena& arena, const std::vector<Reorder>& reorder,
+                  NodeId src) {
+        if (src >= reorder.size()) { return 0; }
         std::uint32_t total = 0;
-        for (const auto& [seq, pkt] : it->second.stash) { total += pkt.flits; }
+        for (const auto& [seq, slot] : reorder[src].stash) {
+            total += arena[slot].flits;
+        }
         return total;
+    }
+
+    /// Same-ID ordering at the ingress (same rule as `ic::AxiDemux`): a
+    /// flat array scanned linearly — managers use a handful of distinct
+    /// AXI IDs, and entries are recycled once their count drains.
+    struct InFlight {
+        axi::IdT id = 0;
+        NodeId dest = 0;
+        std::uint32_t count = 0;
+    };
+    [[nodiscard]] static const InFlight*
+    find_in_flight(const std::vector<InFlight>& v, axi::IdT id) noexcept {
+        for (const InFlight& fl : v) {
+            if (fl.id == id) { return &fl; }
+        }
+        return nullptr;
+    }
+    [[nodiscard]] static InFlight& in_flight_slot(std::vector<InFlight>& v,
+                                                  axi::IdT id) {
+        for (InFlight& fl : v) {
+            if (fl.id == id) { return fl; }
+        }
+        for (InFlight& fl : v) {
+            if (fl.count == 0) {
+                fl.id = id;
+                fl.dest = 0;
+                return fl;
+            }
+        }
+        v.push_back(InFlight{id, 0, 0});
+        return v.back();
+    }
+    [[nodiscard]] static InFlight* find_in_flight_mut(std::vector<InFlight>& v,
+                                                      axi::IdT id) noexcept {
+        for (InFlight& fl : v) {
+            if (fl.id == id) { return &fl; }
+        }
+        return nullptr;
     }
 
     const sim::SimContext* ctx_;
@@ -319,27 +408,32 @@ private:
     NocFlowConfig fc_;
     CreditBook* book_; ///< fabric-owned end-to-end pools
     RoutingPolicy routing_;
+    bool deferred_credits_;
 
     /// Ingress W routing: dest node per accepted AW, in order.
-    std::deque<std::uint8_t> w_dest_;
+    std::deque<NodeId> w_dest_;
     std::deque<std::uint32_t> w_beats_left_;
-    /// AXI same-ID ordering at the ingress (same rule as `ic::AxiDemux`).
-    struct InFlight {
-        std::uint8_t dest = 0;
-        std::uint32_t count = 0;
-    };
-    std::unordered_map<axi::IdT, InFlight> w_in_flight_;
-    std::unordered_map<axi::IdT, InFlight> r_in_flight_;
+    std::vector<InFlight> w_in_flight_;
+    std::vector<InFlight> r_in_flight_;
     /// Response injection round-robin over egress sources.
     std::uint32_t rsp_rr_ = 0;
-    /// Per-destination injection sequence counters (requests / responses).
-    std::unordered_map<std::uint8_t, std::uint16_t> req_seq_;
-    std::unordered_map<std::uint8_t, std::uint16_t> rsp_seq_;
-    /// Per-source ejection reorder state (requests / responses). Ordered
-    /// maps: the per-tick stash drain iterates them, and delivery order
-    /// must be deterministic (ascending source node).
-    std::map<std::uint8_t, Reorder> req_reorder_;
-    std::map<std::uint8_t, Reorder> rsp_reorder_;
+    /// Per-destination injection sequence counters (requests / responses),
+    /// indexed by node id.
+    std::vector<std::uint16_t> req_seq_;
+    std::vector<std::uint16_t> rsp_seq_;
+    /// Per-source ejection reorder state (requests / responses), indexed by
+    /// node id.
+    std::vector<Reorder> req_reorder_;
+    std::vector<Reorder> rsp_reorder_;
+    /// Slot pool for every stashed packet of this NI (per shard by
+    /// construction: one NI is ticked by exactly one shard). Lazy — stays
+    /// empty under single-path policies.
+    PacketArena arena_;
+    /// Sources with a non-empty response stash, kept sorted ascending —
+    /// the per-tick stash drain touches only these (delivery order must be
+    /// deterministic: ascending source node, as the ordered map used to
+    /// iterate).
+    std::vector<NodeId> rsp_stash_srcs_;
 };
 
 } // namespace realm::noc

@@ -36,8 +36,9 @@ public:
     /// \param req_in/out, rsp_in/out  ring links (owned by `NocRing`).
     /// \param fc             fabric flow-control configuration.
     /// \param book           end-to-end credit book (owned by `NocRing`).
-    NocNode(sim::SimContext& ctx, std::string name, std::uint8_t node_id, ic::AddrMap map,
-            axi::AxiChannel* local_mgr, std::vector<axi::AxiChannel*> egress,
+    NocNode(sim::SimContext& ctx, std::string name, NodeId node_id,
+            NodeId num_nodes, ic::AddrMap map, axi::AxiChannel* local_mgr,
+            std::vector<axi::AxiChannel*> egress,
             NocLink& req_in, NocLink& req_out, NocLink& rsp_in, NocLink& rsp_out,
             const NocFlowConfig& fc, CreditBook* book);
 
@@ -61,7 +62,7 @@ private:
     void inject_responses();
     void update_activity();
 
-    std::uint8_t id_;
+    NodeId id_;
     ic::AddrMap map_;
     axi::AxiChannel* local_mgr_;
     std::vector<axi::AxiChannel*> egress_;

@@ -1,0 +1,13 @@
+/// \file
+/// \brief NoC node identifier, shared by packets, routing, and fabrics.
+#pragma once
+
+#include <cstdint>
+
+namespace realm::noc {
+
+/// Node index on the fabric (row-major for meshes). 16 bits: the sharded
+/// kernel targets 32x32 meshes (1024 nodes), past the old 8-bit ceiling.
+using NodeId = std::uint16_t;
+
+} // namespace realm::noc

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "axi/flit.hpp"
+#include "noc/node_id.hpp"
 
 #include <cstdint>
 #include <variant>
@@ -29,8 +30,8 @@ namespace realm::noc {
 /// rails, 1 = YX rails; every other policy uses 0) and selects the link
 /// virtual channel the worm rides end to end.
 struct NocPacket {
-    std::uint8_t src = 0;   ///< injecting node
-    std::uint8_t dest = 0;  ///< ejecting node
+    NodeId src = 0;         ///< injecting node
+    NodeId dest = 0;        ///< ejecting node
     std::uint8_t flits = 1; ///< worm length in flits (1 = bare header)
     std::uint8_t vc = 0;    ///< route class == link virtual channel
     std::uint16_t seq = 0;  ///< per-(src, dest, network) injection order

@@ -7,19 +7,19 @@
 
 namespace realm::noc {
 
-NocRing::NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
-                 ic::AddrMap node_map, std::vector<std::uint8_t> subordinate_nodes,
+NocRing::NocRing(sim::SimContext& ctx, std::string name, NodeId num_nodes,
+                 ic::AddrMap node_map, std::vector<NodeId> subordinate_nodes,
                  NocFlowConfig flow)
     : flow_{flow}, sub_index_(num_nodes, -1) {
     REALM_EXPECTS(num_nodes >= 2, "a ring needs at least two nodes");
     flow_.validate();
-    for (const std::uint8_t s : subordinate_nodes) {
+    for (const NodeId s : subordinate_nodes) {
         REALM_EXPECTS(s < num_nodes, "subordinate node out of range");
     }
     book_ = std::make_unique<CreditBook>(num_nodes, flow_);
 
     // Channels and links first (plain objects, no tick order concerns).
-    for (std::uint8_t i = 0; i < num_nodes; ++i) {
+    for (NodeId i = 0; i < num_nodes; ++i) {
         mgr_ports_.push_back(std::make_unique<axi::AxiChannel>(
             ctx, name + ".mgr" + std::to_string(i)));
         req_links_.push_back(std::make_unique<NocLink>(
@@ -28,9 +28,9 @@ NocRing::NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
             ctx, name + ".rsp" + std::to_string(i), flow_));
     }
     egress_.resize(num_nodes);
-    for (const std::uint8_t s : subordinate_nodes) {
+    for (const NodeId s : subordinate_nodes) {
         std::vector<axi::AxiChannel*> egress_raw;
-        for (std::uint8_t src = 0; src < num_nodes; ++src) {
+        for (NodeId src = 0; src < num_nodes; ++src) {
             egress_[s].push_back(std::make_unique<axi::AxiChannel>(
                 ctx, name + ".eg" + std::to_string(s) + "_" + std::to_string(src),
                 staging_depth(flow_)));
@@ -47,18 +47,18 @@ NocRing::NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
     }
 
     // Nodes last; link i feeds node (i+1) and node i drives link i.
-    for (std::uint8_t i = 0; i < num_nodes; ++i) {
+    for (NodeId i = 0; i < num_nodes; ++i) {
         std::vector<axi::AxiChannel*> egress_raw;
         for (const auto& ch : egress_[i]) { egress_raw.push_back(ch.get()); }
-        const std::uint8_t prev = static_cast<std::uint8_t>((i + num_nodes - 1) % num_nodes);
+        const NodeId prev = static_cast<NodeId>((i + num_nodes - 1) % num_nodes);
         nodes_.push_back(std::make_unique<NocNode>(
-            ctx, name + ".node" + std::to_string(i), i, node_map, mgr_ports_[i].get(),
-            std::move(egress_raw), *req_links_[prev], *req_links_[i], *rsp_links_[prev],
-            *rsp_links_[i], flow_, book_.get()));
+            ctx, name + ".node" + std::to_string(i), i, num_nodes, node_map,
+            mgr_ports_[i].get(), std::move(egress_raw), *req_links_[prev],
+            *req_links_[i], *rsp_links_[prev], *rsp_links_[i], flow_, book_.get()));
     }
 }
 
-axi::AxiChannel& NocRing::subordinate_port(std::uint8_t node) {
+axi::AxiChannel& NocRing::subordinate_port(NodeId node) {
     REALM_EXPECTS(node < sub_index_.size() && sub_index_[node] >= 0,
                   "node hosts no subordinate");
     return *sub_ports_[static_cast<std::size_t>(sub_index_[node])];
@@ -92,11 +92,10 @@ void NocRing::check_flow_invariants() const {
             // empty; pass it anyway to keep the invariant honest.
             check_staging_invariants(
                 *egress_[s][src],
-                book_->req(static_cast<std::uint8_t>(s),
-                           static_cast<std::uint8_t>(src)),
+                book_->req(static_cast<NodeId>(s), static_cast<NodeId>(src)),
                 flow_,
                 nodes_[s]->ni().stashed_request_flits(
-                    static_cast<std::uint8_t>(src)));
+                    static_cast<NodeId>(src)));
         }
     }
 }

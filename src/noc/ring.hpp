@@ -36,24 +36,27 @@ public:
     /// \param node_map          decodes addresses to node ids.
     /// \param subordinate_nodes nodes hosting a local subordinate.
     /// \param flow              transport model and its knobs.
-    NocRing(sim::SimContext& ctx, std::string name, std::uint8_t num_nodes,
-            ic::AddrMap node_map, std::vector<std::uint8_t> subordinate_nodes,
+    NocRing(sim::SimContext& ctx, std::string name, NodeId num_nodes,
+            ic::AddrMap node_map, std::vector<NodeId> subordinate_nodes,
             NocFlowConfig flow = {});
 
     NocRing(const NocRing&) = delete;
     NocRing& operator=(const NocRing&) = delete;
 
     /// Channel a manager at `node` drives (requests in, responses out).
-    [[nodiscard]] axi::AxiChannel& manager_port(std::uint8_t node) {
+    [[nodiscard]] axi::AxiChannel& manager_port(NodeId node) {
         return *mgr_ports_.at(node);
     }
     /// Channel to attach a subordinate model at `node`.
-    [[nodiscard]] axi::AxiChannel& subordinate_port(std::uint8_t node);
+    [[nodiscard]] axi::AxiChannel& subordinate_port(NodeId node);
 
-    [[nodiscard]] NocNode& node(std::uint8_t i) { return *nodes_.at(i); }
-    [[nodiscard]] std::uint8_t num_nodes() const noexcept {
-        return static_cast<std::uint8_t>(nodes_.size());
+    [[nodiscard]] NocNode& node(NodeId i) { return *nodes_.at(i); }
+    [[nodiscard]] NodeId num_nodes() const noexcept {
+        return static_cast<NodeId>(nodes_.size());
     }
+    /// The ring is not spatially sharded: one lane serializes every hop, so
+    /// all nodes stay on shard 0 (interface parity with `NocMesh`).
+    [[nodiscard]] unsigned shard_of_node(NodeId) const noexcept { return 0; }
     [[nodiscard]] const NocFlowConfig& flow() const noexcept { return flow_; }
     /// End-to-end credit book.
     [[nodiscard]] const CreditBook* credit_book() const noexcept {

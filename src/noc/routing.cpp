@@ -10,13 +10,13 @@ std::optional<RoutingPolicy> parse_routing_policy(std::string_view s) {
     return std::nullopt;
 }
 
-std::uint8_t route_class(RoutingPolicy p, std::uint8_t src, std::uint8_t dest,
+std::uint8_t route_class(RoutingPolicy p, NodeId src, NodeId dest,
                          std::uint16_t seq) noexcept {
     if (p != RoutingPolicy::kO1Turn) { return 0; }
     // splitmix64 finalizer over the packet identity: a cheap, well-mixed
     // bit that is stable across replays because it depends on nothing but
     // the packet itself.
-    std::uint64_t x = (static_cast<std::uint64_t>(src) << 24) ^
+    std::uint64_t x = (static_cast<std::uint64_t>(src) << 32) ^
                       (static_cast<std::uint64_t>(dest) << 16) ^ seq;
     x ^= x >> 30;
     x *= 0xbf58476d1ce4e5b9ULL;
@@ -26,28 +26,28 @@ std::uint8_t route_class(RoutingPolicy p, std::uint8_t src, std::uint8_t dest,
     return static_cast<std::uint8_t>(x & 1U);
 }
 
-std::optional<MeshDir> xy_next_hop(std::uint8_t cols, std::uint8_t cur,
-                                   std::uint8_t dest) noexcept {
+std::optional<MeshDir> xy_next_hop(NodeId cols, NodeId cur,
+                                   NodeId dest) noexcept {
     if (cur == dest) { return std::nullopt; }
-    const std::uint8_t cur_col = cur % cols;
-    const std::uint8_t dest_col = dest % cols;
+    const NodeId cur_col = static_cast<NodeId>(cur % cols);
+    const NodeId dest_col = static_cast<NodeId>(dest % cols);
     if (dest_col > cur_col) { return MeshDir::kEast; }
     if (dest_col < cur_col) { return MeshDir::kWest; }
     return dest / cols > cur / cols ? MeshDir::kSouth : MeshDir::kNorth;
 }
 
-std::optional<MeshDir> yx_next_hop(std::uint8_t cols, std::uint8_t cur,
-                                   std::uint8_t dest) noexcept {
+std::optional<MeshDir> yx_next_hop(NodeId cols, NodeId cur,
+                                   NodeId dest) noexcept {
     if (cur == dest) { return std::nullopt; }
-    const std::uint8_t cur_row = cur / cols;
-    const std::uint8_t dest_row = dest / cols;
+    const NodeId cur_row = static_cast<NodeId>(cur / cols);
+    const NodeId dest_row = static_cast<NodeId>(dest / cols);
     if (dest_row > cur_row) { return MeshDir::kSouth; }
     if (dest_row < cur_row) { return MeshDir::kNorth; }
     return dest % cols > cur % cols ? MeshDir::kEast : MeshDir::kWest;
 }
 
-HopSet permitted_hops(RoutingPolicy p, std::uint8_t cols, std::uint8_t cur,
-                      std::uint8_t dest, std::uint8_t vc_class) noexcept {
+HopSet permitted_hops(RoutingPolicy p, NodeId cols, NodeId cur,
+                      NodeId dest, std::uint8_t vc_class) noexcept {
     HopSet hops;
     if (cur == dest) { return hops; }
     switch (p) {

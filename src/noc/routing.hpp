@@ -43,6 +43,8 @@
 /// split and the same-ID ordering rules end to end.
 #pragma once
 
+#include "noc/node_id.hpp"
+
 #include <array>
 #include <cstdint>
 #include <optional>
@@ -112,20 +114,20 @@ inline constexpr std::array<RoutingPolicy, kNumRoutingPolicies> kAllRoutingPolic
 /// bit derived *only* from the packet identity (src, dest, per-pair seq) —
 /// no global RNG state, so replays and `--resume` re-runs are bit-for-bit
 /// deterministic. Every other policy uses class 0.
-[[nodiscard]] std::uint8_t route_class(RoutingPolicy p, std::uint8_t src,
-                                       std::uint8_t dest, std::uint16_t seq) noexcept;
+[[nodiscard]] std::uint8_t route_class(RoutingPolicy p, NodeId src,
+                                       NodeId dest, std::uint16_t seq) noexcept;
 
 /// Next hop of the XY dimension-ordered route from `cur` toward `dest` on a
 /// `cols`-wide row-major mesh: correct the column first (E/W), then the row
 /// (S/N). Returns nullopt when `cur == dest` (eject locally). Pure function
 /// of (cols, cur, dest) — paths are deterministic by construction, which the
 /// routing-invariant tests assert hop by hop.
-[[nodiscard]] std::optional<MeshDir> xy_next_hop(std::uint8_t cols, std::uint8_t cur,
-                                                 std::uint8_t dest) noexcept;
+[[nodiscard]] std::optional<MeshDir> xy_next_hop(NodeId cols, NodeId cur,
+                                                 NodeId dest) noexcept;
 
 /// The YX mirror: correct the row first (S/N), then the column (E/W).
-[[nodiscard]] std::optional<MeshDir> yx_next_hop(std::uint8_t cols, std::uint8_t cur,
-                                                 std::uint8_t dest) noexcept;
+[[nodiscard]] std::optional<MeshDir> yx_next_hop(NodeId cols, NodeId cur,
+                                                 NodeId dest) noexcept;
 
 /// The permitted next hops of one packet at one router: empty means "eject
 /// here", one entry is a deterministic route, two entries (west-first only)
@@ -143,8 +145,8 @@ struct HopSet {
 /// Permitted hops of a packet of route class `vc_class` at node `cur`
 /// heading for `dest` under policy `p`. Pure function — the invariant tests
 /// enumerate it exhaustively.
-[[nodiscard]] HopSet permitted_hops(RoutingPolicy p, std::uint8_t cols,
-                                    std::uint8_t cur, std::uint8_t dest,
+[[nodiscard]] HopSet permitted_hops(RoutingPolicy p, NodeId cols,
+                                    NodeId cur, NodeId dest,
                                     std::uint8_t vc_class) noexcept;
 
 } // namespace realm::noc

@@ -1,8 +1,9 @@
 /// \file
 /// \brief Shared command-line handling for the scenario-driven benches:
 ///        `--threads N`, `--json PATH`, `--report PATH`, `--resume`,
-///        `--diff BASELINE.json [--diff-threshold F] [--diff-slack N]`,
-///        `--scheduler tick-all|activity`,
+///        `--diff BASELINE.json [--diff-threshold F] [--diff-slack N]`
+///        `[--speed-threshold F] [--speed-slack C]`,
+///        `--scheduler tick-all|activity`, `--shards N`,
 ///        `--routing xy|yx|o1turn|west-first`, `--list`.
 #pragma once
 
@@ -37,8 +38,20 @@ struct BenchOptions {
     std::string diff_path;
     double diff_threshold = 0.10;  ///< fractional growth allowed per cell
     std::uint64_t diff_slack = 50; ///< plus this many absolute cycles
+    /// Host-speed gate on top of `--diff`: fail when a point simulates
+    /// slower than `baseline_speed * (1 - speed_threshold)` and slower than
+    /// `baseline_speed - speed_slack` cycles/sec. 0 disables the gate
+    /// (default — CI enables it explicitly on dedicated runners, since
+    /// host speed is meaningless to compare across machines).
+    double speed_threshold = 0.0;
+    double speed_slack = 50'000.0; ///< absolute cycles/sec jitter allowance
     sim::Scheduler scheduler = sim::Scheduler::kActivity;
     bool scheduler_forced = false; ///< --scheduler given on the command line
+    /// `--shards N`: spatial shards of the simulation kernel, forced onto
+    /// every point (bit-identical results for every value; see
+    /// sim/context.hpp). 1 keeps the single-thread kernel.
+    unsigned shards = 1;
+    bool shards_forced = false; ///< --shards given on the command line
     /// `--routing`: force one mesh routing policy on every point (handy for
     /// re-running a whole matrix under one policy without a new sweep).
     std::optional<noc::RoutingPolicy> routing;
@@ -97,6 +110,36 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
                              value);
                 std::exit(2);
             }
+        } else if (arg == "--speed-threshold") {
+            const char* value = need_value("--speed-threshold");
+            char* end = nullptr;
+            opts.speed_threshold = std::strtod(value, &end);
+            if (end == value || *end != '\0' || opts.speed_threshold < 0.0 ||
+                opts.speed_threshold >= 1.0) {
+                std::fprintf(stderr, "--speed-threshold expects a fraction in "
+                                     "[0, 1), got '%s'\n", value);
+                std::exit(2);
+            }
+        } else if (arg == "--speed-slack") {
+            const char* value = need_value("--speed-slack");
+            char* end = nullptr;
+            opts.speed_slack = std::strtod(value, &end);
+            if (end == value || *end != '\0' || opts.speed_slack < 0.0) {
+                std::fprintf(stderr, "--speed-slack expects a non-negative "
+                                     "cycles/sec count, got '%s'\n", value);
+                std::exit(2);
+            }
+        } else if (arg == "--shards") {
+            const char* value = need_value("--shards");
+            char* end = nullptr;
+            const unsigned long n = std::strtoul(value, &end, 10);
+            if (end == value || *end != '\0' || n == 0 || n > 64) {
+                std::fprintf(stderr, "--shards expects a count in [1, 64], got '%s'\n",
+                             value);
+                std::exit(2);
+            }
+            opts.shards = static_cast<unsigned>(n);
+            opts.shards_forced = true;
         } else if (arg == "--scheduler") {
             const std::string v = need_value("--scheduler");
             if (v == "tick-all" || v == "tickall") {
@@ -124,9 +167,11 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
             }
             std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s %s[--threads N] [--json PATH] [--report PATH.md] "
-                        "[--resume] [--diff BASELINE.json] [--diff-threshold F] "
-                        "[--diff-slack N] [--scheduler tick-all|activity] "
+            std::printf("usage: %s %s[--threads N] [--shards N] [--json PATH] "
+                        "[--report PATH.md] [--resume] [--diff BASELINE.json] "
+                        "[--diff-threshold F] [--diff-slack N] "
+                        "[--speed-threshold F] [--speed-slack C] "
+                        "[--scheduler tick-all|activity] "
                         "[--routing xy|yx|o1turn|west-first] [--list]\n",
                         argv[0], accept_positional ? "[sweep...] " : "");
             std::exit(0);
@@ -144,10 +189,12 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
     return opts;
 }
 
-/// Applies CLI overrides (scheduler, mesh routing policy) to every point.
+/// Applies CLI overrides (scheduler, shards, mesh routing policy) to every
+/// point.
 inline void apply_overrides(const BenchOptions& opts, Sweep& sweep) {
     for (SweepPoint& p : sweep.points) {
         if (opts.scheduler_forced) { p.config.scheduler = opts.scheduler; }
+        if (opts.shards_forced) { p.config.shards = opts.shards; }
         if (opts.routing.has_value()) {
             p.config.topology.mesh.routing = *opts.routing;
         }
@@ -206,12 +253,16 @@ inline int check_diff(const BenchOptions& opts, const Sweep& sweep,
     if (opts.diff_path.empty()) { return 0; }
     const DiffReport diff = diff_against_baseline(opts.diff_path, results,
                                                   opts.diff_threshold,
-                                                  opts.diff_slack);
+                                                  opts.diff_slack,
+                                                  opts.speed_threshold,
+                                                  opts.speed_slack);
     for (const DiffEntry& e : diff.entries) {
         if (e.missing_in_baseline) {
             std::fprintf(stderr, "%s: diff: '%s' not in baseline (new point)\n",
                          sweep.name.c_str(), e.label.c_str());
-        } else if (e.regressed) {
+            continue;
+        }
+        if (e.regressed) {
             std::fprintf(stderr,
                          "%s: diff REGRESSION: '%s' worst-case victim latency "
                          "%llu -> %llu cycles (threshold %+.0f%% + %llu)\n",
@@ -220,6 +271,14 @@ inline int check_diff(const BenchOptions& opts, const Sweep& sweep,
                          static_cast<unsigned long long>(e.current_worst),
                          opts.diff_threshold * 100.0,
                          static_cast<unsigned long long>(opts.diff_slack));
+        }
+        if (e.speed_regressed) {
+            std::fprintf(stderr,
+                         "%s: diff SPEED REGRESSION: '%s' host speed "
+                         "%.3g -> %.3g sim cycles/sec (threshold -%.0f%% - %.3g)\n",
+                         sweep.name.c_str(), e.label.c_str(), e.baseline_speed,
+                         e.current_speed, opts.speed_threshold * 100.0,
+                         opts.speed_slack);
         }
     }
     if (diff.compared == 0) {
@@ -231,7 +290,15 @@ inline int check_diff(const BenchOptions& opts, const Sweep& sweep,
                  sweep.name.c_str(), opts.diff_path.c_str(), diff.compared,
                  results.size(), diff.regressions,
                  diff.regressions == 1 ? "" : "s");
-    return diff.ok() ? 0 : 4;
+    if (opts.speed_threshold > 0.0) {
+        std::fprintf(stderr,
+                     "%s: diff speed gate: %zu/%zu cells compared, "
+                     "%zu speed regression%s\n",
+                     sweep.name.c_str(), diff.speed_compared, results.size(),
+                     diff.speed_regressions,
+                     diff.speed_regressions == 1 ? "" : "s");
+    }
+    return diff.ok() && diff.speed_ok() ? 0 : 4;
 }
 
 } // namespace realm::scenario

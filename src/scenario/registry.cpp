@@ -325,10 +325,10 @@ constexpr const char* dos_defense_name(DosDefense d) {
 
 struct DosKnobs {
     TopologyKind fabric = TopologyKind::kRing;
-    std::uint8_t num_nodes = 24;  ///< ring size (ignored by mesh/crossbar)
-    std::uint8_t mesh_rows = 4;   ///< mesh dimensions (kMesh only)
-    std::uint8_t mesh_cols = 6;
-    std::uint8_t attackers = 1;
+    noc::NodeId num_nodes = 24;  ///< ring size (ignored by mesh/crossbar)
+    noc::NodeId mesh_rows = 4;   ///< mesh dimensions (kMesh only)
+    noc::NodeId mesh_cols = 6;
+    noc::NodeId attackers = 1;
     DosAttack attack = DosAttack::kHog;
     DosDefense defense = DosDefense::kNone;
     std::uint64_t victim_bytes = 0x1000;
@@ -406,29 +406,34 @@ ScenarioConfig dos_point(const DosKnobs& k) {
     cfg.preload.push_back(PreloadSpan{kShared, 0x10000, 1, false});
     cfg.preload.push_back(PreloadSpan{kSpill, 0x4000, 7, false});
 
-    for (std::uint8_t i = 0; i < k.attackers; ++i) {
+    for (noc::NodeId i = 0; i < k.attackers; ++i) {
+        // Hundreds of attackers (mesh-contention-large) reuse 24 distinct
+        // stream offsets so every src/dst stays inside the 128 KiB memory
+        // spans; the legacy matrices never exceed 9 attackers, so their
+        // addresses are unchanged.
+        const axi::Addr slot = i % 24;
         InterferenceConfig irq;
         switch (k.attack) {
         case DosAttack::kHog:
             irq.dma.burst_beats = 256;
             irq.dma.num_buffers = 2;
-            irq.src = kShared + 0x8000 + static_cast<axi::Addr>(i) * 0x800;
-            irq.dst = kSpill + 0x4000 + static_cast<axi::Addr>(i) * 0x1000;
+            irq.src = kShared + 0x8000 + slot * 0x800;
+            irq.dst = kSpill + 0x4000 + slot * 0x1000;
             break;
         case DosAttack::kOverdraft:
             irq.dma.burst_beats = 64;
             irq.dma.num_buffers = 4;
             irq.dma.max_outstanding_reads = 4;
             irq.dma.max_outstanding_writes = 4;
-            irq.src = kShared + 0x8000 + static_cast<axi::Addr>(i) * 0x800;
-            irq.dst = kSpill + 0x4000 + static_cast<axi::Addr>(i) * 0x1000;
+            irq.src = kShared + 0x8000 + slot * 0x800;
+            irq.dst = kSpill + 0x4000 + slot * 0x1000;
             break;
         case DosAttack::kWStall:
             irq.dma.burst_beats = 8;
             irq.dma.reserve_before_data = true;
             irq.dma.w_stall_cycles = 64;
-            irq.src = kSpill + static_cast<axi::Addr>(i) * 0x400;
-            irq.dst = kShared + 0xC000 + static_cast<axi::Addr>(i) * 0x400;
+            irq.src = kSpill + slot * 0x400;
+            irq.dst = kShared + 0xC000 + slot * 0x400;
             break;
         }
         irq.bytes = 0x1000;
@@ -439,7 +444,7 @@ ScenarioConfig dos_point(const DosKnobs& k) {
     // Config path: plan 0 = victim unit (always free), plan 1+i = attacker i.
     const auto plan_attackers = [&](const RegionPlan& plan) {
         cfg.boot_plans.push_back(RegionPlan{1ULL << 30, 1ULL << 20, 256}); // victim
-        for (std::uint8_t i = 0; i < k.attackers; ++i) { cfg.boot_plans.push_back(plan); }
+        for (noc::NodeId i = 0; i < k.attackers; ++i) { cfg.boot_plans.push_back(plan); }
     };
     switch (k.defense) {
     case DosDefense::kNone: break; // unregulated (and no write buffer)
@@ -605,6 +610,56 @@ Sweep make_mesh_contention() {
         std::snprintf(label, sizeof label, "%ux%u budget", static_cast<unsigned>(rows),
                       static_cast<unsigned>(cols));
         s.points.push_back({label, dos_point(def)});
+    }
+    return s;
+}
+
+/// The sharded-kernel stress extension of `mesh-contention`: 16x16 and
+/// 32x32 fabrics where *hundreds* of nodes host interference managers, the
+/// regime the column-stripe shards exist for (run with `--shards N` to
+/// split the tick work across workers; results are bit-identical for every
+/// shard count). A separate sweep so the legacy 2x3..6x8 baselines and CI
+/// budgets stay untouched.
+Sweep make_mesh_contention_large() {
+    Sweep s;
+    s.name = "mesh-contention-large";
+    s.title = "Large-mesh contention: 16x16 / 32x32 fabrics, hundreds of managers";
+    s.notes = {"per size: uncontended reference, hog attackers on roughly half the",
+               "nodes (128 / 256 managers), and the same attackers budgeted. The",
+               "attackers reuse 24 stream offsets, so the cells measure fabric-scale",
+               "contention, not working-set growth. Sized for the sharded kernel:",
+               "--shards 4 on a 16x16 splits the column stripes across workers."};
+    s.baseline_index = 0;
+    struct LargeSize {
+        noc::NodeId rows, cols, attackers;
+    };
+    const LargeSize sizes[] = {{16, 16, 128}, {32, 32, 256}};
+    for (const auto& [rows, cols, attackers] : sizes) {
+        char label[48];
+        DosKnobs solo{.fabric = TopologyKind::kMesh, .mesh_rows = rows,
+                      .mesh_cols = cols, .attackers = 0};
+        solo.victim_bytes = 0x800;
+        std::snprintf(label, sizeof label, "%ux%u solo", static_cast<unsigned>(rows),
+                      static_cast<unsigned>(cols));
+        ScenarioConfig cfg = dos_point(solo);
+        cfg.max_cycles = 600'000;
+        s.points.push_back({label, cfg});
+        DosKnobs hog = solo;
+        hog.attackers = attackers;
+        hog.attack = DosAttack::kHog;
+        std::snprintf(label, sizeof label, "%ux%u hog%u", static_cast<unsigned>(rows),
+                      static_cast<unsigned>(cols), static_cast<unsigned>(attackers));
+        cfg = dos_point(hog);
+        cfg.max_cycles = 600'000;
+        s.points.push_back({label, cfg});
+        DosKnobs def = hog;
+        def.defense = DosDefense::kBudget;
+        std::snprintf(label, sizeof label, "%ux%u budget%u",
+                      static_cast<unsigned>(rows), static_cast<unsigned>(cols),
+                      static_cast<unsigned>(attackers));
+        cfg = dos_point(def);
+        cfg.max_cycles = 600'000;
+        s.points.push_back({label, cfg});
     }
     return s;
 }
@@ -813,6 +868,7 @@ const std::vector<std::pair<std::string, Factory>>& factories() {
         {"ring-credit-dos-smoke", &make_ring_credit_smoke},
         {"mesh-credit-dos-smoke", &make_mesh_credit_smoke},
         {"mesh-contention", &make_mesh_contention},
+        {"mesh-contention-large", &make_mesh_contention_large},
         {"mesh-dos-matrix", &make_mesh_dos_matrix},
         {"mesh-dos-smoke", &make_mesh_dos_smoke},
         {"mesh-routing-dos-matrix", &make_mesh_routing_dos_matrix},

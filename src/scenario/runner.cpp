@@ -45,7 +45,18 @@ ScenarioRunner::run_points(const std::vector<const ScenarioConfig*>& configs,
     if (configs.empty()) { return results; }
 
     unsigned threads = options_.threads;
-    if (threads == 0) { threads = std::max(1U, std::thread::hardware_concurrency()); }
+    if (threads == 0) {
+        // Each point's context spins up `cfg.shards` workers of its own, so
+        // bound `threads x shards` by the hardware: autodetect divides the
+        // core count by the widest shard request instead of stacking both
+        // levels of parallelism onto every core.
+        unsigned max_shards = 1;
+        for (const ScenarioConfig* cfg : configs) {
+            max_shards = std::max(max_shards, std::max(1U, cfg->shards));
+        }
+        const unsigned hw = std::max(1U, std::thread::hardware_concurrency());
+        threads = std::max(1U, hw / max_shards);
+    }
     threads = std::min<unsigned>(threads, static_cast<unsigned>(configs.size()));
 
     if (threads <= 1) {
@@ -186,6 +197,17 @@ void write_json(std::ostream& os, const Sweep& sweep,
         os << ", \"fabric_hops\": " << r.fabric_hops;
         os << ", \"ticks_executed\": " << r.ticks_executed;
         os << ", \"ticks_skipped\": " << r.ticks_skipped;
+        // Per-shard slices of the tick counters — the load-balance picture
+        // of the sharded kernel (single-element arrays when unsharded).
+        os << ", \"shard_ticks_executed\": [";
+        for (std::size_t s = 0; s < r.shard_ticks_executed.size(); ++s) {
+            os << (s > 0 ? ", " : "") << r.shard_ticks_executed[s];
+        }
+        os << "], \"shard_ticks_skipped\": [";
+        for (std::size_t s = 0; s < r.shard_ticks_skipped.size(); ++s) {
+            os << (s > 0 ? ", " : "") << r.shard_ticks_skipped[s];
+        }
+        os << ']';
         os << ", \"fast_forwarded_cycles\": " << r.fast_forwarded_cycles;
         os << ", \"simulated_cycles\": " << r.simulated_cycles;
         os << ", \"wall_seconds\": ";
@@ -242,6 +264,27 @@ bool scan_bool(const std::string& line, const char* key, bool fallback) {
     return start == nullptr ? fallback : std::strncmp(start, "true", 4) == 0;
 }
 
+/// Parses `"key": [1, 2, ...]` into a u64 vector (empty when absent or not
+/// an array). Note the needle includes the opening quote, so the flat keys
+/// `ticks_executed` / `ticks_skipped` never match the `shard_`-prefixed
+/// array keys and vice versa.
+std::vector<std::uint64_t> scan_u64_array(const std::string& line, const char* key) {
+    std::vector<std::uint64_t> out;
+    const char* p = find_value(line, key);
+    if (p == nullptr || *p != '[') { return out; }
+    ++p;
+    while (*p != '\0' && *p != ']') {
+        while (*p == ' ' || *p == ',') { ++p; }
+        if (*p == ']' || *p == '\0') { break; }
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(p, &end, 10);
+        if (end == p) { break; }
+        out.push_back(static_cast<std::uint64_t>(v));
+        p = end;
+    }
+    return out;
+}
+
 /// Extracts the point's label (first string field of every point line).
 /// Labels come from the registry and never contain escapes in practice; a
 /// label with a quote simply fails to parse and the point is skipped, in
@@ -280,6 +323,8 @@ ScenarioResult scan_result(const std::string& line) {
     r.fabric_hops = scan_u64(line, "fabric_hops");
     r.ticks_executed = scan_u64(line, "ticks_executed");
     r.ticks_skipped = scan_u64(line, "ticks_skipped");
+    r.shard_ticks_executed = scan_u64_array(line, "shard_ticks_executed");
+    r.shard_ticks_skipped = scan_u64_array(line, "shard_ticks_skipped");
     r.fast_forwarded_cycles = scan_u64(line, "fast_forwarded_cycles");
     r.simulated_cycles = scan_u64(line, "simulated_cycles");
     r.wall_seconds = scan_number(line, "wall_seconds");
@@ -326,9 +371,23 @@ load_json_results_by_label(const std::string& path) {
     return cache;
 }
 
+namespace {
+
+/// Host-side simulation speed of a (possibly parsed-back) result, or 0 when
+/// the run has no usable timing (e.g. a baseline dumped before the fields
+/// existed, or a zero-length run).
+double host_speed(const ScenarioResult& r) {
+    return r.wall_seconds > 0.0
+               ? static_cast<double>(r.simulated_cycles) / r.wall_seconds
+               : 0.0;
+}
+
+} // namespace
+
 DiffReport diff_against_baseline(const std::string& baseline_path,
                                  const std::vector<ScenarioResult>& results,
-                                 double rel_threshold, std::uint64_t abs_slack) {
+                                 double rel_threshold, std::uint64_t abs_slack,
+                                 double speed_threshold, double speed_slack) {
     const std::unordered_map<std::string, ScenarioResult> baseline =
         load_json_results_by_label(baseline_path);
     DiffReport report;
@@ -354,6 +413,21 @@ DiffReport diff_against_baseline(const std::string& baseline_path,
             e.current_worst > e.baseline_worst + abs_slack;
         e.regressed = health_regressed || latency_regressed;
         report.regressions += e.regressed ? 1U : 0U;
+
+        // Separate host-speed gate: compares sim cycles / wall second
+        // (recomputed from the stored fields, so old baselines work) and
+        // never feeds into the latency verdict.
+        if (speed_threshold > 0.0) {
+            e.baseline_speed = host_speed(it->second);
+            e.current_speed = host_speed(r);
+            if (e.baseline_speed > 0.0 && e.current_speed > 0.0) {
+                ++report.speed_compared;
+                e.speed_regressed =
+                    e.current_speed < e.baseline_speed * (1.0 - speed_threshold) &&
+                    e.current_speed < e.baseline_speed - speed_slack;
+                report.speed_regressions += e.speed_regressed ? 1U : 0U;
+            }
+        }
         report.entries.push_back(std::move(e));
     }
     return report;

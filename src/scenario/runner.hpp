@@ -19,7 +19,10 @@
 namespace realm::scenario {
 
 struct RunnerOptions {
-    /// Worker threads; 0 picks `std::thread::hardware_concurrency()`.
+    /// Worker threads; 0 picks `std::thread::hardware_concurrency()`,
+    /// divided by the widest per-point shard count so `threads x shards`
+    /// never oversubscribes the host (each point spins up its own shard
+    /// workers inside its private `SimContext`).
     unsigned threads = 1;
 };
 
@@ -88,13 +91,22 @@ struct DiffEntry {
     std::uint64_t current_worst = 0;  ///< worst-case victim latency, this run
     bool missing_in_baseline = false; ///< new point (informational)
     bool regressed = false;
+    /// \name Host-speed gate (filled only when `speed_threshold > 0`)
+    ///@{
+    double baseline_speed = 0; ///< sim cycles / wall second, baseline
+    double current_speed = 0;  ///< sim cycles / wall second, this run
+    bool speed_regressed = false;
+    ///@}
 };
 
 struct DiffReport {
     std::vector<DiffEntry> entries; ///< in result order
     std::size_t compared = 0;       ///< points present in both runs
     std::size_t regressions = 0;
+    std::size_t speed_compared = 0; ///< points with a usable speed on both sides
+    std::size_t speed_regressions = 0;
     [[nodiscard]] bool ok() const noexcept { return regressions == 0; }
+    [[nodiscard]] bool speed_ok() const noexcept { return speed_regressions == 0; }
 };
 
 /// Compares each result's worst-case victim latency (max of load/store
@@ -105,10 +117,22 @@ struct DiffReport {
 /// cells from tripping on one-cycle jitter — or when it times out / fails
 /// to boot where the baseline did not. Points absent from the baseline are
 /// reported as new, never as regressions.
+///
+/// A non-zero `speed_threshold` additionally gates the host-side simulation
+/// speed (`simulated_cycles / wall_seconds`, recomputed from the baseline's
+/// stored fields): a point speed-regresses when it runs slower than
+/// `baseline * (1 - speed_threshold)` *and* slower than
+/// `baseline - speed_slack` cycles/sec — an absolute slack that keeps
+/// millisecond-scale points from tripping on scheduler jitter. Speed
+/// regressions are tallied separately (`speed_regressions` / `speed_ok()`)
+/// so the latency gate's verdict is unchanged by the speed gate and CI can
+/// report them as distinct failures.
 [[nodiscard]] DiffReport diff_against_baseline(const std::string& baseline_path,
                                                const std::vector<ScenarioResult>& results,
                                                double rel_threshold = 0.10,
-                                               std::uint64_t abs_slack = 50);
+                                               std::uint64_t abs_slack = 50,
+                                               double speed_threshold = 0.0,
+                                               double speed_slack = 50'000.0);
 ///@}
 
 } // namespace realm::scenario

@@ -52,6 +52,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
 
     sim::SimContext ctx;
     ctx.set_scheduler(cfg.scheduler);
+    // Shards must be set before the topology is built: fabrics read the
+    // shard count to stripe their tiles, and components pick up the build
+    // shard at registration.
+    ctx.set_shards(cfg.shards == 0 ? 1 : cfg.shards);
+    ctx.set_shard_workers(cfg.shard_workers);
     std::unique_ptr<TopologyHandle> topo = make_topology(ctx, cfg);
     REALM_EXPECTS(cfg.interference.size() <= topo->num_interference_ports(),
                   "more interference DMAs than fabric manager ports");
@@ -75,6 +80,9 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     std::vector<std::unique_ptr<traffic::DmaEngine>> dmas;
     for (std::size_t i = 0; i < cfg.interference.size(); ++i) {
         const InterferenceConfig& irq = cfg.interference[i];
+        // The DMA talks to its port through plain registered channels, so it
+        // must tick on the same shard as the tile behind the port.
+        const sim::ShardScope scope{ctx, topo->interference_shard(i)};
         dmas.push_back(std::make_unique<traffic::DmaEngine>(
             ctx, "dsa_dma" + std::to_string(i), topo->interference_port(i), irq.dma));
         dmas.back()->push_job(traffic::DmaJob{irq.src, irq.dst, irq.bytes, irq.loop});
@@ -82,6 +90,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     if (!dmas.empty() && cfg.warmup_cycles > 0) { ctx.run(cfg.warmup_cycles); }
 
     // --- Victim ----------------------------------------------------------
+    const sim::ShardScope victim_scope{ctx, topo->victim_shard()};
     traffic::CoreModel core{ctx, "core", topo->victim_port(), *victim_workload};
     const sim::Cycle start = ctx.now();
     const std::uint64_t dma_bytes_before = dmas.empty() ? 0 : dmas[0]->bytes_read();
@@ -125,6 +134,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
 
     res.ticks_executed = ctx.ticks_executed();
     res.ticks_skipped = ctx.ticks_skipped();
+    for (unsigned s = 0; s < ctx.shards(); ++s) {
+        res.shard_ticks_executed.push_back(ctx.shard_ticks_executed(s));
+        res.shard_ticks_skipped.push_back(ctx.shard_ticks_skipped(s));
+    }
     res.fast_forwarded_cycles = ctx.fast_forwarded_cycles();
     res.simulated_cycles = ctx.now();
     res.wall_seconds =
@@ -145,9 +158,9 @@ namespace {
 /// semantics change, invalidating stale caches wholesale.
 class ConfigDigest {
 public:
-    static constexpr std::uint64_t kVersion = 4; ///< v4: mesh routing policy,
-                                                 ///< credit-return delay,
-                                                 ///< provisioned mode removed
+    static constexpr std::uint64_t kVersion = 5; ///< v5: sharded kernel
+                                                 ///< (edge-registered mesh
+                                                 ///< transport, shards knob)
 
     ConfigDigest() { mix(kVersion); }
 
@@ -303,6 +316,9 @@ std::uint64_t config_hash(const ScenarioConfig& cfg) {
     d.mix(cfg.max_cycles);
     d.mix(cfg.cooldown_cycles);
     d.mix(static_cast<std::uint64_t>(cfg.scheduler));
+    // Mixed although results are shard-invariant: a resume cache keyed on
+    // the hash must distinguish the points of a shard-scaling sweep.
+    d.mix(cfg.shards);
     d.mix(cfg.seed);
     return d.value();
 }

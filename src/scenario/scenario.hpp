@@ -96,6 +96,16 @@ struct ScenarioConfig {
     sim::Cycle cooldown_cycles = 0;
 
     sim::Scheduler scheduler = sim::Scheduler::kActivity;
+    /// Spatial shards the simulation kernel partitions the fabric into
+    /// (mesh column stripes; every other fabric stays on shard 0). Shards
+    /// tick concurrently and exchange cross-shard flits at the cycle edge;
+    /// results are bit-identical for every value (see sim/context.hpp).
+    unsigned shards = 1;
+    /// Worker-thread override for the sharded kernel (0 = autodetect from
+    /// `hardware_concurrency()`). Host-side only — results are bit-identical
+    /// for every value, so it is *excluded* from `config_hash`. Tests force
+    /// > 1 to exercise the concurrent barrier path on single-core hosts.
+    unsigned shard_workers = 0;
     /// Per-point RNG seed; sweep factories fill this via `sim::derive_seed`
     /// so parallel runs are reproducible regardless of thread count.
     std::uint64_t seed = 0;
@@ -148,6 +158,10 @@ struct ScenarioResult {
     sim::Cycle fast_forwarded_cycles = 0;
     sim::Cycle simulated_cycles = 0;
     double wall_seconds = 0;
+    /// Per-shard slices of the tick counters (size == cfg.shards) — the
+    /// load-balance picture of the sharded kernel.
+    std::vector<std::uint64_t> shard_ticks_executed;
+    std::vector<std::uint64_t> shard_ticks_skipped;
     ///@}
 
     [[nodiscard]] double cycles_per_op() const noexcept {

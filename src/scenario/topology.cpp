@@ -9,45 +9,45 @@
 
 namespace realm::scenario {
 
-std::vector<RingNodeSpec> make_ring_roles(std::uint8_t num_nodes,
-                                          std::uint8_t num_attackers,
-                                          std::uint8_t num_memories) {
+std::vector<RingNodeSpec> make_ring_roles(noc::NodeId num_nodes,
+                                          noc::NodeId num_attackers,
+                                          noc::NodeId num_memories) {
     REALM_EXPECTS(num_memories >= 1, "a NoC needs at least one memory node");
     REALM_EXPECTS(num_nodes >= 2 + num_memories + num_attackers,
                   "fabric too small for the requested roles");
     std::vector<RingNodeSpec> specs(num_nodes);
-    specs[0] = RingNodeSpec{RingRole::kVictim, true};
+    specs[0] = RingNodeSpec{RingRole::kVictim, true, {}};
     // Memories spread evenly over the node order (never node 0): memory k
     // sits at (k+1) * N / (M+1), nudged forward past any collision.
-    for (std::uint8_t k = 0; k < num_memories; ++k) {
-        std::uint8_t pos = static_cast<std::uint8_t>(
+    for (noc::NodeId k = 0; k < num_memories; ++k) {
+        noc::NodeId pos = static_cast<noc::NodeId>(
             (static_cast<std::uint32_t>(k + 1) * num_nodes) / (num_memories + 1U));
         while (pos == 0 || specs[pos].role != RingRole::kPassthrough) {
-            pos = static_cast<std::uint8_t>((pos + 1) % num_nodes);
+            pos = static_cast<noc::NodeId>((pos + 1) % num_nodes);
         }
-        specs[pos] = RingNodeSpec{RingRole::kMemory, false};
+        specs[pos] = RingNodeSpec{RingRole::kMemory, false, {}};
     }
     // Attackers fill the lowest free positions (interleaved with the
     // memories on larger fabrics, like DSAs scattered across a real die).
-    std::uint8_t placed = 0;
-    for (std::uint8_t i = 1; i < num_nodes && placed < num_attackers; ++i) {
+    noc::NodeId placed = 0;
+    for (noc::NodeId i = 1; i < num_nodes && placed < num_attackers; ++i) {
         if (specs[i].role != RingRole::kPassthrough) { continue; }
-        specs[i] = RingNodeSpec{RingRole::kInterference, true};
+        specs[i] = RingNodeSpec{RingRole::kInterference, true, {}};
         ++placed;
     }
     REALM_ENSURES(placed == num_attackers, "attacker placement failed");
     return specs;
 }
 
-std::vector<RingNodeSpec> make_mesh_roles(std::uint8_t rows, std::uint8_t cols,
-                                          std::uint8_t num_attackers,
-                                          std::uint8_t num_memories) {
-    REALM_EXPECTS(static_cast<std::uint32_t>(rows) * cols <= 255,
-                  "node ids are 8-bit: rows * cols must not exceed 255");
+std::vector<RingNodeSpec> make_mesh_roles(noc::NodeId rows, noc::NodeId cols,
+                                          noc::NodeId num_attackers,
+                                          noc::NodeId num_memories) {
+    REALM_EXPECTS(static_cast<std::uint32_t>(rows) * cols <= 65535,
+                  "node ids are 16-bit: rows * cols must not exceed 65535");
     // Same linear spread as the ring over the row-major order: identical
     // role-to-node-index assignment keeps DoS cells comparable across
     // fabrics while XY routing maps the indices onto 2D paths.
-    return make_ring_roles(static_cast<std::uint8_t>(rows * cols), num_attackers,
+    return make_ring_roles(static_cast<noc::NodeId>(rows * cols), num_attackers,
                            num_memories);
 }
 
@@ -136,14 +136,14 @@ protected:
                     std::vector<RingNodeSpec> specs, MakeFabric&& make_fabric)
         : cfg_{cfg}, specs_{std::move(specs)} {
         cfg_.nodes.clear(); // `specs_` is the resolved list; keep one copy
-        const auto num_nodes = static_cast<std::uint8_t>(specs_.size());
+        const auto num_nodes = static_cast<noc::NodeId>(specs_.size());
 
         // Resolve roles and build the node-level address map: memory node k
         // serves [mem_base + k*stride, + span).
         ic::AddrMap map;
         std::size_t mem_count = 0;
         bool victim_seen = false;
-        for (std::uint8_t n = 0; n < num_nodes; ++n) {
+        for (noc::NodeId n = 0; n < num_nodes; ++n) {
             switch (specs_[n].role) {
             case RingRole::kVictim:
                 REALM_EXPECTS(!victim_seen, "a NoC hosts exactly one victim node");
@@ -167,10 +167,15 @@ protected:
         mem_lo_ = spans_.front().base;
         mem_hi_ = spans_.back().base + spans_.back().bytes;
 
-        std::vector<std::uint8_t> sub_nodes;
+        std::vector<noc::NodeId> sub_nodes;
         for (const Span& s : spans_) { sub_nodes.push_back(s.node); }
         fabric_ = make_fabric(ctx, std::move(map), std::move(sub_nodes));
+        // Tile-local models co-shard with their tile: the memory slave talks
+        // to its egress mux (and the REALM unit to its router NI) through
+        // plain registered channels, which are only race-free within one
+        // shard. The fabric decides the spatial partition.
         for (Span& s : spans_) {
+            const sim::ShardScope scope{ctx, fabric_->shard_of_node(s.node)};
             mems_.push_back(std::make_unique<mem::AxiMemSlave>(
                 ctx, "mem" + std::to_string(s.node), fabric_->subordinate_port(s.node),
                 std::make_unique<mem::SramBackend>(cfg_.mem_access_latency,
@@ -184,10 +189,11 @@ protected:
         // from the fabric routers in the same cycle (construction order
         // fixes evaluation order, as in the crossbar SoC).
         realm_of_node_.assign(num_nodes, -1);
-        for (std::uint8_t n = 0; n < num_nodes; ++n) {
+        for (noc::NodeId n = 0; n < num_nodes; ++n) {
             const bool manager = specs_[n].role == RingRole::kVictim ||
                                  specs_[n].role == RingRole::kInterference;
             if (!manager || !specs_[n].realm) { continue; }
+            const sim::ShardScope scope{ctx, fabric_->shard_of_node(n)};
             realm_of_node_[n] = static_cast<int>(realms_.size());
             realm_up_.push_back(std::make_unique<axi::AxiChannel>(
                 ctx, "noc.up" + std::to_string(n)));
@@ -204,6 +210,12 @@ public:
     }
     axi::AxiChannel& interference_port(std::size_t i) override {
         return manager_attach(interference_nodes_.at(i));
+    }
+    unsigned victim_shard() const override {
+        return fabric_->shard_of_node(victim_node_);
+    }
+    unsigned interference_shard(std::size_t i) const override {
+        return fabric_->shard_of_node(interference_nodes_.at(i));
     }
 
     void write_u8(axi::Addr addr, std::uint8_t value) override {
@@ -230,7 +242,7 @@ public:
         return true;
     }
     void set_interference_throttle(bool enabled) override {
-        for (const std::uint8_t n : interference_nodes_) {
+        for (const noc::NodeId n : interference_nodes_) {
             if (realm_of_node_[n] >= 0) { realms_[realm_of_node_[n]]->set_throttle(enabled); }
         }
     }
@@ -254,7 +266,7 @@ private:
     struct Span {
         axi::Addr base = 0;
         std::uint64_t bytes = 0;
-        std::uint8_t node = 0;
+        noc::NodeId node = 0;
         mem::SparseMemory* store = nullptr;
     };
 
@@ -265,16 +277,16 @@ private:
         REALM_EXPECTS(false, "address outside every NoC memory span");
         return spans_.front();
     }
-    [[nodiscard]] axi::AxiChannel& manager_attach(std::uint8_t node) {
+    [[nodiscard]] axi::AxiChannel& manager_attach(noc::NodeId node) {
         return realm_of_node_[node] >= 0 ? *realm_up_[realm_of_node_[node]]
                                          : fabric_->manager_port(node);
     }
-    [[nodiscard]] const rt::RealmUnit* unit_at(std::uint8_t node) const {
+    [[nodiscard]] const rt::RealmUnit* unit_at(noc::NodeId node) const {
         return realm_of_node_[node] >= 0 ? realms_[realm_of_node_[node]].get() : nullptr;
     }
     [[nodiscard]] rt::RealmUnit* unit_for_plan(std::size_t p) {
         if (p > interference_nodes_.size()) { return nullptr; }
-        const std::uint8_t node = p == 0 ? victim_node_ : interference_nodes_[p - 1];
+        const noc::NodeId node = p == 0 ? victim_node_ : interference_nodes_[p - 1];
         return realm_of_node_[node] >= 0 ? realms_[realm_of_node_[node]].get() : nullptr;
     }
 
@@ -286,8 +298,8 @@ private:
     std::vector<std::unique_ptr<axi::AxiChannel>> realm_up_;
     std::vector<std::unique_ptr<rt::RealmUnit>> realms_;
     std::vector<int> realm_of_node_;
-    std::uint8_t victim_node_ = 0;
-    std::vector<std::uint8_t> interference_nodes_;
+    noc::NodeId victim_node_ = 0;
+    std::vector<noc::NodeId> interference_nodes_;
     axi::Addr mem_lo_ = 0;
     axi::Addr mem_hi_ = 0;
 };
@@ -297,7 +309,7 @@ public:
     RingTopology(sim::SimContext& ctx, const ScenarioConfig& cfg)
         : NocTopologyBase{ctx, cfg.topology.ring, resolve(cfg.topology.ring),
                           [&cfg](sim::SimContext& c, ic::AddrMap map,
-                                 std::vector<std::uint8_t> subs) {
+                                 std::vector<noc::NodeId> subs) {
                               return std::make_unique<noc::NocRing>(
                                   c, "ring", cfg.topology.ring.num_nodes,
                                   std::move(map), std::move(subs),
@@ -319,7 +331,7 @@ public:
     MeshTopology(sim::SimContext& ctx, const ScenarioConfig& cfg)
         : NocTopologyBase{ctx, cfg.topology.mesh, resolve(cfg.topology.mesh),
                           [&cfg](sim::SimContext& c, ic::AddrMap map,
-                                 std::vector<std::uint8_t> subs) {
+                                 std::vector<noc::NodeId> subs) {
                               return std::make_unique<noc::NocMesh>(
                                   c, "mesh", cfg.topology.mesh.rows,
                                   cfg.topology.mesh.cols, std::move(map),

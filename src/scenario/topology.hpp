@@ -126,14 +126,15 @@ struct NocTopologyConfig {
 
 /// Ring fabric parameters.
 struct RingTopologyConfig : NocTopologyConfig {
-    std::uint8_t num_nodes = 6;
+    noc::NodeId num_nodes = 6;
 };
 
 /// Mesh fabric parameters. Node ids are row-major (`node = row * cols + col`)
-/// and 8-bit, so `rows * cols` must not exceed 255 (checked on construction).
+/// and 16-bit, so `rows * cols` must not exceed 65535 (checked on
+/// construction) — 32 x 32 fabrics fit comfortably.
 struct MeshTopologyConfig : NocTopologyConfig {
-    std::uint8_t rows = 2;
-    std::uint8_t cols = 3;
+    noc::NodeId rows = 2;
+    noc::NodeId cols = 3;
 
     [[nodiscard]] std::uint32_t num_nodes() const noexcept {
         return static_cast<std::uint32_t>(rows) * cols;
@@ -153,8 +154,8 @@ struct TopologyConfig {
 /// the lowest free positions, the rest pass-through hops. Every manager node
 /// gets a REALM unit.
 [[nodiscard]] std::vector<RingNodeSpec>
-make_ring_roles(std::uint8_t num_nodes, std::uint8_t num_attackers,
-                std::uint8_t num_memories = 2);
+make_ring_roles(noc::NodeId num_nodes, noc::NodeId num_attackers,
+                noc::NodeId num_memories = 2);
 
 /// Canonical mesh layout: the same victim/memory/attacker spread as
 /// `make_ring_roles` applied to the row-major node order — the victim sits
@@ -164,8 +165,8 @@ make_ring_roles(std::uint8_t num_nodes, std::uint8_t num_attackers,
 /// indices), while XY routing turns the linear spread into genuinely
 /// distinct multi-hop paths.
 [[nodiscard]] std::vector<RingNodeSpec>
-make_mesh_roles(std::uint8_t rows, std::uint8_t cols, std::uint8_t num_attackers,
-                std::uint8_t num_memories = 2);
+make_mesh_roles(noc::NodeId rows, noc::NodeId cols, noc::NodeId num_attackers,
+                noc::NodeId num_memories = 2);
 
 /// One constructed fabric, presented uniformly to `run_scenario`: where the
 /// victim and the interference DMAs attach, how memory is preconditioned,
@@ -182,6 +183,12 @@ public:
     /// Interference manager ports available on this fabric.
     [[nodiscard]] virtual std::size_t num_interference_ports() const = 0;
     [[nodiscard]] virtual axi::AxiChannel& interference_port(std::size_t i) = 0;
+    /// Spatial shard of the tile behind each attachment point — the models
+    /// driving a port must be built (and hence ticked) on the same shard as
+    /// the tile they talk to, since that path is not edge-registered.
+    /// Fabrics without spatial sharding keep everything on shard 0.
+    [[nodiscard]] virtual unsigned victim_shard() const { return 0; }
+    [[nodiscard]] virtual unsigned interference_shard(std::size_t) const { return 0; }
     ///@}
 
     /// \name Memory preconditioning (by bus address)

@@ -72,6 +72,11 @@ public:
     void wake() noexcept { wake(ctx_->now()); }
     ///@}
 
+    /// Shard this component is evaluated on, tagged at registration from
+    /// the context's build shard (0 unless a topology spatially partitioned
+    /// the design; see `SimContext::set_build_shard`).
+    [[nodiscard]] unsigned shard() const noexcept { return shard_; }
+
 protected:
     /// Declares that every `tick()` strictly before `cycle` is a no-op.
     /// Call only at the end of `tick()` (or from a state-mutating entry
@@ -86,9 +91,12 @@ protected:
     }
 
 private:
+    friend class SimContext; // writes shard_ at registration
+
     SimContext* ctx_;
     std::string name_;
     Cycle wake_at_ = 0;
+    unsigned shard_ = 0;
 };
 
 } // namespace realm::sim

@@ -4,25 +4,65 @@
 #include "sim/component.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <iostream>
+#include <mutex>
+#include <thread>
 
 namespace realm::sim {
 
+namespace {
+/// Shard currently ticking on this thread; indexes the context's edge-dirty
+/// lists. 0 outside the tick phase (main thread, construction, tests).
+thread_local unsigned t_current_shard = 0;
+} // namespace
+
+/// Worker pool + two-phase barrier for the parallel tick phase. The main
+/// thread acts as worker 0; `count` spawned threads handle the rest.
+/// Condition variables rather than pure spinning: correctness (and CI
+/// determinism) must not depend on the host actually having a core per
+/// worker.
+struct SimContext::Workers {
+    std::mutex m;
+    std::condition_variable cv_go;
+    std::condition_variable cv_done;
+    std::uint64_t epoch = 0;
+    unsigned pending = 0;
+    unsigned total = 0; ///< workers including the main thread
+    bool stop = false;
+    std::vector<std::thread> threads;
+};
+
+SimContext::SimContext() = default;
+
+SimContext::~SimContext() { stop_workers(); }
+
 void SimContext::register_component(Component& c) {
+    c.shard_ = build_shard_;
     components_.push_back(&c);
-    next_active_hint_ = 0; // a newly built component is active immediately
+    partition_dirty_ = true;
+    next_active_hint_.store(0, std::memory_order_relaxed); // active immediately
 }
 
 void SimContext::unregister_component(Component& c) noexcept {
     const auto it = std::find(components_.begin(), components_.end(), &c);
-    if (it != components_.end()) { components_.erase(it); }
+    if (it != components_.end()) {
+        components_.erase(it);
+        partition_dirty_ = true;
+    }
+}
+
+void SimContext::set_shards(unsigned n) {
+    shards_ = std::max(1U, n);
+    build_shard_ = std::min(build_shard_, shards_ - 1);
+    partition_dirty_ = true;
 }
 
 void SimContext::reset() {
     now_ = 0;
-    next_active_hint_ = 0;
-    ticks_executed_ = 0;
-    ticks_skipped_ = 0;
+    next_active_hint_.store(0, std::memory_order_relaxed);
+    std::fill(shard_ticks_executed_.begin(), shard_ticks_executed_.end(), 0);
+    std::fill(shard_ticks_skipped_.begin(), shard_ticks_skipped_.end(), 0);
     fast_forwarded_ = 0;
     for (Component* c : components_) {
         c->wake(0); // forget idle declarations made against the old timeline
@@ -30,37 +70,179 @@ void SimContext::reset() {
     }
 }
 
-void SimContext::step() {
+std::uint64_t SimContext::ticks_executed() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : shard_ticks_executed_) { sum += v; }
+    return sum;
+}
+
+std::uint64_t SimContext::ticks_skipped() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : shard_ticks_skipped_) { sum += v; }
+    return sum;
+}
+
+std::uint64_t SimContext::shard_ticks_executed(unsigned shard) const noexcept {
+    return shard < shard_ticks_executed_.size() ? shard_ticks_executed_[shard] : 0;
+}
+
+std::uint64_t SimContext::shard_ticks_skipped(unsigned shard) const noexcept {
+    return shard < shard_ticks_skipped_.size() ? shard_ticks_skipped_[shard] : 0;
+}
+
+void SimContext::note_edge_dirty(EdgeFlushable& e) const {
+    edge_dirty_[t_current_shard].push_back(&e);
+}
+
+void SimContext::ensure_partition() {
+    if (!partition_dirty_) { return; }
+    const unsigned n = shards_;
+    shard_lists_.assign(n, {});
+    for (Component* c : components_) {
+        shard_lists_[std::min(c->shard_, n - 1)].push_back(c);
+    }
+    // Counters survive repartitioning (components register incrementally
+    // while a scenario is being built); only the vector width adapts.
+    shard_ticks_executed_.resize(n, 0);
+    shard_ticks_skipped_.resize(n, 0);
+    edge_dirty_.resize(n);
+    partition_dirty_ = false;
+}
+
+void SimContext::tick_shard(unsigned shard) {
+    t_current_shard = shard;
+    const std::vector<Component*>& list = shard_lists_[shard];
     if (scheduler_ == Scheduler::kTickAll) {
-        for (Component* c : components_) { c->tick(); }
-        ticks_executed_ += components_.size();
-        ++now_;
+        for (Component* c : list) { c->tick(); }
+        shard_ticks_executed_[shard] += list.size();
+        t_current_shard = 0;
         return;
     }
-    // Rebuild the fast-forward hint while walking the list anyway. Wakes
-    // fired *during* a tick (link pushes, job submissions) re-lower the
-    // hint through note_wake, so components earlier in the order that were
-    // already passed over this cycle are still picked up next cycle.
-    next_active_hint_ = kNoCycle;
-    for (Component* c : components_) {
+    std::uint64_t executed = 0;
+    std::uint64_t skipped = 0;
+    Cycle hint = kNoCycle;
+    for (Component* c : list) {
         const Cycle wake = c->wake_cycle();
         if (wake > now_) {
-            ++ticks_skipped_;
-            next_active_hint_ = std::min(next_active_hint_, wake);
+            ++skipped;
+            hint = std::min(hint, wake);
             continue;
         }
         c->tick();
-        ++ticks_executed_;
+        ++executed;
         const Cycle after = c->wake_cycle();
-        next_active_hint_ = std::min(next_active_hint_, after > now_ ? after : now_ + 1);
+        hint = std::min(hint, after > now_ ? after : now_ + 1);
+    }
+    shard_ticks_executed_[shard] += executed;
+    shard_ticks_skipped_[shard] += skipped;
+    note_wake(hint); // fold the shard-local hint (atomic min)
+    t_current_shard = 0;
+}
+
+void SimContext::flush_edges() {
+    // Single-threaded, shard-major, registration order within each shard:
+    // a deterministic total order, though no staged effect depends on it
+    // (each edge object has a single staging shard and flushing only makes
+    // next-cycle state visible).
+    for (std::vector<EdgeFlushable*>& list : edge_dirty_) {
+        for (EdgeFlushable* e : list) { e->flush_edge(now_); }
+        list.clear();
+    }
+}
+
+void SimContext::start_workers(unsigned count) {
+    if (workers_ && workers_->total == count) { return; }
+    stop_workers();
+    workers_ = std::make_unique<Workers>();
+    workers_->total = count;
+    workers_->threads.reserve(count - 1);
+    for (unsigned i = 1; i < count; ++i) {
+        workers_->threads.emplace_back([this, i, count] { worker_main(i, count); });
+    }
+}
+
+void SimContext::stop_workers() noexcept {
+    if (!workers_) { return; }
+    {
+        const std::lock_guard<std::mutex> lk{workers_->m};
+        workers_->stop = true;
+    }
+    workers_->cv_go.notify_all();
+    for (std::thread& th : workers_->threads) { th.join(); }
+    workers_.reset();
+}
+
+void SimContext::worker_main(unsigned worker_index, unsigned worker_count) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk{workers_->m};
+            workers_->cv_go.wait(
+                lk, [&] { return workers_->stop || workers_->epoch != seen; });
+            if (workers_->stop) { return; }
+            seen = workers_->epoch;
+        }
+        const unsigned n = static_cast<unsigned>(shard_lists_.size());
+        for (unsigned s = worker_index; s < n; s += worker_count) { tick_shard(s); }
+        {
+            const std::lock_guard<std::mutex> lk{workers_->m};
+            --workers_->pending;
+        }
+        workers_->cv_done.notify_one();
+    }
+}
+
+void SimContext::step() {
+    ensure_partition();
+    // Apply any work staged outside the tick phase (tests pushing into
+    // edge-mode links between steps); normally a no-op.
+    flush_edges();
+
+    const unsigned nshards = static_cast<unsigned>(shard_lists_.size());
+    if (scheduler_ == Scheduler::kActivity) {
+        // Rebuild the fast-forward hint while walking the lists anyway.
+        // Wakes fired *during* a tick (link pushes, job submissions)
+        // re-lower the hint through note_wake, so components earlier in the
+        // order that were already passed over this cycle are still picked
+        // up next cycle.
+        next_active_hint_.store(kNoCycle, std::memory_order_relaxed);
+    }
+    if (nshards <= 1) {
+        tick_shard(0);
+    } else {
+        unsigned workers = shard_workers_override_ != 0
+                               ? shard_workers_override_
+                               : std::max(1U, std::thread::hardware_concurrency());
+        workers = std::min(workers, nshards);
+        if (workers <= 1) {
+            // Not enough cores to go parallel: multiplex the shards on this
+            // thread. Bit-identical to the concurrent path — cross-shard
+            // effects are edge-registered either way.
+            for (unsigned s = 0; s < nshards; ++s) { tick_shard(s); }
+        } else {
+            start_workers(workers);
+            {
+                const std::lock_guard<std::mutex> lk{workers_->m};
+                ++workers_->epoch;
+                workers_->pending = workers - 1;
+            }
+            workers_->cv_go.notify_all();
+            for (unsigned s = 0; s < nshards; s += workers) { tick_shard(s); }
+            std::unique_lock<std::mutex> lk{workers_->m};
+            workers_->cv_done.wait(lk, [&] { return workers_->pending == 0; });
+        }
     }
     ++now_;
+    // Exchange cross-shard state at the cycle edge: staged flits/credits
+    // become poppable at the new `now_`, and consumers are woken for it.
+    flush_edges();
 }
 
 bool SimContext::try_fast_forward(Cycle limit) {
     if (scheduler_ != Scheduler::kActivity) { return false; }
-    if (next_active_hint_ <= now_) { return false; } // someone may need this cycle
-    const Cycle target = std::min(next_active_hint_, limit);
+    const Cycle hint = next_active_hint_.load(std::memory_order_relaxed);
+    if (hint <= now_) { return false; } // someone may need this cycle
+    const Cycle target = std::min(hint, limit);
     if (target <= now_) { return false; }
     fast_forwarded_ += target - now_;
     now_ = target;

@@ -1,10 +1,14 @@
 /// \file
-/// \brief Cycle-driven simulation context: clock, component registry, run loop.
+/// \brief Cycle-driven simulation context: clock, component registry, run loop,
+///        and the sharded (spatially partitioned) parallel scheduler.
 #pragma once
 
 #include "sim/types.hpp"
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +23,27 @@ enum class LogLevel { kNone = 0, kError, kWarn, kInfo, kDebug, kTrace };
 enum class Scheduler {
     kTickAll,  ///< legacy: tick every component every cycle
     kActivity, ///< skip idle components; fast-forward when all are idle
+};
+
+/// Cross-shard work staged during a cycle and applied at the cycle edge.
+///
+/// Objects that carry state between shards (cross-stripe `NocLink`s, credit
+/// pools) buffer their producer-side writes in shard-private staging storage
+/// during the parallel tick phase and register themselves dirty with the
+/// context; after all shards finish the cycle, the kernel calls
+/// `flush_edge(now)` on every dirty object from a single thread, in
+/// deterministic (shard-major, registration) order. Because every staged
+/// effect only becomes observable at cycle N+1 — the registered-`Link`
+/// contract — deferring it to the edge is bit-identical to applying it
+/// inline, for any shard count including 1.
+class EdgeFlushable {
+public:
+    /// Applies the staged work; `now` is the cycle whose edge is flushing
+    /// (effects become visible at `now + 1`).
+    virtual void flush_edge(Cycle now) = 0;
+
+protected:
+    ~EdgeFlushable() = default;
 };
 
 /// Owns simulation time and the (non-owning) list of components to evaluate
@@ -39,16 +64,29 @@ enum class Scheduler {
 /// When *every* component is idle until some future cycle, `run` /
 /// `run_until` fast-forward the clock to the earliest wake-up instead of
 /// stepping cycle by cycle.
+///
+/// Sharded execution: `set_shards(S)` partitions components into S spatial
+/// shards (each component is tagged with the context's *build shard* at
+/// registration; topologies set it around per-tile construction). Each
+/// cycle, shards tick concurrently on worker threads — components within a
+/// shard keep registration order — and cross-shard state (see
+/// `EdgeFlushable`) is exchanged at a barrier on the cycle edge. Runs are
+/// bit-identical for every shard count because (a) intra-shard relative
+/// order equals the single-thread order (stable partition of one
+/// construction order) and (b) every cross-shard interaction is
+/// edge-registered, hence order-independent within a cycle.
 class SimContext {
 public:
-    SimContext() = default;
+    SimContext();
+    ~SimContext();
     SimContext(const SimContext&) = delete;
     SimContext& operator=(const SimContext&) = delete;
 
     /// Current simulation time in cycles.
     [[nodiscard]] Cycle now() const noexcept { return now_; }
 
-    /// Adds a component to the per-cycle evaluation list.
+    /// Adds a component to the per-cycle evaluation list (tagging it with
+    /// the current build shard).
     void register_component(Component& c);
 
     /// Removes a component (called from Component's destructor).
@@ -77,21 +115,58 @@ public:
     ///@{
     void set_scheduler(Scheduler s) noexcept {
         scheduler_ = s;
-        next_active_hint_ = 0; // discard any hint computed under the old policy
+        // Discard any hint computed under the old policy.
+        next_active_hint_.store(0, std::memory_order_relaxed);
     }
     [[nodiscard]] Scheduler scheduler() const noexcept { return scheduler_; }
     /// Folds an asynchronous wake-up into the fast-forward hint (called by
     /// `Component::wake`; a lower hint is always safe — it only means less
-    /// fast-forwarding).
-    void note_wake(Cycle cycle) noexcept {
-        next_active_hint_ = std::min(next_active_hint_, cycle);
+    /// fast-forwarding). Lock-free so shards can wake components mid-cycle;
+    /// const because edge-mode links lower the hint through the const
+    /// context references producers hold (the hint is scheduler
+    /// bookkeeping, not simulation state).
+    void note_wake(Cycle cycle) const noexcept {
+        Cycle cur = next_active_hint_.load(std::memory_order_relaxed);
+        while (cycle < cur && !next_active_hint_.compare_exchange_weak(
+                                  cur, cycle, std::memory_order_relaxed)) {}
     }
-    /// Component evaluations actually executed.
-    [[nodiscard]] std::uint64_t ticks_executed() const noexcept { return ticks_executed_; }
+    /// Component evaluations actually executed (all shards).
+    [[nodiscard]] std::uint64_t ticks_executed() const noexcept;
     /// Component evaluations skipped because the component was idle.
-    [[nodiscard]] std::uint64_t ticks_skipped() const noexcept { return ticks_skipped_; }
+    [[nodiscard]] std::uint64_t ticks_skipped() const noexcept;
     /// Cycles crossed by fast-forward jumps (no component evaluated).
     [[nodiscard]] Cycle fast_forwarded_cycles() const noexcept { return fast_forwarded_; }
+    ///@}
+
+    /// \name Sharded execution
+    ///@{
+    /// Partitions execution into `n` spatial shards (>= 1). Call before
+    /// building the topology so components pick up their shard tags; the
+    /// tags themselves come from `set_build_shard`.
+    void set_shards(unsigned n);
+    [[nodiscard]] unsigned shards() const noexcept { return shards_; }
+    /// Shard tag applied to components registered from now on (clamped to
+    /// `shards() - 1`). Topologies bracket per-tile construction with this;
+    /// everything else lands on shard 0. Prefer the `ShardScope` guard.
+    void set_build_shard(unsigned s) noexcept {
+        build_shard_ = shards_ == 0 ? 0 : (s < shards_ ? s : shards_ - 1);
+    }
+    [[nodiscard]] unsigned build_shard() const noexcept { return build_shard_; }
+    /// Overrides the worker-thread count used when `shards() > 1`
+    /// (0 = auto: `hardware_concurrency()`). Tests force > 1 to exercise
+    /// the concurrent path on single-core hosts; effective workers are
+    /// always capped by the shard count.
+    void set_shard_workers(unsigned n) noexcept { shard_workers_override_ = n; }
+    /// Registers staged cross-shard work for the end-of-cycle flush. Called
+    /// from the shard currently ticking (or the main thread outside a
+    /// step); each object must register at most once per cycle (guard on
+    /// "staging was empty"). Const because producers frequently hold const
+    /// context references; the dirty lists are scheduler bookkeeping.
+    void note_edge_dirty(EdgeFlushable& e) const;
+    /// Per-shard slice of `ticks_executed()` / `ticks_skipped()` — the
+    /// parallel-efficiency counters exported into the sweep JSON.
+    [[nodiscard]] std::uint64_t shard_ticks_executed(unsigned shard) const noexcept;
+    [[nodiscard]] std::uint64_t shard_ticks_skipped(unsigned shard) const noexcept;
     ///@}
 
     /// \name Logging
@@ -109,9 +184,24 @@ public:
     [[nodiscard]] std::size_t component_count() const noexcept { return components_.size(); }
 
 private:
+    struct Workers; // worker pool + barrier state (context.cpp)
+
     /// Fast-forwards to `min(next_active_hint_, limit)` if the hint says no
     /// component needs the current cycle; returns true if time advanced.
     bool try_fast_forward(Cycle limit);
+
+    /// Rebuilds the per-shard component lists (stable partition of
+    /// `components_` by shard tag) when stale.
+    void ensure_partition();
+    /// Ticks every component of one shard (registration order), folding
+    /// skip logic and counters; runs on a worker or the main thread.
+    void tick_shard(unsigned shard);
+    /// Applies all staged cross-shard work, single-threaded, in shard-major
+    /// registration order. Runs on every cycle edge in every mode.
+    void flush_edges();
+    void start_workers(unsigned count);
+    void stop_workers() noexcept;
+    void worker_main(unsigned worker_index, unsigned worker_count);
 
     Cycle now_ = 0;
     std::vector<Component*> components_;
@@ -120,11 +210,38 @@ private:
     /// Earliest cycle at which any component may need evaluation, maintained
     /// incrementally by `step()` and `note_wake` so the run loop never has
     /// to rescan the component list; always <= the true next-active cycle.
-    /// 0 (always "active now") until the first activity-mode step.
-    Cycle next_active_hint_ = 0;
-    std::uint64_t ticks_executed_ = 0;
-    std::uint64_t ticks_skipped_ = 0;
+    /// 0 (always "active now") until the first activity-mode step. Atomic:
+    /// concurrently lowered by shards waking components mid-cycle.
+    mutable std::atomic<Cycle> next_active_hint_{0};
     Cycle fast_forwarded_ = 0;
+
+    unsigned shards_ = 1;
+    unsigned build_shard_ = 0;
+    unsigned shard_workers_override_ = 0;
+    bool partition_dirty_ = true;
+    std::vector<std::vector<Component*>> shard_lists_;
+    std::vector<std::uint64_t> shard_ticks_executed_{0};
+    std::vector<std::uint64_t> shard_ticks_skipped_{0};
+    /// Per-shard dirty lists of staged cross-shard work (mutable: filled
+    /// through const references on the producer hot path).
+    mutable std::vector<std::vector<EdgeFlushable*>> edge_dirty_{1};
+    std::unique_ptr<Workers> workers_;
+};
+
+/// RAII build-shard scope: components constructed while alive are tagged
+/// with `shard`.
+class ShardScope {
+public:
+    ShardScope(SimContext& ctx, unsigned shard) : ctx_{ctx}, prev_{ctx.build_shard()} {
+        ctx_.set_build_shard(shard);
+    }
+    ~ShardScope() { ctx_.set_build_shard(prev_); }
+    ShardScope(const ShardScope&) = delete;
+    ShardScope& operator=(const ShardScope&) = delete;
+
+private:
+    SimContext& ctx_;
+    unsigned prev_;
 };
 
 } // namespace realm::sim

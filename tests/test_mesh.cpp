@@ -247,7 +247,7 @@ protected:
         map.add(0x0000, 0x10000, 3, "mem3");
         map.add(0x1'0000, 0x10000, 5, "mem5");
         mesh = std::make_unique<NocMesh>(ctx, "mesh", 2, 3, map,
-                                         std::vector<std::uint8_t>{3, 5});
+                                         std::vector<noc::NodeId>{3, 5});
         mem3 = std::make_unique<mem::AxiMemSlave>(
             ctx, "mem3", mesh->subordinate_port(3),
             std::make_unique<mem::SramBackend>(1, 1), mem::AxiMemSlaveConfig{8, 8, 0});
@@ -641,7 +641,7 @@ TEST(MeshRoutingPolicies, SameIdOrderingHoldsUnderEveryPolicy) {
         ic::AddrMap map;
         map.add(0x0000, 0x10000, 3, "mem3");
         map.add(0x1'0000, 0x10000, 5, "mem5");
-        NocMesh mesh{ctx, "mesh", 2, 3, map, std::vector<std::uint8_t>{3, 5},
+        NocMesh mesh{ctx, "mesh", 2, 3, map, std::vector<noc::NodeId>{3, 5},
                      NocFlowConfig{}, policy};
         mem::AxiMemSlave mem3{ctx, "mem3", mesh.subordinate_port(3),
                               std::make_unique<mem::SramBackend>(1, 1),
@@ -671,7 +671,7 @@ TEST(MeshRoutingPolicies, DmaCopyPreservesDataUnderEveryPolicy) {
         ic::AddrMap map;
         map.add(0x0000, 0x10000, 3, "mem3");
         map.add(0x1'0000, 0x10000, 5, "mem5");
-        NocMesh mesh{ctx, "mesh", 2, 3, map, std::vector<std::uint8_t>{3, 5},
+        NocMesh mesh{ctx, "mesh", 2, 3, map, std::vector<noc::NodeId>{3, 5},
                      NocFlowConfig{}, policy};
         mem::AxiMemSlave mem3{ctx, "mem3", mesh.subordinate_port(3),
                               std::make_unique<mem::SramBackend>(1, 1),

@@ -30,7 +30,7 @@ protected:
         map.add(0x0000, 0x10000, 2, "mem2");
         map.add(0x1'0000, 0x10000, 3, "mem3");
         ring = std::make_unique<NocRing>(ctx, "ring", 4, map,
-                                         std::vector<std::uint8_t>{2, 3});
+                                         std::vector<noc::NodeId>{2, 3});
         mem2 = std::make_unique<mem::AxiMemSlave>(
             ctx, "mem2", ring->subordinate_port(2),
             std::make_unique<mem::SramBackend>(1, 1), mem::AxiMemSlaveConfig{8, 8, 0});
@@ -164,7 +164,7 @@ TEST(RingCreditDelay, DelayedCreditReturnsStillCompleteEndToEnd) {
     map.add(0x0, 0x10000, 2, "mem2");
     NocFlowConfig fc;
     fc.credit_return_delay = 6;
-    NocRing ring{ctx, "ring", 4, map, std::vector<std::uint8_t>{2}, fc};
+    NocRing ring{ctx, "ring", 4, map, std::vector<noc::NodeId>{2}, fc};
     ASSERT_NE(ring.credit_book(), nullptr);
     mem::AxiMemSlave mem2{ctx, "mem2", ring.subordinate_port(2),
                           std::make_unique<mem::SramBackend>(1, 1),

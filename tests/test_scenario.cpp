@@ -176,6 +176,17 @@ TEST(ConfigHash, StableAndSensitiveToSemanticFields) {
     c = base;
     c.victim.random.num_ops += 1;
     EXPECT_NE(config_hash(base), config_hash(c));
+    // Shard count is result-identical but still hashed: a shard-sweep's
+    // points must not alias each other in a resume cache (each point's
+    // host-speed numbers are what the sweep exists to compare).
+    c = base;
+    c.shards += 1;
+    EXPECT_NE(config_hash(base), config_hash(c));
+    // ... while the worker override is pure host policy and must NOT split
+    // the cache.
+    c = base;
+    c.shard_workers = 7;
+    EXPECT_EQ(config_hash(base), config_hash(c));
 
     ScenarioConfig ring = make_sweep("ring-dos-smoke").points[0].config;
     ScenarioConfig ring2 = ring;

@@ -5,6 +5,7 @@
 #include "axi/probe.hpp"
 #include "axi/trace.hpp"
 #include "mem/axi_mem_slave.hpp"
+#include "noc/routing.hpp"
 #include "realm/burst_equalizer.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
@@ -354,6 +355,127 @@ TEST(SchedulerEquivalence, DosAttackTopologyBitIdentical) {
     EXPECT_EQ(naive.store_lat_max, fast.store_lat_max);
     EXPECT_EQ(naive.xbar_w_stalls, fast.xbar_w_stalls);
     EXPECT_EQ(naive.dma_cut_through, fast.dma_cut_through);
+}
+
+// --- Sharded-kernel equivalence ----------------------------------------------
+
+/// A contended mesh point (3x4 hog from mesh-contention), shrunk to keep the
+/// matrix of (policy x shard count) runs fast, with real worker threads
+/// forced so the concurrent barrier path runs even on single-core hosts.
+scenario::ScenarioConfig
+small_mesh_point(noc::RoutingPolicy routing, unsigned shards) {
+    scenario::Sweep sweep = scenario::make_sweep("mesh-contention");
+    scenario::ScenarioConfig cfg = sweep.points.at(4).config; // 3x4 hog
+    cfg.victim.stream.bytes = 0x400;
+    cfg.topology.mesh.routing = routing;
+    cfg.shards = shards;
+    cfg.shard_workers = shards > 1 ? 2 : 0;
+    return cfg;
+}
+
+/// Field-by-field bit-identity of everything a sharded run could plausibly
+/// perturb (latency distribution, DMA progress, fabric counters, timing).
+void expect_same_results(const scenario::ScenarioResult& a,
+                         const scenario::ScenarioResult& b) {
+    EXPECT_EQ(a.run_cycles, b.run_cycles);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.load_lat_mean, b.load_lat_mean);
+    EXPECT_EQ(a.load_lat_min, b.load_lat_min);
+    EXPECT_EQ(a.load_lat_max, b.load_lat_max);
+    EXPECT_EQ(a.load_lat_p99, b.load_lat_p99);
+    EXPECT_EQ(a.store_lat_mean, b.store_lat_mean);
+    EXPECT_EQ(a.store_lat_max, b.store_lat_max);
+    EXPECT_EQ(a.dma_bytes, b.dma_bytes);
+    EXPECT_EQ(a.dma_read_bw, b.dma_read_bw);
+    EXPECT_EQ(a.dma_depletions, b.dma_depletions);
+    EXPECT_EQ(a.dma_isolation_cycles, b.dma_isolation_cycles);
+    EXPECT_EQ(a.xbar_w_stalls, b.xbar_w_stalls);
+    EXPECT_EQ(a.fabric_hops, b.fabric_hops);
+    EXPECT_EQ(a.simulated_cycles, b.simulated_cycles);
+}
+
+TEST(ShardedKernel, MeshBitIdenticalAcrossShardCountsAndPolicies) {
+    for (const noc::RoutingPolicy routing :
+         {noc::RoutingPolicy::kXY, noc::RoutingPolicy::kYX,
+          noc::RoutingPolicy::kO1Turn, noc::RoutingPolicy::kWestFirst}) {
+        const scenario::ScenarioResult ref =
+            scenario::run_scenario(small_mesh_point(routing, 1));
+        ASSERT_FALSE(ref.timed_out);
+        ASSERT_GT(ref.ops, 0U);
+        ASSERT_GT(ref.fabric_hops, 0U);
+        for (const unsigned shards : {2U, 4U}) {
+            const scenario::ScenarioResult sharded =
+                scenario::run_scenario(small_mesh_point(routing, shards));
+            SCOPED_TRACE(testing::Message()
+                         << "routing=" << noc::to_string(routing)
+                         << " shards=" << shards);
+            expect_same_results(ref, sharded);
+        }
+    }
+}
+
+TEST(ShardedKernel, MatchesTickAllScheduler) {
+    // Transitivity anchor: the sharded activity kernel must agree with the
+    // unsharded naive tick-all loop, not merely with itself.
+    scenario::ScenarioConfig cfg =
+        small_mesh_point(noc::RoutingPolicy::kO1Turn, 1);
+    cfg.scheduler = Scheduler::kTickAll;
+    const scenario::ScenarioResult naive = scenario::run_scenario(cfg);
+    const scenario::ScenarioResult sharded =
+        scenario::run_scenario(small_mesh_point(noc::RoutingPolicy::kO1Turn, 4));
+    ASSERT_FALSE(naive.timed_out);
+    expect_same_results(naive, sharded);
+}
+
+TEST(ShardedKernel, OddWidthMeshBitIdentical) {
+    // 3x5: 5 columns over 2 and 4 shards exercises uneven column stripes
+    // (including a shard owning two columns and another owning one).
+    scenario::Sweep sweep = scenario::make_sweep("mesh-contention");
+    scenario::ScenarioConfig cfg = sweep.points.at(1).config; // 2x3 hog
+    cfg.topology.mesh.rows = 3;
+    cfg.topology.mesh.cols = 5;
+    cfg.topology.mesh.nodes = scenario::make_mesh_roles(3, 5, 2, 2);
+    cfg.victim.stream.bytes = 0x400;
+    cfg.topology.mesh.routing = noc::RoutingPolicy::kO1Turn;
+    const scenario::ScenarioResult ref = scenario::run_scenario(cfg);
+    ASSERT_FALSE(ref.timed_out);
+    ASSERT_GT(ref.fabric_hops, 0U);
+    for (const unsigned shards : {2U, 4U}) {
+        scenario::ScenarioConfig s = cfg;
+        s.shards = shards;
+        s.shard_workers = 2;
+        SCOPED_TRACE(testing::Message() << "shards=" << shards);
+        expect_same_results(ref, scenario::run_scenario(s));
+    }
+}
+
+TEST(ShardedKernel, RepeatedShardedRunsAreDeterministic) {
+    const scenario::ScenarioConfig cfg =
+        small_mesh_point(noc::RoutingPolicy::kWestFirst, 4);
+    const scenario::ScenarioResult first = scenario::run_scenario(cfg);
+    const scenario::ScenarioResult second = scenario::run_scenario(cfg);
+    ASSERT_FALSE(first.timed_out);
+    expect_same_results(first, second);
+}
+
+TEST(ShardedKernel, PerShardCountersPartitionTheTotals) {
+    const scenario::ScenarioResult r =
+        scenario::run_scenario(small_mesh_point(noc::RoutingPolicy::kXY, 4));
+    ASSERT_EQ(r.shard_ticks_executed.size(), 4U);
+    ASSERT_EQ(r.shard_ticks_skipped.size(), 4U);
+    std::uint64_t executed = 0;
+    std::uint64_t skipped = 0;
+    unsigned busy_shards = 0;
+    for (unsigned s = 0; s < 4; ++s) {
+        executed += r.shard_ticks_executed[s];
+        skipped += r.shard_ticks_skipped[s];
+        busy_shards += r.shard_ticks_executed[s] > 0 ? 1U : 0U;
+    }
+    EXPECT_EQ(executed, r.ticks_executed);
+    EXPECT_EQ(skipped, r.ticks_skipped);
+    // The 3x4 mesh stripes over min(4, cols) = 4 shards; every stripe hosts
+    // ticking components (routers at minimum), so no shard sits empty.
+    EXPECT_EQ(busy_shards, 4U);
 }
 
 } // namespace
