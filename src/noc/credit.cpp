@@ -40,10 +40,14 @@ void NocLink::push(NocPacket pkt) {
     }
     // Edge mode: stage producer-side, stamped with the staging cycle so
     // visibility stays exactly N+1 however late the barrier commits it.
+    // The registration guard reads producer-owned state only (`staged_` is
+    // appended here and cleared at the barrier) — a cross-shard consumer's
+    // pop may register the link a second time from its own shard, which is
+    // harmless because flush_edge is idempotent.
     VcState& s = vc_[pkt.vc];
     ++s.staged_count;
     s.staged_flits += pkt.flits;
-    if (staged_.empty() && !pop_dirty_) { ctx_->note_edge_dirty(*this); }
+    if (staged_.empty()) { ctx_->note_edge_dirty(*this); }
     staged_.push_back(Entry{std::move(pkt), ctx_->now()});
     // Keep the fast-forward hint honest without touching the (possibly
     // cross-shard) consumer: the component wake fires at the flush.
@@ -59,15 +63,22 @@ NocPacket NocLink::pop(std::uint8_t vc) {
     s.flits -= pkt.flits;
     s.head = (s.head + 1) % cap_;
     --s.count;
-    if (edge_ && !pop_dirty_ && staged_.empty()) {
-        // The producer's capacity snapshot must learn about this pop at
-        // the next edge even if nothing gets pushed meanwhile.
+    if (edge_ && !pop_dirty_) {
+        // The producer's capacity snapshot must learn about this pop at the
+        // next edge even if nothing gets pushed meanwhile. Guard on
+        // consumer-owned state only (`pop_dirty_` is set here and cleared at
+        // the barrier) — never read `staged_`, which the producer's push may
+        // be appending to on another shard. If the producer registered too,
+        // the duplicate flush is a no-op (flush_edge is idempotent).
         pop_dirty_ = true;
         ctx_->note_edge_dirty(*this);
     }
     return pkt;
 }
 
+// Idempotent within one edge (the link may be registered by both its
+// producer and its consumer shard): the second call sees an empty staging
+// vector and re-takes an unchanged snapshot.
 void NocLink::flush_edge(sim::Cycle now) {
     const bool arrived = !staged_.empty();
     for (Entry& e : staged_) { commit(std::move(e)); }

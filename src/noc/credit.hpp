@@ -202,6 +202,13 @@ private:
 /// 2 x 1024^2 pools, of which the role map ever touches a few thousand
 /// (managers x memories). `unordered_map` is node-based, so references
 /// handed to the credit-return closures stay valid forever.
+///
+/// Sharded fabrics must `freeze()` the book after materializing every pool
+/// their tick phase can touch (the mesh constructor touches req pools via
+/// `wire_credit_returns` and rsp pools explicitly): `pool()` inserts into a
+/// map shared by all shards, so lazy materialization from concurrent ticks
+/// would be a data race. After `freeze()`, looking up a pool that was never
+/// materialized asserts instead of inserting.
 class CreditBook {
 public:
     CreditBook(NodeId num_nodes, const NocFlowConfig& fc)
@@ -216,6 +223,18 @@ public:
 
     [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
 
+    /// Forbids materializing further pools: every later `req`/`rsp` call
+    /// must hit an existing pool (asserted). Called once the single-threaded
+    /// construction phase has touched every pool the fabric can reach, so
+    /// the parallel tick phase never mutates the shared maps.
+    void freeze() noexcept { frozen_ = true; }
+    [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+    /// Number of materialized pools (tests assert a frozen book stops
+    /// growing — the map must never mutate during the parallel tick phase).
+    [[nodiscard]] std::size_t materialized() const noexcept {
+        return req_.size() + rsp_.size();
+    }
+
     /// Asserts conservation on every (materialized) pool.
     void check_conserved() const {
         for (const auto& [key, p] : req_) { p.check_conserved(); }
@@ -229,11 +248,19 @@ private:
         REALM_EXPECTS(dest < n_ && src < n_, "credit pool index out of range");
         const std::uint32_t key =
             (static_cast<std::uint32_t>(dest) << 16) | src;
+        if (frozen_) {
+            const auto it = m.find(key);
+            REALM_EXPECTS(it != m.end(),
+                          "credit pool lookup after freeze for a pool never "
+                          "materialized during construction");
+            return it->second;
+        }
         return m.try_emplace(key, credits_).first->second;
     }
 
     NodeId n_;
     std::uint32_t credits_;
+    bool frozen_ = false;
     /// Mutable: materializing an untouched pool is unobservable (it is
     /// born full), so const callers may trigger it.
     mutable PoolMap req_;
@@ -385,8 +412,12 @@ private:
     std::uint32_t cap_; ///< ring slots per VC (== vc_depth packets)
     std::vector<Entry> slots_;
     std::vector<VcState> vc_;
-    std::vector<Entry> staged_; ///< edge mode: pushes awaiting the barrier
-    bool pop_dirty_ = false;    ///< edge mode: pops since the last flush
+    /// Edge mode: pushes awaiting the barrier. Producer-owned during the
+    /// tick phase (cleared at the barrier); the consumer must never read it.
+    std::vector<Entry> staged_;
+    /// Edge mode: pops since the last flush. Consumer-owned during the tick
+    /// phase (cleared at the barrier); the producer must never read it.
+    bool pop_dirty_ = false;
     sim::Cycle busy_until_ = 0;
     sim::Component* wake_on_push_ = nullptr;
 };

@@ -301,6 +301,17 @@ NocMesh::NocMesh(sim::SimContext& ctx, std::string name, NodeId rows,
                                                       *sub_ports_.back()));
     }
 
+    // Pre-materialize every credit pool the tick phase can touch, then
+    // freeze the book: pool lookups insert into a map shared by all shards,
+    // which must only ever happen here, single-threaded. Request pools
+    // (subordinate dest x any src) materialized above via
+    // wire_credit_returns; response pools are (manager dest x subordinate
+    // src) — responses only ever originate at subordinate nodes.
+    for (NodeId d = 0; d < n; ++d) {
+        for (const NodeId s : subordinate_nodes) { book_->rsp(d, s); }
+    }
+    book_->freeze();
+
     // Routers last, in node order (construction order fixes tick order).
     const auto dir = [](MeshDir d) { return static_cast<std::size_t>(d); };
     for (NodeId i = 0; i < n; ++i) {
@@ -390,9 +401,11 @@ void NocMesh::check_flow_invariants() const {
         }
     }
     // Response reorder stashes are bounded by the response pools: a stashed
-    // response still holds its end-to-end credits.
+    // response still holds its end-to-end credits. Only subordinate nodes
+    // source responses (the frozen book holds exactly those pools).
     for (std::size_t d = 0; d < routers_.size(); ++d) {
         for (NodeId src = 0; src < routers_.size(); ++src) {
+            if (sub_index_[src] < 0) { continue; }
             REALM_ENSURES(
                 routers_[d]->ni().stashed_response_flits(src) <=
                     book_->rsp(static_cast<NodeId>(d), src).in_flight(),

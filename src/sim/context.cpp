@@ -102,9 +102,23 @@ void SimContext::ensure_partition() {
         shard_lists_[std::min(c->shard_, n - 1)].push_back(c);
     }
     // Counters survive repartitioning (components register incrementally
-    // while a scenario is being built); only the vector width adapts.
+    // while a scenario is being built). When the shard count shrinks,
+    // trailing per-shard state folds into shard 0 instead of being dropped:
+    // totals stay exact and pending edge flushes are never stranded.
+    if (n < shard_ticks_executed_.size()) {
+        for (std::size_t s = n; s < shard_ticks_executed_.size(); ++s) {
+            shard_ticks_executed_[0] += shard_ticks_executed_[s];
+            shard_ticks_skipped_[0] += shard_ticks_skipped_[s];
+        }
+    }
     shard_ticks_executed_.resize(n, 0);
     shard_ticks_skipped_.resize(n, 0);
+    if (n < edge_dirty_.size()) {
+        for (std::size_t s = n; s < edge_dirty_.size(); ++s) {
+            edge_dirty_[0].insert(edge_dirty_[0].end(), edge_dirty_[s].begin(),
+                                  edge_dirty_[s].end());
+        }
+    }
     edge_dirty_.resize(n);
     partition_dirty_ = false;
 }

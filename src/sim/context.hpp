@@ -36,10 +36,18 @@ enum class Scheduler {
 /// effect only becomes observable at cycle N+1 — the registered-`Link`
 /// contract — deferring it to the edge is bit-identical to applying it
 /// inline, for any shard count including 1.
+///
+/// An object may be registered more than once per edge (e.g. a link's
+/// producer and consumer shards both register it), so `flush_edge` must be
+/// idempotent within one edge.
 class EdgeFlushable {
 public:
-    /// Applies the staged work; `now` is the cycle whose edge is flushing
-    /// (effects become visible at `now + 1`).
+    /// Applies the staged work. The kernel advances the clock *before*
+    /// flushing, so `now` is the cycle at which the staged effects become
+    /// visible: work staged during cycle N is flushed with `now == N + 1`,
+    /// and consumers evaluated at `now` may observe it (stamp staged
+    /// entries with their staging cycle and expose them to consumers once
+    /// `stamp < now`, as `NocLink` does).
     virtual void flush_edge(Cycle now) = 0;
 
 protected:
@@ -159,9 +167,12 @@ public:
     void set_shard_workers(unsigned n) noexcept { shard_workers_override_ = n; }
     /// Registers staged cross-shard work for the end-of-cycle flush. Called
     /// from the shard currently ticking (or the main thread outside a
-    /// step); each object must register at most once per cycle (guard on
-    /// "staging was empty"). Const because producers frequently hold const
-    /// context references; the dirty lists are scheduler bookkeeping.
+    /// step); each *side* of an object guards its own registration on state
+    /// only it mutates during the tick phase (e.g. "my staging was empty"),
+    /// so an object may land in two shards' dirty lists in one cycle —
+    /// `flush_edge` must be idempotent to absorb that. Const because
+    /// producers frequently hold const context references; the dirty lists
+    /// are scheduler bookkeeping.
     void note_edge_dirty(EdgeFlushable& e) const;
     /// Per-shard slice of `ticks_executed()` / `ticks_skipped()` — the
     /// parallel-efficiency counters exported into the sweep JSON.

@@ -357,6 +357,23 @@ TEST_F(MeshFixture, DefaultTransportIsCreditedAndBookkept) {
     mesh->check_flow_invariants();
 }
 
+TEST_F(MeshFixture, CreditBookIsFrozenAndNeverGrowsAfterConstruction) {
+    // Sharded ticks look pools up concurrently, so the book's shared maps
+    // must be fully materialized (req: subordinate x any source, rsp:
+    // manager x subordinate) by the single-threaded constructor and then
+    // frozen — any lazy insertion from the hot path would be a data race.
+    ASSERT_TRUE(mesh->credit_book()->frozen());
+    const std::size_t pools = mesh->credit_book()->materialized();
+    EXPECT_GT(pools, 0U);
+    push_write_burst(ctx, mesh->manager_port(0), 1, 0x100, 4, 8, 0x2A);
+    (void)collect_b(ctx, mesh->manager_port(0));
+    push_write_burst(ctx, mesh->manager_port(2), 3, 0x1'0000, 1, 8, 0x5C);
+    (void)collect_b(ctx, mesh->manager_port(2));
+    EXPECT_EQ(mesh->credit_book()->materialized(), pools)
+        << "traffic materialized a credit pool after the freeze";
+    mesh->check_flow_invariants();
+}
+
 TEST_F(MeshFixture, BackpressureDoesNotDeadlock) {
     // Saturate both subordinates from both managers simultaneously with
     // interleaved reads and writes; everything must drain.

@@ -458,6 +458,30 @@ TEST(ShardedKernel, RepeatedShardedRunsAreDeterministic) {
     expect_same_results(first, second);
 }
 
+TEST(ShardedKernel, ShrinkingShardCountFoldsCountersIntoShardZero) {
+    SimContext ctx;
+    ctx.set_scheduler(Scheduler::kActivity);
+    ctx.set_shards(4);
+    ctx.set_shard_workers(1); // multiplexed path: no worker threads needed
+    std::vector<std::unique_ptr<SleepyComponent>> comps;
+    for (unsigned s = 0; s < 4; ++s) {
+        const sim::ShardScope scope{ctx, s};
+        comps.push_back(
+            std::make_unique<SleepyComponent>(ctx, "c" + std::to_string(s)));
+    }
+    ctx.step(); // each shard executes its one component
+    ASSERT_EQ(ctx.ticks_executed(), 4U);
+    ASSERT_EQ(ctx.shard_ticks_executed(3), 1U);
+
+    ctx.set_shards(2);
+    ctx.step(); // repartitions: truncated shard counters must fold, not drop
+    EXPECT_EQ(ctx.ticks_executed(), 4U)
+        << "shrinking the shard count dropped per-shard tick counters";
+    EXPECT_EQ(ctx.shard_ticks_executed(0) + ctx.shard_ticks_executed(1), 4U);
+    EXPECT_EQ(ctx.shard_ticks_executed(2), 0U);
+    EXPECT_EQ(ctx.shard_ticks_executed(3), 0U);
+}
+
 TEST(ShardedKernel, PerShardCountersPartitionTheTotals) {
     const scenario::ScenarioResult r =
         scenario::run_scenario(small_mesh_point(noc::RoutingPolicy::kXY, 4));
