@@ -10,6 +10,8 @@
 #include "noc/routing.hpp"
 #include "mem/axi_mem_slave.hpp"
 #include "mem/llc.hpp"
+#include "mon/quantile.hpp"
+#include "mon/txn_monitor.hpp"
 #include "realm/splitter.hpp"
 #include "scenario/topology.hpp"
 #include "scenario/scenario.hpp"
@@ -106,6 +108,45 @@ void BM_SramSlaveCycle(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SramSlaveCycle);
+
+void BM_QuantileSketch(benchmark::State& state) {
+    // Record cost of the fixed-memory HDR sketch: the per-completed-burst
+    // price every monitored manager pays. The LCG spreads samples across the
+    // log-linear buckets so the branch history is realistic.
+    mon::QuantileSketch sketch;
+    std::uint64_t lcg = 0x9E3779B97F4A7C15ULL;
+    for (auto _ : state) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        sketch.record((lcg >> 33) % 100'000);
+    }
+    benchmark::DoNotOptimize(sketch.quantile(0.99));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QuantileSketch);
+
+void BM_TxnMonitorTick(benchmark::State& state) {
+    // Steady-state per-cycle cost of the pass-through monitor: a manager
+    // pipelining 1-beat reads against an SRAM slave behind the monitor hop,
+    // so every cycle forwards flits, matches bursts and rolls windows.
+    sim::SimContext ctx;
+    axi::AxiChannel up{ctx, "up"};
+    axi::AxiChannel down{ctx, "down"};
+    mon::TxnMonitor monitor{ctx, "mon", up, down, mon::TxnMonitorConfig{}};
+    mem::AxiMemSlave slave{ctx, "mem", down, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{8, 8, 0}};
+    axi::ManagerView mgr{up};
+    for (auto _ : state) {
+        if (mgr.can_send_ar()) { mgr.send_ar(axi::make_ar(1, ctx.now() % 4096, 1, 3)); }
+        if (mgr.has_r()) { benchmark::DoNotOptimize(mgr.recv_r()); }
+        ctx.step();
+    }
+    monitor.finalize();
+    benchmark::DoNotOptimize(monitor.read_sketch().count());
+    state.SetItemsProcessed(static_cast<std::int64_t>(ctx.now()));
+    state.counters["cycles/s"] =
+        benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TxnMonitorTick);
 
 void BM_FullSocCycle(benchmark::State& state) {
     sim::SimContext ctx;

@@ -15,6 +15,8 @@ void AxiLatencyProbe::reset() {
     w_bytes_per_beat_.clear();
     write_lat_.reset();
     read_lat_.reset();
+    write_sketch_.reset();
+    read_sketch_.reset();
     bytes_read_ = 0;
     bytes_written_ = 0;
     aw_count_ = 0;
@@ -47,6 +49,7 @@ void AxiLatencyProbe::tick() {
         auto it = write_start_.find(f.id);
         if (it != write_start_.end() && !it->second.empty()) {
             write_lat_.record(now() - it->second.front());
+            write_sketch_.record(now() - it->second.front());
             it->second.pop_front();
         }
         up_.channel().b.push(f);
@@ -59,6 +62,7 @@ void AxiLatencyProbe::tick() {
             auto it = read_start_.find(f.id);
             if (it != read_start_.end() && !it->second.empty()) {
                 read_lat_.record(now() - it->second.front());
+                read_sketch_.record(now() - it->second.front());
                 it->second.pop_front();
             }
         }

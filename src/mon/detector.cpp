@@ -1,0 +1,36 @@
+#include "mon/detector.hpp"
+
+namespace realm::mon {
+
+std::string signal_names(std::uint8_t mask) {
+    if (mask == kSignalNone) { return "-"; }
+    std::string out;
+    const auto append = [&out](const char* name) {
+        if (!out.empty()) { out += '+'; }
+        out += name;
+    };
+    if (mask & kSignalBandwidth) { append("bw"); }
+    if (mask & kSignalBackpressure) { append("held"); }
+    if (mask & kSignalWGap) { append("wgap"); }
+    if (mask & kSignalOccupancy) { append("occ"); }
+    return out;
+}
+
+DetectionScore score_verdicts(const std::vector<Verdict>& verdicts) {
+    DetectionScore s;
+    for (const Verdict& v : verdicts) {
+        if (v.hostile && v.flagged) {
+            ++s.true_positives;
+            if (s.first_detect == 0 || v.time_to_detect < s.first_detect) {
+                s.first_detect = v.time_to_detect;
+            }
+        } else if (!v.hostile && v.flagged) {
+            ++s.false_positives;
+        } else if (v.hostile && !v.flagged) {
+            ++s.false_negatives;
+        }
+    }
+    return s;
+}
+
+} // namespace realm::mon

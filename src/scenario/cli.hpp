@@ -4,7 +4,10 @@
 ///        `--diff BASELINE.json [--diff-threshold F] [--diff-slack N]`
 ///        `[--speed-threshold F] [--speed-slack C]`,
 ///        `--scheduler tick-all|activity`, `--shards N`,
-///        `--routing xy|yx|o1turn|west-first`, `--list`.
+///        `--routing xy|yx|o1turn|west-first`, `--list`, and the
+///        monitoring plane: `--monitors` with `--mon-timeout C`,
+///        `--mon-stall C`, `--mon-window C`, `--mon-bw F`, `--mon-held F`,
+///        `--mon-occ F`.
 #pragma once
 
 #include "noc/routing.hpp"
@@ -55,6 +58,16 @@ struct BenchOptions {
     /// `--routing`: force one mesh routing policy on every point (handy for
     /// re-running a whole matrix under one policy without a new sweep).
     std::optional<noc::RoutingPolicy> routing;
+    /// `--monitors`: enable the transaction-monitoring plane on every point.
+    bool monitors = false;
+    /// Threshold overrides applied to every point (with or without
+    /// `--monitors`, so a sweep that enables monitors itself is tunable too).
+    std::optional<sim::Cycle> mon_timeout;
+    std::optional<sim::Cycle> mon_stall;
+    std::optional<sim::Cycle> mon_window;
+    std::optional<double> mon_bw;
+    std::optional<double> mon_held;
+    std::optional<double> mon_occ;
     /// Non-flag arguments, in order (e.g. sweep names for `scenario_sweep`).
     std::vector<std::string> positional;
 };
@@ -151,6 +164,43 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
                 std::exit(2);
             }
             opts.scheduler_forced = true;
+        } else if (arg == "--monitors") {
+            opts.monitors = true;
+        } else if (arg == "--mon-timeout" || arg == "--mon-stall" ||
+                   arg == "--mon-window") {
+            const std::string flag = arg;
+            const char* value = need_value(flag.c_str());
+            char* end = nullptr;
+            const unsigned long long n = std::strtoull(value, &end, 10);
+            if (end == value || *end != '\0' || n == 0) {
+                std::fprintf(stderr, "%s expects a positive cycle count, got '%s'\n",
+                             flag.c_str(), value);
+                std::exit(2);
+            }
+            if (flag == "--mon-timeout") {
+                opts.mon_timeout = n;
+            } else if (flag == "--mon-stall") {
+                opts.mon_stall = n;
+            } else {
+                opts.mon_window = n;
+            }
+        } else if (arg == "--mon-bw" || arg == "--mon-held" || arg == "--mon-occ") {
+            const std::string flag = arg;
+            const char* value = need_value(flag.c_str());
+            char* end = nullptr;
+            const double f = std::strtod(value, &end);
+            if (end == value || *end != '\0' || f < 0.0) {
+                std::fprintf(stderr, "%s expects a non-negative number, got '%s'\n",
+                             flag.c_str(), value);
+                std::exit(2);
+            }
+            if (flag == "--mon-bw") {
+                opts.mon_bw = f;
+            } else if (flag == "--mon-held") {
+                opts.mon_held = f;
+            } else {
+                opts.mon_occ = f;
+            }
         } else if (arg == "--routing") {
             const std::string v = need_value("--routing");
             const auto policy = noc::parse_routing_policy(v);
@@ -172,7 +222,10 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
                         "[--diff-threshold F] [--diff-slack N] "
                         "[--speed-threshold F] [--speed-slack C] "
                         "[--scheduler tick-all|activity] "
-                        "[--routing xy|yx|o1turn|west-first] [--list]\n",
+                        "[--routing xy|yx|o1turn|west-first] "
+                        "[--monitors] [--mon-timeout C] [--mon-stall C] "
+                        "[--mon-window C] [--mon-bw F] [--mon-held F] [--mon-occ F] "
+                        "[--list]\n",
                         argv[0], accept_positional ? "[sweep...] " : "");
             std::exit(0);
         } else if (accept_positional && !arg.empty() && arg[0] != '-') {
@@ -198,6 +251,21 @@ inline void apply_overrides(const BenchOptions& opts, Sweep& sweep) {
         if (opts.routing.has_value()) {
             p.config.topology.mesh.routing = *opts.routing;
         }
+        if (opts.monitors) { p.config.monitors.enabled = true; }
+        if (opts.mon_timeout) {
+            p.config.monitors.thresholds.timeout_cycles = *opts.mon_timeout;
+        }
+        if (opts.mon_stall) {
+            p.config.monitors.thresholds.stall_cycles = *opts.mon_stall;
+        }
+        if (opts.mon_window) {
+            p.config.monitors.thresholds.window_cycles = *opts.mon_window;
+        }
+        if (opts.mon_bw) { p.config.monitors.thresholds.bw_threshold = *opts.mon_bw; }
+        if (opts.mon_held) {
+            p.config.monitors.thresholds.held_threshold = *opts.mon_held;
+        }
+        if (opts.mon_occ) { p.config.monitors.thresholds.occ_threshold = *opts.mon_occ; }
     }
 }
 

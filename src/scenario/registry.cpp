@@ -197,6 +197,7 @@ ScenarioConfig dos_point(bool write_buffer_enabled) {
     // write buffer's structural protection.
 
     InterferenceConfig attacker;
+    attacker.hostile = true; // detector ground truth
     attacker.dma.burst_beats = 8;
     attacker.dma.reserve_before_data = true;
     attacker.dma.w_stall_cycles = 64;
@@ -413,6 +414,7 @@ ScenarioConfig dos_point(const DosKnobs& k) {
         // addresses are unchanged.
         const axi::Addr slot = i % 24;
         InterferenceConfig irq;
+        irq.hostile = true; // detector ground truth: every DoS cell attacker
         switch (k.attack) {
         case DosAttack::kHog:
             irq.dma.burst_beats = 256;
@@ -497,6 +499,15 @@ void for_each_matrix_cell(Emit&& emit) {
             }
         }
     }
+    // No-attack baselines, one per defense (appended so the legacy cells
+    // keep their point order). The attack knob is irrelevant with zero
+    // attackers and stays "hog" only to satisfy the label grammar; these
+    // points are the false-positive ground for the monitoring plane.
+    for (const DosDefense defense :
+         {DosDefense::kNone, DosDefense::kFragmentation, DosDefense::kBudget,
+          DosDefense::kThrottle}) {
+        emit(std::uint8_t{0}, DosAttack::kHog, defense);
+    }
 }
 
 /// The CI-sized 2x2x2 smoke cell grid, shared the same way.
@@ -508,6 +519,10 @@ void for_each_smoke_cell(Emit&& emit) {
                 emit(attackers, attack, defense);
             }
         }
+    }
+    // No-attack baselines (cf. for_each_matrix_cell).
+    for (const DosDefense defense : {DosDefense::kNone, DosDefense::kBudget}) {
+        emit(std::uint8_t{0}, DosAttack::kHog, defense);
     }
 }
 

@@ -1,5 +1,6 @@
 #include "scenario/report.hpp"
 
+#include "mon/detector.hpp"
 #include "noc/routing.hpp"
 
 #include <algorithm>
@@ -171,6 +172,132 @@ void write_flat_report(std::ostream& os, const Sweep& sweep,
     }
 }
 
+/// Monitoring-plane sections: rendered only when at least one point carries
+/// monitor telemetry, so reports of unmonitored sweeps stay byte-identical.
+void write_monitor_report(std::ostream& os, const Sweep& sweep,
+                          const std::vector<ScenarioResult>& results) {
+    bool any = false;
+    for (const ScenarioResult& r : results) { any = any || r.mon_enabled; }
+    if (!any) { return; }
+
+    // --- Detection coverage ----------------------------------------------
+    std::size_t attack_cells = 0;
+    std::size_t detected_cells = 0;
+    std::size_t clean_cells = 0;
+    std::uint64_t fp_attack = 0;
+    std::uint64_t fp_clean = 0;
+    os << "\n## Detection coverage\n\n";
+    os << "| cell | hostile | detected | false pos | missed | first detect "
+          "[cyc] | signals |\n";
+    os << "|---|---|---|---|---|---|---|\n";
+    for (const ScenarioResult& r : results) {
+        if (!r.mon_enabled) { continue; }
+        std::uint64_t hostile = 0;
+        for (const std::uint64_t h : r.mgr_hostile) { hostile += h; }
+        std::uint8_t signals = 0;
+        for (std::size_t m = 0;
+             m < r.mgr_flagged.size() && m < r.mgr_signals.size() &&
+             m < r.mgr_hostile.size();
+             ++m) {
+            if (r.mgr_flagged[m] != 0 && r.mgr_hostile[m] != 0) {
+                signals |= static_cast<std::uint8_t>(r.mgr_signals[m]);
+            }
+        }
+        if (hostile > 0) {
+            ++attack_cells;
+            if (r.mon_true_positives > 0) { ++detected_cells; }
+            fp_attack += r.mon_false_positives;
+        } else {
+            ++clean_cells;
+            fp_clean += r.mon_false_positives;
+        }
+        os << "| `" << r.label << "` | " << hostile << " | "
+           << r.mon_true_positives << " | " << r.mon_false_positives << " | "
+           << r.mon_false_negatives << " | ";
+        if (r.mon_first_detect > 0) {
+            os << r.mon_first_detect;
+        } else {
+            os << "–";
+        }
+        os << " | " << mon::signal_names(signals) << " |\n";
+    }
+    os << "\nDetected " << detected_cells << "/" << attack_cells
+       << " attack cells";
+    if (attack_cells > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, " (%.1f %%)",
+                      100.0 * static_cast<double>(detected_cells) /
+                          static_cast<double>(attack_cells));
+        os << buf;
+    }
+    os << "; false positives: " << fp_attack << " on attack cells, " << fp_clean
+       << " on " << clean_cells << " no-attack points.\n";
+
+    // --- Per-manager latency distributions -------------------------------
+    os << "\n## Per-manager latency distributions\n\n";
+    os << "| point | manager | p50 | p99 | p99.9 | occ | flagged | signals | "
+          "ttd [cyc] |\n";
+    os << "|---|---|---|---|---|---|---|---|---|\n";
+    std::size_t omitted = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult& r = results[i];
+        if (!r.mon_enabled) { continue; }
+        const std::size_t managers = r.mgr_p99.size();
+        const std::size_t cap = std::max<std::size_t>(
+            1, i < sweep.points.size()
+                   ? sweep.points[i].config.monitors.report_managers
+                   : 8);
+        // Victim first, then the loudest managers by P99 (stable by index).
+        std::vector<std::size_t> order;
+        for (std::size_t m = 1; m < managers; ++m) { order.push_back(m); }
+        std::stable_sort(order.begin(), order.end(),
+                         [&r](std::size_t a, std::size_t b) {
+                             return r.mgr_p99[a] > r.mgr_p99[b];
+                         });
+        order.insert(order.begin(), 0);
+        if (order.size() > cap) {
+            omitted += order.size() - cap;
+            order.resize(cap);
+        }
+        for (const std::size_t m : order) {
+            if (m >= managers) { continue; }
+            os << "| `" << r.label << "` | "
+               << (m == 0 ? std::string{"core"}
+                          : "dma" + std::to_string(m - 1))
+               << " | " << r.mgr_p50[m] << " | " << r.mgr_p99[m] << " | "
+               << r.mgr_p999[m] << " | ";
+            if (m < r.mgr_occ_milli.size()) {
+                char occ[16];
+                std::snprintf(occ, sizeof occ, "%.2f",
+                              static_cast<double>(r.mgr_occ_milli[m]) / 1000.0);
+                os << occ;
+            } else {
+                os << "–";
+            }
+            os << " | "
+               << (m < r.mgr_flagged.size() && r.mgr_flagged[m] != 0 ? "yes"
+                                                                     : "no")
+               << " | "
+               << mon::signal_names(m < r.mgr_signals.size()
+                                        ? static_cast<std::uint8_t>(
+                                              r.mgr_signals[m])
+                                        : 0)
+               << " | ";
+            if (m < r.mgr_detect.size() && r.mgr_detect[m] > 0) {
+                os << r.mgr_detect[m];
+            } else {
+                os << "–";
+            }
+            os << " |\n";
+        }
+    }
+    if (omitted > 0) {
+        os << "\nShowing the victim plus the highest-P99 managers per point "
+              "(row cap is the `report_managers` display knob); "
+           << omitted << " manager rows omitted.\n";
+    }
+}
+
 } // namespace
 
 void write_report(std::ostream& os, const Sweep& sweep,
@@ -191,6 +318,7 @@ void write_report(std::ostream& os, const Sweep& sweep,
     } else {
         write_flat_report(os, sweep, results);
     }
+    write_monitor_report(os, sweep, results);
 
     // Flag degenerate points loudly; a green CI job must not hide them.
     bool flagged = false;

@@ -195,6 +195,41 @@ void write_json(std::ostream& os, const Sweep& sweep,
         os << ", \"dma_cut_through\": " << r.dma_cut_through;
         os << ", \"xbar_w_stalls\": " << r.xbar_w_stalls;
         os << ", \"fabric_hops\": " << r.fabric_hops;
+        if (r.mon_enabled) {
+            // Monitoring-plane telemetry: all integers, so a parsed-back
+            // point is bit-identical to the run that produced it. The mgr_*
+            // arrays are columnar per-manager data (0 = victim core,
+            // 1+i = interference DMA i).
+            const auto emit_array = [&os](const char* key,
+                                          const std::vector<std::uint64_t>& v) {
+                os << ", \"" << key << "\": [";
+                for (std::size_t k = 0; k < v.size(); ++k) {
+                    os << (k > 0 ? ", " : "") << v[k];
+                }
+                os << ']';
+            };
+            os << ", \"mon_enabled\": true";
+            os << ", \"mon_lat_p50\": " << r.mon_lat_p50;
+            os << ", \"mon_lat_p99\": " << r.mon_lat_p99;
+            os << ", \"mon_lat_p999\": " << r.mon_lat_p999;
+            os << ", \"mon_timeouts\": " << r.mon_timeouts;
+            os << ", \"mon_orphan_rsp\": " << r.mon_orphan_rsp;
+            os << ", \"mon_orphan_req\": " << r.mon_orphan_req;
+            os << ", \"mon_stall_events\": " << r.mon_stall_events;
+            os << ", \"mon_wgap_events\": " << r.mon_wgap_events;
+            os << ", \"mon_true_positives\": " << r.mon_true_positives;
+            os << ", \"mon_false_positives\": " << r.mon_false_positives;
+            os << ", \"mon_false_negatives\": " << r.mon_false_negatives;
+            os << ", \"mon_first_detect\": " << r.mon_first_detect;
+            emit_array("mgr_p50", r.mgr_p50);
+            emit_array("mgr_p99", r.mgr_p99);
+            emit_array("mgr_p999", r.mgr_p999);
+            emit_array("mgr_flagged", r.mgr_flagged);
+            emit_array("mgr_signals", r.mgr_signals);
+            emit_array("mgr_hostile", r.mgr_hostile);
+            emit_array("mgr_detect", r.mgr_detect);
+            emit_array("mgr_occ_milli", r.mgr_occ_milli);
+        }
         os << ", \"ticks_executed\": " << r.ticks_executed;
         os << ", \"ticks_skipped\": " << r.ticks_skipped;
         // Per-shard slices of the tick counters — the load-balance picture
@@ -321,6 +356,29 @@ ScenarioResult scan_result(const std::string& line) {
     r.dma_cut_through = scan_u64(line, "dma_cut_through");
     r.xbar_w_stalls = scan_u64(line, "xbar_w_stalls");
     r.fabric_hops = scan_u64(line, "fabric_hops");
+    r.mon_enabled = scan_bool(line, "mon_enabled", false);
+    if (r.mon_enabled) {
+        r.mon_lat_p50 = scan_u64(line, "mon_lat_p50");
+        r.mon_lat_p99 = scan_u64(line, "mon_lat_p99");
+        r.mon_lat_p999 = scan_u64(line, "mon_lat_p999");
+        r.mon_timeouts = scan_u64(line, "mon_timeouts");
+        r.mon_orphan_rsp = scan_u64(line, "mon_orphan_rsp");
+        r.mon_orphan_req = scan_u64(line, "mon_orphan_req");
+        r.mon_stall_events = scan_u64(line, "mon_stall_events");
+        r.mon_wgap_events = scan_u64(line, "mon_wgap_events");
+        r.mon_true_positives = scan_u64(line, "mon_true_positives");
+        r.mon_false_positives = scan_u64(line, "mon_false_positives");
+        r.mon_false_negatives = scan_u64(line, "mon_false_negatives");
+        r.mon_first_detect = scan_u64(line, "mon_first_detect");
+        r.mgr_p50 = scan_u64_array(line, "mgr_p50");
+        r.mgr_p99 = scan_u64_array(line, "mgr_p99");
+        r.mgr_p999 = scan_u64_array(line, "mgr_p999");
+        r.mgr_flagged = scan_u64_array(line, "mgr_flagged");
+        r.mgr_signals = scan_u64_array(line, "mgr_signals");
+        r.mgr_hostile = scan_u64_array(line, "mgr_hostile");
+        r.mgr_detect = scan_u64_array(line, "mgr_detect");
+        r.mgr_occ_milli = scan_u64_array(line, "mgr_occ_milli");
+    }
     r.ticks_executed = scan_u64(line, "ticks_executed");
     r.ticks_skipped = scan_u64(line, "ticks_skipped");
     r.shard_ticks_executed = scan_u64_array(line, "shard_ticks_executed");

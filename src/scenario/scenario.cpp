@@ -77,21 +77,41 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     if (cfg.monitor_llc_on_core) { topo->set_victim_monitor(); }
 
     // --- Interference ----------------------------------------------------
+    // With monitors enabled each manager drives a fresh channel whose far
+    // side is a pass-through TxnMonitor in front of the real fabric port.
+    // Monitor and channel live on the manager's shard, so the sharded kernel
+    // sees one more same-shard component and stays race-free.
+    const bool monitored = cfg.monitors.enabled;
+    std::vector<std::unique_ptr<axi::AxiChannel>> mon_channels;
+    std::vector<std::unique_ptr<mon::TxnMonitor>> monitors;
+    const auto interpose = [&](axi::AxiChannel& port, const std::string& name)
+        -> axi::AxiChannel& {
+        if (!monitored) { return port; }
+        mon_channels.push_back(std::make_unique<axi::AxiChannel>(ctx, "ch_" + name));
+        monitors.push_back(std::make_unique<mon::TxnMonitor>(
+            ctx, name, *mon_channels.back(), port, cfg.monitors.thresholds));
+        return *mon_channels.back();
+    };
+
     std::vector<std::unique_ptr<traffic::DmaEngine>> dmas;
     for (std::size_t i = 0; i < cfg.interference.size(); ++i) {
         const InterferenceConfig& irq = cfg.interference[i];
         // The DMA talks to its port through plain registered channels, so it
         // must tick on the same shard as the tile behind the port.
         const sim::ShardScope scope{ctx, topo->interference_shard(i)};
+        axi::AxiChannel& port =
+            interpose(topo->interference_port(i), "mon_dsa" + std::to_string(i));
         dmas.push_back(std::make_unique<traffic::DmaEngine>(
-            ctx, "dsa_dma" + std::to_string(i), topo->interference_port(i), irq.dma));
+            ctx, "dsa_dma" + std::to_string(i), port, irq.dma));
         dmas.back()->push_job(traffic::DmaJob{irq.src, irq.dst, irq.bytes, irq.loop});
     }
     if (!dmas.empty() && cfg.warmup_cycles > 0) { ctx.run(cfg.warmup_cycles); }
 
     // --- Victim ----------------------------------------------------------
     const sim::ShardScope victim_scope{ctx, topo->victim_shard()};
-    traffic::CoreModel core{ctx, "core", topo->victim_port(), *victim_workload};
+    axi::AxiChannel& victim_port = interpose(topo->victim_port(), "mon_core");
+    const std::size_t victim_mon = monitored ? monitors.size() - 1 : 0;
+    traffic::CoreModel core{ctx, "core", victim_port, *victim_workload};
     const sim::Cycle start = ctx.now();
     const std::uint64_t dma_bytes_before = dmas.empty() ? 0 : dmas[0]->bytes_read();
     res.timed_out = !ctx.run_until([&] { return core.done(); }, cfg.max_cycles);
@@ -106,7 +126,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     res.load_lat_mean = core.load_latency().mean();
     res.load_lat_min = core.load_latency().min();
     res.load_lat_max = core.load_latency().max();
-    res.load_lat_p99 = core.load_latency().quantile(0.99);
+    // P99 comes from the fixed-memory sketch: <= 3.125% overestimate
+    // (QuantileSketch::kRelativeErrorBound) instead of the LatencyStat
+    // histogram's power-of-two bucket edges (up to ~2x).
+    res.load_lat_p99 = core.load_sketch().quantile(0.99);
     res.store_lat_mean = core.store_latency().mean();
     res.store_lat_max = core.store_latency().max();
 
@@ -131,6 +154,46 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     }
     res.xbar_w_stalls = topo->fabric_w_stalls();
     res.fabric_hops = topo->fabric_hops();
+
+    if (monitored) {
+        res.mon_enabled = true;
+        // Merge order is fixed (victim, then DMA 0..n-1) and single-threaded,
+        // so the fabric-wide sketch is bit-identical for every shard count.
+        mon::QuantileSketch fabric;
+        std::vector<mon::Verdict> verdicts;
+        const auto harvest_monitor = [&](mon::TxnMonitor& m, bool hostile) {
+            m.finalize();
+            const mon::QuantileSketch combined = m.combined_sketch();
+            fabric.merge(combined);
+            res.mgr_p50.push_back(combined.quantile(0.50));
+            res.mgr_p99.push_back(combined.quantile(0.99));
+            res.mgr_p999.push_back(combined.quantile(0.999));
+            res.mgr_flagged.push_back(m.flagged() ? 1 : 0);
+            res.mgr_signals.push_back(m.signals());
+            res.mgr_hostile.push_back(hostile ? 1 : 0);
+            res.mgr_detect.push_back(m.time_to_detect());
+            res.mgr_occ_milli.push_back(m.occupancy_milli());
+            res.mon_timeouts += m.timeouts();
+            res.mon_orphan_rsp += m.orphan_responses();
+            res.mon_orphan_req += m.orphan_requests();
+            res.mon_stall_events += m.stall_events();
+            res.mon_wgap_events += m.w_gap_events();
+            verdicts.push_back(
+                {hostile, m.flagged(), m.signals(), m.time_to_detect()});
+        };
+        harvest_monitor(*monitors[victim_mon], false);
+        for (std::size_t i = 0; i < cfg.interference.size(); ++i) {
+            harvest_monitor(*monitors[i], cfg.interference[i].hostile);
+        }
+        res.mon_lat_p50 = fabric.quantile(0.50);
+        res.mon_lat_p99 = fabric.quantile(0.99);
+        res.mon_lat_p999 = fabric.quantile(0.999);
+        const mon::DetectionScore score = mon::score_verdicts(verdicts);
+        res.mon_true_positives = score.true_positives;
+        res.mon_false_positives = score.false_positives;
+        res.mon_false_negatives = score.false_negatives;
+        res.mon_first_detect = score.first_detect;
+    }
 
     res.ticks_executed = ctx.ticks_executed();
     res.ticks_skipped = ctx.ticks_skipped();
@@ -158,9 +221,9 @@ namespace {
 /// semantics change, invalidating stale caches wholesale.
 class ConfigDigest {
 public:
-    static constexpr std::uint64_t kVersion = 5; ///< v5: sharded kernel
-                                                 ///< (edge-registered mesh
-                                                 ///< transport, shards knob)
+    static constexpr std::uint64_t kVersion = 6; ///< v6: monitoring plane
+                                                 ///< (monitor knobs + hostile
+                                                 ///< ground truth)
 
     ConfigDigest() { mix(kVersion); }
 
@@ -303,7 +366,18 @@ std::uint64_t config_hash(const ScenarioConfig& cfg) {
         d.mix(irq.dst);
         d.mix(irq.bytes);
         d.mix(irq.loop);
+        d.mix(irq.hostile);
     }
+    // Monitoring plane (v6): the monitor hop changes timing and the verdicts
+    // land in the result, so the enable flag and every threshold are
+    // semantic. `report_managers` is a host-side display knob and stays out.
+    d.mix(cfg.monitors.enabled);
+    d.mix(cfg.monitors.thresholds.timeout_cycles);
+    d.mix(cfg.monitors.thresholds.stall_cycles);
+    d.mix(cfg.monitors.thresholds.window_cycles);
+    d.mix(cfg.monitors.thresholds.bw_threshold);
+    d.mix(cfg.monitors.thresholds.held_threshold);
+    d.mix(cfg.monitors.thresholds.occ_threshold);
     d.mix(cfg.preload.size());
     for (const PreloadSpan& span : cfg.preload) {
         d.mix(span.base);

@@ -11,6 +11,7 @@
 /// because a scenario owns all of its simulation state.
 #pragma once
 
+#include "mon/txn_monitor.hpp"
 #include "scenario/topology.hpp"
 #include "sim/context.hpp"
 #include "soc/cheshire_soc.hpp"
@@ -53,6 +54,25 @@ struct InterferenceConfig {
     axi::Addr dst = 0x7000'0000; ///< SPM by default
     std::uint64_t bytes = 0x4000;
     bool loop = true;
+    /// Ground truth for the monitoring plane: marks this engine as a DoS
+    /// attacker so detector verdicts can be scored (see mon/detector.hpp).
+    /// Result-affecting only through the hash (keeps attack/benign cells
+    /// from aliasing in a resume cache); the engine itself ignores it.
+    bool hostile = false;
+};
+
+/// Online transaction-monitoring & telemetry plane (src/mon/). When enabled,
+/// every manager port — the victim core and each interference DMA — gets a
+/// pass-through `mon::TxnMonitor` spliced in front of its fabric port. The
+/// monitor hop adds one cycle each way (like `AxiLatencyProbe`), so the flag
+/// is result-affecting and hashed.
+struct MonitorConfig {
+    bool enabled = false;
+    /// Detection/pathology thresholds; hashed when `enabled`.
+    mon::TxnMonitorConfig thresholds{};
+    /// Row cap for the per-manager distribution table in `--report`.
+    /// Host-side display knob only — *excluded* from `config_hash`.
+    std::uint32_t report_managers = 8;
 };
 
 /// DRAM span seeded with `value(offset) = offset * multiplier` (u64 every
@@ -84,6 +104,8 @@ struct ScenarioConfig {
     VictimConfig victim{};
     /// Interference DMAs, attached to DSA ports 0..n-1 (n <= soc.num_dsa).
     std::vector<InterferenceConfig> interference;
+    /// Monitoring & telemetry plane (per-manager monitors + detection).
+    MonitorConfig monitors{};
     std::vector<PreloadSpan> preload;
 
     /// Interference spin-up before the victim starts (applied only when
@@ -149,6 +171,38 @@ struct ScenarioResult {
     ///@{
     double core_mr_read_lat_mean = 0;
     sim::Cycle core_mr_write_lat_max = 0;
+    ///@}
+
+    /// \name Monitoring & telemetry plane (with `cfg.monitors.enabled`)
+    ///
+    /// All values are integers so a `--json` dump round-trips exactly; the
+    /// `mgr_*` vectors are columnar per-manager telemetry with manager 0 the
+    /// victim core and manager 1+i interference DMA i. Latency quantiles come
+    /// from the monitors' merged read+write QuantileSketches (per-shard by
+    /// construction, merged single-threaded at harvest — bit-identical for
+    /// every shard count).
+    ///@{
+    bool mon_enabled = false;
+    std::uint64_t mon_lat_p50 = 0;  ///< fabric-wide merged P50
+    std::uint64_t mon_lat_p99 = 0;  ///< fabric-wide merged P99
+    std::uint64_t mon_lat_p999 = 0; ///< fabric-wide merged P99.9
+    std::uint64_t mon_timeouts = 0;
+    std::uint64_t mon_orphan_rsp = 0;
+    std::uint64_t mon_orphan_req = 0;
+    std::uint64_t mon_stall_events = 0;
+    std::uint64_t mon_wgap_events = 0;
+    std::uint64_t mon_true_positives = 0;  ///< hostile managers flagged
+    std::uint64_t mon_false_positives = 0; ///< benign managers flagged
+    std::uint64_t mon_false_negatives = 0; ///< hostile managers missed
+    std::uint64_t mon_first_detect = 0;    ///< fastest time-to-detect (cycles; 0 = none)
+    std::vector<std::uint64_t> mgr_p50;
+    std::vector<std::uint64_t> mgr_p99;
+    std::vector<std::uint64_t> mgr_p999;
+    std::vector<std::uint64_t> mgr_flagged; ///< 0/1 detector verdict
+    std::vector<std::uint64_t> mgr_signals; ///< mon::Signal bitmask
+    std::vector<std::uint64_t> mgr_hostile; ///< 0/1 ground truth
+    std::vector<std::uint64_t> mgr_detect;  ///< per-manager time-to-detect (0 = none)
+    std::vector<std::uint64_t> mgr_occ_milli; ///< mean outstanding bursts x1000
     ///@}
 
     /// \name Host-side simulation performance

@@ -28,6 +28,7 @@ void CoreModel::reset() {
     finish_cycle_ = 0;
     load_lat_.reset();
     store_lat_.reset();
+    load_sketch_.reset();
     loads_ = 0;
     stores_ = 0;
     compute_cycles_ = 0;
@@ -85,6 +86,7 @@ void CoreModel::collect_responses() {
         if (r.last) {
             REALM_ENSURES(load_beats_left_ == 0, name() + ": RLAST before final beat");
             load_lat_.record(now() - load_issued_at_);
+            load_sketch_.record(now() - load_issued_at_);
             waiting_load_ = false;
             ++loads_;
         }

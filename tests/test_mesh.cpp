@@ -420,7 +420,9 @@ TEST(MeshRegistry, SameDosCellsOnAllThreeFabrics) {
     const Sweep ring = scenario::make_sweep("ring-dos-matrix");
     const Sweep mesh = scenario::make_sweep("mesh-dos-matrix");
     const Sweep xbar = scenario::make_sweep("xbar-dos-matrix");
-    ASSERT_EQ(ring.points.size(), 36U);
+    // 36 attack cells + 4 per-defense no-attack baselines for detector FP
+    // scoring.
+    ASSERT_EQ(ring.points.size(), 40U);
     ASSERT_EQ(mesh.points.size(), ring.points.size());
     ASSERT_EQ(xbar.points.size(), ring.points.size());
     for (std::size_t i = 0; i < ring.points.size(); ++i) {

@@ -198,6 +198,84 @@ TEST(ReportRendering, NonMatrixSweepsFallBackToFlatTableWithBaseline) {
     EXPECT_EQ(report.find("## Defense"), std::string::npos);
 }
 
+// --- Monitoring-plane sections -----------------------------------------------
+
+/// One attack cell (hostile dma1 flagged via occupancy) and one clean cell,
+/// three managers each, with a row cap of 2 to exercise the loudest-first
+/// ordering and the omission footer.
+std::pair<Sweep, std::vector<ScenarioResult>> monitored_fixture() {
+    auto [sweep, results] = matrix_fixture();
+    sweep.points.resize(2);
+    results.resize(2);
+    sweep.points[1].label = "0atk/hog/none";
+    results[1].label = "0atk/hog/none";
+    for (SweepPoint& p : sweep.points) {
+        p.config.monitors.enabled = true;
+        p.config.monitors.report_managers = 2;
+    }
+    for (ScenarioResult& r : results) {
+        r.mon_enabled = true;
+        r.mgr_p50 = {40, 9, 11};
+        r.mgr_p99 = {160, 30, 90};
+        r.mgr_p999 = {200, 33, 120};
+        r.mgr_occ_milli = {850, 400, 1990};
+        r.mgr_flagged = {0, 0, 0};
+        r.mgr_signals = {0, 0, 0};
+        r.mgr_hostile = {0, 0, 0};
+        r.mgr_detect = {0, 0, 0};
+    }
+    results[0].mgr_hostile[2] = 1;
+    results[0].mgr_flagged[2] = 1;
+    results[0].mgr_signals[2] = mon::kSignalOccupancy;
+    results[0].mgr_detect[2] = 1024;
+    results[0].mon_true_positives = 1;
+    results[0].mon_first_detect = 1024;
+    return {sweep, results};
+}
+
+TEST(ReportRendering, MonitoredSweepsRenderCoverageAndDistributions) {
+    const auto [sweep, results] = monitored_fixture();
+    std::ostringstream os;
+    write_report(os, sweep, results);
+    const std::string report = os.str();
+
+    EXPECT_NE(report.find("## Detection coverage"), std::string::npos);
+    EXPECT_NE(report.find("| `1atk/hog/none` | 1 | 1 | 0 | 0 | 1024 | occ |"),
+              std::string::npos)
+        << "attack cell row: 1 hostile, detected, ttd, firing signal";
+    EXPECT_NE(report.find("| `0atk/hog/none` | 0 | 0 | 0 | 0 | – | - |"),
+              std::string::npos)
+        << "clean cell row stays all-zero";
+    EXPECT_NE(report.find("Detected 1/1 attack cells (100.0 %)"),
+              std::string::npos);
+    EXPECT_NE(report.find("0 on 1 no-attack points"), std::string::npos);
+
+    EXPECT_NE(report.find("## Per-manager latency distributions"),
+              std::string::npos);
+    EXPECT_NE(report.find("| point | manager | p50 | p99 | p99.9 | occ | "
+                          "flagged | signals | ttd [cyc] |"),
+              std::string::npos);
+    EXPECT_NE(
+        report.find("| `1atk/hog/none` | core | 40 | 160 | 200 | 0.85 | no | - | – |"),
+        std::string::npos)
+        << "the victim row always renders first";
+    EXPECT_NE(
+        report.find("| `1atk/hog/none` | dma1 | 11 | 90 | 120 | 1.99 | yes | occ | 1024 |"),
+        std::string::npos)
+        << "the loudest (highest-P99) DMA fills the capped second row";
+    EXPECT_EQ(report.find("| dma0 |"), std::string::npos)
+        << "the quiet DMA falls to the report_managers cap";
+    EXPECT_NE(report.find("2 manager rows omitted"), std::string::npos);
+}
+
+TEST(ReportRendering, UnmonitoredResultsRenderNoMonitorSections) {
+    const auto [sweep, results] = matrix_fixture();
+    std::ostringstream os;
+    write_report(os, sweep, results);
+    EXPECT_EQ(os.str().find("Detection coverage"), std::string::npos);
+    EXPECT_EQ(os.str().find("Per-manager"), std::string::npos);
+}
+
 // --- File writer -------------------------------------------------------------
 
 TEST(ReportRendering, WriteReportFileRoundTrips) {

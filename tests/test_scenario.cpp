@@ -48,9 +48,10 @@ TEST(Registry, KnowsTheRingSweeps) {
         }
     }
     // The DoS matrix crosses 3 attacker counts x 3 modes x 4 defenses on a
-    // 24-node ring.
+    // 24-node ring, plus one no-attack baseline per defense for detector
+    // false-positive scoring.
     const Sweep matrix = make_sweep("ring-dos-matrix");
-    EXPECT_EQ(matrix.points.size(), 36U);
+    EXPECT_EQ(matrix.points.size(), 40U);
     for (const SweepPoint& p : matrix.points) {
         EXPECT_EQ(p.config.topology.ring.num_nodes, 24U);
     }
@@ -195,6 +196,48 @@ TEST(ConfigHash, StableAndSensitiveToSemanticFields) {
     EXPECT_NE(config_hash(ring), config_hash(ring2));
 }
 
+TEST(ConfigHash, MonitorKnobsAreSemanticDisplayKnobsAreNot) {
+    const ScenarioConfig base = tiny_scenario();
+
+    // The monitor hop adds one cycle each way, so enabling it changes
+    // results: a monitored point must never alias an unmonitored one in a
+    // resume cache.
+    ScenarioConfig c = base;
+    c.monitors.enabled = true;
+    EXPECT_NE(config_hash(base), config_hash(c));
+
+    // Every detection threshold is result-affecting (verdicts, counters).
+    const ScenarioConfig mon_base = c;
+    c.monitors.thresholds.timeout_cycles += 1;
+    EXPECT_NE(config_hash(mon_base), config_hash(c));
+    c = mon_base;
+    c.monitors.thresholds.stall_cycles += 1;
+    EXPECT_NE(config_hash(mon_base), config_hash(c));
+    c = mon_base;
+    c.monitors.thresholds.window_cycles += 1;
+    EXPECT_NE(config_hash(mon_base), config_hash(c));
+    c = mon_base;
+    c.monitors.thresholds.bw_threshold += 0.5;
+    EXPECT_NE(config_hash(mon_base), config_hash(c));
+    c = mon_base;
+    c.monitors.thresholds.held_threshold += 0.05;
+    EXPECT_NE(config_hash(mon_base), config_hash(c));
+    c = mon_base;
+    c.monitors.thresholds.occ_threshold += 0.25;
+    EXPECT_NE(config_hash(mon_base), config_hash(c));
+
+    // Detector ground truth must split attack cells from benign twins.
+    ScenarioConfig hostile = base;
+    ASSERT_FALSE(hostile.interference.empty());
+    hostile.interference[0].hostile = true;
+    EXPECT_NE(config_hash(base), config_hash(hostile));
+
+    // ... while the report row cap is pure display policy.
+    c = mon_base;
+    c.monitors.report_managers = 3;
+    EXPECT_EQ(config_hash(mon_base), config_hash(c));
+}
+
 // --- Resume ------------------------------------------------------------------
 
 Sweep quick_smoke_sweep() {
@@ -260,6 +303,73 @@ TEST(Resume, RunResumedSkipsMatchingPointsAndRerunsChangedOnes) {
     const auto cold = runner.run_resumed(sweep, "does_not_exist.json", &reused);
     EXPECT_EQ(reused, 0U);
     EXPECT_EQ(cold.size(), sweep.points.size());
+    std::remove(path.c_str());
+}
+
+TEST(Resume, MonitoredPointsNeverAliasUnmonitoredCaches) {
+    // A dump written without --monitors must not satisfy a monitored resume:
+    // the monitor hop shifts timing and the cached line has no telemetry.
+    Sweep sweep = quick_smoke_sweep();
+    sweep.points.resize(2);
+    const ScenarioRunner runner{RunnerOptions{.threads = 2}};
+    const auto plain = runner.run(sweep);
+    const std::string path = "scenario_resume_monitored.json";
+    ASSERT_TRUE(write_json_file(path, sweep, plain));
+
+    Sweep monitored = sweep;
+    for (SweepPoint& p : monitored.points) { p.config.monitors.enabled = true; }
+    std::size_t reused = 0;
+    const auto results = runner.run_resumed(monitored, path, &reused);
+    EXPECT_EQ(reused, 0U) << "monitored configs must re-run, not reuse";
+    ASSERT_EQ(results.size(), monitored.points.size());
+    for (const ScenarioResult& r : results) { EXPECT_TRUE(r.mon_enabled); }
+
+    // And the monitored dump round-trips: a second monitored pass is all hits.
+    ASSERT_TRUE(write_json_file(path, monitored, results));
+    const auto again = runner.run_resumed(monitored, path, &reused);
+    EXPECT_EQ(reused, monitored.points.size());
+    std::remove(path.c_str());
+}
+
+TEST(Resume, MonitoredJsonRoundTripRestoresTelemetry) {
+    Sweep sweep = quick_smoke_sweep();
+    sweep.points.resize(2);
+    for (SweepPoint& p : sweep.points) { p.config.monitors.enabled = true; }
+    const auto results = ScenarioRunner{RunnerOptions{.threads = 2}}.run(sweep);
+    const std::string path = "scenario_monitored_roundtrip.json";
+    ASSERT_TRUE(write_json_file(path, sweep, results));
+
+    const auto cache = load_json_results(path);
+    ASSERT_EQ(cache.size(), results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        SCOPED_TRACE(sweep.points[i].label);
+        const auto it = cache.find(config_hash(sweep.points[i].config));
+        ASSERT_NE(it, cache.end());
+        const ScenarioResult& a = results[i];
+        const ScenarioResult& b = it->second;
+        ASSERT_TRUE(b.mon_enabled);
+        EXPECT_EQ(a.mon_lat_p50, b.mon_lat_p50);
+        EXPECT_EQ(a.mon_lat_p99, b.mon_lat_p99);
+        EXPECT_EQ(a.mon_lat_p999, b.mon_lat_p999);
+        EXPECT_EQ(a.mon_timeouts, b.mon_timeouts);
+        EXPECT_EQ(a.mon_orphan_rsp, b.mon_orphan_rsp);
+        EXPECT_EQ(a.mon_orphan_req, b.mon_orphan_req);
+        EXPECT_EQ(a.mon_stall_events, b.mon_stall_events);
+        EXPECT_EQ(a.mon_wgap_events, b.mon_wgap_events);
+        EXPECT_EQ(a.mon_true_positives, b.mon_true_positives);
+        EXPECT_EQ(a.mon_false_positives, b.mon_false_positives);
+        EXPECT_EQ(a.mon_false_negatives, b.mon_false_negatives);
+        EXPECT_EQ(a.mon_first_detect, b.mon_first_detect);
+        EXPECT_EQ(a.mgr_p50, b.mgr_p50);
+        EXPECT_EQ(a.mgr_p99, b.mgr_p99);
+        EXPECT_EQ(a.mgr_p999, b.mgr_p999);
+        EXPECT_EQ(a.mgr_flagged, b.mgr_flagged);
+        EXPECT_EQ(a.mgr_signals, b.mgr_signals);
+        EXPECT_EQ(a.mgr_hostile, b.mgr_hostile);
+        EXPECT_EQ(a.mgr_detect, b.mgr_detect);
+        EXPECT_EQ(a.mgr_occ_milli, b.mgr_occ_milli);
+        EXPECT_FALSE(b.mgr_p99.empty());
+    }
     std::remove(path.c_str());
 }
 
