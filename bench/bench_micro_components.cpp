@@ -18,6 +18,7 @@
 #include "soc/cheshire_soc.hpp"
 #include "traffic/core.hpp"
 #include "traffic/dma.hpp"
+#include "traffic/injector.hpp"
 #include "traffic/susan.hpp"
 
 #include <benchmark/benchmark.h>
@@ -147,6 +148,32 @@ void BM_TxnMonitorTick(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TxnMonitorTick);
+
+void BM_InjectorTick(benchmark::State& state) {
+    // Steady-state per-cycle cost of the programmable injector: a dense
+    // always-on genome (max outstanding, mixed reads/writes, random walk)
+    // hammering an SRAM slave, so every cycle issues, streams W beats, and
+    // collects responses — the injector's hot path during a search.
+    sim::SimContext ctx;
+    axi::AxiChannel ch{ctx, "inj"};
+    traffic::InjectorConfig icfg;
+    icfg.genome.genes[traffic::InjectorGenome::kReadBeats] = 31;
+    icfg.genome.genes[traffic::InjectorGenome::kWriteBeats] = 31;
+    icfg.genome.genes[traffic::InjectorGenome::kWriteRatio] = 128;
+    icfg.genome.genes[traffic::InjectorGenome::kWalk] = 2; // random
+    icfg.genome.genes[traffic::InjectorGenome::kOutstanding] = 3;
+    icfg.write_base = 0x8000;
+    icfg.span_bytes = 0x2000;
+    traffic::InjectorEngine inj{ctx, "inj", ch, icfg};
+    mem::AxiMemSlave slave{ctx, "mem", ch, std::make_unique<mem::SramBackend>(1, 1),
+                           mem::AxiMemSlaveConfig{8, 8, 0}};
+    for (auto _ : state) { ctx.step(); }
+    benchmark::DoNotOptimize(inj.bytes_read() + inj.bytes_written());
+    state.SetItemsProcessed(static_cast<std::int64_t>(ctx.now()));
+    state.counters["cycles/s"] =
+        benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InjectorTick);
 
 void BM_FullSocCycle(benchmark::State& state) {
     sim::SimContext ctx;

@@ -765,6 +765,15 @@ Sweep make_xbar_dos_smoke() {
                           {"small cross-section of xbar-dos-matrix for CI and tests."});
 }
 
+Sweep make_mesh_search_smoke() {
+    return make_dos_smoke(
+        TopologyKind::kMesh, "mesh-search-smoke",
+        "Mesh DoS matrix for adversarial search, CI-sized: 4x4 mesh, 2x2x2 cells",
+        {"the mesh-dos-smoke cells on a square 4x4 mesh — the enumerated grid",
+         "the scenario_search bench compares its searched attackers against."},
+        8, 4, 4);
+}
+
 // ---------------------------------------------------------------------------
 // Routing-policy sweeps: every mesh DoS cell under all four routing
 // policies (XY / YX / O1TURN / west-first), labelled
@@ -886,6 +895,7 @@ const std::vector<std::pair<std::string, Factory>>& factories() {
         {"mesh-contention-large", &make_mesh_contention_large},
         {"mesh-dos-matrix", &make_mesh_dos_matrix},
         {"mesh-dos-smoke", &make_mesh_dos_smoke},
+        {"mesh-search-smoke", &make_mesh_search_smoke},
         {"mesh-routing-dos-matrix", &make_mesh_routing_dos_matrix},
         {"mesh-routing-dos-smoke", &make_mesh_routing_dos_smoke},
         {"mesh-routing-contention", &make_mesh_routing_contention},

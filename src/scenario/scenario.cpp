@@ -94,18 +94,36 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     };
 
     std::vector<std::unique_ptr<traffic::DmaEngine>> dmas;
+    std::vector<std::unique_ptr<traffic::InjectorEngine>> injectors;
     for (std::size_t i = 0; i < cfg.interference.size(); ++i) {
         const InterferenceConfig& irq = cfg.interference[i];
-        // The DMA talks to its port through plain registered channels, so it
-        // must tick on the same shard as the tile behind the port.
+        // The engine talks to its port through plain registered channels, so
+        // it must tick on the same shard as the tile behind the port.
         const sim::ShardScope scope{ctx, topo->interference_shard(i)};
         axi::AxiChannel& port =
             interpose(topo->interference_port(i), "mon_dsa" + std::to_string(i));
+        if (irq.genome) {
+            // Genome-driven programmable injector (adversarial search plane).
+            traffic::InjectorConfig icfg;
+            icfg.bus_bytes = irq.dma.bus_bytes;
+            icfg.genome = *irq.genome;
+            icfg.read_base = irq.src;
+            icfg.write_base = irq.dst;
+            icfg.span_bytes = irq.bytes;
+            // Per-engine seed derived from the point seed and the index, so
+            // multi-attacker cells decorrelate deterministically.
+            icfg.seed = sim::derive_seed("injector", cfg.seed + i);
+            injectors.push_back(std::make_unique<traffic::InjectorEngine>(
+                ctx, "dsa_inj" + std::to_string(i), port, icfg));
+            continue;
+        }
         dmas.push_back(std::make_unique<traffic::DmaEngine>(
             ctx, "dsa_dma" + std::to_string(i), port, irq.dma));
         dmas.back()->push_job(traffic::DmaJob{irq.src, irq.dst, irq.bytes, irq.loop});
     }
-    if (!dmas.empty() && cfg.warmup_cycles > 0) { ctx.run(cfg.warmup_cycles); }
+    if (!cfg.interference.empty() && cfg.warmup_cycles > 0) {
+        ctx.run(cfg.warmup_cycles);
+    }
 
     // --- Victim ----------------------------------------------------------
     const sim::ShardScope victim_scope{ctx, topo->victim_shard()};
@@ -113,7 +131,13 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     const std::size_t victim_mon = monitored ? monitors.size() - 1 : 0;
     traffic::CoreModel core{ctx, "core", victim_port, *victim_workload};
     const sim::Cycle start = ctx.now();
-    const std::uint64_t dma_bytes_before = dmas.empty() ? 0 : dmas[0]->bytes_read();
+    // Interference-side read counter of engine 0 (DMA or injector), for the
+    // victim-window bandwidth metric.
+    const auto interference_bytes_read = [&]() -> std::uint64_t {
+        if (!dmas.empty()) { return dmas[0]->bytes_read(); }
+        return injectors.empty() ? 0 : injectors[0]->bytes_read();
+    };
+    const std::uint64_t dma_bytes_before = interference_bytes_read();
     res.timed_out = !ctx.run_until([&] { return core.done(); }, cfg.max_cycles);
     // On timeout the victim never finished; charge the whole window instead
     // of underflowing against a zero finish_cycle.
@@ -133,8 +157,8 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     res.store_lat_mean = core.store_latency().mean();
     res.store_lat_max = core.store_latency().max();
 
-    if (!dmas.empty()) {
-        res.dma_bytes = dmas[0]->bytes_read() - dma_bytes_before;
+    if (!dmas.empty() || !injectors.empty()) {
+        res.dma_bytes = interference_bytes_read() - dma_bytes_before;
         res.dma_read_bw = res.run_cycles == 0
                               ? 0.0
                               : static_cast<double>(res.dma_bytes) /
@@ -221,9 +245,9 @@ namespace {
 /// semantics change, invalidating stale caches wholesale.
 class ConfigDigest {
 public:
-    static constexpr std::uint64_t kVersion = 6; ///< v6: monitoring plane
-                                                 ///< (monitor knobs + hostile
-                                                 ///< ground truth)
+    static constexpr std::uint64_t kVersion = 7; ///< v7: programmable
+                                                 ///< injector genomes per
+                                                 ///< interference engine
 
     ConfigDigest() { mix(kVersion); }
 
@@ -367,6 +391,12 @@ std::uint64_t config_hash(const ScenarioConfig& cfg) {
         d.mix(irq.bytes);
         d.mix(irq.loop);
         d.mix(irq.hostile);
+        // Injector genomes (v7): a searched point is one genome away from
+        // its grid sibling, so every gene byte is semantic.
+        d.mix(irq.genome.has_value());
+        if (irq.genome) {
+            for (const std::uint8_t gene : irq.genome->genes) { d.mix(gene); }
+        }
     }
     // Monitoring plane (v6): the monitor hop changes timing and the verdicts
     // land in the result, so the enable flag and every threshold are

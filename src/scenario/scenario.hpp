@@ -17,6 +17,7 @@
 #include "soc/cheshire_soc.hpp"
 #include "traffic/core.hpp"
 #include "traffic/dma.hpp"
+#include "traffic/injector.hpp"
 #include "traffic/susan.hpp"
 #include "traffic/workload.hpp"
 
@@ -59,6 +60,13 @@ struct InterferenceConfig {
     /// Result-affecting only through the hash (keeps attack/benign cells
     /// from aliasing in a resume cache); the engine itself ignores it.
     bool hostile = false;
+    /// When set, the port drives a programmable `InjectorEngine` decoded
+    /// from this genome instead of the DMA engine: `src`/`dst`/`bytes`
+    /// become the read/write walk windows, `dma`/`loop` are ignored, and
+    /// the engine's RNG is seeded from the scenario seed and the
+    /// interference index. Genome bytes are hashed (config digest v7), so
+    /// searched points resume exactly like grid points.
+    std::optional<traffic::InjectorGenome> genome;
 };
 
 /// Online transaction-monitoring & telemetry plane (src/mon/). When enabled,

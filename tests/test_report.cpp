@@ -2,6 +2,7 @@
 /// DoS-matrix golden rendering (format pinned byte for byte), the flat
 /// fallback table, and the file writer.
 #include "scenario/report.hpp"
+#include "scenario/search.hpp"
 
 #include <gtest/gtest.h>
 
@@ -274,6 +275,71 @@ TEST(ReportRendering, UnmonitoredResultsRenderNoMonitorSections) {
     write_report(os, sweep, results);
     EXPECT_EQ(os.str().find("Detection coverage"), std::string::npos);
     EXPECT_EQ(os.str().find("Per-manager"), std::string::npos);
+}
+
+// --- Adversarial-search section (golden) -------------------------------------
+
+TEST(SearchReport, WorstFoundVsWorstEnumeratedGolden) {
+    SearchSummary summary;
+    summary.sweep = "mesh-dos-smoke";
+    summary.base_label = "2atk/hog/none";
+    summary.worst_enumerated_label = "2atk/hog/none";
+    summary.worst_enumerated_p99 = 1924;
+    summary.budget = 2;
+    summary.seed = 1;
+
+    SearchOutcome outcome;
+    SearchEval mild; // all-zeros genome: the gentlest decodable pattern
+    mild.result = result_for(traffic::to_label(mild.genome), 120, 50);
+    mild.result.load_lat_p99 = 100;
+    mild.objective = 100;
+    SearchEval harsh; // all-0xFF genome: every knob at its ceiling
+    harsh.genome.genes.fill(0xFF);
+    harsh.result = result_for(traffic::to_label(harsh.genome), 2100, 30);
+    harsh.result.load_lat_p99 = 2000;
+    harsh.objective = 2000;
+    harsh.reused = true;
+    outcome.history = {mild, harsh};
+    outcome.best = 1;
+    outcome.fresh = 1;
+    outcome.reused = 1;
+
+    std::ostringstream os;
+    write_search_report(os, summary, outcome);
+    EXPECT_EQ(os.str(),
+              "## Adversarial search: 2atk/hog/none\n"
+              "\n"
+              "Sweep `mesh-dos-smoke`, budget 2 evaluations (1 replayed from "
+              "checkpoint), search seed 1. Objective: victim P99 load latency.\n"
+              "\n"
+              "| attacker | victim P99 (cycles) | worst case (cycles) | point |\n"
+              "|---|---:|---:|---|\n"
+              "| worst enumerated | 1924 | - | `2atk/hog/none` |\n"
+              "| **worst found** | **2000** | 2100 | "
+              "`inj:ffffffffffffffffffffffff` |\n"
+              "\n"
+              "Winning genome `inj:ffffffffffffffffffffffff` decodes to: "
+              "256-beat reads / 256-beat writes, 16/16 writes, strided walk "
+              "(stride 8), duty 64/448, W stall 60, head delay 96, outstanding "
+              "4, ramp 31, window span>>3. Replay: rerun the cell with this "
+              "label as the genome.\n"
+              "\n"
+              "| rank | genome | victim P99 | worst case | source |\n"
+              "|---:|---|---:|---:|---|\n"
+              "| 1 | `inj:ffffffffffffffffffffffff` | 2000 | 2100 | checkpoint |\n"
+              "| 2 | `inj:000000000000000000000000` | 100 | 120 | simulated |\n"
+              "\n");
+}
+
+TEST(SearchReport, GridReportsAreUntouchedWhenSearchIsOff) {
+    // The search section is a *separate* writer: rendering a sweep through
+    // `write_report` must never emit it, so existing report bytes are
+    // identical whether or not the search feature exists.
+    const auto [sweep, results] = matrix_fixture();
+    std::ostringstream os;
+    write_report(os, sweep, results);
+    EXPECT_EQ(os.str().find("Adversarial search"), std::string::npos);
+    EXPECT_EQ(os.str().find("worst found"), std::string::npos);
 }
 
 // --- File writer -------------------------------------------------------------
