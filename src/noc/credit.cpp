@@ -101,20 +101,12 @@ void wire_credit_returns(const sim::SimContext& ctx, axi::AxiChannel& egress,
     REALM_EXPECTS(!deferred || fc.credit_return_delay >= 1,
                   "deferred credit returns require credit_return_delay >= 1");
     const std::uint32_t data_flits = fc.packet_flits(/*data_carrying=*/true);
-    const std::uint32_t delay = fc.credit_return_delay;
-    const auto returner = [&ctx, &pool, delay, deferred](std::uint32_t flits) {
-        if (deferred) {
-            if (pool.stage_empty()) { ctx.note_edge_dirty(pool); }
-            pool.stage_release(ctx.now() + delay, flits);
-        } else if (delay == 0) {
-            pool.release(flits);
-        } else {
-            pool.release_at(ctx.now() + delay, flits);
-        }
-    };
-    egress.aw.set_on_pop([returner] { returner(1); });
-    egress.ar.set_on_pop([returner] { returner(1); });
-    egress.w.set_on_pop([returner, data_flits] { returner(data_flits); });
+    // The policy lives in the pool; the links carry only {trampoline, pool,
+    // flit count} — no allocation, no type erasure (see sim::PopHook).
+    pool.configure_return(ctx, fc.credit_return_delay, deferred);
+    egress.aw.set_on_pop({&CreditPool::return_hook, &pool, 1});
+    egress.ar.set_on_pop({&CreditPool::return_hook, &pool, 1});
+    egress.w.set_on_pop({&CreditPool::return_hook, &pool, data_flits});
 }
 
 std::uint32_t staged_request_flits(const axi::AxiChannel& egress,

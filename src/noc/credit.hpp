@@ -45,9 +45,9 @@
 #include "sim/check.hpp"
 #include "sim/context.hpp"
 #include "sim/link.hpp"
+#include "sim/ring.hpp"
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -103,7 +103,13 @@ struct NocFlowConfig {
 class CreditPool : public sim::EdgeFlushable {
 public:
     explicit CreditPool(std::uint32_t capacity = 0) : capacity_{capacity},
-                                                      available_{capacity} {}
+                                                      available_{capacity} {
+        // Conservation bounds the pending queue: every pending return holds
+        // >= 1 flit and pending_total_ <= in_flight <= capacity, so at most
+        // `capacity` entries ever queue. Reserving that bound here keeps
+        // release_at/settle allocation-free for the lifetime of the pool.
+        pending_.reserve(capacity_);
+    }
 
     [[nodiscard]] bool can_take(std::uint32_t flits) const noexcept {
         return available_ >= flits;
@@ -155,6 +161,40 @@ public:
         }
     }
 
+    /// \name Typed credit-return policy (the drain hook of the staging links)
+    ///@{
+    /// Fixes how drained staging flits come back to this pool: immediately
+    /// (`delay == 0`), after `delay` cycles on the response network, or —
+    /// with `deferred` (mesh fabrics) — staged and committed at the
+    /// cycle-edge barrier so the hook is safe to fire from any shard.
+    /// Stored in the pool itself so the links' pop hooks need no captured
+    /// state (see `sim::PopHook`); `ctx` must outlive the pool.
+    void configure_return(const sim::SimContext& ctx, std::uint32_t delay,
+                          bool deferred) noexcept {
+        return_ctx_ = &ctx;
+        return_delay_ = delay;
+        return_deferred_ = deferred;
+    }
+    /// Returns `flits` credits under the configured policy.
+    void return_credits(std::uint32_t flits) {
+        REALM_EXPECTS(return_ctx_ != nullptr,
+                      "credit return without a configured policy");
+        if (return_deferred_) {
+            if (staged_.empty()) { return_ctx_->note_edge_dirty(*this); }
+            stage_release(return_ctx_->now() + return_delay_, flits);
+        } else if (return_delay_ == 0) {
+            release(flits);
+        } else {
+            release_at(return_ctx_->now() + return_delay_, flits);
+        }
+    }
+    /// `sim::PopHook`-shaped trampoline: `user` is the pool, `arg` the flit
+    /// count of the drained packet.
+    static void return_hook(void* pool, std::uint32_t flits) {
+        static_cast<CreditPool*>(pool)->return_credits(flits);
+    }
+    ///@}
+
     [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
     [[nodiscard]] std::uint32_t available() const noexcept { return available_; }
     /// Credits not reusable by the injector: taken by in-network/staged
@@ -188,8 +228,15 @@ private:
     std::uint32_t capacity_ = 0;
     std::uint32_t available_ = 0;
     std::uint32_t pending_total_ = 0;
-    std::deque<Pending> pending_;
+    /// Queued returns in one contiguous block, reserved to the conservation
+    /// bound at construction (replaces a `std::deque` and its 512-byte
+    /// chunk allocations on the settle hot path).
+    sim::FlatRing<Pending> pending_;
     std::vector<Pending> staged_; ///< cross-shard releases awaiting the edge
+    /// Return policy (see `configure_return`); unset until wired.
+    const sim::SimContext* return_ctx_ = nullptr;
+    std::uint32_t return_delay_ = 0;
+    bool return_deferred_ = false;
 };
 
 /// Every end-to-end pool of one fabric: request pools indexed by

@@ -4,7 +4,7 @@
 ///        `--diff BASELINE.json [--diff-threshold F] [--diff-slack N]`
 ///        `[--speed-threshold F] [--speed-slack C]`,
 ///        `--scheduler tick-all|activity`, `--shards N`,
-///        `--routing xy|yx|o1turn|west-first`, `--list`, and the
+///        `--routing xy|yx|o1turn|west-first`, `--profile`, `--list`, and the
 ///        monitoring plane: `--monitors` with `--mon-timeout C`,
 ///        `--mon-stall C`, `--mon-window C`, `--mon-bw F`, `--mon-held F`,
 ///        `--mon-occ F`.
@@ -58,6 +58,12 @@ struct BenchOptions {
     /// `--routing`: force one mesh routing policy on every point (handy for
     /// re-running a whole matrix under one policy without a new sweep).
     std::optional<noc::RoutingPolicy> routing;
+    /// `--profile`: arm the cycle-attribution profiler on every point; the
+    /// per-(type, shard) wall-time table lands in the JSON dump and the
+    /// markdown report. Host-side observability only (excluded from
+    /// `config_hash`), so it composes with `--resume` — though reused
+    /// points carry no profile, having never re-run.
+    bool profile = false;
     /// `--monitors`: enable the transaction-monitoring plane on every point.
     bool monitors = false;
     /// Threshold overrides applied to every point (with or without
@@ -164,6 +170,8 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
                 std::exit(2);
             }
             opts.scheduler_forced = true;
+        } else if (arg == "--profile") {
+            opts.profile = true;
         } else if (arg == "--monitors") {
             opts.monitors = true;
         } else if (arg == "--mon-timeout" || arg == "--mon-stall" ||
@@ -222,7 +230,7 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
                         "[--diff-threshold F] [--diff-slack N] "
                         "[--speed-threshold F] [--speed-slack C] "
                         "[--scheduler tick-all|activity] "
-                        "[--routing xy|yx|o1turn|west-first] "
+                        "[--routing xy|yx|o1turn|west-first] [--profile] "
                         "[--monitors] [--mon-timeout C] [--mon-stall C] "
                         "[--mon-window C] [--mon-bw F] [--mon-held F] [--mon-occ F] "
                         "[--list]\n",
@@ -251,6 +259,7 @@ inline void apply_overrides(const BenchOptions& opts, Sweep& sweep) {
         if (opts.routing.has_value()) {
             p.config.topology.mesh.routing = *opts.routing;
         }
+        if (opts.profile) { p.config.profile = true; }
         if (opts.monitors) { p.config.monitors.enabled = true; }
         if (opts.mon_timeout) {
             p.config.monitors.thresholds.timeout_cycles = *opts.mon_timeout;

@@ -145,10 +145,19 @@ void write_flat_report(std::ostream& os, const Sweep& sweep,
         sweep.baseline_index && *sweep.baseline_index < results.size()
             ? &results[*sweep.baseline_index]
             : nullptr;
+    // The host-speed column only renders when some point actually measured
+    // wall time, so reports built from synthetic results (tests, replayed
+    // dumps) stay byte-identical to the pre-speed format.
+    bool any_speed = false;
+    for (const ScenarioResult& r : results) {
+        any_speed = any_speed || r.wall_seconds > 0.0;
+    }
     os << "| point | run cycles | ops | load lat mean | load lat max "
           "| store lat max | DMA B/cyc | hops |";
+    if (any_speed) { os << " sim c/s |"; }
     if (baseline != nullptr) { os << " perf vs baseline |"; }
     os << "\n|---|---|---|---|---|---|---|---|";
+    if (any_speed) { os << "---|"; }
     if (baseline != nullptr) { os << "---|"; }
     os << '\n';
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -157,6 +166,17 @@ void write_flat_report(std::ostream& os, const Sweep& sweep,
            << format_count(r.load_lat_mean) << " | " << r.load_lat_max << " | "
            << r.store_lat_max << " | " << format_count(r.dma_read_bw) << " | "
            << r.fabric_hops << " |";
+        if (any_speed) {
+            if (r.wall_seconds > 0.0) {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, " %.0f |",
+                              static_cast<double>(r.simulated_cycles) /
+                                  r.wall_seconds);
+                os << buf;
+            } else {
+                os << " – |";
+            }
+        }
         if (baseline != nullptr) {
             if (r.run_cycles == 0) {
                 os << " – |";
@@ -298,6 +318,41 @@ void write_monitor_report(std::ostream& os, const Sweep& sweep,
     }
 }
 
+/// Cycle-attribution section: rendered only when at least one point ran with
+/// `--profile`, so reports of unprofiled sweeps stay byte-identical.
+void write_profile_report(std::ostream& os,
+                          const std::vector<ScenarioResult>& results) {
+    bool any = false;
+    for (const ScenarioResult& r : results) { any = any || !r.profile.empty(); }
+    if (!any) { return; }
+
+    os << "\n## Cycle attribution\n\n";
+    os << "Wall-time share of each (component type, shard) bucket within its "
+          "point, heaviest first (`--profile`).\n\n";
+    os << "| point | component type | shard | components | ticks | wall [ms] "
+          "| share |\n";
+    os << "|---|---|---|---|---|---|---|\n";
+    for (const ScenarioResult& r : results) {
+        if (r.profile.empty()) { continue; }
+        std::uint64_t total_nanos = 0;
+        for (const ProfileRow& row : r.profile) { total_nanos += row.nanos; }
+        for (const ProfileRow& row : r.profile) {
+            char ms[32];
+            std::snprintf(ms, sizeof ms, "%.2f",
+                          static_cast<double>(row.nanos) / 1e6);
+            char share[32];
+            std::snprintf(share, sizeof share, "%.1f %%",
+                          total_nanos == 0
+                              ? 0.0
+                              : 100.0 * static_cast<double>(row.nanos) /
+                                    static_cast<double>(total_nanos));
+            os << "| `" << r.label << "` | " << row.type << " | " << row.shard
+               << " | " << row.components << " | " << row.ticks << " | " << ms
+               << " | " << share << " |\n";
+        }
+    }
+}
+
 } // namespace
 
 void write_report(std::ostream& os, const Sweep& sweep,
@@ -319,6 +374,7 @@ void write_report(std::ostream& os, const Sweep& sweep,
         write_flat_report(os, sweep, results);
     }
     write_monitor_report(os, sweep, results);
+    write_profile_report(os, results);
 
     // Flag degenerate points loudly; a green CI job must not hide them.
     bool flagged = false;

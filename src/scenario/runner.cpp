@@ -253,6 +253,23 @@ void write_json(std::ostream& os, const Sweep& sweep,
         json_number(os, r.wall_seconds > 0.0
                             ? static_cast<double>(r.simulated_cycles) / r.wall_seconds
                             : 0.0);
+        if (!r.profile.empty()) {
+            // Cycle-attribution profile (`--profile`), heaviest bucket
+            // first. Host-side observability: the resume scanner ignores it
+            // (scan_result keys off fixed field names), so a dump with
+            // profiles resumes exactly like one without.
+            os << ", \"profile\": [";
+            for (std::size_t k = 0; k < r.profile.size(); ++k) {
+                const ProfileRow& row = r.profile[k];
+                os << (k > 0 ? ", " : "") << "{\"type\": ";
+                json_escape(os, row.type);
+                os << ", \"shard\": " << row.shard
+                   << ", \"components\": " << row.components
+                   << ", \"ticks\": " << row.ticks << ", \"nanos\": " << row.nanos
+                   << '}';
+            }
+            os << ']';
+        }
         os << '}' << (i + 1 < results.size() ? "," : "") << '\n';
     }
     os << "  ]\n}\n";

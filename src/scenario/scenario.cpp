@@ -1,6 +1,7 @@
 #include "scenario/scenario.hpp"
 
 #include "sim/check.hpp"
+#include "sim/profiler.hpp"
 
 #include <bit>
 #include <chrono>
@@ -57,6 +58,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     // shard at registration.
     ctx.set_shards(cfg.shards == 0 ? 1 : cfg.shards);
     ctx.set_shard_workers(cfg.shard_workers);
+    std::unique_ptr<sim::Profiler> profiler;
+    if (cfg.profile) {
+        profiler = std::make_unique<sim::Profiler>();
+        ctx.set_profiler(profiler.get());
+    }
     std::unique_ptr<TopologyHandle> topo = make_topology(ctx, cfg);
     REALM_EXPECTS(cfg.interference.size() <= topo->num_interference_ports(),
                   "more interference DMAs than fabric manager ports");
@@ -227,6 +233,13 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
     }
     res.fast_forwarded_cycles = ctx.fast_forwarded_cycles();
     res.simulated_cycles = ctx.now();
+    if (profiler) {
+        ctx.set_profiler(nullptr); // detach before the context outlives it
+        for (const sim::Profiler::Row& row : profiler->rows()) {
+            res.profile.push_back(
+                ProfileRow{row.type, row.shard, row.components, row.ticks, row.nanos});
+        }
+    }
     res.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
             .count();

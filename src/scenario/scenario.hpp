@@ -139,6 +139,22 @@ struct ScenarioConfig {
     /// Per-point RNG seed; sweep factories fill this via `sim::derive_seed`
     /// so parallel runs are reproducible regardless of thread count.
     std::uint64_t seed = 0;
+    /// Arms the cycle-attribution profiler (`sim::Profiler`): the run's wall
+    /// time is charged to (component type, shard) buckets and returned in
+    /// `ScenarioResult::profile`. Host-side observability only — ticking the
+    /// profiled loop is bit-identical to the plain one — so it is *excluded*
+    /// from `config_hash`, like `shard_workers`.
+    bool profile = false;
+};
+
+/// One row of the cycle-attribution profile (`ScenarioConfig::profile`):
+/// wall time and executed ticks charged to one (component type, shard).
+struct ProfileRow {
+    std::string type;  ///< demangled component type
+    unsigned shard = 0;
+    std::uint64_t components = 0; ///< instances in the bucket
+    std::uint64_t ticks = 0;      ///< executed ticks attributed
+    std::uint64_t nanos = 0;      ///< wall time attributed
 };
 
 /// Everything the benches and examples report, from one scenario run.
@@ -224,6 +240,9 @@ struct ScenarioResult {
     /// load-balance picture of the sharded kernel.
     std::vector<std::uint64_t> shard_ticks_executed;
     std::vector<std::uint64_t> shard_ticks_skipped;
+    /// Cycle-attribution profile, heaviest bucket first (empty unless
+    /// `cfg.profile`).
+    std::vector<ProfileRow> profile;
     ///@}
 
     [[nodiscard]] double cycles_per_op() const noexcept {

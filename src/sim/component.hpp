@@ -63,9 +63,14 @@ public:
 
     /// Ensures the component is evaluated no later than `cycle`. Safe to
     /// call from anywhere (links, job queues, register writes); waking an
-    /// already-active component is a no-op.
+    /// already-active component is a no-op — and skips the context's
+    /// hint CAS entirely: an unchanged `wake_at_` is already folded into
+    /// the fast-forward hint every step (the shard walk visits or skips
+    /// every component and min-folds its wake cycle), so only a genuine
+    /// lowering needs to reach the shared atomic.
     void wake(Cycle cycle) noexcept {
-        wake_at_ = std::min(wake_at_, cycle);
+        if (cycle >= wake_at_) { return; }
+        wake_at_ = cycle;
         ctx_->note_wake(cycle); // keep the fast-forward hint conservative
     }
     /// Ensures the component is evaluated from the current cycle on.

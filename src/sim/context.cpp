@@ -2,11 +2,14 @@
 
 #include "sim/check.hpp"
 #include "sim/component.hpp"
+#include "sim/profiler.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
-#include <iostream>
 #include <mutex>
+#include <iostream>
 #include <thread>
 
 namespace realm::sim {
@@ -15,21 +18,73 @@ namespace {
 /// Shard currently ticking on this thread; indexes the context's edge-dirty
 /// lists. 0 outside the tick phase (main thread, construction, tests).
 thread_local unsigned t_current_shard = 0;
+
+/// One polite busy-wait iteration (PAUSE/YIELD keep the spin off the
+/// sibling hyperthread's back and out of the store buffer's way).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Busy-waits up to `iters` relax iterations for `ready`; returns whether it
+/// became true. Callers park on a condition variable when this fails — the
+/// spin covers the common case (all workers arrive within the cost of a few
+/// cache misses) without committing anyone to burning a core.
+template <typename Pred>
+inline bool spin_briefly(int iters, const Pred& ready) {
+    for (int i = 0; i < iters; ++i) {
+        if (ready()) { return true; }
+        cpu_relax();
+    }
+    return ready();
+}
 } // namespace
 
-/// Worker pool + two-phase barrier for the parallel tick phase. The main
-/// thread acts as worker 0; `count` spawned threads handle the rest.
-/// Condition variables rather than pure spinning: correctness (and CI
-/// determinism) must not depend on the host actually having a core per
-/// worker.
+/// Worker pool + epoch barrier for the parallel tick phase. The main thread
+/// acts as worker 0; `threads` handle the rest.
+///
+/// The previous implementation took a mutex and two condition variables
+/// through four lock/notify rounds per cycle — every worker slept and was
+/// futex-woken every cycle, pure overhead at mesh scale, where a cycle's
+/// worth of shard work is a few microseconds. Now one release/acquire pair
+/// each way, with waiters spinning instead of sleeping:
+///
+///  - **go** (monotone epoch; the generalization of a sense-reversing flag):
+///    the main thread pre-sets `pending`, then publishes the new epoch with
+///    a release increment. A worker acquire-spins until the epoch moves,
+///    which also makes every pre-cycle write (edge flushes, `now_`) visible.
+///  - **pending** (arrival counter): each worker retires with a release
+///    decrement; the main thread acquire-spins to zero, which makes every
+///    shard's writes visible before the edge flush. No ABA: the epoch only
+///    advances after `pending` hit zero, and a worker touches `pending`
+///    exactly once per observed epoch.
+///
+/// Spinning is only the fast path. A waiter whose spin budget runs out parks
+/// on a condition variable; to keep that provably free of lost wakeups, the
+/// epoch publish and the last arrival's notify happen under `mu` (held for
+/// nanoseconds — never across shard work — so the multicore fast path only
+/// adds an uncontended lock/unlock per cycle and never syscalls). On an
+/// oversubscribed host (fewer cores than workers — think a 1-core CI
+/// runner) spinning would burn the very core the other side needs: there
+/// `spin_budget` is zero and every handoff parks immediately, recovering
+/// the blocking behaviour of the old barrier. Measured on a 1-core host,
+/// the spin-only variant of this barrier was ~100x slower than parking.
+/// `alignas` keeps the two hot lines — publish and arrival — from
+/// false-sharing each other or the pool vector.
 struct SimContext::Workers {
-    std::mutex m;
-    std::condition_variable cv_go;
-    std::condition_variable cv_done;
-    std::uint64_t epoch = 0;
-    unsigned pending = 0;
-    unsigned total = 0; ///< workers including the main thread
-    bool stop = false;
+    unsigned total = 0;  ///< workers including the main thread
+    int spin_budget = 0; ///< relax iterations before a waiter parks
+    alignas(64) std::atomic<std::uint64_t> go{0};
+    alignas(64) std::atomic<unsigned> pending{0};
+    alignas(64) std::atomic<bool> stop{false};
+    std::mutex mu;                ///< guards epoch publish + arrival notify
+    std::condition_variable cv_go;   ///< workers park here awaiting an epoch
+    std::condition_variable cv_done; ///< main parks here awaiting arrivals
     std::vector<std::thread> threads;
 };
 
@@ -92,6 +147,9 @@ std::uint64_t SimContext::shard_ticks_skipped(unsigned shard) const noexcept {
 
 void SimContext::note_edge_dirty(EdgeFlushable& e) const {
     edge_dirty_[t_current_shard].push_back(&e);
+    // Relaxed: the flag is read single-threaded at the cycle edge, after
+    // the join barrier ordered this store.
+    edge_any_dirty_.store(true, std::memory_order_relaxed);
 }
 
 void SimContext::ensure_partition() {
@@ -120,10 +178,29 @@ void SimContext::ensure_partition() {
         }
     }
     edge_dirty_.resize(n);
+    if (profiler_ != nullptr) {
+        // Resolve each component's (type, shard) bucket once, here, so the
+        // profiled tick loop is a plain indexed increment. Counts rebuild
+        // per partition; accumulated samples survive (begin_partition).
+        profiler_->begin_partition();
+        shard_buckets_.assign(n, {});
+        for (unsigned s = 0; s < n; ++s) {
+            shard_buckets_[s].reserve(shard_lists_[s].size());
+            for (Component* c : shard_lists_[s]) {
+                shard_buckets_[s].push_back(profiler_->intern(typeid(*c), s));
+            }
+        }
+    } else {
+        shard_buckets_.clear();
+    }
     partition_dirty_ = false;
 }
 
 void SimContext::tick_shard(unsigned shard) {
+    if (profiler_ != nullptr) {
+        tick_shard_profiled(shard);
+        return;
+    }
     t_current_shard = shard;
     const std::vector<Component*>& list = shard_lists_[shard];
     if (scheduler_ == Scheduler::kTickAll) {
@@ -153,7 +230,56 @@ void SimContext::tick_shard(unsigned shard) {
     t_current_shard = 0;
 }
 
+// Same walk as tick_shard with chained clock samples: the end stamp of one
+// executed tick is the start stamp of the next, so attribution costs one
+// `steady_clock` call per executed tick (skip-scan time is charged to the
+// following executed tick — negligible and documented). Buckets are keyed
+// by shard, so concurrent shards never write the same counter.
+void SimContext::tick_shard_profiled(unsigned shard) {
+    t_current_shard = shard;
+    const std::vector<Component*>& list = shard_lists_[shard];
+    const std::vector<std::uint32_t>& buckets = shard_buckets_[shard];
+    const bool activity = scheduler_ == Scheduler::kActivity;
+    std::uint64_t executed = 0;
+    std::uint64_t skipped = 0;
+    Cycle hint = kNoCycle;
+    auto last = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        Component* c = list[i];
+        if (activity) {
+            const Cycle wake = c->wake_cycle();
+            if (wake > now_) {
+                ++skipped;
+                hint = std::min(hint, wake);
+                continue;
+            }
+        }
+        c->tick();
+        ++executed;
+        const auto stamp = std::chrono::steady_clock::now();
+        Profiler::Bucket& b = profiler_->bucket(buckets[i]);
+        ++b.ticks;
+        b.nanos += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stamp - last)
+                .count());
+        last = stamp;
+        if (activity) {
+            const Cycle after = c->wake_cycle();
+            hint = std::min(hint, after > now_ ? after : now_ + 1);
+        }
+    }
+    shard_ticks_executed_[shard] += executed;
+    if (activity) {
+        shard_ticks_skipped_[shard] += skipped;
+        note_wake(hint);
+    }
+    t_current_shard = 0;
+}
+
 void SimContext::flush_edges() {
+    // Nothing staged — the overwhelmingly common case for the pre-tick
+    // flush and, outside cross-shard traffic bursts, the post-tick one.
+    if (!edge_any_dirty_.load(std::memory_order_relaxed)) { return; }
     // Single-threaded, shard-major, registration order within each shard:
     // a deterministic total order, though no staged effect depends on it
     // (each edge object has a single staging shard and flushing only makes
@@ -162,6 +288,7 @@ void SimContext::flush_edges() {
         for (EdgeFlushable* e : list) { e->flush_edge(now_); }
         list.clear();
     }
+    edge_any_dirty_.store(false, std::memory_order_relaxed);
 }
 
 void SimContext::start_workers(unsigned count) {
@@ -169,6 +296,11 @@ void SimContext::start_workers(unsigned count) {
     stop_workers();
     workers_ = std::make_unique<Workers>();
     workers_->total = count;
+    // Spinning only pays when every participant has a core to spin on;
+    // oversubscribed, a spinning waiter starves the thread it is waiting
+    // for, so park immediately instead.
+    workers_->spin_budget =
+        count <= std::max(1U, std::thread::hardware_concurrency()) ? 4096 : 0;
     workers_->threads.reserve(count - 1);
     for (unsigned i = 1; i < count; ++i) {
         workers_->threads.emplace_back([this, i, count] { worker_main(i, count); });
@@ -178,8 +310,8 @@ void SimContext::start_workers(unsigned count) {
 void SimContext::stop_workers() noexcept {
     if (!workers_) { return; }
     {
-        const std::lock_guard<std::mutex> lk{workers_->m};
-        workers_->stop = true;
+        const std::lock_guard<std::mutex> lk(workers_->mu);
+        workers_->stop.store(true, std::memory_order_release);
     }
     workers_->cv_go.notify_all();
     for (std::thread& th : workers_->threads) { th.join(); }
@@ -189,20 +321,31 @@ void SimContext::stop_workers() noexcept {
 void SimContext::worker_main(unsigned worker_index, unsigned worker_count) {
     std::uint64_t seen = 0;
     for (;;) {
-        {
-            std::unique_lock<std::mutex> lk{workers_->m};
-            workers_->cv_go.wait(
-                lk, [&] { return workers_->stop || workers_->epoch != seen; });
-            if (workers_->stop) { return; }
-            seen = workers_->epoch;
+        const auto released = [&] {
+            return workers_->stop.load(std::memory_order_acquire) ||
+                   workers_->go.load(std::memory_order_acquire) != seen;
+        };
+        if (!spin_briefly(workers_->spin_budget, released)) {
+            // Park. The publisher advances `go` under `mu`, so the predicate
+            // cannot flip between our check and the wait — no lost wakeup.
+            std::unique_lock<std::mutex> lk(workers_->mu);
+            workers_->cv_go.wait(lk, released);
         }
+        if (workers_->stop.load(std::memory_order_acquire)) { return; }
+        // At most one epoch beyond `seen` can be in flight (the main thread
+        // waits for full arrival before publishing the next), so the
+        // current value is exactly the epoch we were released for.
+        seen = workers_->go.load(std::memory_order_relaxed);
         const unsigned n = static_cast<unsigned>(shard_lists_.size());
         for (unsigned s = worker_index; s < n; s += worker_count) { tick_shard(s); }
-        {
-            const std::lock_guard<std::mutex> lk{workers_->m};
-            --workers_->pending;
+        if (workers_->pending.fetch_sub(1, std::memory_order_release) == 1) {
+            // Last arrival. Taking `mu` (empty critical section) orders this
+            // decrement against the main thread's park decision, so either
+            // main sees pending==0 before sleeping or the notify lands after
+            // it slept — never between.
+            { const std::lock_guard<std::mutex> lk(workers_->mu); }
+            workers_->cv_done.notify_one();
         }
-        workers_->cv_done.notify_one();
     }
 }
 
@@ -235,15 +378,27 @@ void SimContext::step() {
             for (unsigned s = 0; s < nshards; ++s) { tick_shard(s); }
         } else {
             start_workers(workers);
+            // Pre-set the arrival counter, then publish the epoch: the
+            // release increment makes `pending` (and every pre-cycle
+            // write) visible to the acquire-spinning workers. Publishing
+            // under `mu` pairs with the parked-worker wait; spinning
+            // workers never touch the lock.
+            workers_->pending.store(workers - 1, std::memory_order_relaxed);
             {
-                const std::lock_guard<std::mutex> lk{workers_->m};
-                ++workers_->epoch;
-                workers_->pending = workers - 1;
+                const std::lock_guard<std::mutex> lk(workers_->mu);
+                workers_->go.fetch_add(1, std::memory_order_release);
             }
             workers_->cv_go.notify_all();
             for (unsigned s = 0; s < nshards; s += workers) { tick_shard(s); }
-            std::unique_lock<std::mutex> lk{workers_->m};
-            workers_->cv_done.wait(lk, [&] { return workers_->pending == 0; });
+            // Join: the acquire on zero orders every shard's writes before
+            // the edge flush below.
+            const auto arrived = [&] {
+                return workers_->pending.load(std::memory_order_acquire) == 0;
+            };
+            if (!spin_briefly(workers_->spin_budget, arrived)) {
+                std::unique_lock<std::mutex> lk(workers_->mu);
+                workers_->cv_done.wait(lk, arrived);
+            }
         }
     }
     ++now_;

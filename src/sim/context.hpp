@@ -15,6 +15,7 @@
 namespace realm::sim {
 
 class Component;
+class Profiler;
 
 /// Severity levels for the cycle-stamped simulation log.
 enum class LogLevel { kNone = 0, kError, kWarn, kInfo, kDebug, kTrace };
@@ -180,6 +181,21 @@ public:
     [[nodiscard]] std::uint64_t shard_ticks_skipped(unsigned shard) const noexcept;
     ///@}
 
+    /// \name Profiling
+    ///@{
+    /// Attaches a tick-attribution profiler (nullptr detaches). With a
+    /// profiler armed, every executed tick is timed and charged to a
+    /// (component type, shard) bucket — see `sim::Profiler`. With none,
+    /// the tick loop takes one predictable branch per shard per cycle and
+    /// is otherwise unchanged (the "zero overhead when off" contract).
+    /// Buckets are (re)interned at the next partition.
+    void set_profiler(Profiler* p) noexcept {
+        profiler_ = p;
+        partition_dirty_ = true;
+    }
+    [[nodiscard]] Profiler* profiler() const noexcept { return profiler_; }
+    ///@}
+
     /// \name Logging
     ///@{
     void set_log_level(LogLevel level) noexcept { log_level_ = level; }
@@ -207,6 +223,10 @@ private:
     /// Ticks every component of one shard (registration order), folding
     /// skip logic and counters; runs on a worker or the main thread.
     void tick_shard(unsigned shard);
+    /// Same walk with per-tick wall-time attribution into `profiler_`
+    /// (chained clock samples; see sim/profiler.hpp). Split out so the
+    /// unprofiled loop carries no timing code at all.
+    void tick_shard_profiled(unsigned shard);
     /// Applies all staged cross-shard work, single-threaded, in shard-major
     /// registration order. Runs on every cycle edge in every mode.
     void flush_edges();
@@ -236,6 +256,15 @@ private:
     /// Per-shard dirty lists of staged cross-shard work (mutable: filled
     /// through const references on the producer hot path).
     mutable std::vector<std::vector<EdgeFlushable*>> edge_dirty_{1};
+    /// True iff any dirty list is non-empty, so the twice-per-cycle
+    /// `flush_edges` walk collapses to one load in the (common) clean
+    /// case. Relaxed stores suffice: the flag is only *read* at the cycle
+    /// edge, after the join barrier has ordered every shard's writes.
+    mutable std::atomic<bool> edge_any_dirty_{false};
+    Profiler* profiler_ = nullptr;
+    /// Parallel to `shard_lists_`: the profiler bucket of each component
+    /// (empty when no profiler is attached).
+    std::vector<std::vector<std::uint32_t>> shard_buckets_;
     std::unique_ptr<Workers> workers_;
 };
 

@@ -1,0 +1,199 @@
+/// Randomized model check of the ring-buffer `sim::Link` and
+/// `sim::TimedQueue` against straightforward deque reference models with
+/// per-entry cycle stamps. The production classes dropped the stamps (a
+/// recent-count pair for `Link`, a `FlatRing` for `TimedQueue`) to flatten
+/// the hot path; these sweeps pin the observable behaviour to the naive
+/// semantics across capacities, timing disciplines, and drain hooks.
+#include "sim/context.hpp"
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace realm::sim {
+namespace {
+
+// --- Link vs a stamped-deque reference ---------------------------------------
+
+/// The pre-flattening semantics, verbatim: a deque of (value, push cycle)
+/// pairs where a registered entry is poppable strictly after its push cycle.
+struct RefLink {
+    struct Entry {
+        int value;
+        Cycle pushed_at;
+    };
+    std::deque<Entry> q;
+    std::size_t capacity;
+    bool registered;
+
+    [[nodiscard]] bool can_push() const { return q.size() < capacity; }
+    void push(int v, Cycle now) { q.push_back({v, now}); }
+    [[nodiscard]] bool can_pop(Cycle now) const {
+        return !q.empty() && (!registered || q.front().pushed_at < now);
+    }
+    int pop() {
+        const int v = q.front().value;
+        q.pop_front();
+        return v;
+    }
+    void clear() { q.clear(); }
+};
+
+/// Hook log: every fired drain hook records the link's state *at firing
+/// time*, proving the hook runs after the entry has left the buffer.
+struct HookLog {
+    const Link<int>* link = nullptr;
+    std::uint32_t expected_arg = 0;
+    std::vector<std::pair<std::uint64_t, std::size_t>> fired; // (popped, occ)
+
+    static void on_pop(void* user, std::uint32_t arg) {
+        auto* self = static_cast<HookLog*>(user);
+        EXPECT_EQ(arg, self->expected_arg);
+        self->fired.emplace_back(self->link->total_popped(),
+                                 self->link->occupancy());
+    }
+};
+
+class LinkModelSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool, unsigned>> {};
+
+TEST_P(LinkModelSweep, AgreesWithTheStampedDequeModel) {
+    const auto [capacity, registered, seed] = GetParam();
+    SimContext ctx;
+    Link<int> link{ctx, static_cast<std::size_t>(capacity), "dut",
+                   registered ? Link<int>::Timing::kRegistered
+                              : Link<int>::Timing::kPassthrough};
+    RefLink ref{{}, static_cast<std::size_t>(capacity), registered};
+    HookLog log;
+    log.link = &link;
+    log.expected_arg = 7;
+    link.set_on_pop(PopHook{&HookLog::on_pop, &log, 7});
+
+    std::mt19937 rng{seed};
+    std::uniform_int_distribution<int> action{0, 99};
+    int next_value = 0;
+    std::uint64_t pops = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+        const Cycle now = ctx.now();
+        ASSERT_EQ(link.can_push(), ref.can_push()) << "step " << step;
+        ASSERT_EQ(link.can_pop(), ref.can_pop(now)) << "step " << step;
+        ASSERT_EQ(link.occupancy(), ref.q.size()) << "step " << step;
+        if (link.can_pop()) {
+            ASSERT_EQ(link.front(), ref.q.front().value) << "step " << step;
+        }
+
+        const int a = action(rng);
+        if (a < 45) { // push (producers hold flits under backpressure)
+            if (link.can_push()) {
+                link.push(next_value);
+                ref.push(next_value, now);
+                ++next_value;
+            }
+        } else if (a < 85) { // pop
+            if (link.can_pop()) {
+                const int got = link.pop();
+                ASSERT_EQ(got, ref.pop()) << "step " << step;
+                ++pops;
+                // Hook fired exactly once, after the entry left the ring.
+                ASSERT_EQ(log.fired.size(), pops);
+                EXPECT_EQ(log.fired.back().first, pops);
+                EXPECT_EQ(log.fired.back().second, link.occupancy());
+            }
+        } else if (a < 97) { // advance the clock
+            ctx.step();
+        } else { // reset both FIFOs; clear() bypasses the drain hook
+            link.clear();
+            ref.clear();
+            ASSERT_EQ(log.fired.size(), pops);
+        }
+    }
+    EXPECT_EQ(link.total_popped(), pops);
+    EXPECT_EQ(link.total_pushed(), static_cast<std::uint64_t>(next_value));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacitiesTimingsSeeds, LinkModelSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5), // inline ring + heap ring
+                       ::testing::Bool(),          // registered / passthrough
+                       ::testing::Values(0xC0FFEEU, 1U, 20260807U)));
+
+// --- TimedQueue vs a stamped-deque reference ---------------------------------
+
+struct RefTimedQueue {
+    struct Entry {
+        int value;
+        Cycle ready_at;
+    };
+    std::deque<Entry> q;
+
+    [[nodiscard]] bool can_pop(Cycle now) const {
+        return !q.empty() && q.front().ready_at <= now;
+    }
+};
+
+class TimedQueueModelSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TimedQueueModelSweep, AgreesWithTheStampedDequeModel) {
+    SimContext ctx;
+    TimedQueue<int> dut{ctx, "dut"};
+    RefTimedQueue ref;
+
+    std::mt19937 rng{GetParam()};
+    std::uniform_int_distribution<int> action{0, 99};
+    std::uniform_int_distribution<int> delay{0, 5};
+    int next_value = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+        const Cycle now = ctx.now();
+        ASSERT_EQ(dut.can_pop(), ref.can_pop(now)) << "step " << step;
+        ASSERT_EQ(dut.size(), ref.q.size()) << "step " << step;
+        ASSERT_EQ(dut.empty(), ref.q.empty()) << "step " << step;
+        if (dut.can_pop()) {
+            ASSERT_EQ(dut.front(), ref.q.front().value) << "step " << step;
+        }
+
+        const int a = action(rng);
+        if (a < 40) { // enqueue with a service delay; completion is in-order
+            const Cycle ready = now + static_cast<Cycle>(delay(rng));
+            dut.push(next_value, ready);
+            ref.q.push_back({next_value, ready});
+            ++next_value;
+        } else if (a < 80) { // pop when the head has matured
+            if (dut.can_pop()) {
+                ASSERT_EQ(dut.pop(), ref.q.front().value) << "step " << step;
+                ref.q.pop_front();
+            }
+        } else if (a < 97) {
+            ctx.step();
+        } else {
+            dut.clear();
+            ref.q.clear();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimedQueueModelSweep,
+                         ::testing::Values(0xC0FFEEU, 1U, 20260807U));
+
+// --- Head-of-line blocking (the one place the models could diverge) ----------
+
+TEST(TimedQueueModel, YoungerReadyEntriesWaitBehindAnUnreadyHead) {
+    SimContext ctx;
+    TimedQueue<int> q{ctx, "hol"};
+    q.push(1, 5);           // head matures late
+    q.push(2, ctx.now());   // already mature, but behind the head
+    EXPECT_FALSE(q.can_pop());
+    while (ctx.now() < 5) { ctx.step(); }
+    ASSERT_TRUE(q.can_pop());
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+}
+
+} // namespace
+} // namespace realm::sim

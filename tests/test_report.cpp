@@ -234,6 +234,58 @@ std::pair<Sweep, std::vector<ScenarioResult>> monitored_fixture() {
     return {sweep, results};
 }
 
+TEST(ReportRendering, FlatTableGrowsASpeedColumnWhenWallTimeIsKnown) {
+    // Synthetic results carry wall_seconds == 0, so the matrix/flat goldens
+    // above never see this column; a measured run renders simulated cycles
+    // per wall second next to the functional metrics.
+    Sweep sweep;
+    sweep.name = "flat-speed";
+    sweep.title = "Flat sweep with host speed";
+    sweep.points.push_back({"fast", ScenarioConfig{}});
+    sweep.points.push_back({"replayed", ScenarioConfig{}});
+    ScenarioResult fast = result_for("fast", 10, 5);
+    fast.simulated_cycles = 50000;
+    fast.wall_seconds = 0.5;
+    ScenarioResult replayed = result_for("replayed", 20, 8);
+
+    std::ostringstream os;
+    write_report(os, sweep, {fast, replayed});
+    const std::string report = os.str();
+    EXPECT_NE(report.find("| hops | sim c/s |"), std::string::npos);
+    EXPECT_NE(report.find(" 100000 |"), std::string::npos)
+        << "50000 cycles / 0.5 s = 100000 c/s";
+    EXPECT_NE(report.find(" – |"), std::string::npos)
+        << "a point without wall time (resume reuse) renders a dash";
+}
+
+TEST(ReportRendering, ProfiledRunsRenderACycleAttributionSection) {
+    Sweep sweep;
+    sweep.name = "profiled";
+    sweep.title = "Profiled sweep";
+    sweep.points.push_back({"only", ScenarioConfig{}});
+    ScenarioResult r = result_for("only", 10, 5);
+    r.profile.push_back({"realm::noc::Router", 0, 16, 12000, 3000000});
+    r.profile.push_back({"realm::axi::Dma", 1, 4, 4000, 1000000});
+
+    std::ostringstream os;
+    write_report(os, sweep, {r});
+    const std::string report = os.str();
+    EXPECT_NE(report.find("## Cycle attribution"), std::string::npos);
+    EXPECT_NE(report.find("| `only` | realm::noc::Router | 0 | 16 | 12000 | "
+                          "3.00 | 75.0 % |"),
+              std::string::npos);
+    EXPECT_NE(report.find("| `only` | realm::axi::Dma | 1 | 4 | 4000 | "
+                          "1.00 | 25.0 % |"),
+              std::string::npos);
+}
+
+TEST(ReportRendering, UnprofiledResultsRenderNoAttributionSection) {
+    const auto [sweep, results] = matrix_fixture();
+    std::ostringstream os;
+    write_report(os, sweep, results);
+    EXPECT_EQ(os.str().find("Cycle attribution"), std::string::npos);
+}
+
 TEST(ReportRendering, MonitoredSweepsRenderCoverageAndDistributions) {
     const auto [sweep, results] = monitored_fixture();
     std::ostringstream os;
