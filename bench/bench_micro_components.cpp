@@ -300,6 +300,42 @@ void BM_ShardedMeshCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedMeshCycle)->Arg(1)->Arg(2)->Arg(4);
 
+void BM_ShardBarrier(benchmark::State& state) {
+    // Barrier cost in isolation: the same contended 16x16 mesh as
+    // BM_ShardedMeshCycle at four shards, vs link latency (Arg). Deeper
+    // links raise the kernel's conservative lookahead, so workers run
+    // `link_latency` cycles per barrier epoch instead of one — the
+    // throughput delta between Arg(1) and Arg(4) is exactly the barrier
+    // round-trips the batching amortized away.
+    const auto latency = static_cast<std::uint32_t>(state.range(0));
+    sim::SimContext ctx;
+    ctx.set_shards(4);
+    scenario::ScenarioConfig cfg;
+    cfg.topology.kind = scenario::TopologyKind::kMesh;
+    cfg.topology.mesh.rows = 16;
+    cfg.topology.mesh.cols = 16;
+    cfg.topology.mesh.nodes = scenario::make_mesh_roles(16, 16, 8, 2);
+    cfg.topology.mesh.link_latency = latency;
+    auto topo = scenario::make_topology(ctx, cfg);
+    ctx.set_lookahead(topo->lookahead());
+    std::vector<std::unique_ptr<traffic::DmaEngine>> dmas;
+    traffic::DmaConfig dcfg;
+    dcfg.burst_beats = 64;
+    for (std::size_t i = 0; i < topo->num_interference_ports(); ++i) {
+        const sim::ShardScope scope{ctx, topo->interference_shard(i)};
+        dmas.push_back(std::make_unique<traffic::DmaEngine>(
+            ctx, "dma" + std::to_string(i), topo->interference_port(i), dcfg));
+        dmas.back()->push_job(
+            traffic::DmaJob{0x800 * i, 0x10'0000 + 0x800 * i, 0x4000, true});
+    }
+    const sim::Cycle batch = topo->lookahead();
+    for (auto _ : state) { ctx.run(batch); }
+    state.SetLabel("link_latency=" + std::to_string(latency));
+    state.counters["sim-cycles/s"] =
+        benchmark::Counter(static_cast<double>(ctx.now()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardBarrier)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_ArenaVsHeapPacket(benchmark::State& state) {
     // The stash allocation discipline in isolation: worm-sized bursts of
     // packet stash/unstash against either the contiguous slot arena

@@ -1,5 +1,6 @@
 #include "noc/credit.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace realm::noc {
@@ -13,6 +14,7 @@ void NocFlowConfig::validate() const {
                   "vc_depth must hold at least one whole worm");
     REALM_EXPECTS(e2e_credits >= flits_per_packet + 1,
                   "e2e_credits must exceed one worm plus its header");
+    REALM_EXPECTS(link_latency >= 1, "link_latency must be >= 1");
 }
 
 void NocLink::commit(Entry e) {
@@ -35,15 +37,17 @@ void NocLink::push(NocPacket pkt) {
     busy_until_ = ctx_->now() + pkt.flits;
     if (!edge_) {
         commit(Entry{std::move(pkt), ctx_->now()});
-        if (wake_on_push_ != nullptr) { wake_on_push_->wake(ctx_->now() + 1); }
+        if (wake_on_push_ != nullptr) {
+            wake_on_push_->wake(ctx_->now() + fc_.link_latency);
+        }
         return;
     }
     // Edge mode: stage producer-side, stamped with the staging cycle so
-    // visibility stays exactly N+1 however late the barrier commits it.
-    // The registration guard reads producer-owned state only (`staged_` is
-    // appended here and cleared at the barrier) — a cross-shard consumer's
-    // pop may register the link a second time from its own shard, which is
-    // harmless because flush_edge is idempotent.
+    // visibility stays exactly N + link_latency however late the barrier
+    // commits it. The registration guard reads producer-owned state only
+    // (`staged_` is appended here and cleared at the barrier) — a
+    // cross-shard consumer's pop may register the link a second time from
+    // its own shard, which is harmless because flush_edge is idempotent.
     VcState& s = vc_[pkt.vc];
     ++s.staged_count;
     s.staged_flits += pkt.flits;
@@ -51,7 +55,7 @@ void NocLink::push(NocPacket pkt) {
     staged_.push_back(Entry{std::move(pkt), ctx_->now()});
     // Keep the fast-forward hint honest without touching the (possibly
     // cross-shard) consumer: the component wake fires at the flush.
-    ctx_->note_wake(ctx_->now() + 1);
+    ctx_->note_wake(ctx_->now() + fc_.link_latency);
 }
 
 NocPacket NocLink::pop(std::uint8_t vc) {
@@ -79,9 +83,17 @@ NocPacket NocLink::pop(std::uint8_t vc) {
 // Idempotent within one edge (the link may be registered by both its
 // producer and its consumer shard): the second call sees an empty staging
 // vector and re-takes an unchanged snapshot.
-void NocLink::flush_edge(sim::Cycle now) {
-    const bool arrived = !staged_.empty();
-    for (Entry& e : staged_) { commit(std::move(e)); }
+void NocLink::flush_edge(sim::Cycle /*now*/) {
+    // The consumer wakes at the earliest cycle any committed entry becomes
+    // poppable (`pushed_at + link_latency`), never before: with lookahead
+    // batching the barrier runs every `link_latency` cycles, so an entry
+    // staged mid-batch matures strictly after this flush. At link_latency 1
+    // this degenerates to the historical wake at the flush cycle itself.
+    sim::Cycle first = sim::kNoCycle;
+    for (Entry& e : staged_) {
+        first = std::min(first, e.pushed_at);
+        commit(std::move(e));
+    }
     staged_.clear();
     for (VcState& s : vc_) {
         s.staged_count = 0;
@@ -90,7 +102,9 @@ void NocLink::flush_edge(sim::Cycle now) {
         s.snap_flits = s.flits;
     }
     pop_dirty_ = false;
-    if (arrived && wake_on_push_ != nullptr) { wake_on_push_->wake(now); }
+    if (first != sim::kNoCycle && wake_on_push_ != nullptr) {
+        wake_on_push_->wake(first + fc_.link_latency);
+    }
 }
 
 std::size_t staging_depth(const NocFlowConfig& fc) { return fc.e2e_credits; }

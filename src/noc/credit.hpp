@@ -78,6 +78,16 @@ struct NocFlowConfig {
     /// numbers without touching any buffer bound: a pending return still
     /// counts as in flight.
     std::uint32_t credit_return_delay = 0;
+    /// Uniform pipeline depth of every link, in cycles: a flit pushed at
+    /// cycle N becomes poppable at N + link_latency. 1 is the historical
+    /// registered contract (push at N, visible at N+1). Values > 1 model
+    /// channel registering (AXI-REALM-style pipelined interconnects) and
+    /// are the conservative lookahead of the sharded kernel: with every
+    /// cross-shard channel carrying >= L cycles of modeled latency, shards
+    /// may run L cycles between barriers (the mesh forces
+    /// `credit_return_delay >= link_latency` so credit returns carry the
+    /// same lookahead).
+    std::uint32_t link_latency = 1;
 
     /// Flit count of a request/response packet under this config.
     [[nodiscard]] std::uint32_t packet_flits(bool data_carrying) const noexcept {
@@ -338,12 +348,12 @@ private:
 ///    `push` stages producer-side, the kernel commits at the cycle-edge
 ///    barrier (`flush_edge`), and the producer's capacity view is a
 ///    snapshot refreshed at the same barrier. Pushes are stamped with the
-///    staging cycle, so visibility (at N+1) is exactly the registered
-///    contract; what changes is that a pop at cycle N frees sender-visible
-///    space at N+1 instead of same-cycle — deterministic and
-///    order-independent, hence safe under any shard layout (the flit
-///    exchange of the sharded kernel), at the cost of one cycle of
-///    capacity-return latency.
+///    staging cycle, so visibility (at N + link_latency) is exactly the
+///    pipelined registered contract; what changes is that a pop at cycle N
+///    frees sender-visible space at the next barrier instead of
+///    same-cycle — deterministic and order-independent, hence safe under
+///    any shard layout (the flit exchange of the sharded kernel), at the
+///    cost of a barrier period of capacity-return latency.
 class NocLink : public sim::EdgeFlushable {
 public:
     NocLink(const sim::SimContext& ctx, std::string name, const NocFlowConfig& fc,
@@ -374,7 +384,8 @@ public:
 
     [[nodiscard]] bool can_pop(std::uint8_t vc = 0) const {
         const VcState& s = vc_.at(vc);
-        return s.count > 0 && slot(vc, s.head).pushed_at < ctx_->now();
+        return s.count > 0 &&
+               slot(vc, s.head).pushed_at + fc_.link_latency <= ctx_->now();
     }
     [[nodiscard]] const NocPacket& front(std::uint8_t vc = 0) const {
         REALM_EXPECTS(can_pop(vc), "front of empty NoC link " + name_);

@@ -225,20 +225,34 @@ void MeshRouter::update_activity() {
 NocMesh::NocMesh(sim::SimContext& ctx, std::string name, NodeId rows,
                  NodeId cols, ic::AddrMap node_map,
                  std::vector<NodeId> subordinate_nodes, NocFlowConfig flow,
-                 RoutingPolicy routing)
-    : rows_{rows}, cols_{cols}, flow_{flow}, routing_{routing} {
+                 RoutingPolicy routing, std::vector<unsigned> tile_shards)
+    : rows_{rows}, cols_{cols}, flow_{flow}, routing_{routing},
+      tile_shards_{std::move(tile_shards)} {
     const std::uint32_t n32 = static_cast<std::uint32_t>(rows) * cols;
     REALM_EXPECTS(n32 >= 2, "a mesh needs at least two nodes");
     REALM_EXPECTS(n32 <= 65535, "node ids are 16-bit");
     // The mesh always runs the shard-safe transport — edge-registered
     // neighbor links and cycle-edge credit returns — so its behaviour never
     // depends on the shard count (including 1). Deferred returns need at
-    // least one cycle of return latency.
-    flow_.credit_return_delay = std::max<std::uint32_t>(1, flow_.credit_return_delay);
+    // least one cycle of return latency; with a pipelined fabric
+    // (link_latency > 1) they need the full link latency, so every
+    // cross-shard channel — flit links *and* credit returns — carries the
+    // conservative lookahead the batched barrier relies on.
+    flow_.credit_return_delay = std::max(
+        flow_.link_latency,
+        std::max<std::uint32_t>(1, flow_.credit_return_delay));
     flow_.validate();
     const auto n = static_cast<NodeId>(n32);
     stripe_shards_ = std::min<unsigned>(std::max(1U, ctx.shards()),
                                         static_cast<unsigned>(cols));
+    if (!tile_shards_.empty()) {
+        REALM_EXPECTS(tile_shards_.size() == n32,
+                      "tile_shards must map every mesh node");
+        const unsigned shards = std::max(1U, ctx.shards());
+        for (const unsigned s : tile_shards_) {
+            REALM_EXPECTS(s < shards, "tile_shards entry out of shard range");
+        }
+    }
     sub_index_.assign(n, -1);
     for (const NodeId s : subordinate_nodes) {
         REALM_EXPECTS(s < n, "subordinate node out of range");

@@ -148,10 +148,18 @@ public:
     ///        `NocRing` — the flow-control argument is fabric-independent).
     /// \param routing           routing policy applied fabric-wide (fixes
     ///        the per-link VC count: 2 under O1TURN, 1 otherwise).
+    /// \param tile_shards       explicit tile -> shard map (one entry per
+    ///        node, each < the context's shard count). Empty selects the
+    ///        default column-stripe partition. Any map yields bit-identical
+    ///        simulated results — a tile's components always co-shard and
+    ///        every inter-tile path is edge-registered — so the choice is
+    ///        purely a host-side load-balancing decision (see
+    ///        scenario/partition.hpp for the profile-guided builder).
     NocMesh(sim::SimContext& ctx, std::string name, NodeId rows,
             NodeId cols, ic::AddrMap node_map,
             std::vector<NodeId> subordinate_nodes, NocFlowConfig flow = {},
-            RoutingPolicy routing = RoutingPolicy::kXY);
+            RoutingPolicy routing = RoutingPolicy::kXY,
+            std::vector<unsigned> tile_shards = {});
 
     NocMesh(const NocMesh&) = delete;
     NocMesh& operator=(const NocMesh&) = delete;
@@ -169,13 +177,15 @@ public:
     [[nodiscard]] NodeId num_nodes() const noexcept {
         return static_cast<NodeId>(routers_.size());
     }
-    /// Spatial shard hosting node `n`'s tile (column stripe). The stripe
-    /// count is fixed at construction from the context's shard setting, so
-    /// all of a tile's components (router, mux, memory, attached cores)
-    /// land on one shard and every cross-shard path is an edge-registered
-    /// neighbor link.
+    /// Spatial shard hosting node `n`'s tile: the explicit map when one was
+    /// provided, the default column stripe otherwise. Fixed at construction
+    /// from the context's shard setting, so all of a tile's components
+    /// (router, mux, memory, attached cores) land on one shard and every
+    /// cross-shard path is an edge-registered neighbor link.
     [[nodiscard]] unsigned shard_of_node(NodeId n) const noexcept {
-        return static_cast<unsigned>(n % cols_) * stripe_shards_ / cols_;
+        return tile_shards_.empty()
+                   ? static_cast<unsigned>(n % cols_) * stripe_shards_ / cols_
+                   : tile_shards_[n];
     }
     [[nodiscard]] const NocFlowConfig& flow() const noexcept { return flow_; }
     [[nodiscard]] RoutingPolicy routing() const noexcept { return routing_; }
@@ -202,6 +212,8 @@ private:
     NodeId cols_;
     /// Column stripes used for spatial sharding (min(shards, cols)).
     unsigned stripe_shards_ = 1;
+    /// Explicit tile -> shard map (empty = column stripes).
+    std::vector<unsigned> tile_shards_;
     NocFlowConfig flow_;
     RoutingPolicy routing_;
     std::unique_ptr<CreditBook> book_;

@@ -58,6 +58,16 @@ struct BenchOptions {
     /// `--routing`: force one mesh routing policy on every point (handy for
     /// re-running a whole matrix under one policy without a new sweep).
     std::optional<noc::RoutingPolicy> routing;
+    /// `--link-latency L`: force a uniform L-cycle link pipeline on every
+    /// NoC point (semantic — changes results and the config hash). On the
+    /// mesh this is also the sharded kernel's barrier batch length.
+    std::optional<std::uint32_t> link_latency;
+    /// `--partition stripe|balanced`: tile -> shard policy for mesh points
+    /// (host-side only; bit-identical either way).
+    std::optional<PartitionPolicy> partition;
+    /// `--partition-profile PATH`: feed a previous `--profile --json` dump's
+    /// cycle-attribution rows to the balanced partitioner's weight model.
+    std::string partition_profile_path;
     /// `--profile`: arm the cycle-attribution profiler on every point; the
     /// per-(type, shard) wall-time table lands in the JSON dump and the
     /// markdown report. Host-side observability only (excluded from
@@ -209,6 +219,31 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
             } else {
                 opts.mon_occ = f;
             }
+        } else if (arg == "--link-latency") {
+            const char* value = need_value("--link-latency");
+            char* end = nullptr;
+            const unsigned long n = std::strtoul(value, &end, 10);
+            if (end == value || *end != '\0' || n == 0 || n > 64) {
+                std::fprintf(stderr,
+                             "--link-latency expects a cycle count in [1, 64], "
+                             "got '%s'\n", value);
+                std::exit(2);
+            }
+            opts.link_latency = static_cast<std::uint32_t>(n);
+        } else if (arg == "--partition") {
+            const std::string v = need_value("--partition");
+            if (v == "stripe") {
+                opts.partition = PartitionPolicy::kStripe;
+            } else if (v == "balanced") {
+                opts.partition = PartitionPolicy::kBalanced;
+            } else {
+                std::fprintf(stderr,
+                             "unknown partition policy '%s' (stripe|balanced)\n",
+                             v.c_str());
+                std::exit(2);
+            }
+        } else if (arg == "--partition-profile") {
+            opts.partition_profile_path = need_value("--partition-profile");
         } else if (arg == "--routing") {
             const std::string v = need_value("--routing");
             const auto policy = noc::parse_routing_policy(v);
@@ -230,7 +265,9 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
                         "[--diff-threshold F] [--diff-slack N] "
                         "[--speed-threshold F] [--speed-slack C] "
                         "[--scheduler tick-all|activity] "
-                        "[--routing xy|yx|o1turn|west-first] [--profile] "
+                        "[--routing xy|yx|o1turn|west-first] [--link-latency L] "
+                        "[--partition stripe|balanced] "
+                        "[--partition-profile PROFILE.json] [--profile] "
                         "[--monitors] [--mon-timeout C] [--mon-stall C] "
                         "[--mon-window C] [--mon-bw F] [--mon-held F] [--mon-occ F] "
                         "[--list]\n",
@@ -253,12 +290,30 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
 /// Applies CLI overrides (scheduler, shards, mesh routing policy) to every
 /// point.
 inline void apply_overrides(const BenchOptions& opts, Sweep& sweep) {
+    // Loaded once per sweep: the rows feed every balanced point's weight
+    // model (empty when the flag is absent or the file is unreadable).
+    const std::vector<ProfileRow> profile_rows =
+        opts.partition_profile_path.empty()
+            ? std::vector<ProfileRow>{}
+            : load_profile_rows(opts.partition_profile_path);
+    if (!opts.partition_profile_path.empty() && profile_rows.empty()) {
+        std::fprintf(stderr, "warning: --partition-profile %s has no profile "
+                             "rows; balanced partition falls back to the "
+                             "static weight model\n",
+                     opts.partition_profile_path.c_str());
+    }
     for (SweepPoint& p : sweep.points) {
         if (opts.scheduler_forced) { p.config.scheduler = opts.scheduler; }
         if (opts.shards_forced) { p.config.shards = opts.shards; }
         if (opts.routing.has_value()) {
             p.config.topology.mesh.routing = *opts.routing;
         }
+        if (opts.link_latency.has_value()) {
+            p.config.topology.ring.link_latency = *opts.link_latency;
+            p.config.topology.mesh.link_latency = *opts.link_latency;
+        }
+        if (opts.partition.has_value()) { p.config.partition = *opts.partition; }
+        if (!profile_rows.empty()) { p.config.partition_profile = profile_rows; }
         if (opts.profile) { p.config.profile = true; }
         if (opts.monitors) { p.config.monitors.enabled = true; }
         if (opts.mon_timeout) {
@@ -368,12 +423,22 @@ inline int check_diff(const BenchOptions& opts, const Sweep& sweep,
                  results.size(), diff.regressions,
                  diff.regressions == 1 ? "" : "s");
     if (opts.speed_threshold > 0.0) {
-        std::fprintf(stderr,
-                     "%s: diff speed gate: %zu/%zu cells compared, "
-                     "%zu speed regression%s\n",
-                     sweep.name.c_str(), diff.speed_compared, results.size(),
-                     diff.speed_regressions,
-                     diff.speed_regressions == 1 ? "" : "s");
+        if (diff.speed_compared == 0) {
+            // A speed gate with nothing to compare must not read as a pass:
+            // it degrades to a loud warning (the latency gate still ran, so
+            // this is not the exit-5 "diff against nothing" case).
+            std::fprintf(stderr,
+                         "%s: diff speed gate WARNING: no usable baseline "
+                         "speeds in %s — gate skipped, not passed\n",
+                         sweep.name.c_str(), opts.diff_path.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "%s: diff speed gate: %zu/%zu cells compared, "
+                         "%zu speed regression%s\n",
+                         sweep.name.c_str(), diff.speed_compared, results.size(),
+                         diff.speed_regressions,
+                         diff.speed_regressions == 1 ? "" : "s");
+        }
     }
     return diff.ok() && diff.speed_ok() ? 0 : 4;
 }

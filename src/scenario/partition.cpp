@@ -1,0 +1,106 @@
+#include "scenario/partition.hpp"
+
+#include "sim/check.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+namespace realm::scenario {
+
+TileWeightModel weight_model_from_profile(const std::vector<ProfileRow>& rows) {
+    struct Acc {
+        std::uint64_t nanos = 0;
+        std::uint64_t ticks = 0;
+    };
+    Acc router, manager, subordinate, realm;
+    for (const ProfileRow& r : rows) {
+        // Substring matching keeps this robust to namespace qualification and
+        // the demangler in use; muxes co-tick with their memory tile, so they
+        // fold into the subordinate category.
+        Acc* acc = nullptr;
+        if (r.type.find("Router") != std::string::npos) {
+            acc = &router;
+        } else if (r.type.find("MemSlave") != std::string::npos ||
+                   r.type.find("AxiMux") != std::string::npos) {
+            acc = &subordinate;
+        } else if (r.type.find("RealmUnit") != std::string::npos) {
+            acc = &realm;
+        } else if (r.type.find("DmaEngine") != std::string::npos ||
+                   r.type.find("InjectorEngine") != std::string::npos ||
+                   r.type.find("CoreModel") != std::string::npos) {
+            acc = &manager;
+        }
+        if (acc != nullptr) {
+            acc->nanos += r.nanos;
+            acc->ticks += r.ticks;
+        }
+    }
+    const auto per_tick = [](const Acc& a) -> double {
+        return a.ticks == 0 ? 0.0
+                            : static_cast<double>(a.nanos) / static_cast<double>(a.ticks);
+    };
+    TileWeightModel m; // static tile-degree defaults
+    const double base = per_tick(router);
+    if (base <= 0.0) { return m; } // no router rows: keep the static model
+    m.router = 1.0;
+    if (const double v = per_tick(manager); v > 0.0) { m.manager = v / base; }
+    if (const double v = per_tick(subordinate); v > 0.0) { m.subordinate = v / base; }
+    if (const double v = per_tick(realm); v > 0.0) { m.realm = v / base; }
+    return m;
+}
+
+std::vector<double> tile_weights(const std::vector<RingNodeSpec>& specs,
+                                 const TileWeightModel& model) {
+    std::vector<double> weights(specs.size(), 0.0);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        double w = model.router;
+        switch (specs[i].role) {
+        case RingRole::kVictim:
+        case RingRole::kInterference:
+            w += model.manager;
+            if (specs[i].realm) { w += model.realm; }
+            break;
+        case RingRole::kMemory: w += model.subordinate; break;
+        case RingRole::kPassthrough: break;
+        }
+        weights[i] = w;
+    }
+    return weights;
+}
+
+std::vector<unsigned> balanced_partition(const std::vector<double>& weights,
+                                         unsigned shards) {
+    REALM_EXPECTS(shards >= 1, "balanced_partition needs at least one shard");
+    std::vector<unsigned> map(weights.size(), 0);
+    if (shards == 1) { return map; }
+    // LPT order: weight descending, stable so equal weights keep node order.
+    std::vector<std::size_t> order(weights.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return weights[a] > weights[b];
+    });
+    std::vector<double> load(shards, 0.0);
+    for (const std::size_t n : order) {
+        unsigned best = 0;
+        for (unsigned s = 1; s < shards; ++s) {
+            if (load[s] < load[best]) { best = s; }
+        }
+        map[n] = best;
+        load[best] += weights[n];
+    }
+    return map;
+}
+
+std::vector<unsigned> mesh_tile_shards(const ScenarioConfig& cfg,
+                                       const std::vector<RingNodeSpec>& specs,
+                                       unsigned shards) {
+    if (!cfg.tile_shards.empty()) { return cfg.tile_shards; }
+    if (cfg.partition == PartitionPolicy::kStripe || shards <= 1) { return {}; }
+    const TileWeightModel model = cfg.partition_profile.empty()
+                                      ? TileWeightModel{}
+                                      : weight_model_from_profile(cfg.partition_profile);
+    return balanced_partition(tile_weights(specs, model), shards);
+}
+
+} // namespace realm::scenario

@@ -1,0 +1,61 @@
+/// \file
+/// \brief Profile-guided deterministic mesh partitioning.
+///
+/// The sharded kernel splits the mesh into spatial shards; any tile -> shard
+/// map yields bit-identical simulated results (every inter-tile path is
+/// edge-registered and a tile's components always co-shard), so the map is a
+/// pure host-side load-balancing decision. The default column stripe ignores
+/// that role placement concentrates work: memory tiles run a subordinate
+/// plus an egress mux, manager tiles run a core/DMA plus (usually) a REALM
+/// unit, pass-through tiles run a bare router. This module estimates a
+/// per-tile weight — either from a static role model or from the
+/// cycle-attribution profiler's measured nanos-per-tick — and balances the
+/// tiles over the shards with a deterministic greedy (LPT) assignment.
+#pragma once
+
+#include "scenario/scenario.hpp"
+
+#include <vector>
+
+namespace realm::scenario {
+
+/// Relative per-tile cost contributions, in units of one router tick.
+/// The static defaults encode the tile-degree intuition (a memory tile
+/// services every requester, a manager tile adds an engine and a REALM
+/// unit); `weight_model_from_profile` replaces them with measured ratios.
+struct TileWeightModel {
+    double router = 1.0;      ///< every tile: the router + NI
+    double manager = 1.5;     ///< victim / interference tile: traffic engine
+    double subordinate = 2.0; ///< memory tile: slave model + egress mux
+    double realm = 0.75;      ///< REALM unit in front of a manager port
+};
+
+/// Derives a weight model from cycle-attribution profile rows (see
+/// `ScenarioConfig::profile`): each category's weight is its measured mean
+/// nanos per executed tick, normalized to the router's. Categories absent
+/// from the profile (or a profile without router rows) keep the static
+/// defaults, so a partial profile degrades gracefully.
+[[nodiscard]] TileWeightModel
+weight_model_from_profile(const std::vector<ProfileRow>& rows);
+
+/// Per-tile weights for a resolved role layout under `model`.
+[[nodiscard]] std::vector<double>
+tile_weights(const std::vector<RingNodeSpec>& specs, const TileWeightModel& model);
+
+/// Greedy longest-processing-time balance: tiles sorted by weight
+/// (descending, ties by lower node id) are assigned to the currently
+/// lightest shard (ties by lower shard index). Deterministic for a given
+/// weight vector, so a fixed config always produces the same partition.
+[[nodiscard]] std::vector<unsigned>
+balanced_partition(const std::vector<double>& weights, unsigned shards);
+
+/// The tile -> shard map `run_scenario` hands to `noc::NocMesh`:
+/// `cfg.tile_shards` verbatim when non-empty (test override), empty — the
+/// fabric's default column stripe — for `kStripe` or a single shard, and the
+/// greedy balance over `tile_weights` otherwise (profile-guided when
+/// `cfg.partition_profile` is non-empty).
+[[nodiscard]] std::vector<unsigned>
+mesh_tile_shards(const ScenarioConfig& cfg, const std::vector<RingNodeSpec>& specs,
+                 unsigned shards);
+
+} // namespace realm::scenario

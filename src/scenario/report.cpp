@@ -318,6 +318,62 @@ void write_monitor_report(std::ostream& os, const Sweep& sweep,
     }
 }
 
+/// Partition-balance section: per-shard share of executed ticks (and, when
+/// profiled, of attributed wall time) — the load-balance picture of the
+/// sharded kernel next to the cycle-attribution table. Rendered only when at
+/// least one point ran with more than one shard, so unsharded reports stay
+/// byte-identical.
+void write_partition_report(std::ostream& os,
+                            const std::vector<ScenarioResult>& results) {
+    bool any = false;
+    for (const ScenarioResult& r : results) {
+        any = any || r.shard_ticks_executed.size() > 1;
+    }
+    if (!any) { return; }
+
+    os << "\n## Partition balance\n\n";
+    os << "Per-shard share of executed ticks (and, when profiled, of "
+          "attributed wall time) within each sharded point — the slowest "
+          "shard paces every barrier epoch, so an imbalanced column is "
+          "wall-clock lost.\n\n";
+    os << "| point | shard | ticks | tick share | wall share |\n";
+    os << "|---|---|---|---|---|\n";
+    for (const ScenarioResult& r : results) {
+        if (r.shard_ticks_executed.size() <= 1) { continue; }
+        std::uint64_t total_ticks = 0;
+        for (const std::uint64_t t : r.shard_ticks_executed) { total_ticks += t; }
+        std::vector<std::uint64_t> shard_nanos(r.shard_ticks_executed.size(), 0);
+        std::uint64_t total_nanos = 0;
+        for (const ProfileRow& row : r.profile) {
+            if (row.shard < shard_nanos.size()) {
+                shard_nanos[row.shard] += row.nanos;
+                total_nanos += row.nanos;
+            }
+        }
+        for (std::size_t s = 0; s < r.shard_ticks_executed.size(); ++s) {
+            char tick_share[32];
+            std::snprintf(tick_share, sizeof tick_share, "%.1f %%",
+                          total_ticks == 0
+                              ? 0.0
+                              : 100.0 *
+                                    static_cast<double>(r.shard_ticks_executed[s]) /
+                                    static_cast<double>(total_ticks));
+            os << "| `" << r.label << "` | " << s << " | "
+               << r.shard_ticks_executed[s] << " | " << tick_share << " | ";
+            if (total_nanos > 0) {
+                char wall_share[32];
+                std::snprintf(wall_share, sizeof wall_share, "%.1f %%",
+                              100.0 * static_cast<double>(shard_nanos[s]) /
+                                  static_cast<double>(total_nanos));
+                os << wall_share;
+            } else {
+                os << "–";
+            }
+            os << " |\n";
+        }
+    }
+}
+
 /// Cycle-attribution section: rendered only when at least one point ran with
 /// `--profile`, so reports of unprofiled sweeps stay byte-identical.
 void write_profile_report(std::ostream& os,
@@ -374,6 +430,7 @@ void write_report(std::ostream& os, const Sweep& sweep,
         write_flat_report(os, sweep, results);
     }
     write_monitor_report(os, sweep, results);
+    write_partition_report(os, results);
     write_profile_report(os, results);
 
     // Flag degenerate points loudly; a green CI job must not hide them.

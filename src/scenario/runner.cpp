@@ -446,6 +446,40 @@ load_json_results_by_label(const std::string& path) {
     return cache;
 }
 
+std::vector<ProfileRow> load_profile_rows(const std::string& path) {
+    std::vector<ProfileRow> rows;
+    std::ifstream in{path};
+    if (!in) { return rows; }
+    std::string line;
+    while (std::getline(in, line)) {
+        const char* p = find_value(line, "profile");
+        if (p == nullptr || *p != '[') { continue; }
+        // Row objects are flat ({"type": ..., "shard": ..., ...}) and type
+        // names never contain braces, so brace matching is unambiguous.
+        while (*p != '\0' && *p != ']') {
+            const char* open = std::strchr(p, '{');
+            if (open == nullptr) { break; }
+            const char* close = std::strchr(open, '}');
+            if (close == nullptr) { break; }
+            const std::string obj(open, close + 1);
+            ProfileRow row;
+            if (const char* t = find_value(obj, "type");
+                t != nullptr && *t == '"') {
+                if (const char* q = std::strchr(t + 1, '"'); q != nullptr) {
+                    row.type.assign(t + 1, q);
+                }
+            }
+            row.shard = static_cast<unsigned>(scan_u64(obj, "shard"));
+            row.components = scan_u64(obj, "components");
+            row.ticks = scan_u64(obj, "ticks");
+            row.nanos = scan_u64(obj, "nanos");
+            if (!row.type.empty()) { rows.push_back(std::move(row)); }
+            p = close + 1;
+        }
+    }
+    return rows;
+}
+
 namespace {
 
 /// Host-side simulation speed of a (possibly parsed-back) result, or 0 when

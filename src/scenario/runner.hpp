@@ -82,6 +82,14 @@ load_json_results(const std::string& path);
 [[nodiscard]] std::unordered_map<std::string, ScenarioResult>
 load_json_results_by_label(const std::string& path);
 
+/// Parses the cycle-attribution profile rows out of a previous `--profile
+/// --json` dump, concatenated across every point that carries them (the
+/// balanced partitioner's weight model aggregates per component type, so
+/// merging points is the intended use). Same tolerance as the other
+/// loaders: missing file or absent profiles yield an empty vector.
+[[nodiscard]] std::vector<ProfileRow>
+load_profile_rows(const std::string& path);
+
 /// \name Report-to-report regression diffing
 ///@{
 /// One compared point of `diff_against_baseline`.

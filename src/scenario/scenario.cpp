@@ -64,6 +64,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg, std::string label) {
         ctx.set_profiler(profiler.get());
     }
     std::unique_ptr<TopologyHandle> topo = make_topology(ctx, cfg);
+    // Lookahead batching: with every cross-shard effect carrying at least
+    // `lookahead()` cycles of modeled latency, the kernel runs that many
+    // cycles per barrier epoch. Set for every shard count (including 1) so
+    // the flush cadence — which is semantic, see sim/context.hpp — is a pure
+    // function of the config and results stay bit-identical across shards.
+    ctx.set_lookahead(topo->lookahead());
     REALM_EXPECTS(cfg.interference.size() <= topo->num_interference_ports(),
                   "more interference DMAs than fabric manager ports");
 
@@ -258,9 +264,9 @@ namespace {
 /// semantics change, invalidating stale caches wholesale.
 class ConfigDigest {
 public:
-    static constexpr std::uint64_t kVersion = 7; ///< v7: programmable
-                                                 ///< injector genomes per
-                                                 ///< interference engine
+    static constexpr std::uint64_t kVersion = 8; ///< v8: pipelined links
+                                                 ///< (`link_latency`) on the
+                                                 ///< NoC fabrics
 
     ConfigDigest() { mix(kVersion); }
 
@@ -309,6 +315,11 @@ void mix_noc(ConfigDigest& d, const NocTopologyConfig& noc) {
     d.mix(noc.vc_depth);
     d.mix(noc.e2e_credits);
     d.mix(noc.credit_return_delay);
+    // Pipelined links (v8): link_latency changes every flit's arrival cycle,
+    // so it is semantic on both NoC fabrics. The batching it enables is not
+    // (bit-identical for every shard count / partition), so `partition`,
+    // `tile_shards`, and `partition_profile` stay out of the hash.
+    d.mix(noc.link_latency);
     d.mix(static_cast<std::uint64_t>(noc.routing));
     mix_realm(d, noc.realm);
 }

@@ -92,6 +92,33 @@ struct PreloadSpan {
     bool warm = true;
 };
 
+/// One row of the cycle-attribution profile (`ScenarioConfig::profile`):
+/// wall time and executed ticks charged to one (component type, shard).
+struct ProfileRow {
+    std::string type;  ///< demangled component type
+    unsigned shard = 0;
+    std::uint64_t components = 0; ///< instances in the bucket
+    std::uint64_t ticks = 0;      ///< executed ticks attributed
+    std::uint64_t nanos = 0;      ///< wall time attributed
+};
+
+/// How the mesh fabric's tiles are distributed over the spatial shards.
+/// Host-side load-balancing only: every partition yields bit-identical
+/// simulated results (all inter-tile paths are edge-registered), so the
+/// policy is *excluded* from `config_hash` like `shard_workers`.
+enum class PartitionPolicy : std::uint8_t {
+    kStripe,   ///< contiguous column stripes (the historical default)
+    kBalanced, ///< greedy weight balance over per-tile cost estimates
+};
+
+[[nodiscard]] constexpr const char* to_string(PartitionPolicy p) noexcept {
+    switch (p) {
+    case PartitionPolicy::kStripe: return "stripe";
+    case PartitionPolicy::kBalanced: return "balanced";
+    }
+    return "?";
+}
+
 /// A complete experiment description.
 struct ScenarioConfig {
     std::string name = "scenario";
@@ -136,6 +163,18 @@ struct ScenarioConfig {
     /// for every value, so it is *excluded* from `config_hash`. Tests force
     /// > 1 to exercise the concurrent barrier path on single-core hosts.
     unsigned shard_workers = 0;
+    /// Tile -> shard assignment policy for the mesh fabric (ignored
+    /// elsewhere). Host-side only and *excluded* from `config_hash`: any
+    /// partition is bit-identical (see `noc::NocMesh::shard_of_node`).
+    PartitionPolicy partition = PartitionPolicy::kStripe;
+    /// Explicit tile -> shard map override (one entry per mesh node, each
+    /// < `shards`). Overrides `partition` when non-empty; used by the
+    /// partition-invariance tests to pin pathological maps. Unhashed.
+    std::vector<unsigned> tile_shards;
+    /// Profile rows (from a previous `profile` run of a comparable config)
+    /// driving the balanced partitioner's per-tile weight model; empty
+    /// falls back to the static tile-degree model. Unhashed.
+    std::vector<ProfileRow> partition_profile;
     /// Per-point RNG seed; sweep factories fill this via `sim::derive_seed`
     /// so parallel runs are reproducible regardless of thread count.
     std::uint64_t seed = 0;
@@ -145,16 +184,6 @@ struct ScenarioConfig {
     /// profiled loop is bit-identical to the plain one — so it is *excluded*
     /// from `config_hash`, like `shard_workers`.
     bool profile = false;
-};
-
-/// One row of the cycle-attribution profile (`ScenarioConfig::profile`):
-/// wall time and executed ticks charged to one (component type, shard).
-struct ProfileRow {
-    std::string type;  ///< demangled component type
-    unsigned shard = 0;
-    std::uint64_t components = 0; ///< instances in the bucket
-    std::uint64_t ticks = 0;      ///< executed ticks attributed
-    std::uint64_t nanos = 0;      ///< wall time attributed
 };
 
 /// Everything the benches and examples report, from one scenario run.

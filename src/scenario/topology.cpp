@@ -1,5 +1,6 @@
 #include "scenario/topology.hpp"
 
+#include "scenario/partition.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/check.hpp"
 
@@ -336,10 +337,21 @@ public:
                                   c, "mesh", cfg.topology.mesh.rows,
                                   cfg.topology.mesh.cols, std::move(map),
                                   std::move(subs), cfg.topology.mesh.flow(),
-                                  cfg.topology.mesh.routing);
-                          }} {}
+                                  cfg.topology.mesh.routing,
+                                  mesh_tile_shards(cfg, resolve(cfg.topology.mesh),
+                                                   c.shards()));
+                          }},
+          lookahead_{cfg.topology.mesh.link_latency} {}
+
+    // The mesh guarantees `link_latency` cycles on every cross-shard path:
+    // neighbor links pipeline flits and wakes by exactly that much, and the
+    // fabric forces `credit_return_delay >= link_latency` (see NocMesh), so
+    // deferred end-to-end credit releases mature no earlier either.
+    [[nodiscard]] sim::Cycle lookahead() const override { return lookahead_; }
 
 private:
+    sim::Cycle lookahead_ = 1;
+
     static std::vector<RingNodeSpec> resolve(const MeshTopologyConfig& cfg) {
         std::vector<RingNodeSpec> specs =
             cfg.nodes.empty() ? make_mesh_roles(cfg.rows, cfg.cols, 1, 2) : cfg.nodes;

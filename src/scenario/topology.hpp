@@ -108,6 +108,12 @@ struct NocTopologyConfig {
     /// before the injector may reuse it (0 = instantaneous release at the
     /// drain point, the historical behaviour).
     std::uint32_t credit_return_delay = 0;
+    /// Uniform pipeline depth of every fabric link in cycles: a flit pushed
+    /// at cycle N becomes visible to the consumer at N + link_latency
+    /// (1 = the historical single-register link). Doubles as the sharded
+    /// kernel's conservative lookahead on the mesh — shard barriers run
+    /// every link_latency cycles instead of every cycle.
+    std::uint32_t link_latency = 1;
     ///@}
 
     /// Mesh routing policy (see noc/routing.hpp): deterministic XY
@@ -117,7 +123,7 @@ struct NocTopologyConfig {
 
     [[nodiscard]] noc::NocFlowConfig flow() const noexcept {
         return noc::NocFlowConfig{flits_per_packet, vc_depth, e2e_credits,
-                                  credit_return_delay};
+                                  credit_return_delay, link_latency};
     }
 
     /// Template applied to every placed REALM unit.
@@ -231,6 +237,12 @@ public:
     /// bounded NI staging, bounded link VCs). No-op on fabrics without
     /// credited flow control; tests call it every cycle.
     virtual void check_flow_invariants() const {}
+    /// Conservative lookahead the fabric guarantees: every cross-shard
+    /// effect staged at cycle N is invisible before N + lookahead, so the
+    /// sharded kernel may batch that many cycles per barrier epoch
+    /// (`sim::SimContext::set_lookahead`). Fabrics without that guarantee
+    /// keep the per-cycle barrier (1).
+    [[nodiscard]] virtual sim::Cycle lookahead() const { return 1; }
     ///@}
 };
 

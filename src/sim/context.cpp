@@ -196,83 +196,114 @@ void SimContext::ensure_partition() {
     partition_dirty_ = false;
 }
 
-void SimContext::tick_shard(unsigned shard) {
+void SimContext::tick_shard_span(unsigned shard, Cycle count) {
     if (profiler_ != nullptr) {
-        tick_shard_profiled(shard);
+        tick_shard_span_profiled(shard, count);
         return;
     }
     t_current_shard = shard;
+    tl_tick_ctx_ = this;
     const std::vector<Component*>& list = shard_lists_[shard];
+    const Cycle end = now_ + count;
     if (scheduler_ == Scheduler::kTickAll) {
-        for (Component* c : list) { c->tick(); }
-        shard_ticks_executed_[shard] += list.size();
+        for (Cycle at = now_; at < end; ++at) {
+            tl_tick_now_ = at;
+            for (Component* c : list) { c->tick(); }
+        }
+        shard_ticks_executed_[shard] +=
+            static_cast<std::uint64_t>(list.size()) * count;
+        tl_tick_ctx_ = nullptr;
         t_current_shard = 0;
         return;
     }
     std::uint64_t executed = 0;
     std::uint64_t skipped = 0;
     Cycle hint = kNoCycle;
-    for (Component* c : list) {
-        const Cycle wake = c->wake_cycle();
-        if (wake > now_) {
-            ++skipped;
-            hint = std::min(hint, wake);
-            continue;
-        }
-        c->tick();
-        ++executed;
-        const Cycle after = c->wake_cycle();
-        hint = std::min(hint, after > now_ ? after : now_ + 1);
-    }
-    shard_ticks_executed_[shard] += executed;
-    shard_ticks_skipped_[shard] += skipped;
-    note_wake(hint); // fold the shard-local hint (atomic min)
-    t_current_shard = 0;
-}
-
-// Same walk as tick_shard with chained clock samples: the end stamp of one
-// executed tick is the start stamp of the next, so attribution costs one
-// `steady_clock` call per executed tick (skip-scan time is charged to the
-// following executed tick — negligible and documented). Buckets are keyed
-// by shard, so concurrent shards never write the same counter.
-void SimContext::tick_shard_profiled(unsigned shard) {
-    t_current_shard = shard;
-    const std::vector<Component*>& list = shard_lists_[shard];
-    const std::vector<std::uint32_t>& buckets = shard_buckets_[shard];
-    const bool activity = scheduler_ == Scheduler::kActivity;
-    std::uint64_t executed = 0;
-    std::uint64_t skipped = 0;
-    Cycle hint = kNoCycle;
-    auto last = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < list.size(); ++i) {
-        Component* c = list[i];
-        if (activity) {
+    for (Cycle at = now_; at < end;) {
+        tl_tick_now_ = at;
+        hint = kNoCycle;
+        std::uint64_t ran = 0;
+        for (Component* c : list) {
             const Cycle wake = c->wake_cycle();
-            if (wake > now_) {
+            if (wake > at) {
                 ++skipped;
                 hint = std::min(hint, wake);
                 continue;
             }
-        }
-        c->tick();
-        ++executed;
-        const auto stamp = std::chrono::steady_clock::now();
-        Profiler::Bucket& b = profiler_->bucket(buckets[i]);
-        ++b.ticks;
-        b.nanos += static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(stamp - last)
-                .count());
-        last = stamp;
-        if (activity) {
+            c->tick();
+            ++ran;
             const Cycle after = c->wake_cycle();
-            hint = std::min(hint, after > now_ ? after : now_ + 1);
+            hint = std::min(hint, after > at ? after : at + 1);
         }
+        executed += ran;
+        // Intra-batch fast-forward: a walk that executed nothing proves
+        // every component of this shard sleeps until `hint` — exact, since
+        // within a batch only the shard itself wakes its components
+        // (cross-shard wakes land at the batch-edge flush). Jumping is a
+        // per-shard no-op skip, so it never perturbs the simulated state.
+        at = (ran == 0 && hint > at + 1) ? std::min(hint, end) : at + 1;
+    }
+    shard_ticks_executed_[shard] += executed;
+    shard_ticks_skipped_[shard] += skipped;
+    note_wake(hint); // fold the shard-local hint (atomic min)
+    tl_tick_ctx_ = nullptr;
+    t_current_shard = 0;
+}
+
+// Same walk as tick_shard_span with chained clock samples: the end stamp of
+// one executed tick is the start stamp of the next, so attribution costs one
+// `steady_clock` call per executed tick (skip-scan time is charged to the
+// following executed tick — negligible and documented). Buckets are keyed
+// by shard, so concurrent shards never write the same counter.
+void SimContext::tick_shard_span_profiled(unsigned shard, Cycle count) {
+    t_current_shard = shard;
+    tl_tick_ctx_ = this;
+    const std::vector<Component*>& list = shard_lists_[shard];
+    const std::vector<std::uint32_t>& buckets = shard_buckets_[shard];
+    const bool activity = scheduler_ == Scheduler::kActivity;
+    const Cycle end = now_ + count;
+    std::uint64_t executed = 0;
+    std::uint64_t skipped = 0;
+    Cycle hint = kNoCycle;
+    auto last = std::chrono::steady_clock::now();
+    for (Cycle at = now_; at < end;) {
+        tl_tick_now_ = at;
+        hint = kNoCycle;
+        std::uint64_t ran = 0;
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            Component* c = list[i];
+            if (activity) {
+                const Cycle wake = c->wake_cycle();
+                if (wake > at) {
+                    ++skipped;
+                    hint = std::min(hint, wake);
+                    continue;
+                }
+            }
+            c->tick();
+            ++ran;
+            const auto stamp = std::chrono::steady_clock::now();
+            Profiler::Bucket& b = profiler_->bucket(buckets[i]);
+            ++b.ticks;
+            b.nanos += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(stamp - last)
+                    .count());
+            last = stamp;
+            if (activity) {
+                const Cycle after = c->wake_cycle();
+                hint = std::min(hint, after > at ? after : at + 1);
+            }
+        }
+        executed += ran;
+        at = (activity && ran == 0 && hint > at + 1) ? std::min(hint, end)
+                                                     : at + 1;
     }
     shard_ticks_executed_[shard] += executed;
     if (activity) {
         shard_ticks_skipped_[shard] += skipped;
         note_wake(hint);
     }
+    tl_tick_ctx_ = nullptr;
     t_current_shard = 0;
 }
 
@@ -336,8 +367,13 @@ void SimContext::worker_main(unsigned worker_index, unsigned worker_count) {
         // waits for full arrival before publishing the next), so the
         // current value is exactly the epoch we were released for.
         seen = workers_->go.load(std::memory_order_relaxed);
+        // `batch_len_` (like every pre-epoch write) was published by the
+        // release increment of `go` and is stable for the whole epoch.
+        const Cycle batch = batch_len_;
         const unsigned n = static_cast<unsigned>(shard_lists_.size());
-        for (unsigned s = worker_index; s < n; s += worker_count) { tick_shard(s); }
+        for (unsigned s = worker_index; s < n; s += worker_count) {
+            tick_shard_span(s, batch);
+        }
         if (workers_->pending.fetch_sub(1, std::memory_order_release) == 1) {
             // Last arrival. Taking `mu` (empty critical section) orders this
             // decrement against the main thread's park decision, so either
@@ -349,7 +385,9 @@ void SimContext::worker_main(unsigned worker_index, unsigned worker_count) {
     }
 }
 
-void SimContext::step() {
+void SimContext::step() { step_batch(1); }
+
+void SimContext::step_batch(Cycle count) {
     ensure_partition();
     // Apply any work staged outside the tick phase (tests pushing into
     // edge-mode links between steps); normally a no-op.
@@ -360,12 +398,12 @@ void SimContext::step() {
         // Rebuild the fast-forward hint while walking the lists anyway.
         // Wakes fired *during* a tick (link pushes, job submissions)
         // re-lower the hint through note_wake, so components earlier in the
-        // order that were already passed over this cycle are still picked
-        // up next cycle.
+        // order that were already passed over this batch are still picked
+        // up next batch.
         next_active_hint_.store(kNoCycle, std::memory_order_relaxed);
     }
     if (nshards <= 1) {
-        tick_shard(0);
+        tick_shard_span(0, count);
     } else {
         unsigned workers = shard_workers_override_ != 0
                                ? shard_workers_override_
@@ -373,23 +411,30 @@ void SimContext::step() {
         workers = std::min(workers, nshards);
         if (workers <= 1) {
             // Not enough cores to go parallel: multiplex the shards on this
-            // thread. Bit-identical to the concurrent path — cross-shard
-            // effects are edge-registered either way.
-            for (unsigned s = 0; s < nshards; ++s) { tick_shard(s); }
+            // thread, each walking the whole batch in turn. Bit-identical
+            // to the concurrent path — within a batch shards are
+            // independent, so walking them batch-major instead of
+            // cycle-major is unobservable.
+            for (unsigned s = 0; s < nshards; ++s) { tick_shard_span(s, count); }
         } else {
             start_workers(workers);
-            // Pre-set the arrival counter, then publish the epoch: the
-            // release increment makes `pending` (and every pre-cycle
-            // write) visible to the acquire-spinning workers. Publishing
-            // under `mu` pairs with the parked-worker wait; spinning
-            // workers never touch the lock.
+            // Pre-set the arrival counter and the batch length, then
+            // publish the epoch: the release increment makes `pending`,
+            // `batch_len_` (and every pre-batch write) visible to the
+            // acquire-spinning workers. Publishing under `mu` pairs with
+            // the parked-worker wait; spinning workers never touch the
+            // lock. One barrier round trip now covers `count` cycles — the
+            // conservative-lookahead batching win.
+            batch_len_ = count;
             workers_->pending.store(workers - 1, std::memory_order_relaxed);
             {
                 const std::lock_guard<std::mutex> lk(workers_->mu);
                 workers_->go.fetch_add(1, std::memory_order_release);
             }
             workers_->cv_go.notify_all();
-            for (unsigned s = 0; s < nshards; s += workers) { tick_shard(s); }
+            for (unsigned s = 0; s < nshards; s += workers) {
+                tick_shard_span(s, count);
+            }
             // Join: the acquire on zero orders every shard's writes before
             // the edge flush below.
             const auto arrived = [&] {
@@ -401,9 +446,10 @@ void SimContext::step() {
             }
         }
     }
-    ++now_;
-    // Exchange cross-shard state at the cycle edge: staged flits/credits
-    // become poppable at the new `now_`, and consumers are woken for it.
+    now_ += count;
+    // Exchange cross-shard state at the batch edge: staged flits/credits
+    // mature against the new `now_` (each stamped with its staging cycle),
+    // and consumers are woken for their first poppable cycle.
     flush_edges();
 }
 
@@ -422,17 +468,22 @@ void SimContext::run(Cycle cycles) {
     const Cycle end = now_ + cycles;
     while (now_ < end) {
         if (try_fast_forward(end)) { continue; }
-        step();
+        step_batch(std::min<Cycle>(lookahead_, end - now_));
     }
 }
 
 bool SimContext::run_until(const std::function<bool()>& done, Cycle max_cycles) {
     REALM_EXPECTS(done != nullptr, "run_until requires a predicate");
+    // The predicate is evaluated at batch boundaries, so with lookahead k
+    // the loop may overshoot the trigger by up to k-1 cycles — benign for
+    // component-state predicates (the state it reads is exact) and
+    // deterministic for a fixed configuration, hence identical at every
+    // shard count.
     const Cycle end = now_ + max_cycles;
     while (now_ < end) {
         if (done()) { return true; }
         if (try_fast_forward(end)) { continue; }
-        step();
+        step_batch(std::min<Cycle>(lookahead_, end - now_));
     }
     return done();
 }
@@ -453,7 +504,9 @@ const char* level_name(LogLevel level) {
 
 void SimContext::log(LogLevel level, const std::string& who, const std::string& message) const {
     if (!log_enabled(level)) { return; }
-    std::cerr << '[' << now_ << "] " << level_name(level) << ' ' << who << ": " << message
+    // now() (not now_): components log from inside a batch walk, where the
+    // thread-local tick clock holds the cycle actually being evaluated.
+    std::cerr << '[' << now() << "] " << level_name(level) << ' ' << who << ": " << message
               << '\n';
 }
 

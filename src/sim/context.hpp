@@ -44,11 +44,15 @@ enum class Scheduler {
 class EdgeFlushable {
 public:
     /// Applies the staged work. The kernel advances the clock *before*
-    /// flushing, so `now` is the cycle at which the staged effects become
-    /// visible: work staged during cycle N is flushed with `now == N + 1`,
-    /// and consumers evaluated at `now` may observe it (stamp staged
-    /// entries with their staging cycle and expose them to consumers once
-    /// `stamp < now`, as `NocLink` does).
+    /// flushing, so `now` is the first cycle of the next batch: work staged
+    /// during batch [B, B + k) is flushed with `now == B + k`. Staged
+    /// effects must carry their own visible-cycle stamps — an effect staged
+    /// at cycle N matures at N + L for a channel latency L >= k, which is
+    /// at or after this flush, never before (the conservative-lookahead
+    /// safety argument). `NocLink` stamps entries with their staging cycle
+    /// and exposes them once `stamp + link_latency <= now`; `CreditPool`
+    /// stages releases with an explicit ready cycle. With the default
+    /// lookahead of 1 this is the historical per-cycle edge flush.
     virtual void flush_edge(Cycle now) = 0;
 
 protected:
@@ -91,8 +95,16 @@ public:
     SimContext(const SimContext&) = delete;
     SimContext& operator=(const SimContext&) = delete;
 
-    /// Current simulation time in cycles.
-    [[nodiscard]] Cycle now() const noexcept { return now_; }
+    /// Current simulation time in cycles. During the tick phase of a
+    /// lookahead batch this is the *per-thread* batch clock — the cycle the
+    /// calling shard walk is evaluating — so components always observe the
+    /// cycle they are being ticked at, even while `now_` still holds the
+    /// batch base. Guarded by the owning-context check: a bare thread-local
+    /// would leak a stale clock across sequentially-used contexts on one
+    /// thread.
+    [[nodiscard]] Cycle now() const noexcept {
+        return this == tl_tick_ctx_ ? tl_tick_now_ : now_;
+    }
 
     /// Adds a component to the per-cycle evaluation list (tagging it with
     /// the current build shard).
@@ -105,11 +117,31 @@ public:
     void reset();
 
     /// Advances the simulation by exactly one cycle (no fast-forward; idle
-    /// components are still skipped under `kActivity`).
+    /// components are still skipped under `kActivity`). A single-cycle
+    /// batch: cross-shard state flushes at the cycle edge regardless of the
+    /// configured lookahead.
     void step();
 
     /// Advances the simulation by `cycles` cycles.
     void run(Cycle cycles);
+
+    /// \name Conservative lookahead (barrier batching)
+    ///@{
+    /// Declares that every cross-shard channel carries at least `k` cycles
+    /// of modeled latency (classic conservative PDES lookahead), so `run` /
+    /// `run_until` may execute up to `k` consecutive cycles per barrier
+    /// epoch: each shard walks the whole batch on its own thread and staged
+    /// cross-shard effects commit at the batch edge — exactly when they
+    /// would become visible anyway (effects staged at cycle N mature at
+    /// N + L >= batch end for k <= L). The flush/snapshot cadence is part of
+    /// the modeled semantics (edge-link capacity snapshots refresh at
+    /// barriers), so the batch length is a pure function of configuration:
+    /// the *same* batching runs at every shard count, including 1, which is
+    /// what keeps results bit-identical across shard counts and partitions.
+    /// Default 1 reproduces the historical cycle-by-cycle schedule exactly.
+    void set_lookahead(Cycle k) noexcept { lookahead_ = k < 1 ? 1 : k; }
+    [[nodiscard]] Cycle lookahead() const noexcept { return lookahead_; }
+    ///@}
 
     /// Runs until `done()` returns true or `max_cycles` elapsed.
     /// \returns true iff the predicate fired (i.e. no timeout).
@@ -220,13 +252,24 @@ private:
     /// Rebuilds the per-shard component lists (stable partition of
     /// `components_` by shard tag) when stale.
     void ensure_partition();
-    /// Ticks every component of one shard (registration order), folding
-    /// skip logic and counters; runs on a worker or the main thread.
-    void tick_shard(unsigned shard);
+    /// Advances the simulation by `count` cycles under one barrier epoch:
+    /// every shard walks cycles [now_, now_ + count) on its own thread,
+    /// then cross-shard state flushes once at the batch edge. `count` must
+    /// not exceed the configured lookahead (callers pass
+    /// `min(lookahead_, remaining)`).
+    void step_batch(Cycle count);
+    /// Ticks every component of one shard (registration order) across
+    /// `count` consecutive cycles, folding skip logic and counters; runs on
+    /// a worker or the main thread. Publishes the per-cycle clock through
+    /// the thread-local tick clock (see `now()`); a walk that executes
+    /// nothing jumps the local clock to the shard's earliest wake (exact:
+    /// within a batch a shard's components are only woken by the shard
+    /// itself — cross-shard wakes land at the batch-edge flush).
+    void tick_shard_span(unsigned shard, Cycle count);
     /// Same walk with per-tick wall-time attribution into `profiler_`
     /// (chained clock samples; see sim/profiler.hpp). Split out so the
     /// unprofiled loop carries no timing code at all.
-    void tick_shard_profiled(unsigned shard);
+    void tick_shard_span_profiled(unsigned shard, Cycle count);
     /// Applies all staged cross-shard work, single-threaded, in shard-major
     /// registration order. Runs on every cycle edge in every mode.
     void flush_edges();
@@ -235,6 +278,19 @@ private:
     void worker_main(unsigned worker_index, unsigned worker_count);
 
     Cycle now_ = 0;
+    /// Conservative lookahead: max cycles per barrier epoch (see
+    /// `set_lookahead`).
+    Cycle lookahead_ = 1;
+    /// Batch length of the epoch being published to the worker pool;
+    /// written by the main thread before the release increment of the epoch
+    /// counter, read by workers after its acquire.
+    Cycle batch_len_ = 1;
+    /// Per-thread tick clock: the cycle the current shard walk is
+    /// evaluating, owned by `tl_tick_ctx_`. `inline static thread_local`
+    /// with an owner pointer so two contexts used from one thread never see
+    /// each other's clock.
+    inline static thread_local const SimContext* tl_tick_ctx_ = nullptr;
+    inline static thread_local Cycle tl_tick_now_ = 0;
     std::vector<Component*> components_;
     LogLevel log_level_ = LogLevel::kNone;
     Scheduler scheduler_ = Scheduler::kActivity;

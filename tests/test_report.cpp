@@ -279,6 +279,55 @@ TEST(ReportRendering, ProfiledRunsRenderACycleAttributionSection) {
               std::string::npos);
 }
 
+TEST(ReportRendering, ShardedRunsRenderAPartitionBalanceSection) {
+    Sweep sweep;
+    sweep.name = "sharded";
+    sweep.title = "Sharded sweep";
+    sweep.points.push_back({"only", ScenarioConfig{}});
+    ScenarioResult r = result_for("only", 10, 5);
+    r.shard_ticks_executed = {6000, 2000};
+    r.profile.push_back({"realm::noc::MeshRouter", 0, 16, 12000, 3000000});
+    r.profile.push_back({"realm::mem::AxiMemSlave", 1, 4, 4000, 1000000});
+
+    std::ostringstream os;
+    write_report(os, sweep, {r});
+    const std::string report = os.str();
+    EXPECT_NE(report.find("## Partition balance"), std::string::npos);
+    EXPECT_NE(report.find("| point | shard | ticks | tick share | wall share |"),
+              std::string::npos);
+    EXPECT_NE(report.find("| `only` | 0 | 6000 | 75.0 % | 75.0 % |"),
+              std::string::npos);
+    EXPECT_NE(report.find("| `only` | 1 | 2000 | 25.0 % | 25.0 % |"),
+              std::string::npos);
+}
+
+TEST(ReportRendering, PartitionBalanceWithoutProfileRendersDashes) {
+    Sweep sweep;
+    sweep.name = "sharded-unprofiled";
+    sweep.title = "Sharded sweep, no profiler";
+    sweep.points.push_back({"only", ScenarioConfig{}});
+    ScenarioResult r = result_for("only", 10, 5);
+    r.shard_ticks_executed = {3000, 1000};
+
+    std::ostringstream os;
+    write_report(os, sweep, {r});
+    const std::string report = os.str();
+    EXPECT_NE(report.find("| `only` | 0 | 3000 | 75.0 % | – |"),
+              std::string::npos);
+    EXPECT_NE(report.find("| `only` | 1 | 1000 | 25.0 % | – |"),
+              std::string::npos);
+}
+
+TEST(ReportRendering, UnshardedResultsRenderNoPartitionSection) {
+    // Single-shard results carry one-element tick arrays; the section must
+    // stay absent so legacy report bytes are untouched.
+    auto [sweep, results] = matrix_fixture();
+    for (ScenarioResult& r : results) { r.shard_ticks_executed = {1234}; }
+    std::ostringstream os;
+    write_report(os, sweep, results);
+    EXPECT_EQ(os.str().find("Partition balance"), std::string::npos);
+}
+
 TEST(ReportRendering, UnprofiledResultsRenderNoAttributionSection) {
     const auto [sweep, results] = matrix_fixture();
     std::ostringstream os;

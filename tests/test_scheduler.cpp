@@ -363,13 +363,18 @@ TEST(SchedulerEquivalence, DosAttackTopologyBitIdentical) {
 /// matrix of (policy x shard count) runs fast, with real worker threads
 /// forced so the concurrent barrier path runs even on single-core hosts.
 scenario::ScenarioConfig
-small_mesh_point(noc::RoutingPolicy routing, unsigned shards) {
+small_mesh_point(noc::RoutingPolicy routing, unsigned shards,
+                 std::uint32_t link_latency = 1,
+                 scenario::PartitionPolicy partition =
+                     scenario::PartitionPolicy::kStripe) {
     scenario::Sweep sweep = scenario::make_sweep("mesh-contention");
     scenario::ScenarioConfig cfg = sweep.points.at(4).config; // 3x4 hog
     cfg.victim.stream.bytes = 0x400;
     cfg.topology.mesh.routing = routing;
+    cfg.topology.mesh.link_latency = link_latency;
     cfg.shards = shards;
     cfg.shard_workers = shards > 1 ? 2 : 0;
+    cfg.partition = partition;
     return cfg;
 }
 
@@ -447,6 +452,80 @@ TEST(ShardedKernel, OddWidthMeshBitIdentical) {
         SCOPED_TRACE(testing::Message() << "shards=" << shards);
         expect_same_results(ref, scenario::run_scenario(s));
     }
+}
+
+TEST(ShardedKernel, LookaheadBatchedBitIdenticalAcrossShardsAndPolicies) {
+    // link_latency 4 turns every barrier epoch into a 4-cycle batch; the
+    // batched kernel must agree bit for bit with the single-shard run (which
+    // batches on the same config-pure cadence) for every policy and shard
+    // count, including shard counts above the column count.
+    for (const noc::RoutingPolicy routing :
+         {noc::RoutingPolicy::kXY, noc::RoutingPolicy::kYX,
+          noc::RoutingPolicy::kO1Turn, noc::RoutingPolicy::kWestFirst}) {
+        const scenario::ScenarioResult ref =
+            scenario::run_scenario(small_mesh_point(routing, 1, 4));
+        ASSERT_FALSE(ref.timed_out);
+        ASSERT_GT(ref.fabric_hops, 0U);
+        for (const unsigned shards : {2U, 4U, 8U}) {
+            const scenario::ScenarioResult sharded =
+                scenario::run_scenario(small_mesh_point(routing, shards, 4));
+            SCOPED_TRACE(testing::Message()
+                         << "routing=" << noc::to_string(routing)
+                         << " shards=" << shards << " link_latency=4");
+            expect_same_results(ref, sharded);
+        }
+    }
+}
+
+TEST(ShardedKernel, LookaheadBatchingMatchesTickAllScheduler) {
+    // Transitivity anchor at link_latency 2: the batched activity kernel
+    // must agree with the naive tick-all loop under the same link model.
+    scenario::ScenarioConfig cfg =
+        small_mesh_point(noc::RoutingPolicy::kO1Turn, 1, 2);
+    cfg.scheduler = Scheduler::kTickAll;
+    const scenario::ScenarioResult naive = scenario::run_scenario(cfg);
+    const scenario::ScenarioResult sharded = scenario::run_scenario(
+        small_mesh_point(noc::RoutingPolicy::kO1Turn, 4, 2));
+    ASSERT_FALSE(naive.timed_out);
+    expect_same_results(naive, sharded);
+}
+
+TEST(ShardedKernel, BalancedPartitionBitIdentical) {
+    // The greedy balanced partition scatters tiles off the column stripes;
+    // results must not move, at every link latency.
+    for (const std::uint32_t latency : {1U, 2U, 4U}) {
+        const scenario::ScenarioResult ref = scenario::run_scenario(
+            small_mesh_point(noc::RoutingPolicy::kXY, 1, latency));
+        ASSERT_FALSE(ref.timed_out);
+        for (const unsigned shards : {2U, 8U}) {
+            SCOPED_TRACE(testing::Message() << "link_latency=" << latency
+                                            << " shards=" << shards);
+            expect_same_results(
+                ref, scenario::run_scenario(small_mesh_point(
+                         noc::RoutingPolicy::kXY, shards, latency,
+                         scenario::PartitionPolicy::kBalanced)));
+        }
+    }
+}
+
+TEST(ShardedKernel, LinkLatencyIsSemantic) {
+    // Deeper links must actually change the simulated latency picture (the
+    // knob is hashed); this guards against the pipeline silently collapsing
+    // back to one cycle. Compare uncontended runs — with hogs active a slower
+    // link also throttles the attacker, so victim latency is not monotonic.
+    auto solo = [](std::uint32_t latency) {
+        scenario::ScenarioConfig cfg =
+            small_mesh_point(noc::RoutingPolicy::kXY, 1, latency);
+        cfg.interference.clear();
+        return scenario::run_scenario(cfg);
+    };
+    const scenario::ScenarioResult l1 = solo(1);
+    const scenario::ScenarioResult l4 = solo(4);
+    ASSERT_FALSE(l1.timed_out);
+    ASSERT_FALSE(l4.timed_out);
+    EXPECT_GT(l4.load_lat_mean, l1.load_lat_mean)
+        << "4-cycle links must lengthen uncontended load latency";
+    EXPECT_GT(l4.run_cycles, l1.run_cycles);
 }
 
 TEST(ShardedKernel, RepeatedShardedRunsAreDeterministic) {
